@@ -1,0 +1,198 @@
+//! Brute-force ground truth (§6.2 of the paper).
+//!
+//! "We created the ground truth for both schema and content level
+//! containment in a brute force manner. For each pair of tables, we checked
+//! the containment of schema sets to compute the ground truth schema graph.
+//! Then for each edge, we checked whether each row of the smaller table
+//! occurs in the larger table to compute the ground truth containment
+//! graph." Row comparison uses hashes, exactly as the paper's ground-truth
+//! baseline does. All work is metered so Table 3's operation counts can be
+//! reported.
+
+use r2d2_graph::{ContainmentEdge, ContainmentGraph};
+use r2d2_lake::query::containment_check;
+use r2d2_lake::{DataLake, DatasetId, Meter, Result, SchemaSet};
+
+/// Re-export of the brute-force schema graph builder (shared with the core
+/// crate so SGB's recall proof tests and the baseline use the same code).
+pub use r2d2_core::sgb::brute_force_schema_graph;
+
+/// The pair of ground-truth graphs for a lake.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// All pairs with schema-level containment.
+    pub schema_graph: ContainmentGraph,
+    /// All pairs with exact content-level containment (CM = 1); each edge is
+    /// annotated with its measured containment fraction.
+    pub containment_graph: ContainmentGraph,
+}
+
+/// Compute the ground-truth schema containment graph of a lake by comparing
+/// every pair of schema sets.
+pub fn schema_ground_truth(lake: &DataLake, meter: &Meter) -> ContainmentGraph {
+    let schemas: Vec<(u64, SchemaSet)> = lake
+        .iter()
+        .map(|e| (e.id.0, e.data.schema().schema_set()))
+        .collect();
+    brute_force_schema_graph(&schemas, meter)
+}
+
+/// Compute the ground-truth content containment graph: for every edge of the
+/// schema ground truth, hash-compare every child row against the parent.
+/// Returns both graphs.
+pub fn content_ground_truth(lake: &DataLake, meter: &Meter) -> Result<GroundTruth> {
+    let schema_graph = schema_ground_truth(lake, meter);
+    let mut containment_graph = ContainmentGraph::new();
+    for &id in schema_graph.datasets() {
+        containment_graph.add_dataset(id);
+    }
+    for (parent, child) in schema_graph.edges() {
+        let p = lake.dataset(DatasetId(parent))?;
+        let c = lake.dataset(DatasetId(child))?;
+        let chk = containment_check(&c.data, &p.data, meter)?;
+        if chk.is_exact() {
+            containment_graph.add_edge_with(
+                parent,
+                child,
+                ContainmentEdge {
+                    containment_fraction: Some(1.0),
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    Ok(GroundTruth {
+        schema_graph,
+        containment_graph,
+    })
+}
+
+/// The number of pairwise row-level operations a brute-force content ground
+/// truth would need for a given schema graph: `Σ_{(i,j) ∈ E₁} M_i · M_j`
+/// (the "Ground Truth Content" row of Table 3). Computed analytically so the
+/// harness can report it even when actually running it would take days.
+pub fn content_ground_truth_op_estimate(
+    lake: &DataLake,
+    schema_graph: &ContainmentGraph,
+) -> Result<u128> {
+    let mut total: u128 = 0;
+    for (parent, child) in schema_graph.edges() {
+        let p = lake.dataset(DatasetId(parent))?.num_rows() as u128;
+        let c = lake.dataset(DatasetId(child))?.num_rows() as u128;
+        total += p * c;
+    }
+    Ok(total)
+}
+
+/// The number of pairwise schema comparisons the brute-force schema ground
+/// truth needs: `N·(N−1)/2` (the "Ground Truth Schema" row of Table 3).
+pub fn schema_ground_truth_op_estimate(lake: &DataLake) -> u128 {
+    let n = lake.len() as u128;
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_graph::diff::diff;
+    use r2d2_lake::{AccessProfile, Column, DataType, PartitionedTable, Schema, Table};
+
+    fn lake() -> (DataLake, u64, u64, u64) {
+        let schema = Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap();
+        let base = Table::new(
+            schema.clone(),
+            vec![
+                Column::from_ints(0..40),
+                Column::from_floats((0..40).map(|i| i as f64)),
+            ],
+        )
+        .unwrap();
+        let subset = base.take(&(5..15).collect::<Vec<_>>()).unwrap();
+        let disjoint = Table::new(
+            schema,
+            vec![
+                Column::from_ints(100..140),
+                Column::from_floats((0..40).map(|i| i as f64)),
+            ],
+        )
+        .unwrap();
+        let mut lake = DataLake::new();
+        let b = lake
+            .add_dataset("base", PartitionedTable::single(base), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let s = lake
+            .add_dataset("sub", PartitionedTable::single(subset), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let d = lake
+            .add_dataset(
+                "disjoint",
+                PartitionedTable::single(disjoint),
+                AccessProfile::default(),
+                None,
+            )
+            .unwrap()
+            .0;
+        (lake, b, s, d)
+    }
+
+    #[test]
+    fn schema_ground_truth_finds_all_schema_pairs() {
+        let (lake, b, s, d) = lake();
+        let g = schema_ground_truth(&lake, &Meter::new());
+        // All three tables share one schema → edges in both directions for
+        // every pair.
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(b, s) && g.has_edge(s, b));
+        assert!(g.has_edge(b, d) && g.has_edge(d, b));
+    }
+
+    #[test]
+    fn content_ground_truth_keeps_only_exact_containment() {
+        let (lake, b, s, d) = lake();
+        let meter = Meter::new();
+        let gt = content_ground_truth(&lake, &meter).unwrap();
+        assert!(gt.containment_graph.has_edge(b, s));
+        assert!(!gt.containment_graph.has_edge(s, b));
+        assert!(!gt.containment_graph.has_edge(b, d));
+        assert!(!gt.containment_graph.has_edge(d, b));
+        assert_eq!(
+            gt.containment_graph
+                .edge(b, s)
+                .unwrap()
+                .containment_fraction,
+            Some(1.0)
+        );
+        assert!(meter.snapshot().rows_hashed > 0);
+    }
+
+    #[test]
+    fn ground_truth_is_consistent_with_itself() {
+        let (lake, ..) = lake();
+        let gt = content_ground_truth(&lake, &Meter::new()).unwrap();
+        let d = diff(&gt.containment_graph, &gt.containment_graph);
+        assert_eq!(d.incorrect, 0);
+        assert_eq!(d.not_detected, 0);
+    }
+
+    #[test]
+    fn op_estimates() {
+        let (lake, ..) = lake();
+        assert_eq!(schema_ground_truth_op_estimate(&lake), 3);
+        let schema_graph = schema_ground_truth(&lake, &Meter::new());
+        let content_ops = content_ground_truth_op_estimate(&lake, &schema_graph).unwrap();
+        // 6 edges; pairs (40,10): 400, (40,40): 1600, (10,40): 400, ...
+        assert!(content_ops > 0);
+        assert_eq!(content_ops % 100, 0);
+    }
+
+    #[test]
+    fn empty_lake_ground_truth() {
+        let lake = DataLake::new();
+        let gt = content_ground_truth(&lake, &Meter::new()).unwrap();
+        assert_eq!(gt.schema_graph.edge_count(), 0);
+        assert_eq!(gt.containment_graph.edge_count(), 0);
+        assert_eq!(schema_ground_truth_op_estimate(&lake), 0);
+    }
+}

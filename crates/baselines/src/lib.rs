@@ -1,0 +1,33 @@
+//! # r2d2-baselines — baselines the paper compares against
+//!
+//! §6.2 and §6.4 of the paper compare R2D2 against the brute-force ground
+//! truth and against several modified baselines from the literature. None of
+//! the original implementations are available, so each is re-implemented
+//! from scratch at the level of detail the paper describes:
+//!
+//! * [`ground_truth`] — the brute-force schema- and content-containment
+//!   graphs (§6.2), with operation counts for Table 3.
+//! * [`schema_classifier`] — the Bharadwaj et al. \[3\] style baseline: a
+//!   random-forest classifier over column-name similarity / uniqueness
+//!   features, trained on positive pairs from the ground-truth schema graph
+//!   and random negative pairs (§6.4.1, Table 4).
+//! * [`kmeans`] — the KMeans clustering baseline: schema embeddings
+//!   (averaged character-n-gram column-name embeddings) clustered with
+//!   k-means, pairwise containment checked within clusters (§6.4.1, Table 4).
+//! * [`lcjoin`] — LCJoin-style set-containment joins, in both the
+//!   columns-as-sets and rows-as-sets variants, illustrating why set-level
+//!   containment does not translate to table containment (§6.4.2).
+//! * [`minhash`] — a MinHash / LSH-Ensemble style containment estimator over
+//!   row-hash sets, the §2 "inverted index / min-hash" family of approaches.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ground_truth;
+pub mod kmeans;
+pub mod josie;
+pub mod lcjoin;
+pub mod minhash;
+pub mod schema_classifier;
+
+pub use ground_truth::{content_ground_truth, schema_ground_truth, GroundTruth};

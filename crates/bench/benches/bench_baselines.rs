@@ -1,0 +1,65 @@
+//! Baseline benchmarks: the brute-force ground truth versus the R2D2
+//! pipeline (the speed-up Table 5 reports), plus the schema baselines of
+//! Table 4 and the MinHash containment estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r2d2_baselines::ground_truth::{content_ground_truth, schema_ground_truth};
+use r2d2_baselines::kmeans::kmeans_schema_graph;
+use r2d2_baselines::minhash::estimate_containment;
+use r2d2_baselines::schema_classifier::evaluate_classifier;
+use r2d2_core::sgb::brute_force_schema_graph;
+use r2d2_core::R2d2Pipeline;
+use r2d2_lake::{Meter, PartitionedTable, SchemaSet};
+use r2d2_synth::corpus::{generate, CorpusSpec};
+
+fn bench_ground_truth_vs_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/ground_truth_vs_pipeline");
+    group.sample_size(10);
+    let corpus = generate(&CorpusSpec::enterprise_like(0, 128)).unwrap();
+    group.bench_function("brute_force_ground_truth", |b| {
+        b.iter(|| content_ground_truth(&corpus.lake, &Meter::new()).unwrap())
+    });
+    group.bench_function("r2d2_pipeline", |b| {
+        b.iter(|| R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_schema_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/schema");
+    group.sample_size(20);
+    let corpus = generate(&CorpusSpec::enterprise_like(0, 96)).unwrap();
+    let schemas: Vec<(u64, SchemaSet)> = R2d2Pipeline::schema_sets(&corpus.lake);
+    let truth = brute_force_schema_graph(&schemas, &Meter::new());
+    group.bench_function("schema_ground_truth", |b| {
+        b.iter(|| schema_ground_truth(&corpus.lake, &Meter::new()))
+    });
+    group.bench_function("kmeans_clustering", |b| {
+        b.iter(|| kmeans_schema_graph(&schemas, 6, 1))
+    });
+    group.bench_function("bharadwaj_classifier", |b| {
+        b.iter(|| evaluate_classifier(&schemas, &truth, 1))
+    });
+    group.finish();
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/minhash");
+    group.sample_size(20);
+    let corpus = generate(&CorpusSpec::enterprise_like(0, 256)).unwrap();
+    let entries: Vec<_> = corpus.lake.iter().collect();
+    let parent: &PartitionedTable = &entries[0].data;
+    let child: &PartitionedTable = &entries[1].data;
+    group.bench_function("estimate_containment_k128", |b| {
+        b.iter(|| estimate_containment(child, parent, 128, &Meter::new()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ground_truth_vs_pipeline,
+    bench_schema_baselines,
+    bench_minhash
+);
+criterion_main!(benches);

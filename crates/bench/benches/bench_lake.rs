@@ -1,0 +1,124 @@
+//! Microbenchmarks of the data-lake substrate: row hashing, predicate scans
+//! with partition pruning, anti-joins, exact containment checks and the
+//! binary storage format. These are the primitive costs behind every stage
+//! of the R2D2 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2d2_lake::query::{containment_check, left_anti_join, scan, Predicate};
+use r2d2_lake::{storage, Column, DataType, Meter, PartitionSpec, PartitionedTable, Schema, Table, Value};
+
+fn make_table(rows: i64) -> Table {
+    let schema = Schema::flat(&[
+        ("id", DataType::Int),
+        ("region", DataType::Utf8),
+        ("amount", DataType::Float),
+        ("ts", DataType::Timestamp),
+    ])
+    .unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(0..rows),
+            Column::from_strs((0..rows).map(|i| format!("r{}", i % 16))),
+            Column::from_floats((0..rows).map(|i| i as f64 * 0.75)),
+            Column::from_timestamps((0..rows).map(|i| 1_600_000_000_000 + i)),
+        ],
+    )
+    .unwrap()
+}
+
+fn partitioned(rows: i64) -> PartitionedTable {
+    PartitionedTable::from_table(
+        make_table(rows),
+        PartitionSpec::ByRowCount {
+            rows_per_partition: 512,
+        },
+    )
+    .unwrap()
+}
+
+fn bench_row_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lake/row_hashes");
+    for rows in [1_000i64, 10_000] {
+        let table = make_table(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &table, |b, t| {
+            b.iter(|| {
+                t.row_hashes(&["id", "region", "amount", "ts"], &Meter::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicate_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lake/scan_with_pruning");
+    for rows in [10_000i64, 50_000] {
+        let pt = partitioned(rows);
+        let pred = Predicate::between("id", Value::Int(100), Value::Int(150));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &pt, |b, pt| {
+            b.iter(|| scan(pt, &pred, None, &Meter::new()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_anti_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lake/left_anti_join");
+    group.sample_size(30);
+    let parent = partitioned(20_000);
+    let probe = make_table(20_000)
+        .take(&(0..64usize).collect::<Vec<_>>())
+        .unwrap();
+    group.bench_function("probe64_vs_20k", |b| {
+        b.iter(|| {
+            left_anti_join(
+                &probe,
+                &parent,
+                &["id", "region", "amount", "ts"],
+                &Meter::new(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_containment_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lake/containment_check");
+    group.sample_size(30);
+    let parent = partitioned(20_000);
+    let child = PartitionedTable::single(
+        make_table(20_000)
+            .take(&(0..5_000usize).collect::<Vec<_>>())
+            .unwrap(),
+    );
+    group.bench_function("5k_in_20k", |b| {
+        b.iter(|| containment_check(&child, &parent, &Meter::new()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lake/storage");
+    let pt = partitioned(10_000);
+    group.bench_function("encode_10k_rows", |b| b.iter(|| storage::encode(&pt)));
+    let bytes = storage::encode(&pt);
+    group.bench_function("decode_10k_rows", |b| {
+        b.iter(|| storage::decode(&bytes, &Meter::new()).unwrap())
+    });
+    group.bench_function("read_footer_only", |b| {
+        b.iter(|| storage::read_footer(&bytes, &Meter::new()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_row_hashing,
+    bench_predicate_scan,
+    bench_anti_join,
+    bench_containment_check,
+    bench_storage
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Optimizer benchmarks: Opt-Ret exact branch & bound, the greedy heuristic
+//! on Erdős–Rényi graphs of growing size (Figure 6's two sweeps) and the
+//! Dyn-Lin dynamic program on line graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2d2_graph::random::{erdos_renyi, line_graph};
+use r2d2_opt::costmodel::CostModel;
+use r2d2_opt::dynlin::solve_line;
+use r2d2_opt::{solve_exact, solve_greedy, OptRetProblem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn synthetic_problem(graph: &r2d2_graph::ContainmentGraph) -> OptRetProblem {
+    OptRetProblem::synthetic(
+        graph,
+        &CostModel::default(),
+        |d| ((d % 13) + 1) << 28,
+        |d| (d % 7) as f64,
+    )
+}
+
+fn bench_fig6_nodes(c: &mut Criterion) {
+    // Fig. 6 (left): time vs number of nodes at fixed p.
+    let mut group = c.benchmark_group("optimizer/fig6_vary_nodes_p0.02");
+    group.sample_size(10);
+    for n in [100usize, 300, 800] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let graph = erdos_renyi(n, 0.02, &mut rng);
+        let problem = synthetic_problem(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solve_greedy(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_edges(c: &mut Criterion) {
+    // Fig. 6 (right): time vs number of edges at fixed n.
+    let mut group = c.benchmark_group("optimizer/fig6_vary_edges_n300");
+    group.sample_size(10);
+    for p_edge in [0.01f64, 0.05, 0.15] {
+        let mut rng = SmallRng::seed_from_u64((p_edge * 1000.0) as u64);
+        let graph = erdos_renyi(300, p_edge, &mut rng);
+        let problem = synthetic_problem(&graph);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{} edges", graph.edge_count())),
+            &problem,
+            |b, p| b.iter(|| solve_greedy(p)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/exact_branch_and_bound");
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let graph = r2d2_graph::random::erdos_renyi_dag(n, 0.25, &mut rng);
+        let problem = synthetic_problem(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solve_exact(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynlin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/dyn_lin");
+    for n in [100usize, 1_000, 10_000] {
+        let graph = line_graph(n);
+        let problem = synthetic_problem(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solve_line(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig6_nodes,
+    bench_fig6_edges,
+    bench_exact_small,
+    bench_dynlin
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end pipeline benchmarks on the paper's three corpus families
+//! (enterprise-like, Table-Union-like, Kaggle-like) — the wall-clock
+//! counterpart of Tables 1, 2 and 5 and Figure 4's size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2d2_core::R2d2Pipeline;
+use r2d2_synth::corpus::{generate, CorpusSpec};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/full");
+    group.sample_size(10);
+    let corpora = vec![
+        ("enterprise_org1", generate(&CorpusSpec::enterprise_like(0, 128)).unwrap()),
+        ("enterprise_org2", generate(&CorpusSpec::enterprise_like(1, 128)).unwrap()),
+        ("table_union", generate(&CorpusSpec::table_union_like(8, 64)).unwrap()),
+        ("kaggle", generate(&CorpusSpec::kaggle_like(4, 96)).unwrap()),
+    ];
+    for (name, corpus) in &corpora {
+        group.bench_with_input(BenchmarkId::from_parameter(name), corpus, |b, corpus| {
+            b.iter(|| R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_size_sweep(c: &mut Criterion) {
+    // Figure 4: time vs data size.
+    let mut group = c.benchmark_group("pipeline/size_sweep");
+    group.sample_size(10);
+    for rows in [64usize, 160, 320] {
+        let corpus = generate(&CorpusSpec::enterprise_like(0, rows)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KB", corpus.lake.total_bytes() / 1024)),
+            &corpus,
+            |b, corpus| b.iter(|| R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_pipeline_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Per-stage benchmarks of the R2D2 pipeline (SGB, MMP, CLP) — the
+//! micro-level counterpart of Table 5's per-stage wall-clock times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2d2_core::clp::content_level_prune;
+use r2d2_core::mmp::min_max_prune;
+use r2d2_core::sgb::build_schema_graph;
+use r2d2_core::{PipelineConfig, R2d2Pipeline};
+use r2d2_lake::{Meter, SchemaSet};
+use r2d2_synth::corpus::{generate, CorpusSpec};
+
+fn corpus(variant: usize, rows: usize) -> r2d2_synth::corpus::Corpus {
+    generate(&CorpusSpec::enterprise_like(variant, rows)).unwrap()
+}
+
+fn bench_sgb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages/sgb");
+    for rows in [96usize, 256] {
+        let corpus = corpus(0, rows);
+        let schemas: Vec<(u64, SchemaSet)> = R2d2Pipeline::schema_sets(&corpus.lake);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}ds", corpus.lake.len())),
+            &schemas,
+            |b, schemas| b.iter(|| build_schema_graph(schemas, &Meter::new())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mmp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages/mmp");
+    group.sample_size(30);
+    let corpus = corpus(0, 256);
+    let sgb = R2d2Pipeline::with_defaults().run_sgb(&corpus.lake, &Meter::new());
+    group.bench_function("enterprise_org1", |b| {
+        b.iter(|| {
+            let mut graph = sgb.graph.clone();
+            min_max_prune(&corpus.lake, &mut graph, true, &Meter::new()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_clp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages/clp");
+    group.sample_size(10);
+    let corpus = corpus(0, 256);
+    let meter = Meter::new();
+    let sgb = R2d2Pipeline::with_defaults().run_sgb(&corpus.lake, &meter);
+    let mut after_mmp = sgb.graph.clone();
+    min_max_prune(&corpus.lake, &mut after_mmp, true, &meter).unwrap();
+    for (s, t) in [(1usize, 5usize), (4, 10), (8, 30)] {
+        let config = PipelineConfig::default().with_clp_params(s, t);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{s}_t{t}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut graph = after_mmp.clone();
+                    content_level_prune(&corpus.lake, &mut graph, config, &Meter::new()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgb, bench_mmp, bench_clp);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have the same arity as the header).
+    pub fn add_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match header arity"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a large count with thousands separators and scientific shorthand
+/// for very large values (as Table 3 does with 10²¹-scale numbers).
+pub fn fmt_count(v: u128) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.2e}", v as f64)
+    } else {
+        let s = v.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().rev().enumerate() {
+            if i > 0 && i % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out.chars().rev().collect()
+    }
+}
+
+/// Format a duration compactly (µs / ms / s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.add_row(["alpha", "1"]);
+        t.add_row(["b", "123456"]);
+        let s = t.render();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("123456"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len(), "columns are aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.add_row(["only one"]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert!(fmt_count(7_360_000_000_000_000_000_000).contains('e'));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(std::time::Duration::from_micros(12)), "12µs");
+        assert!(fmt_duration(std::time::Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(std::time::Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,377 @@
+//! CLP — Content-Level Pruning (Algorithm 3 of the paper).
+//!
+//! For every surviving edge `parent → child`, CLP samples up to `t` rows of
+//! the child — either uniformly at random or via a `WHERE` filter built from
+//! up to `s` of the common columns — and left-anti joins the sample against
+//! the parent on the child's full column set. If any sampled row is absent
+//! from the parent, containment cannot hold and the edge is pruned. Because
+//! sampling uses predicate queries, a partitioned / indexed lake only needs
+//! to touch the partitions admitted by the filter, which is where the
+//! order-of-magnitude savings of Table 3's CLP row come from.
+
+use crate::config::{ClpSampling, PipelineConfig};
+use r2d2_graph::ContainmentGraph;
+use r2d2_lake::query::{left_anti_join, random_rows, scan, Predicate};
+use r2d2_lake::{DataLake, DatasetId, Meter, Result, Table};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one CLP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClpStats {
+    /// Edges examined.
+    pub edges_examined: usize,
+    /// Edges removed because a sampled child row was missing from the parent.
+    pub edges_pruned: usize,
+    /// Total child rows sampled across all edges.
+    pub rows_sampled: usize,
+}
+
+/// Build the WHERE filter for an edge: pick up to `s` of the child's columns
+/// (preferring id/timestamp-like columns, which enterprise tables are often
+/// partitioned by), read one random child row and equate the chosen columns
+/// to that row's values.
+fn build_filter(
+    child: &r2d2_lake::PartitionedTable,
+    columns: &[String],
+    s: usize,
+    rng: &mut SmallRng,
+    meter: &Meter,
+) -> Result<Option<Predicate>> {
+    if child.num_rows() == 0 || columns.is_empty() || s == 0 {
+        return Ok(None);
+    }
+    // Prefer columns that look like good sampling keys.
+    let mut cols: Vec<&String> = columns.iter().collect();
+    cols.shuffle(rng);
+    cols.sort_by_key(|c| {
+        let lower = c.to_lowercase();
+        if lower.contains("id") || lower.contains("time") || lower.contains("date") {
+            0
+        } else {
+            1
+        }
+    });
+    let chosen: Vec<&String> = cols.into_iter().take(s).collect();
+
+    // Seed row: one random row of the child (a point read).
+    let seed = random_rows(child, 1, rng, meter)?;
+    if seed.is_empty() {
+        return Ok(None);
+    }
+    let mut clauses = Vec::with_capacity(chosen.len());
+    for col in chosen {
+        let idx = match seed.schema().index_of(col) {
+            Some(i) => i,
+            None => continue,
+        };
+        let value = seed.row(0).expect("one row").values()[idx].clone();
+        if value.is_null() {
+            continue;
+        }
+        clauses.push(Predicate::eq(col.clone(), value));
+    }
+    if clauses.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(Predicate::and(clauses)))
+    }
+}
+
+/// Sample up to `t` child rows according to the configured strategy.
+fn sample_child(
+    child: &r2d2_lake::PartitionedTable,
+    common: &[String],
+    config: &PipelineConfig,
+    rng: &mut SmallRng,
+    meter: &Meter,
+) -> Result<(Table, Option<Predicate>)> {
+    match config.clp_sampling {
+        ClpSampling::RandomRows => {
+            Ok((random_rows(child, config.clp_rows, rng, meter)?, None))
+        }
+        ClpSampling::PredicateFilter | ClpSampling::BothSides => {
+            match build_filter(child, common, config.clp_columns, rng, meter)? {
+                Some(filter) => {
+                    let rows = scan(child, &filter, Some(config.clp_rows), meter)?;
+                    if rows.is_empty() {
+                        // Degenerate filter (e.g. all chosen values NULL in
+                        // other rows): fall back to uniform sampling so the
+                        // edge still gets checked.
+                        Ok((random_rows(child, config.clp_rows, rng, meter)?, None))
+                    } else {
+                        Ok((rows, Some(filter)))
+                    }
+                }
+                None => Ok((random_rows(child, config.clp_rows, rng, meter)?, None)),
+            }
+        }
+    }
+}
+
+/// Run Content-Level Pruning over `graph`, mutating it in place.
+pub fn content_level_prune(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    config: &PipelineConfig,
+    meter: &Meter,
+) -> Result<ClpStats> {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC1B0_5EED);
+    let mut stats = ClpStats::default();
+
+    for (parent_id, child_id) in graph.edges() {
+        stats.edges_examined += 1;
+        let parent = lake.dataset(DatasetId(parent_id))?;
+        let child = lake.dataset(DatasetId(child_id))?;
+
+        let child_schema = child.data.schema();
+        let parent_set = parent.data.schema().schema_set();
+        let common: Vec<String> = child_schema.schema_set().intersection(&parent_set);
+        if common.len() < child_schema.len() {
+            // The child has columns the parent lacks: containment (over the
+            // child's schema) is impossible. SGB normally prevents this, but
+            // dynamic updates can surface it.
+            graph.remove_edge(parent_id, child_id);
+            stats.edges_pruned += 1;
+            continue;
+        }
+        let join_cols: Vec<&str> = common.iter().map(String::as_str).collect();
+
+        let mut pruned = false;
+        for _round in 0..config.clp_rounds.max(1) {
+            let (sample, filter) =
+                sample_child(&child.data, &common, config, &mut rng, meter)?;
+            stats.rows_sampled += sample.num_rows();
+            if sample.is_empty() {
+                continue;
+            }
+            let missing = match (config.clp_sampling, &filter) {
+                (ClpSampling::BothSides, Some(f)) => {
+                    // Restrict the parent to the same filter before probing;
+                    // under true containment sA ⊆ sB must hold.
+                    let parent_filtered = scan(&parent.data, f, None, meter)?;
+                    let parent_part =
+                        r2d2_lake::PartitionedTable::single(parent_filtered);
+                    left_anti_join(&sample, &parent_part, &join_cols, meter)?
+                }
+                _ => left_anti_join(&sample, &parent.data, &join_cols, meter)?,
+            };
+            if !missing.is_empty() {
+                graph.remove_edge(parent_id, child_id);
+                stats.edges_pruned += 1;
+                pruned = true;
+                break;
+            }
+        }
+        let _ = pruned;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_lake::{
+        AccessProfile, Column, DataType, PartitionSpec, PartitionedTable, Schema, Table,
+    };
+
+    fn base_table(n: i64) -> Table {
+        let schema = Schema::flat(&[
+            ("user_id", DataType::Int),
+            ("event", DataType::Utf8),
+            ("value", DataType::Float),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(0..n),
+                Column::from_strs((0..n).map(|i| format!("e{}", i % 5))),
+                Column::from_floats((0..n).map(|i| i as f64 * 0.25)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn add(lake: &mut DataLake, name: &str, t: Table) -> u64 {
+        lake.add_dataset(
+            name,
+            PartitionedTable::from_table(
+                t,
+                PartitionSpec::ByRowCount {
+                    rows_per_partition: 16,
+                },
+            )
+            .unwrap(),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap()
+        .0
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::default().with_seed(17)
+    }
+
+    #[test]
+    fn keeps_true_containment_edges() {
+        let mut lake = DataLake::new();
+        let parent_t = base_table(100);
+        let child_t = parent_t.take(&(10..40).collect::<Vec<_>>()).unwrap();
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(g.has_edge(p, c));
+    }
+
+    #[test]
+    fn prunes_disjoint_tables() {
+        let mut lake = DataLake::new();
+        let p = add(&mut lake, "p", base_table(50));
+        // Child rows use ids 1000.. which never appear in the parent.
+        let schema = base_table(1).schema().clone();
+        let child_t = Table::new(
+            schema,
+            vec![
+                Column::from_ints(1000..1020),
+                Column::from_strs((0..20).map(|i| format!("e{}", i % 5))),
+                Column::from_floats((0..20).map(|i| i as f64)),
+            ],
+        )
+        .unwrap();
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+        assert!(!g.has_edge(p, c));
+    }
+
+    #[test]
+    fn random_rows_strategy_also_works() {
+        let mut lake = DataLake::new();
+        let parent_t = base_table(60);
+        let child_ok = parent_t.take(&(0..30).collect::<Vec<_>>()).unwrap();
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", child_ok);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let cfg = config().with_sampling(ClpSampling::RandomRows);
+        let stats = content_level_prune(&lake, &mut g, &cfg, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(stats.rows_sampled > 0);
+    }
+
+    #[test]
+    fn both_sides_strategy_keeps_true_edges() {
+        let mut lake = DataLake::new();
+        let parent_t = base_table(80);
+        let child_t = parent_t.take(&(0..40).collect::<Vec<_>>()).unwrap();
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let cfg = config().with_sampling(ClpSampling::BothSides);
+        let stats = content_level_prune(&lake, &mut g, &cfg, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(g.has_edge(p, c));
+    }
+
+    #[test]
+    fn detects_modified_rows_with_enough_rounds() {
+        // Child = parent rows but with the float column perturbed: no child
+        // row exists verbatim in the parent, so any sample disproves
+        // containment regardless of the filter drawn.
+        let mut lake = DataLake::new();
+        let parent_t = base_table(50);
+        let schema = parent_t.schema().clone();
+        let child_t = Table::new(
+            schema,
+            vec![
+                Column::from_ints(0..50),
+                Column::from_strs((0..50).map(|i| format!("e{}", i % 5))),
+                Column::from_floats((0..50).map(|i| i as f64 * 0.25 + 1000.0)),
+            ],
+        )
+        .unwrap();
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn child_with_extra_columns_is_pruned() {
+        let mut lake = DataLake::new();
+        let p = add(&mut lake, "p", base_table(20));
+        let child_t = base_table(10)
+            .with_column(
+                r2d2_lake::Field::new("extra", DataType::Int),
+                Column::from_ints(0..10),
+            )
+            .unwrap();
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn empty_child_never_pruned() {
+        let mut lake = DataLake::new();
+        let p = add(&mut lake, "p", base_table(10));
+        let c = add(&mut lake, "c", base_table(0));
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(g.has_edge(p, c));
+    }
+
+    #[test]
+    fn sorted_copy_is_recognised_as_contained() {
+        // Row order does not matter for containment (§2's point against
+        // block-level dedup).
+        let mut lake = DataLake::new();
+        let parent_t = base_table(40);
+        let sorted_child = parent_t.sort_by("value").unwrap();
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", sorted_child);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        g.add_edge(c, p);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(g.has_edge(p, c) && g.has_edge(c, p));
+    }
+
+    #[test]
+    fn duplicate_rows_in_child_do_not_prune_when_parent_has_them() {
+        let mut lake = DataLake::new();
+        let parent_t = base_table(20).concat(&base_table(20)).unwrap(); // every row twice
+        let child_t = base_table(20);
+        let p = add(&mut lake, "p", parent_t);
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+    }
+
+    #[test]
+    fn missing_dataset_is_error() {
+        let lake = DataLake::new();
+        let mut g = ContainmentGraph::new();
+        g.add_edge(0, 1);
+        assert!(content_level_prune(&lake, &mut g, &config(), &Meter::new()).is_err());
+    }
+}

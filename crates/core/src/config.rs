@@ -1,0 +1,109 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How Content-Level Pruning draws its sample of child rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClpSampling {
+    /// Sample `t` uniformly random rows of the child (the simplest variant;
+    /// corresponds to "sampling a table naively" in §6.6).
+    RandomRows,
+    /// Run a `SELECT * FROM child WHERE col₁ = v₁ AND … LIMIT t` query whose
+    /// filter values come from a randomly chosen child row over up to `s`
+    /// sampled common columns — the variant Algorithm 3 describes, which can
+    /// exploit partitioning / indexes to avoid full scans.
+    PredicateFilter,
+    /// Apply the *same* WHERE filter to both child and parent and check that
+    /// the child's filtered rows are contained in the parent's filtered rows
+    /// (the "sample from both A and B" extension discussed in §4.3).
+    BothSides,
+}
+
+/// Configuration of the R2D2 pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// `s`: maximum number of (common) columns used to build the CLP filter.
+    /// The paper finds `s = 4` a good default (§6.6, Table 6).
+    pub clp_columns: usize,
+    /// `t`: maximum number of child rows sampled per edge in CLP.
+    /// The paper finds `t = 10` a good default (§6.6, Table 6).
+    pub clp_rows: usize,
+    /// Number of independent sampling rounds CLP performs per edge before
+    /// giving up on pruning it (each round draws a fresh filter). One round
+    /// matches Algorithm 3; more rounds trade time for precision.
+    pub clp_rounds: usize,
+    /// Sampling strategy for CLP.
+    pub clp_sampling: ClpSampling,
+    /// Seed for all randomised choices (column sampling, row sampling), so
+    /// that experiments are reproducible.
+    pub seed: u64,
+    /// If true, MMP only considers columns whose declared type supports
+    /// min/max statistics (numeric, timestamp, string); if false it uses
+    /// every common column that happens to have statistics.
+    pub mmp_typed_columns_only: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            clp_columns: 4,
+            clp_rows: 10,
+            clp_rounds: 1,
+            clp_sampling: ClpSampling::PredicateFilter,
+            seed: 0x5eed,
+            mmp_typed_columns_only: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's default parameter configuration (`s = 4`, `t = 10`).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Override the CLP parameters, keeping everything else.
+    pub fn with_clp_params(mut self, s: usize, t: usize) -> Self {
+        self.clp_columns = s;
+        self.clp_rows = t;
+        self
+    }
+
+    /// Override the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the CLP sampling strategy.
+    pub fn with_sampling(mut self, sampling: ClpSampling) -> Self {
+        self.clp_sampling = sampling;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.clp_columns, 4);
+        assert_eq!(c.clp_rows, 10);
+        assert_eq!(c.clp_sampling, ClpSampling::PredicateFilter);
+        assert_eq!(PipelineConfig::paper_defaults(), c);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = PipelineConfig::default()
+            .with_clp_params(8, 30)
+            .with_seed(7)
+            .with_sampling(ClpSampling::RandomRows);
+        assert_eq!(c.clp_columns, 8);
+        assert_eq!(c.clp_rows, 30);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.clp_sampling, ClpSampling::RandomRows);
+    }
+}

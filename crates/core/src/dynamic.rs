@@ -1,0 +1,372 @@
+//! Dynamic graph updates (§7.1 of the paper).
+//!
+//! Enterprise data lakes change: datasets are added, rows or columns are
+//! appended or removed, and datasets are deleted. Rather than re-running the
+//! whole pipeline, §7.1 observes that each update only requires work linear
+//! in the number of datasets: the affected dataset is re-checked against the
+//! rest of the lake (schema check, then MMP, then CLP on the surviving
+//! candidate edges), while the unaffected edges keep their validity.
+
+use crate::clp::content_level_prune;
+use crate::config::PipelineConfig;
+use crate::mmp::min_max_prune;
+use r2d2_graph::ContainmentGraph;
+use r2d2_lake::{DataLake, DatasetId, Meter, Result};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a dynamic update.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Candidate edges (pairs involving the updated dataset) examined.
+    pub candidates_checked: usize,
+    /// Edges added to the graph by this update.
+    pub edges_added: usize,
+    /// Edges removed from the graph by this update.
+    pub edges_removed: usize,
+}
+
+/// Verify a single candidate edge `parent → child` with the MMP + CLP checks
+/// (schema containment is assumed to have been established by the caller).
+/// Returns `true` if the edge survives both pruning stages.
+fn verify_edge(
+    lake: &DataLake,
+    parent: u64,
+    child: u64,
+    config: &PipelineConfig,
+    meter: &Meter,
+) -> Result<bool> {
+    let mut probe = ContainmentGraph::new();
+    probe.add_edge(parent, child);
+    min_max_prune(lake, &mut probe, config.mmp_typed_columns_only, meter)?;
+    if probe.edge_count() == 0 {
+        return Ok(false);
+    }
+    content_level_prune(lake, &mut probe, config, meter)?;
+    Ok(probe.edge_count() == 1)
+}
+
+/// Schema containment check between two datasets in the lake:
+/// returns `true` when `child.schema ⊆ parent.schema`.
+fn schema_contained(lake: &DataLake, parent: u64, child: u64, meter: &Meter) -> Result<bool> {
+    meter.add_schema_comparisons(1);
+    let p = lake.dataset(DatasetId(parent))?.data.schema().schema_set();
+    let c = lake.dataset(DatasetId(child))?.data.schema().schema_set();
+    Ok(c.is_contained_in(&p))
+}
+
+/// A new dataset `new_id` was added to the lake (it must already be present
+/// in the catalog). Containment is checked in both directions against every
+/// other dataset in the graph; surviving edges are added. Work is linear in
+/// the number of datasets, as §7.1 claims.
+pub fn dataset_added(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    new_id: u64,
+    config: &PipelineConfig,
+    meter: &Meter,
+) -> Result<UpdateStats> {
+    let mut stats = UpdateStats::default();
+    graph.add_dataset(new_id);
+    let others: Vec<u64> = graph
+        .datasets()
+        .iter()
+        .copied()
+        .filter(|&d| d != new_id)
+        .collect();
+    for other in others {
+        if !lake.contains(DatasetId(other)) {
+            continue;
+        }
+        // other as parent of new_id.
+        stats.candidates_checked += 1;
+        if schema_contained(lake, other, new_id, meter)?
+            && verify_edge(lake, other, new_id, config, meter)?
+            && graph.add_edge(other, new_id)
+        {
+            stats.edges_added += 1;
+        }
+        // new_id as parent of other.
+        stats.candidates_checked += 1;
+        if schema_contained(lake, new_id, other, meter)?
+            && verify_edge(lake, new_id, other, config, meter)?
+            && graph.add_edge(new_id, other)
+        {
+            stats.edges_added += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Rows (or columns) were **added** to dataset `id` (the catalog already
+/// holds the new data). Outgoing edges of `id` (where `id` is the parent)
+/// remain valid — a grown parent still contains its children. Incoming
+/// edges (where `id` is the child) and previously absent relationships must
+/// be re-checked.
+pub fn dataset_grew(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    id: u64,
+    config: &PipelineConfig,
+    meter: &Meter,
+) -> Result<UpdateStats> {
+    let mut stats = UpdateStats::default();
+    // Re-check incoming edges.
+    for parent in graph.parents(id) {
+        stats.candidates_checked += 1;
+        let ok = schema_contained(lake, parent, id, meter)?
+            && verify_edge(lake, parent, id, config, meter)?;
+        if !ok && graph.remove_edge(parent, id).is_some() {
+            stats.edges_removed += 1;
+        }
+    }
+    // Check previously absent relationships: id as new parent of others.
+    let others: Vec<u64> = graph
+        .datasets()
+        .iter()
+        .copied()
+        .filter(|&d| d != id && !graph.has_edge(id, d))
+        .collect();
+    for other in others {
+        if !lake.contains(DatasetId(other)) {
+            continue;
+        }
+        stats.candidates_checked += 1;
+        if schema_contained(lake, id, other, meter)?
+            && verify_edge(lake, id, other, config, meter)?
+            && graph.add_edge(id, other)
+        {
+            stats.edges_added += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Rows (or columns) were **removed** from dataset `id`. Incoming edges of
+/// `id` remain valid — a shrunk child is still contained in its parents.
+/// Outgoing edges and previously absent relationships where `id` is the
+/// child must be re-checked.
+pub fn dataset_shrank(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    id: u64,
+    config: &PipelineConfig,
+    meter: &Meter,
+) -> Result<UpdateStats> {
+    let mut stats = UpdateStats::default();
+    // Re-check outgoing edges (id as parent).
+    for child in graph.children(id) {
+        stats.candidates_checked += 1;
+        let ok = schema_contained(lake, id, child, meter)?
+            && verify_edge(lake, id, child, config, meter)?;
+        if !ok && graph.remove_edge(id, child).is_some() {
+            stats.edges_removed += 1;
+        }
+    }
+    // Check previously absent relationships: id as new child of others.
+    let others: Vec<u64> = graph
+        .datasets()
+        .iter()
+        .copied()
+        .filter(|&d| d != id && !graph.has_edge(d, id))
+        .collect();
+    for other in others {
+        if !lake.contains(DatasetId(other)) {
+            continue;
+        }
+        stats.candidates_checked += 1;
+        if schema_contained(lake, other, id, meter)?
+            && verify_edge(lake, other, id, config, meter)?
+            && graph.add_edge(other, id)
+        {
+            stats.edges_added += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Dataset `id` was deleted from the lake: drop all of its incident edges.
+pub fn dataset_deleted(graph: &mut ContainmentGraph, id: u64) -> UpdateStats {
+    let before = graph.edge_count();
+    graph.clear_dataset(id);
+    UpdateStats {
+        candidates_checked: 0,
+        edges_added: 0,
+        edges_removed: before - graph.edge_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::R2d2Pipeline;
+    use r2d2_lake::{
+        AccessProfile, Column, DataType, PartitionedTable, Schema, Table,
+    };
+
+    fn schema() -> Schema {
+        Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap()
+    }
+
+    fn table(ids: std::ops::Range<i64>) -> Table {
+        // The float column is a function of the id so that any id-range
+        // subset is also a true row-tuple subset.
+        Table::new(
+            schema(),
+            vec![
+                Column::from_ints(ids.clone()),
+                Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn add(lake: &mut DataLake, name: &str, t: Table) -> u64 {
+        lake.add_dataset(
+            name,
+            PartitionedTable::single(t),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap()
+        .0
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::default().with_seed(3)
+    }
+
+    #[test]
+    fn adding_a_contained_dataset_creates_edges() {
+        let mut lake = DataLake::new();
+        let base = add(&mut lake, "base", table(0..50));
+        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
+        let mut graph = report.after_clp;
+
+        // New dataset: a strict subset of base.
+        let sub = add(&mut lake, "sub", table(10..30));
+        let stats =
+            dataset_added(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
+        assert!(graph.has_edge(base, sub));
+        assert!(!graph.has_edge(sub, base));
+        assert_eq!(stats.edges_added, 1);
+        assert!(stats.candidates_checked >= 2);
+    }
+
+    #[test]
+    fn adding_an_unrelated_dataset_creates_no_edges() {
+        let mut lake = DataLake::new();
+        let _base = add(&mut lake, "base", table(0..50));
+        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
+        let mut graph = report.after_clp;
+
+        let other = add(&mut lake, "other", table(1000..1050));
+        let stats =
+            dataset_added(&lake, &mut graph, other, &config(), &Meter::new()).unwrap();
+        assert_eq!(stats.edges_added, 0);
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn growing_a_child_invalidates_incoming_edges() {
+        let mut lake = DataLake::new();
+        let base = add(&mut lake, "base", table(0..50));
+        let sub = add(&mut lake, "sub", table(10..30));
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(base, sub);
+
+        // The child grows beyond the parent's id range.
+        lake.replace_data(
+            DatasetId(sub),
+            PartitionedTable::single(table(10..90)),
+        )
+        .unwrap();
+        let stats = dataset_grew(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
+        assert!(!graph.has_edge(base, sub));
+        assert_eq!(stats.edges_removed, 1);
+    }
+
+    #[test]
+    fn growing_a_dataset_can_create_new_outgoing_edges() {
+        let mut lake = DataLake::new();
+        let a = add(&mut lake, "a", table(0..20));
+        let b = add(&mut lake, "b", table(0..10));
+        let mut graph = ContainmentGraph::new();
+        graph.add_dataset(a);
+        graph.add_dataset(b);
+
+        // `b` grows to superset of `a`... actually grow `a` so that it now
+        // contains nothing new; instead grow b to cover a.
+        lake.replace_data(DatasetId(b), PartitionedTable::single(table(0..40)))
+            .unwrap();
+        let stats = dataset_grew(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
+        assert!(graph.has_edge(b, a), "b now contains a");
+        assert_eq!(stats.edges_added, 1);
+    }
+
+    #[test]
+    fn shrinking_a_parent_invalidates_outgoing_edges() {
+        let mut lake = DataLake::new();
+        let base = add(&mut lake, "base", table(0..50));
+        let sub = add(&mut lake, "sub", table(10..30));
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(base, sub);
+
+        // The parent shrinks so much that it no longer covers the child.
+        lake.replace_data(DatasetId(base), PartitionedTable::single(table(0..15)))
+            .unwrap();
+        let stats =
+            dataset_shrank(&lake, &mut graph, base, &config(), &Meter::new()).unwrap();
+        assert!(!graph.has_edge(base, sub));
+        assert_eq!(stats.edges_removed, 1);
+    }
+
+    #[test]
+    fn shrinking_a_dataset_can_create_new_incoming_edges() {
+        let mut lake = DataLake::new();
+        let a = add(&mut lake, "a", table(0..30));
+        let b = add(&mut lake, "b", table(0..60));
+        let mut graph = ContainmentGraph::new();
+        graph.add_dataset(a);
+        graph.add_dataset(b);
+
+        // b shrinks to a subset of a.
+        lake.replace_data(DatasetId(b), PartitionedTable::single(table(5..20)))
+            .unwrap();
+        let stats =
+            dataset_shrank(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
+        assert!(graph.has_edge(a, b));
+        assert_eq!(stats.edges_added, 1);
+    }
+
+    #[test]
+    fn deleting_a_dataset_clears_incident_edges() {
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(1, 2);
+        graph.add_edge(2, 3);
+        graph.add_edge(4, 5);
+        let stats = dataset_deleted(&mut graph, 2);
+        assert_eq!(stats.edges_removed, 2);
+        assert!(graph.has_edge(4, 5));
+    }
+
+    #[test]
+    fn incremental_result_matches_full_rerun() {
+        // Build a lake, run the pipeline, then add a dataset incrementally
+        // and compare against re-running the pipeline from scratch.
+        let mut lake = DataLake::new();
+        let _a = add(&mut lake, "a", table(0..40));
+        let _b = add(&mut lake, "b", table(5..25));
+        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
+        let mut incremental = report.after_clp.clone();
+
+        let c = add(&mut lake, "c", table(10..20));
+        dataset_added(&lake, &mut incremental, c, &config(), &Meter::new()).unwrap();
+
+        let full = R2d2Pipeline::with_defaults().run(&lake).unwrap().after_clp;
+        let mut inc_edges = incremental.edges();
+        let mut full_edges = full.edges();
+        inc_edges.sort_unstable();
+        full_edges.sort_unstable();
+        assert_eq!(inc_edges, full_edges);
+    }
+}

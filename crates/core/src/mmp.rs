@@ -1,0 +1,240 @@
+//! MMP — Min-Max Pruning (Algorithm 2 of the paper).
+//!
+//! For every candidate edge `parent → child` and every common column `c`,
+//! containment requires `min(child.c) ≥ min(parent.c)` and
+//! `max(child.c) ≤ max(parent.c)`. Violating either condition on any column
+//! disproves containment, so the edge is removed. The min/max values come
+//! from partition-level metadata (the lake keeps them per partition and
+//! merged per table), so this stage never reads a row — a property the unit
+//! tests assert via the meter.
+
+use r2d2_graph::ContainmentGraph;
+use r2d2_lake::{DataLake, DatasetId, LakeError, Meter, Result};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one MMP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmpStats {
+    /// Edges examined.
+    pub edges_examined: usize,
+    /// Edges removed because a column range was not nested.
+    pub edges_pruned: usize,
+    /// Column min/max metadata lookups performed.
+    pub columns_checked: usize,
+}
+
+/// Run Min-Max Pruning over `graph`, mutating it in place.
+///
+/// `typed_columns_only` restricts the check to columns whose declared type
+/// supports min/max semantics (numbers, timestamps, strings), matching the
+/// paper's focus on numerical columns while still exploiting what parquet
+/// metadata provides for byte arrays.
+pub fn min_max_prune(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    typed_columns_only: bool,
+    meter: &Meter,
+) -> Result<MmpStats> {
+    let mut stats = MmpStats::default();
+    for (parent_id, child_id) in graph.edges() {
+        stats.edges_examined += 1;
+        let parent = lake.dataset(DatasetId(parent_id))?;
+        let child = lake.dataset(DatasetId(child_id))?;
+
+        let parent_schema = parent.data.schema();
+        let child_schema = child.data.schema();
+        let common: Vec<String> = child_schema
+            .schema_set()
+            .intersection(&parent_schema.schema_set());
+
+        let mut prune = false;
+        for col in &common {
+            if typed_columns_only {
+                let dt = child_schema.data_type(col)?;
+                if !dt.supports_min_max() {
+                    continue;
+                }
+            }
+            stats.columns_checked += 1;
+            let (cmin, cmax) = child.data.column_min_max(col, meter)?;
+            let (pmin, pmax) = parent.data.column_min_max(col, meter)?;
+            let violates = match (cmin, cmax, pmin, pmax) {
+                (Some(cmin), Some(cmax), Some(pmin), Some(pmax)) => {
+                    cmin.total_cmp(&pmin) == std::cmp::Ordering::Less
+                        || cmax.total_cmp(&pmax) == std::cmp::Ordering::Greater
+                }
+                // Child has values in a column where the parent has none:
+                // containment is impossible.
+                (Some(_), Some(_), None, None) => true,
+                // Child column all-null (or empty): cannot disprove.
+                _ => false,
+            };
+            if violates {
+                prune = true;
+                break;
+            }
+        }
+        if prune {
+            graph
+                .remove_edge(parent_id, child_id)
+                .ok_or_else(|| LakeError::InvalidArgument("edge disappeared".into()))?;
+            stats.edges_pruned += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_lake::{
+        AccessProfile, Column, DataLake, DataType, PartitionedTable, Schema, Table,
+    };
+
+    fn add_table(lake: &mut DataLake, name: &str, ids: Vec<i64>, amounts: Vec<f64>) -> u64 {
+        let schema = Schema::flat(&[("id", DataType::Int), ("amount", DataType::Float)]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::from_ints(ids), Column::from_floats(amounts)],
+        )
+        .unwrap();
+        lake.add_dataset(
+            name,
+            PartitionedTable::single(t),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn prunes_edge_when_child_range_exceeds_parent() {
+        let mut lake = DataLake::new();
+        let parent = add_table(&mut lake, "parent", vec![0, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0]);
+        let child_ok = add_table(&mut lake, "child_ok", vec![1, 2], vec![2.0, 3.0]);
+        let child_bad = add_table(&mut lake, "child_bad", vec![1, 99], vec![2.0, 3.0]);
+
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child_ok);
+        graph.add_edge(parent, child_bad);
+
+        let meter = Meter::new();
+        let stats = min_max_prune(&lake, &mut graph, true, &meter).unwrap();
+        assert_eq!(stats.edges_examined, 2);
+        assert_eq!(stats.edges_pruned, 1);
+        assert!(graph.has_edge(parent, child_ok));
+        assert!(!graph.has_edge(parent, child_bad));
+    }
+
+    #[test]
+    fn never_reads_rows() {
+        let mut lake = DataLake::new();
+        let parent = add_table(&mut lake, "p", (0..100).collect(), (0..100).map(|i| i as f64).collect());
+        let child = add_table(&mut lake, "c", (10..20).collect(), (10..20).map(|i| i as f64).collect());
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child);
+        let meter = Meter::new();
+        min_max_prune(&lake, &mut graph, true, &meter).unwrap();
+        let s = meter.snapshot();
+        assert_eq!(s.rows_scanned, 0, "MMP must be metadata-only");
+        assert!(s.metadata_lookups > 0);
+    }
+
+    #[test]
+    fn never_prunes_a_true_containment_edge() {
+        // Child is a literal subset of the parent rows → ranges always nest.
+        let mut lake = DataLake::new();
+        let parent = add_table(
+            &mut lake,
+            "p",
+            vec![5, 1, 9, 3, 7],
+            vec![0.5, 0.1, 0.9, 0.3, 0.7],
+        );
+        let child = add_table(&mut lake, "c", vec![1, 9], vec![0.1, 0.9]);
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child);
+        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(graph.has_edge(parent, child));
+    }
+
+    #[test]
+    fn min_violation_alone_is_enough() {
+        let mut lake = DataLake::new();
+        let parent = add_table(&mut lake, "p", vec![10, 20], vec![1.0, 2.0]);
+        // Child max (20) is fine but min (5) < parent min (10).
+        let child = add_table(&mut lake, "c", vec![5, 20], vec![1.0, 2.0]);
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child);
+        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn all_null_child_column_cannot_disprove() {
+        let mut lake = DataLake::new();
+        let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+        let parent_t = Table::new(schema.clone(), vec![Column::from_ints([1, 2, 3])]).unwrap();
+        let child_t = Table::new(
+            schema,
+            vec![Column::new(DataType::Int, vec![r2d2_lake::Value::Null]).unwrap()],
+        )
+        .unwrap();
+        let p = lake
+            .add_dataset("p", PartitionedTable::single(parent_t), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let c = lake
+            .add_dataset("c", PartitionedTable::single(child_t), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(p, c);
+        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+    }
+
+    #[test]
+    fn child_values_in_empty_parent_column_prune() {
+        let mut lake = DataLake::new();
+        let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+        let parent_t = Table::new(
+            schema.clone(),
+            vec![Column::new(DataType::Int, vec![r2d2_lake::Value::Null, r2d2_lake::Value::Null]).unwrap()],
+        )
+        .unwrap();
+        let child_t = Table::new(schema, vec![Column::from_ints([4])]).unwrap();
+        let p = lake
+            .add_dataset("p", PartitionedTable::single(parent_t), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let c = lake
+            .add_dataset("c", PartitionedTable::single(child_t), AccessProfile::default(), None)
+            .unwrap()
+            .0;
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(p, c);
+        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn missing_dataset_is_an_error() {
+        let lake = DataLake::new();
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(0, 1);
+        assert!(min_max_prune(&lake, &mut graph, true, &Meter::new()).is_err());
+    }
+
+    #[test]
+    fn stats_count_columns_checked() {
+        let mut lake = DataLake::new();
+        let p = add_table(&mut lake, "p", vec![1, 2], vec![1.0, 2.0]);
+        let c = add_table(&mut lake, "c", vec![1], vec![1.0]);
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(p, c);
+        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        assert_eq!(stats.columns_checked, 2, "id and amount both checked");
+    }
+}

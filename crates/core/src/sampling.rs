@@ -1,0 +1,117 @@
+//! Sampling theory for Content-Level Pruning (Theorem 4.2).
+//!
+//! Theorem 4.2 of the paper: given a pair of datasets whose containment
+//! fraction is at most `1 − ε`, the number of uniformly random (with
+//! replacement) samples needed to prune the edge with probability at least
+//! `1 − δ` is
+//!
+//! ```text
+//! n_s ≥ ln(1/δ) / ln(1/(1 − ε))
+//! ```
+//!
+//! The paper's worked example: for δ = 0.05 and ε = 0.1 (containment at most
+//! 90%), `n_s ≥ 29`.
+
+/// Minimum number of samples needed to detect (and prune) a pair whose
+/// containment fraction is at most `1 − epsilon`, with probability at least
+/// `1 − delta` (Theorem 4.2). Both parameters must lie in `(0, 1)`.
+pub fn required_samples(epsilon: f64, delta: f64) -> usize {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0,1), got {epsilon}"
+    );
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
+    let n = (1.0 / delta).ln() / (1.0 / (1.0 - epsilon)).ln();
+    n.ceil() as usize
+}
+
+/// Probability of successfully pruning an edge whose true containment
+/// fraction is `containment` (< 1), when `n_samples` independent uniform
+/// samples of the child are checked against the parent:
+/// `P(prune) = 1 − containment^n`.
+pub fn prune_probability(containment: f64, n_samples: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&containment),
+        "containment must be in [0,1]"
+    );
+    1.0 - containment.powi(n_samples as i32)
+}
+
+/// The largest containment fraction that `n_samples` samples can rule out
+/// with probability at least `1 − delta` — the inverse view of
+/// [`required_samples`], useful for reporting the guarantee a given `t`
+/// parameter provides.
+pub fn detectable_containment(n_samples: usize, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(n_samples > 0, "need at least one sample");
+    // containment^n ≤ delta  ⇒  containment ≤ delta^(1/n)
+    delta.powf(1.0 / n_samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // δ = 0.05, ε = 0.1 → n_s ≥ 29 (the paper's example in §4.3).
+        assert_eq!(required_samples(0.1, 0.05), 29);
+    }
+
+    #[test]
+    fn more_confidence_needs_more_samples() {
+        assert!(required_samples(0.1, 0.01) > required_samples(0.1, 0.1));
+        assert!(required_samples(0.01, 0.05) > required_samples(0.5, 0.05));
+    }
+
+    #[test]
+    fn tiny_epsilon_large_sample() {
+        let n = required_samples(0.001, 0.05);
+        assert!(n >= 2995, "got {n}");
+    }
+
+    #[test]
+    fn prune_probability_monotone_in_samples() {
+        let p1 = prune_probability(0.9, 1);
+        let p10 = prune_probability(0.9, 10);
+        let p29 = prune_probability(0.9, 29);
+        assert!(p1 < p10 && p10 < p29);
+        assert!((p1 - 0.1).abs() < 1e-12);
+        assert!(p29 >= 0.95, "29 samples must reach the 95% guarantee");
+    }
+
+    #[test]
+    fn prune_probability_edge_cases() {
+        assert_eq!(prune_probability(0.0, 1), 1.0);
+        assert_eq!(prune_probability(1.0, 1000), 0.0);
+    }
+
+    #[test]
+    fn detectable_containment_inverse_of_required_samples() {
+        for &(eps, delta) in &[(0.1, 0.05), (0.2, 0.01), (0.05, 0.1)] {
+            let n = required_samples(eps, delta);
+            let c = detectable_containment(n, delta);
+            // With n samples we can rule out containment ≥ (1 - eps)... i.e.
+            // the detectable containment bound must be at least 1 - eps.
+            assert!(
+                c >= 1.0 - eps - 1e-9,
+                "eps={eps} delta={delta} n={n} c={c}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        required_samples(0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        required_samples(0.1, 1.0);
+    }
+}

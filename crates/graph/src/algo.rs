@@ -1,0 +1,191 @@
+//! Ancillary graph algorithms used by the pipeline, optimizer and tests.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Whether the graph contains no directed cycle.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topological_order(g).is_some()
+}
+
+/// Topological order of the nodes (Kahn's algorithm), or `None` if the graph
+/// has a cycle.
+pub fn topological_order(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i))).collect();
+    let mut queue: VecDeque<NodeId> = (0..n)
+        .filter(|&i| in_deg[i] == 0)
+        .map(NodeId)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.children(u) {
+            in_deg[v.0] -= 1;
+            if in_deg[v.0] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Set of nodes reachable from `start` (excluding `start` unless it lies on a
+/// cycle through itself).
+pub fn reachable_from(g: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        for v in g.children(u) {
+            if !seen[v.0] {
+                seen[v.0] = true;
+                out.push(v);
+                stack.push(v);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Transitive reduction of a DAG: removes every edge (u, v) for which an
+/// alternative directed path u → … → v exists. Containment is transitive, so
+/// the reduction is a useful "minimal lineage" view of a containment graph;
+/// it is exposed as an extension beyond the paper. Panics if the graph is
+/// cyclic.
+pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
+    assert!(is_acyclic(g), "transitive reduction requires a DAG");
+    let mut reduced = g.clone();
+    for (u, v) in g.edges() {
+        // Temporarily ignore the direct edge and test reachability.
+        reduced.remove_edge(u, v);
+        let still_reachable = reachable_from(&reduced, u).contains(&v);
+        if !still_reachable {
+            reduced.add_edge(u, v);
+        }
+    }
+    reduced
+}
+
+/// Connected components of the undirected view of the graph. Each component
+/// is a sorted list of node ids. The optimizer solves each component
+/// independently, which keeps the branch & bound tractable.
+pub fn weakly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = count;
+        while let Some(u) = stack.pop() {
+            let mut neighbours = g.children(NodeId(u));
+            neighbours.extend(g.parents(NodeId(u)));
+            for v in neighbours {
+                if comp[v.0] == usize::MAX {
+                    comp[v.0] = count;
+                    stack.push(v.0);
+                }
+            }
+        }
+        count += 1;
+    }
+    let mut components = vec![Vec::new(); count];
+    for (i, &c) in comp.iter().enumerate() {
+        components[c].push(NodeId(i));
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    #[test]
+    fn topological_order_of_dag() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_order(&g).unwrap();
+        let pos = |n: usize| order.iter().position(|x| x.0 == n).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_order(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn reachability() {
+        let g = graph(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(
+            reachable_from(&g, NodeId(0)),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(reachable_from(&g, NodeId(2)), Vec::<NodeId>::new());
+        assert_eq!(reachable_from(&g, NodeId(3)), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcuts() {
+        // 0→1→2 plus shortcut 0→2: the shortcut should be removed.
+        let g = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        let r = transitive_reduction(&g);
+        assert!(r.has_edge(NodeId(0), NodeId(1)));
+        assert!(r.has_edge(NodeId(1), NodeId(2)));
+        assert!(!r.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_needed_edges() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 4, "diamond has no redundant edge");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a DAG")]
+    fn transitive_reduction_panics_on_cycle() {
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        transitive_reduction(&g);
+    }
+
+    #[test]
+    fn weak_components() {
+        let g = graph(6, &[(0, 1), (2, 1), (3, 4)]);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(comps.contains(&vec![NodeId(3), NodeId(4)]));
+        assert!(comps.contains(&vec![NodeId(5)]));
+    }
+
+    #[test]
+    fn empty_graph_algorithms() {
+        let g = DiGraph::new(0);
+        assert!(is_acyclic(&g));
+        assert_eq!(topological_order(&g).unwrap().len(), 0);
+        assert!(weakly_connected_components(&g).is_empty());
+    }
+}

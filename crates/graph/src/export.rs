@@ -1,0 +1,181 @@
+//! Export helpers: Graphviz DOT rendering and adjacency summaries.
+//!
+//! The paper's Fig. 1 illustrates the containment graph at each pipeline
+//! stage; these helpers let users render the graphs this reproduction
+//! produces (e.g. `dot -Tsvg`) and dump compact textual summaries for
+//! debugging and for the experiment logs.
+
+use crate::containment::ContainmentGraph;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Optional labels per dataset id (defaults to `ds<id>`).
+    pub labels: BTreeMap<u64, String>,
+    /// Whether to print the containment fraction on edges that carry one.
+    pub edge_fractions: bool,
+    /// Dataset ids to highlight (rendered filled red — the paper's Fig. 1
+    /// marks deletion candidates this way).
+    pub highlight: Vec<u64>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "containment".to_string(),
+            labels: BTreeMap::new(),
+            edge_fractions: true,
+            highlight: Vec::new(),
+        }
+    }
+}
+
+impl DotOptions {
+    /// Set a label for a dataset.
+    pub fn with_label(mut self, dataset: u64, label: impl Into<String>) -> Self {
+        self.labels.insert(dataset, label.into());
+        self
+    }
+
+    /// Highlight a set of datasets (e.g. the optimizer's deletion set).
+    pub fn with_highlights(mut self, datasets: impl IntoIterator<Item = u64>) -> Self {
+        self.highlight = datasets.into_iter().collect();
+        self
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('"', "\\\"")
+}
+
+/// Render a containment graph as Graphviz DOT. Edges point from parent to
+/// contained child, matching the paper's convention.
+pub fn to_dot(graph: &ContainmentGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for &ds in graph.datasets() {
+        let label = options
+            .labels
+            .get(&ds)
+            .cloned()
+            .unwrap_or_else(|| format!("ds{ds}"));
+        if options.highlight.contains(&ds) {
+            let _ = writeln!(
+                out,
+                "  n{ds} [label=\"{}\", style=filled, fillcolor=\"#ff9999\"];",
+                escape(&label)
+            );
+        } else {
+            let _ = writeln!(out, "  n{ds} [label=\"{}\"];", escape(&label));
+        }
+    }
+    for (parent, child) in graph.edges() {
+        let annotation = if options.edge_fractions {
+            graph
+                .edge(parent, child)
+                .and_then(|e| e.containment_fraction)
+                .map(|f| format!(" [label=\"{f:.2}\"]"))
+                .unwrap_or_default()
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  n{parent} -> n{child}{annotation};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// A compact per-node summary of a containment graph: dataset id, in-degree
+/// (number of parents it could be reconstructed from), out-degree (number of
+/// datasets it contains).
+pub fn adjacency_summary(graph: &ContainmentGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes={} edges={}", graph.node_count(), graph.edge_count());
+    for &ds in graph.datasets() {
+        let parents = graph.parents(ds);
+        let children = graph.children(ds);
+        let _ = writeln!(
+            out,
+            "ds{ds}: parents={} children={}{}",
+            parents.len(),
+            children.len(),
+            if children.is_empty() && parents.is_empty() {
+                " (isolated)"
+            } else {
+                ""
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::ContainmentEdge;
+
+    fn graph() -> ContainmentGraph {
+        let mut g = ContainmentGraph::new();
+        g.add_edge_with(
+            1,
+            2,
+            ContainmentEdge {
+                containment_fraction: Some(1.0),
+                ..Default::default()
+            },
+        );
+        g.add_edge(1, 3);
+        g.add_dataset(4);
+        g
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph containment {"));
+        assert!(dot.contains("n1 [label=\"ds1\"]"));
+        assert!(dot.contains("n1 -> n2 [label=\"1.00\"];"));
+        assert!(dot.contains("n1 -> n3;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_labels_and_highlights() {
+        let g = graph();
+        let opts = DotOptions::default()
+            .with_label(2, "orders \"emea\"")
+            .with_highlights([2]);
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("orders \\\"emea\\\""));
+        assert!(dot.contains("fillcolor=\"#ff9999\""));
+    }
+
+    #[test]
+    fn dot_without_fractions() {
+        let g = graph();
+        let opts = DotOptions {
+            edge_fractions: false,
+            ..Default::default()
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(!dot.contains("label=\"1.00\""));
+    }
+
+    #[test]
+    fn adjacency_summary_counts() {
+        let g = graph();
+        let s = adjacency_summary(&g);
+        assert!(s.contains("nodes=4 edges=2"));
+        assert!(s.contains("ds1: parents=0 children=2"));
+        assert!(s.contains("ds2: parents=1 children=0"));
+        assert!(s.contains("ds4: parents=0 children=0 (isolated)"));
+    }
+}

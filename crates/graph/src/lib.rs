@@ -1,0 +1,34 @@
+//! # r2d2-graph — containment graphs for the R2D2 reproduction
+//!
+//! R2D2 models the data lake as a directed graph whose nodes are datasets
+//! and whose edges `B → A` assert that dataset `A` is contained in dataset
+//! `B` (§3 of the paper). The pipeline starts from a permissive schema
+//! containment graph and progressively removes edges; the optimizer then
+//! consumes the final graph. This crate provides:
+//!
+//! * [`digraph::DiGraph`] — a small, dense directed graph keyed by
+//!   [`NodeId`]s with O(1) edge insertion/removal and parent/child queries.
+//! * [`containment::ContainmentGraph`] — the dataset containment graph:
+//!   nodes carry dataset ids, edges optionally carry the measured
+//!   containment fraction and per-edge annotations used by later stages.
+//! * [`diff`] — comparison of a detected graph against a ground-truth graph,
+//!   producing the *correct / incorrect(<1) / not detected* counts reported
+//!   in Tables 1, 2 and 4 of the paper.
+//! * [`random`] — Erdős–Rényi and line-graph generators used by the
+//!   optimizer scalability study (Fig. 6) and the Dyn-Lin tests.
+//! * [`algo`] — ancillary graph algorithms (cycle detection, topological
+//!   order, reachability, transitive reduction).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algo;
+pub mod containment;
+pub mod export;
+pub mod diff;
+pub mod digraph;
+pub mod random;
+
+pub use containment::{ContainmentEdge, ContainmentGraph};
+pub use diff::{EdgeDiff, GraphDiff};
+pub use digraph::{DiGraph, NodeId};

@@ -1,0 +1,142 @@
+//! Random graph generators.
+//!
+//! Figure 6 of the paper studies the scalability of the Opt-Ret optimizer on
+//! random graphs "of various sparsity using the Erdős–Rényi model", sweeping
+//! (i) the number of nodes at fixed edge probability `p` and (ii) the number
+//! of edges (by varying `p`) at a fixed number of nodes. The Dyn-Lin dynamic
+//! program is exercised on directed line graphs. Both generators live here,
+//! along with a generator of random DAGs used by property tests.
+
+use crate::containment::ContainmentGraph;
+use rand::Rng;
+
+/// Directed Erdős–Rényi graph G(n, p): every ordered pair (u, v), u ≠ v,
+/// receives an edge independently with probability `p`.
+///
+/// Dataset ids are 0..n. Note that the result may be cyclic; the optimizer
+/// handles arbitrary directed graphs, matching the paper's scalability
+/// experiment which likewise draws unconstrained random graphs.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> ContainmentGraph {
+    let p = p.clamp(0.0, 1.0);
+    let mut g = ContainmentGraph::with_datasets(0..n as u64);
+    for u in 0..n as u64 {
+        for v in 0..n as u64 {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Directed Erdős–Rényi DAG: edges only go from lower to higher dataset id,
+/// guaranteeing acyclicity. Used by property tests where a containment
+/// semantics (larger datasets upstream) is desired.
+pub fn erdos_renyi_dag<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> ContainmentGraph {
+    let p = p.clamp(0.0, 1.0);
+    let mut g = ContainmentGraph::with_datasets(0..n as u64);
+    for u in 0..n as u64 {
+        for v in (u + 1)..n as u64 {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A directed line graph 0 → 1 → … → n-1 (every parent has one child and
+/// every child one parent), the special case for which Dyn-Lin (§5.3) is
+/// optimal in linear time.
+pub fn line_graph(n: usize) -> ContainmentGraph {
+    let mut g = ContainmentGraph::with_datasets(0..n as u64);
+    for i in 1..n as u64 {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A forest of `k` independent line graphs of the given lengths; dataset ids
+/// are assigned consecutively.
+pub fn line_forest(lengths: &[usize]) -> ContainmentGraph {
+    let mut g = ContainmentGraph::new();
+    let mut next = 0u64;
+    for &len in lengths {
+        let ids: Vec<u64> = (next..next + len as u64).collect();
+        next += len as u64;
+        for id in &ids {
+            g.add_dataset(*id);
+        }
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_acyclic;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_edge_count_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g0 = erdos_renyi(50, 0.0, &mut rng);
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = erdos_renyi(30, 1.0, &mut rng);
+        assert_eq!(g1.edge_count(), 30 * 29);
+        let g = erdos_renyi(60, 0.1, &mut rng);
+        let expected = 60.0 * 59.0 * 0.1;
+        assert!(
+            (g.edge_count() as f64) > expected * 0.5 && (g.edge_count() as f64) < expected * 1.5,
+            "edge count {} should be near {}",
+            g.edge_count(),
+            expected
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_dag_is_acyclic() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &p in &[0.05, 0.3, 0.9] {
+            let g = erdos_renyi_dag(40, p, &mut rng);
+            assert!(is_acyclic(g.digraph()));
+        }
+    }
+
+    #[test]
+    fn line_graph_shape() {
+        let g = line_graph(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.parents(0), Vec::<u64>::new());
+        assert_eq!(g.parents(3), vec![2]);
+        assert_eq!(g.children(3), vec![4]);
+        let empty = line_graph(0);
+        assert_eq!(empty.node_count(), 0);
+        let single = line_graph(1);
+        assert_eq!(single.edge_count(), 0);
+    }
+
+    #[test]
+    fn line_forest_shape() {
+        let g = line_forest(&[3, 2, 4]);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 2 + 1 + 3);
+        // Chains are independent: node 3 starts the second chain.
+        assert_eq!(g.parents(3), Vec::<u64>::new());
+        assert_eq!(g.children(2), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn p_is_clamped() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = erdos_renyi(10, 7.5, &mut rng);
+        assert_eq!(g.edge_count(), 90);
+        let g = erdos_renyi(10, -3.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

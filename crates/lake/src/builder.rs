@@ -1,0 +1,158 @@
+//! Row-oriented table builder.
+//!
+//! Synthetic corpora, CSV ingestion and tests often produce data row by row;
+//! [`TableBuilder`] accumulates rows against a declared schema and pivots
+//! them into the column-major [`Table`] representation.
+
+use crate::column::Column;
+use crate::error::{LakeError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Accumulates rows and builds an immutable [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.len()];
+        TableBuilder {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The declared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row (values positionally aligned with the schema).
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(LakeError::LengthMismatch {
+                expected: self.schema.len(),
+                actual: values.len(),
+            });
+        }
+        for (i, v) in values.into_iter().enumerate() {
+            self.columns[i].push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn push_rows<I>(&mut self, rows: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        for row in rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Finish, producing the table. Fails if any value violates its column's
+    /// declared type.
+    pub fn build(self) -> Result<Table> {
+        let columns = self
+            .schema
+            .fields()
+            .iter()
+            .zip(self.columns)
+            .map(|(f, values)| {
+                Column::new(f.data_type, values).map_err(|e| match e {
+                    LakeError::TypeMismatch {
+                        expected, actual, ..
+                    } => LakeError::TypeMismatch {
+                        column: f.name.clone(),
+                        expected,
+                        actual,
+                    },
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Table::new(self.schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    fn schema() -> Schema {
+        Schema::flat(&[("id", DataType::Int), ("name", DataType::Utf8)]).unwrap()
+    }
+
+    #[test]
+    fn build_simple_table() {
+        let mut b = TableBuilder::new(schema());
+        assert!(b.is_empty());
+        b.push_row(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Str("b".into())]).unwrap();
+        assert_eq!(b.len(), 2);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("name").unwrap().values()[1], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut b = TableBuilder::new(schema());
+        assert!(b.push_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn type_violation_reported_with_column_name() {
+        let mut b = TableBuilder::new(schema());
+        b.push_row(vec![Value::Str("oops".into()), Value::Str("a".into())])
+            .unwrap();
+        let err = b.build().unwrap_err();
+        match err {
+            LakeError::TypeMismatch { column, .. } => assert_eq!(column, "id"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_rows_bulk() {
+        let mut b = TableBuilder::new(schema());
+        b.push_rows((0..5).map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))]))
+            .unwrap();
+        assert_eq!(b.build().unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn empty_build_produces_empty_table() {
+        let t = TableBuilder::new(schema()).build().unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nulls_allowed_anywhere() {
+        let mut b = TableBuilder::new(schema());
+        b.push_row(vec![Value::Null, Value::Null]).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.column("id").unwrap().stats().null_count, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Columns: typed, in-memory value vectors with cached statistics.
+//!
+//! The substrate stores tables column-major, like parquet / Spark's columnar
+//! cache, so that statistics can be maintained per column and predicate
+//! evaluation touches only the referenced columns.
+
+use crate::datatype::DataType;
+use crate::error::{LakeError, Result};
+use crate::stats::ColumnStats;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A single column of a table: a name-less typed vector of values.
+///
+/// The name lives in the table's [`crate::schema::Schema`]; a `Column` is
+/// purely the data plus cached [`ColumnStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    data_type: DataType,
+    values: Vec<Value>,
+    stats: ColumnStats,
+}
+
+impl Column {
+    /// Build a column from values, validating that every non-null value has
+    /// the declared type (ints are accepted into float columns, mirroring the
+    /// widening Spark applies when unioning frames).
+    pub fn new(data_type: DataType, values: Vec<Value>) -> Result<Self> {
+        for v in &values {
+            if v.is_null() {
+                continue;
+            }
+            let vt = v.data_type();
+            let compatible = vt == data_type
+                || (data_type == DataType::Float && vt == DataType::Int)
+                || (data_type == DataType::Timestamp && vt == DataType::Int);
+            if !compatible {
+                return Err(LakeError::TypeMismatch {
+                    column: String::new(),
+                    expected: data_type,
+                    actual: vt,
+                });
+            }
+        }
+        let stats = ColumnStats::compute(&values);
+        Ok(Column {
+            data_type,
+            values,
+            stats,
+        })
+    }
+
+    /// Build an integer column.
+    pub fn from_ints(values: impl IntoIterator<Item = i64>) -> Self {
+        let values: Vec<Value> = values.into_iter().map(Value::Int).collect();
+        Column::new(DataType::Int, values).expect("ints are always valid")
+    }
+
+    /// Build a float column.
+    pub fn from_floats(values: impl IntoIterator<Item = f64>) -> Self {
+        let values: Vec<Value> = values.into_iter().map(Value::Float).collect();
+        Column::new(DataType::Float, values).expect("floats are always valid")
+    }
+
+    /// Build a string column.
+    pub fn from_strs<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Self {
+        let values: Vec<Value> = values.into_iter().map(|s| Value::Str(s.into())).collect();
+        Column::new(DataType::Utf8, values).expect("strings are always valid")
+    }
+
+    /// Build a timestamp column from microsecond epoch values.
+    pub fn from_timestamps(values: impl IntoIterator<Item = i64>) -> Self {
+        let values: Vec<Value> = values.into_iter().map(Value::Timestamp).collect();
+        Column::new(DataType::Timestamp, values).expect("timestamps are always valid")
+    }
+
+    /// Declared data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Cached statistics (computed at construction time).
+    pub fn stats(&self) -> &ColumnStats {
+        &self.stats
+    }
+
+    /// Take the rows at the given indices, producing a new column.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let values: Vec<Value> = indices
+            .iter()
+            .map(|&i| self.values[i].clone())
+            .collect();
+        let stats = ColumnStats::compute(&values);
+        Column {
+            data_type: self.data_type,
+            values,
+            stats,
+        }
+    }
+
+    /// Append another column of the same type (used by the synthetic
+    /// "add rows" transformation and by partition concatenation).
+    pub fn concat(&self, other: &Column) -> Result<Column> {
+        if other.data_type != self.data_type
+            && !(self.data_type == DataType::Float && other.data_type == DataType::Int)
+        {
+            return Err(LakeError::TypeMismatch {
+                column: String::new(),
+                expected: self.data_type,
+                actual: other.data_type,
+            });
+        }
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Column::new(self.data_type, values)
+    }
+
+    /// Approximate byte size of the column data.
+    pub fn byte_size(&self) -> usize {
+        self.values.iter().map(Value::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_constructors() {
+        assert_eq!(Column::from_ints([1, 2, 3]).data_type(), DataType::Int);
+        assert_eq!(Column::from_floats([1.0]).data_type(), DataType::Float);
+        assert_eq!(Column::from_strs(["a"]).data_type(), DataType::Utf8);
+        assert_eq!(
+            Column::from_timestamps([10]).data_type(),
+            DataType::Timestamp
+        );
+    }
+
+    #[test]
+    fn type_validation_rejects_mismatch() {
+        let err = Column::new(DataType::Int, vec![Value::Str("x".into())]);
+        assert!(matches!(err, Err(LakeError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn int_accepted_in_float_column() {
+        let c = Column::new(DataType::Float, vec![Value::Int(1), Value::Float(2.5)]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn nulls_always_accepted() {
+        let c = Column::new(DataType::Utf8, vec![Value::Null, Value::Str("a".into())]).unwrap();
+        assert_eq!(c.stats().null_count, 1);
+    }
+
+    #[test]
+    fn stats_cached_at_construction() {
+        let c = Column::from_ints([3, 1, 8]);
+        assert_eq!(c.stats().min, Some(Value::Int(1)));
+        assert_eq!(c.stats().max, Some(Value::Int(8)));
+    }
+
+    #[test]
+    fn take_reorders_and_recomputes_stats() {
+        let c = Column::from_ints([10, 20, 30, 40]);
+        let t = c.take(&[3, 0]);
+        assert_eq!(t.values(), &[Value::Int(40), Value::Int(10)]);
+        assert_eq!(t.stats().min, Some(Value::Int(10)));
+        assert_eq!(t.stats().max, Some(Value::Int(40)));
+    }
+
+    #[test]
+    fn concat_columns() {
+        let a = Column::from_ints([1, 2]);
+        let b = Column::from_ints([3]);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().max, Some(Value::Int(3)));
+        let s = Column::from_strs(["x"]);
+        assert!(a.concat(&s).is_err());
+    }
+
+    #[test]
+    fn byte_size_sums_values() {
+        let c = Column::from_ints([1, 2, 3]);
+        assert_eq!(c.byte_size(), 24);
+    }
+}

@@ -1,0 +1,243 @@
+//! Minimal CSV ingestion / export with type inference.
+//!
+//! The open-data corpora used by the paper (Table Union Benchmark, Kaggle
+//! tables) are CSV files; this module lets the examples and synthetic-data
+//! tooling move small tables in and out of the lake without any external
+//! dependency. It intentionally supports only the simple dialect those files
+//! use: comma separator, optional double-quote quoting, first row is the
+//! header.
+
+use crate::builder::TableBuilder;
+use crate::datatype::DataType;
+use crate::error::{LakeError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Split one CSV line into fields, honouring double quotes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if in_quotes && chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = !in_quotes;
+                }
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Infer the narrowest [`DataType`] that can represent every non-empty cell
+/// of a column (Int ⊂ Float ⊂ Utf8; "true"/"false" → Bool).
+fn infer_type(cells: &[&str]) -> DataType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut saw_value = false;
+    for c in cells {
+        if c.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        if c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if c.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        let lower = c.to_ascii_lowercase();
+        if lower != "true" && lower != "false" {
+            all_bool = false;
+        }
+    }
+    if !saw_value {
+        DataType::Utf8
+    } else if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Utf8
+    }
+}
+
+fn parse_cell(cell: &str, dt: DataType) -> Value {
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    match dt {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or_else(|_| Value::Str(cell.to_string())),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or_else(|_| Value::Str(cell.to_string())),
+        DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+        DataType::Timestamp => cell
+            .parse::<i64>()
+            .map(Value::Timestamp)
+            .unwrap_or_else(|_| Value::Str(cell.to_string())),
+        _ => Value::Str(cell.to_string()),
+    }
+}
+
+/// Parse CSV text (header row + data rows) into a [`Table`], inferring types.
+pub fn parse_csv(text: &str) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| LakeError::InvalidArgument("empty CSV".to_string()))?;
+    let names = split_line(header);
+    let rows: Vec<Vec<String>> = lines.map(split_line).collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != names.len() {
+            return Err(LakeError::InvalidArgument(format!(
+                "row {} has {} fields, expected {}",
+                i + 1,
+                r.len(),
+                names.len()
+            )));
+        }
+    }
+    let mut fields = Vec::with_capacity(names.len());
+    for (ci, name) in names.iter().enumerate() {
+        let cells: Vec<&str> = rows.iter().map(|r| r[ci].as_str()).collect();
+        fields.push(crate::schema::Field::new(name.trim(), infer_type(&cells)));
+    }
+    let schema = Schema::new(fields)?;
+    let mut builder = TableBuilder::new(schema.clone());
+    for r in &rows {
+        let values = schema
+            .fields()
+            .iter()
+            .zip(r)
+            .map(|(f, cell)| parse_cell(cell.trim(), f.data_type))
+            .collect();
+        builder.push_row(values)?;
+    }
+    builder.build()
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Render a table as CSV text (header + rows).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape(n))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in table.iter_rows() {
+        let cells: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_csv_with_inference() {
+        let csv = "id,name,score,active\n1,alice,3.5,true\n2,bob,4.0,false\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().data_type("id").unwrap(), DataType::Int);
+        assert_eq!(t.schema().data_type("score").unwrap(), DataType::Float);
+        assert_eq!(t.schema().data_type("name").unwrap(), DataType::Utf8);
+        assert_eq!(t.schema().data_type("active").unwrap(), DataType::Bool);
+    }
+
+    #[test]
+    fn quoted_fields_and_embedded_commas() {
+        let csv = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(
+            t.column("a").unwrap().values()[0],
+            Value::Str("hello, world".into())
+        );
+        assert_eq!(
+            t.column("b").unwrap().values()[0],
+            Value::Str("say \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let csv = "x,y\n1,\n,2\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.column("x").unwrap().stats().null_count, 1);
+        assert_eq!(t.column("y").unwrap().stats().null_count, 1);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(parse_csv("a,b\n1\n").is_err());
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn round_trip_csv() {
+        let csv = "id,name\n1,alice\n2,\"b,ob\"\n";
+        let t = parse_csv(csv).unwrap();
+        let rendered = to_csv(&t);
+        let t2 = parse_csv(&rendered).unwrap();
+        assert_eq!(t.num_rows(), t2.num_rows());
+        assert_eq!(
+            t.column("name").unwrap().values(),
+            t2.column("name").unwrap().values()
+        );
+    }
+
+    #[test]
+    fn mixed_int_float_column_inferred_as_float() {
+        let csv = "v\n1\n2.5\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.schema().data_type("v").unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn all_empty_column_is_utf8() {
+        let csv = "v\n\n\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.schema().data_type("v").unwrap(), DataType::Utf8);
+        assert_eq!(t.num_rows(), 0, "blank lines are skipped");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the lake substrate.
+
+use std::fmt;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LakeError>;
+
+/// Errors raised by the data lake substrate.
+#[derive(Debug)]
+pub enum LakeError {
+    /// A column referenced by name does not exist in the schema.
+    ColumnNotFound(String),
+    /// A dataset id is not present in the catalog.
+    DatasetNotFound(String),
+    /// The value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column whose type was violated.
+        column: String,
+        /// Expected data type.
+        expected: crate::datatype::DataType,
+        /// Actual data type of the offending value.
+        actual: crate::datatype::DataType,
+    },
+    /// Columns of a table have inconsistent lengths.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Observed number of rows.
+        actual: usize,
+    },
+    /// A schema was declared with duplicate flattened column names.
+    DuplicateColumn(String),
+    /// The on-disk file is corrupt or has an unexpected layout.
+    Corrupt(String),
+    /// Wrapper for I/O failures from the storage layer.
+    Io(std::io::Error),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            LakeError::DatasetNotFound(d) => write!(f, "dataset not found: {d}"),
+            LakeError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in column {column}: expected {expected:?}, got {actual:?}"
+            ),
+            LakeError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            LakeError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            LakeError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            LakeError::Io(e) => write!(f, "io error: {e}"),
+            LakeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LakeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LakeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LakeError {
+    fn from(e: std::io::Error) -> Self {
+        LakeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = LakeError::ColumnNotFound("user.id".into());
+        assert_eq!(e.to_string(), "column not found: user.id");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = LakeError::TypeMismatch {
+            column: "price".into(),
+            expected: DataType::Float,
+            actual: DataType::Utf8,
+        };
+        assert!(e.to_string().contains("price"));
+        assert!(e.to_string().contains("Float"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = LakeError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let e = LakeError::LengthMismatch {
+            expected: 10,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "length mismatch: expected 10, got 3");
+    }
+}

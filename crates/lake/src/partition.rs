@@ -1,0 +1,404 @@
+//! Partitioned tables with per-partition statistics.
+//!
+//! Datasets in the paper's enterprise data lake are "partitioned and stored
+//! in parquet format"; the columnar minimum and maximum of each partition are
+//! available as metadata, which is what makes Min-Max Pruning (§4.2) cheap
+//! and lets Content-Level Pruning (§4.3) sample rows without a full table
+//! scan when the data is partitioned by the sampled column (e.g. timestamp).
+//!
+//! A [`PartitionedTable`] holds the same logical data as a [`Table`] but
+//! split into horizontal partitions, each carrying its own
+//! [`ColumnStats`] metadata, plus merged table-level metadata.
+
+use crate::error::{LakeError, Result};
+use crate::meter::Meter;
+use crate::schema::Schema;
+use crate::stats::ColumnStats;
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How to split a table into partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionSpec {
+    /// Fixed-size horizontal chunks of at most `rows_per_partition` rows.
+    ByRowCount {
+        /// Maximum number of rows per partition (must be > 0).
+        rows_per_partition: usize,
+    },
+    /// Partition by the distinct values of a column, bucketing values into at
+    /// most `max_partitions` buckets by hash. This mirrors timestamp/date
+    /// partitioning in the enterprise lake.
+    ByColumn {
+        /// Partitioning column (must exist in the schema).
+        column: String,
+        /// Upper bound on the number of partitions produced.
+        max_partitions: usize,
+    },
+    /// A single partition holding the whole table.
+    Single,
+    /// Partition boundaries were supplied explicitly (e.g. read back from
+    /// storage, where each stored row group becomes one partition).
+    Explicit,
+}
+
+/// Metadata of one partition: row count, byte size, per-column stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionMeta {
+    /// Number of rows in the partition.
+    pub row_count: usize,
+    /// Approximate bytes in the partition.
+    pub byte_size: usize,
+    /// Per-column statistics, keyed by flattened column name.
+    pub column_stats: HashMap<String, ColumnStats>,
+}
+
+/// A horizontally partitioned table with partition-level metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionedTable {
+    schema: Schema,
+    partitions: Vec<Table>,
+    partition_meta: Vec<PartitionMeta>,
+    table_stats: HashMap<String, ColumnStats>,
+    num_rows: usize,
+    spec: PartitionSpec,
+}
+
+impl PartitionedTable {
+    /// Build a partitioned table from already-split partitions (all sharing
+    /// the same schema). Used by the storage layer when reading row groups
+    /// back from disk.
+    pub fn from_partition_tables(partitions: Vec<Table>) -> Result<Self> {
+        let schema = match partitions.first() {
+            Some(p) => p.schema().clone(),
+            None => {
+                return Err(LakeError::InvalidArgument(
+                    "at least one partition is required".to_string(),
+                ))
+            }
+        };
+        for p in &partitions {
+            if p.schema() != &schema {
+                return Err(LakeError::InvalidArgument(
+                    "all partitions must share the same schema".to_string(),
+                ));
+            }
+        }
+        Self::assemble(schema, partitions, PartitionSpec::Explicit)
+    }
+
+    fn assemble(schema: Schema, partitions: Vec<Table>, spec: PartitionSpec) -> Result<Self> {
+        let partition_meta: Vec<PartitionMeta> = partitions
+            .iter()
+            .map(|p| PartitionMeta {
+                row_count: p.num_rows(),
+                byte_size: p.byte_size(),
+                column_stats: p.column_stats(),
+            })
+            .collect();
+
+        let mut table_stats: HashMap<String, ColumnStats> = HashMap::new();
+        for meta in &partition_meta {
+            for (name, stats) in &meta.column_stats {
+                table_stats
+                    .entry(name.clone())
+                    .and_modify(|s| *s = s.merge(stats))
+                    .or_insert_with(|| stats.clone());
+            }
+        }
+        let num_rows = partitions.iter().map(Table::num_rows).sum();
+        Ok(PartitionedTable {
+            schema,
+            partitions,
+            partition_meta,
+            table_stats,
+            num_rows,
+            spec,
+        })
+    }
+
+    /// Partition a table according to `spec`.
+    pub fn from_table(table: Table, spec: PartitionSpec) -> Result<Self> {
+        let schema = table.schema().clone();
+        let partitions: Vec<Table> = match &spec {
+            PartitionSpec::Single | PartitionSpec::Explicit => vec![table],
+            PartitionSpec::ByRowCount { rows_per_partition } => {
+                if *rows_per_partition == 0 {
+                    return Err(LakeError::InvalidArgument(
+                        "rows_per_partition must be positive".to_string(),
+                    ));
+                }
+                let mut parts = Vec::new();
+                let n = table.num_rows();
+                let mut start = 0;
+                while start < n {
+                    let end = (start + rows_per_partition).min(n);
+                    let idx: Vec<usize> = (start..end).collect();
+                    parts.push(table.take(&idx)?);
+                    start = end;
+                }
+                if parts.is_empty() {
+                    parts.push(table);
+                }
+                parts
+            }
+            PartitionSpec::ByColumn {
+                column,
+                max_partitions,
+            } => {
+                if *max_partitions == 0 {
+                    return Err(LakeError::InvalidArgument(
+                        "max_partitions must be positive".to_string(),
+                    ));
+                }
+                let col = table.column(column)?;
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); *max_partitions];
+                for (i, v) in col.values().iter().enumerate() {
+                    let h = crate::row::hash_values(&[v]).0;
+                    let b = (h % (*max_partitions as u128)) as usize;
+                    buckets[b].push(i);
+                }
+                let mut parts = Vec::new();
+                for idx in buckets.into_iter().filter(|b| !b.is_empty()) {
+                    parts.push(table.take(&idx)?);
+                }
+                if parts.is_empty() {
+                    parts.push(table);
+                }
+                parts
+            }
+        };
+
+        Self::assemble(schema, partitions, spec)
+    }
+
+    /// The schema shared by every partition.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total row count.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Total approximate byte size.
+    pub fn byte_size(&self) -> usize {
+        self.partition_meta.iter().map(|m| m.byte_size).sum()
+    }
+
+    /// The partition spec the table was built with.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The partitions themselves. Reading rows from these directly bypasses
+    /// the meter — query code should use [`crate::query`] instead.
+    pub fn partitions(&self) -> &[Table] {
+        &self.partitions
+    }
+
+    /// Partition metadata, one entry per partition.
+    pub fn partition_meta(&self) -> &[PartitionMeta] {
+        &self.partition_meta
+    }
+
+    /// Merged (table-level) per-column statistics.
+    pub fn table_stats(&self) -> &HashMap<String, ColumnStats> {
+        &self.table_stats
+    }
+
+    /// Min and max of a column, served purely from metadata.
+    ///
+    /// This is the lookup Min-Max Pruning performs; it costs one metadata
+    /// lookup on the meter and never touches row data. Returns `(None, None)`
+    /// for an all-null or missing-stats column, and an error for a column not
+    /// in the schema.
+    pub fn column_min_max(
+        &self,
+        column: &str,
+        meter: &Meter,
+    ) -> Result<(Option<Value>, Option<Value>)> {
+        meter.add_metadata_lookups(1);
+        match self.table_stats.get(column) {
+            Some(s) => Ok((s.min.clone(), s.max.clone())),
+            None => {
+                if self.schema.index_of(column).is_some() {
+                    // Schema knows the column but the table is empty.
+                    Ok((None, None))
+                } else {
+                    Err(LakeError::ColumnNotFound(column.to_string()))
+                }
+            }
+        }
+    }
+
+    /// Concatenate all partitions back into a single [`Table`]. This is a
+    /// full materialisation and is metered as a full scan.
+    pub fn to_table(&self, meter: &Meter) -> Result<Table> {
+        meter.add_rows_scanned(self.num_rows as u64);
+        meter.add_bytes_scanned(self.byte_size() as u64);
+        meter.add_partitions_scanned(self.partitions.len() as u64);
+        let mut iter = self.partitions.iter();
+        let first = match iter.next() {
+            Some(t) => t.clone(),
+            None => return Ok(Table::empty(self.schema.clone())),
+        };
+        iter.try_fold(first, |acc, t| acc.concat(t))
+    }
+
+    /// Convenience: wrap a table as a single partition.
+    pub fn single(table: Table) -> Self {
+        Self::from_table(table, PartitionSpec::Single).expect("single partition cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::datatype::DataType;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::flat(&[("id", DataType::Int), ("grp", DataType::Utf8)]).unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints((0..n as i64).collect::<Vec<_>>()),
+                Column::from_strs((0..n).map(|i| format!("g{}", i % 3))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_count_partitioning() {
+        let pt = PartitionedTable::from_table(
+            table(10),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(pt.num_partitions(), 3);
+        assert_eq!(pt.num_rows(), 10);
+        assert_eq!(
+            pt.partition_meta().iter().map(|m| m.row_count).sum::<usize>(),
+            10
+        );
+    }
+
+    #[test]
+    fn zero_rows_per_partition_rejected() {
+        assert!(PartitionedTable::from_table(
+            table(3),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn column_partitioning_groups_rows() {
+        let pt = PartitionedTable::from_table(
+            table(30),
+            PartitionSpec::ByColumn {
+                column: "grp".to_string(),
+                max_partitions: 8,
+            },
+        )
+        .unwrap();
+        assert!(pt.num_partitions() <= 3, "only 3 distinct group values");
+        assert_eq!(pt.num_rows(), 30);
+    }
+
+    #[test]
+    fn column_partitioning_missing_column_errors() {
+        assert!(PartitionedTable::from_table(
+            table(3),
+            PartitionSpec::ByColumn {
+                column: "nope".to_string(),
+                max_partitions: 4
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn table_level_stats_merge_partitions() {
+        let pt = PartitionedTable::from_table(
+            table(10),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 3,
+            },
+        )
+        .unwrap();
+        let meter = Meter::new();
+        let (min, max) = pt.column_min_max("id", &meter).unwrap();
+        assert_eq!(min, Some(Value::Int(0)));
+        assert_eq!(max, Some(Value::Int(9)));
+        assert_eq!(meter.snapshot().metadata_lookups, 1);
+        assert_eq!(meter.snapshot().rows_scanned, 0, "metadata only");
+    }
+
+    #[test]
+    fn column_min_max_unknown_column_errors() {
+        let pt = PartitionedTable::single(table(3));
+        let meter = Meter::new();
+        assert!(pt.column_min_max("missing", &meter).is_err());
+    }
+
+    #[test]
+    fn to_table_round_trips_rows() {
+        let t = table(10);
+        let pt = PartitionedTable::from_table(
+            t.clone(),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 4,
+            },
+        )
+        .unwrap();
+        let meter = Meter::new();
+        let back = pt.to_table(&meter).unwrap();
+        assert_eq!(back.num_rows(), 10);
+        let a = t
+            .row_hash_multiset(&["id", "grp"], &Meter::new())
+            .unwrap();
+        let b = back
+            .row_hash_multiset(&["id", "grp"], &Meter::new())
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(meter.snapshot().rows_scanned >= 10);
+    }
+
+    #[test]
+    fn empty_table_partitions() {
+        let t = Table::empty(Schema::flat(&[("x", DataType::Int)]).unwrap());
+        let pt = PartitionedTable::from_table(
+            t,
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(pt.num_rows(), 0);
+        assert_eq!(pt.num_partitions(), 1);
+        let meter = Meter::new();
+        let (min, max) = pt.column_min_max("x", &meter).unwrap();
+        assert!(min.is_none() && max.is_none());
+    }
+
+    #[test]
+    fn single_partition_wrapper() {
+        let pt = PartitionedTable::single(table(5));
+        assert_eq!(pt.num_partitions(), 1);
+        assert_eq!(pt.spec(), &PartitionSpec::Single);
+    }
+}

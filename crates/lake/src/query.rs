@@ -1,0 +1,615 @@
+//! Predicate queries, sampling, anti-joins and containment checks.
+//!
+//! Content-Level Pruning (Algorithm 3 of the paper) issues queries of the
+//! form `SELECT * FROM child WHERE col = value [AND ...] LIMIT t` and then
+//! left-anti joins the sampled rows against the parent: if any sampled row is
+//! missing from the parent, containment cannot hold and the edge is pruned.
+//! This module provides those primitives over [`PartitionedTable`]s, with
+//! partition pruning driven by the same min/max metadata that Min-Max Pruning
+//! uses, and with every row/byte/metadata access metered.
+
+use crate::error::{LakeError, Result};
+use crate::meter::Meter;
+use crate::partition::{PartitionMeta, PartitionedTable};
+use crate::row::RowHash;
+use crate::table::Table;
+use crate::value::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A predicate over a single table, in the small WHERE-clause language that
+/// CLP needs (`col = value`, `col BETWEEN lo AND hi`, conjunctions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true: selects every row.
+    True,
+    /// `column = value` (NULL never matches).
+    Eq {
+        /// Column name.
+        column: String,
+        /// Value to match.
+        value: Value,
+    },
+    /// `lo <= column <= hi` (inclusive on both ends; NULL never matches).
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound (inclusive).
+        lo: Value,
+        /// Upper bound (inclusive).
+        hi: Value,
+    },
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Equality predicate helper.
+    pub fn eq(column: impl Into<String>, value: Value) -> Self {
+        Predicate::Eq {
+            column: column.into(),
+            value,
+        }
+    }
+
+    /// Range predicate helper.
+    pub fn between(column: impl Into<String>, lo: Value, hi: Value) -> Self {
+        Predicate::Between {
+            column: column.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(preds: Vec<Predicate>) -> Self {
+        Predicate::And(preds)
+    }
+
+    /// Columns referenced by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Predicate::True => Vec::new(),
+            Predicate::Eq { column, .. } | Predicate::Between { column, .. } => {
+                vec![column.as_str()]
+            }
+            Predicate::And(ps) => ps.iter().flat_map(Predicate::columns).collect(),
+        }
+    }
+
+    /// Evaluate the predicate on row `i` of `table`.
+    pub fn matches(&self, table: &Table, i: usize) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq { column, value } => {
+                let v = table
+                    .column(column)?
+                    .get(i)
+                    .ok_or_else(|| LakeError::InvalidArgument(format!("row {i} out of range")))?;
+                !v.is_null() && v == value
+            }
+            Predicate::Between { column, lo, hi } => {
+                let v = table
+                    .column(column)?
+                    .get(i)
+                    .ok_or_else(|| LakeError::InvalidArgument(format!("row {i} out of range")))?;
+                !v.is_null()
+                    && v.total_cmp(lo) != Ordering::Less
+                    && v.total_cmp(hi) != Ordering::Greater
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.matches(table, i)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+        })
+    }
+
+    /// Whether the predicate could match any row of a partition, judged only
+    /// from the partition's min/max metadata. `true` means "must scan";
+    /// `false` means the partition can be pruned without reading it.
+    pub fn could_match_partition(&self, meta: &PartitionMeta) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq { column, value } => match meta.column_stats.get(column) {
+                Some(stats) => match (&stats.min, &stats.max) {
+                    (Some(min), Some(max)) => {
+                        value.total_cmp(min) != Ordering::Less
+                            && value.total_cmp(max) != Ordering::Greater
+                    }
+                    _ => stats.null_count < stats.row_count, // no stats → can't prune
+                },
+                None => true,
+            },
+            Predicate::Between { column, lo, hi } => match meta.column_stats.get(column) {
+                Some(stats) => match (&stats.min, &stats.max) {
+                    (Some(min), Some(max)) => {
+                        // Ranges [lo,hi] and [min,max] must overlap.
+                        hi.total_cmp(min) != Ordering::Less && lo.total_cmp(max) != Ordering::Greater
+                    }
+                    _ => true,
+                },
+                None => true,
+            },
+            Predicate::And(ps) => ps.iter().all(|p| p.could_match_partition(meta)),
+        }
+    }
+}
+
+/// Scan a partitioned table with a predicate, returning at most `limit`
+/// matching rows (all of them when `limit` is `None`).
+///
+/// Partitions whose metadata rules out the predicate are pruned (counted on
+/// the meter) without reading their rows; scanned partitions are metered by
+/// their full row count, matching the cost of a columnar scan in Spark.
+pub fn scan(
+    table: &PartitionedTable,
+    predicate: &Predicate,
+    limit: Option<usize>,
+    meter: &Meter,
+) -> Result<Table> {
+    // Validate referenced columns against the schema up front.
+    for c in predicate.columns() {
+        if table.schema().index_of(c).is_none() {
+            return Err(LakeError::ColumnNotFound(c.to_string()));
+        }
+    }
+    let mut out: Option<Table> = None;
+    let mut collected = 0usize;
+    for (part, meta) in table.partitions().iter().zip(table.partition_meta()) {
+        if let Some(lim) = limit {
+            if collected >= lim {
+                break;
+            }
+        }
+        meter.add_metadata_lookups(predicate.columns().len().max(1) as u64);
+        if !predicate.could_match_partition(meta) {
+            meter.add_partitions_pruned(1);
+            continue;
+        }
+        meter.add_partitions_scanned(1);
+        meter.add_rows_scanned(part.num_rows() as u64);
+        meter.add_bytes_scanned(part.byte_size() as u64);
+        let mut keep = Vec::new();
+        for i in 0..part.num_rows() {
+            if predicate.matches(part, i)? {
+                keep.push(i);
+                collected += 1;
+                if let Some(lim) = limit {
+                    if collected >= lim {
+                        break;
+                    }
+                }
+            }
+        }
+        let chunk = part.take(&keep)?;
+        out = Some(match out {
+            None => chunk,
+            Some(acc) => acc.concat(&chunk)?,
+        });
+    }
+    Ok(out.unwrap_or_else(|| Table::empty(table.schema().clone())))
+}
+
+/// Count rows matching a predicate (partition-pruned, metered).
+pub fn count_matching(
+    table: &PartitionedTable,
+    predicate: &Predicate,
+    meter: &Meter,
+) -> Result<usize> {
+    Ok(scan(table, predicate, None, meter)?.num_rows())
+}
+
+/// Uniformly sample `k` rows (without replacement) from a partitioned table.
+///
+/// The cost model assumes the lake can serve point reads of sampled rows via
+/// partition metadata / indexes (the favourable case discussed in §6.6), so
+/// only the sampled rows are metered, not a full scan.
+pub fn random_rows<R: Rng + ?Sized>(
+    table: &PartitionedTable,
+    k: usize,
+    rng: &mut R,
+    meter: &Meter,
+) -> Result<Table> {
+    let n = table.num_rows();
+    let k = k.min(n);
+    if k == 0 {
+        return Ok(Table::empty(table.schema().clone()));
+    }
+    let mut global_indices: Vec<usize> = (0..n).collect();
+    global_indices.shuffle(rng);
+    let chosen: Vec<usize> = global_indices.into_iter().take(k).collect();
+
+    // Translate global row indices to (partition, local) coordinates.
+    let mut boundaries = Vec::with_capacity(table.num_partitions());
+    let mut acc = 0usize;
+    for p in table.partitions() {
+        boundaries.push(acc);
+        acc += p.num_rows();
+    }
+    let mut out: Option<Table> = None;
+    for &g in &chosen {
+        let pi = match boundaries.binary_search(&g) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let local = g - boundaries[pi];
+        let part = &table.partitions()[pi];
+        let row_tbl = part.take(&[local])?;
+        out = Some(match out {
+            None => row_tbl,
+            Some(acc) => acc.concat(&row_tbl)?,
+        });
+    }
+    meter.add_rows_scanned(k as u64);
+    meter.add_bytes_scanned(
+        out.as_ref().map(|t| t.byte_size() as u64).unwrap_or(0),
+    );
+    Ok(out.unwrap_or_else(|| Table::empty(table.schema().clone())))
+}
+
+/// Left-anti join: the rows of `probe` (projected onto `on` columns) that do
+/// **not** appear in `build`. This is the `combined = sY.join(x, "left-anti")`
+/// step of Algorithm 3; a non-empty result disproves containment.
+///
+/// The build side is hashed once (full scan, metered); each probe row costs
+/// one hash probe (metered as a row comparison).
+pub fn left_anti_join(
+    probe: &Table,
+    build: &PartitionedTable,
+    on: &[&str],
+    meter: &Meter,
+) -> Result<Table> {
+    let build_table = build.to_table(meter)?;
+    let build_hashes = build_table.row_hash_multiset(on, meter)?;
+    let probe_hashes = probe.row_hashes(on, meter)?;
+    meter.add_row_comparisons(probe_hashes.len() as u64);
+    let keep: Vec<usize> = probe_hashes
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| !build_hashes.contains_key(h))
+        .map(|(i, _)| i)
+        .collect();
+    probe.take(&keep)
+}
+
+/// Result of a full containment check between two tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainmentCheck {
+    /// Number of child rows (the denominator of the containment fraction).
+    pub child_rows: usize,
+    /// Number of child rows found in the parent (multiset semantics).
+    pub contained_rows: usize,
+}
+
+impl ContainmentCheck {
+    /// The containment fraction `CM(child, parent) = |child ∩ parent| / |child|`
+    /// from §3 of the paper. An empty child is fully contained by convention.
+    pub fn fraction(&self) -> f64 {
+        if self.child_rows == 0 {
+            1.0
+        } else {
+            self.contained_rows as f64 / self.child_rows as f64
+        }
+    }
+
+    /// Whether the child is exactly contained (`CM = 1`).
+    pub fn is_exact(&self) -> bool {
+        self.contained_rows == self.child_rows
+    }
+}
+
+/// Exact containment check of `child ⊆ parent` over the child's schema
+/// columns (which must all exist in the parent).
+///
+/// Multiset semantics: a child row occurring `k` times must occur at least
+/// `k` times in the parent (projected onto the child's columns) to be fully
+/// counted. This is the brute-force ground-truth computation of §6.2, with
+/// hashing standing in for row comparison exactly as the paper describes.
+pub fn containment_check(
+    child: &PartitionedTable,
+    parent: &PartitionedTable,
+    meter: &Meter,
+) -> Result<ContainmentCheck> {
+    let child_cols_owned: Vec<String> = child
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let child_cols: Vec<&str> = child_cols_owned.iter().map(String::as_str).collect();
+    for c in &child_cols {
+        if parent.schema().index_of(c).is_none() {
+            return Err(LakeError::ColumnNotFound((*c).to_string()));
+        }
+    }
+    let child_table = child.to_table(meter)?;
+    let parent_table = parent.to_table(meter)?;
+    let mut parent_hashes: HashMap<RowHash, usize> =
+        parent_table.row_hash_multiset(&child_cols, meter)?;
+    let child_hashes = child_table.row_hashes(&child_cols, meter)?;
+    meter.add_row_comparisons(child_hashes.len() as u64);
+    let mut contained = 0usize;
+    for h in &child_hashes {
+        if let Some(cnt) = parent_hashes.get_mut(h) {
+            if *cnt > 0 {
+                *cnt -= 1;
+                contained += 1;
+            }
+        }
+    }
+    Ok(ContainmentCheck {
+        child_rows: child_hashes.len(),
+        contained_rows: contained,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::datatype::DataType;
+    use crate::partition::PartitionSpec;
+    use crate::schema::Schema;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base_table(n: i64) -> Table {
+        let schema = Schema::flat(&[
+            ("id", DataType::Int),
+            ("region", DataType::Utf8),
+            ("amount", DataType::Float),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(0..n),
+                Column::from_strs((0..n).map(|i| format!("r{}", i % 4))),
+                Column::from_floats((0..n).map(|i| i as f64 * 1.5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn partitioned(n: i64, per: usize) -> PartitionedTable {
+        PartitionedTable::from_table(
+            base_table(n),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: per,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq_predicate_scan() {
+        let pt = partitioned(20, 5);
+        let meter = Meter::new();
+        let result = scan(
+            &pt,
+            &Predicate::eq("region", Value::Str("r1".into())),
+            None,
+            &meter,
+        )
+        .unwrap();
+        assert_eq!(result.num_rows(), 5);
+        for row in result.iter_rows() {
+            assert_eq!(row.values()[1], Value::Str("r1".into()));
+        }
+    }
+
+    #[test]
+    fn between_predicate_and_partition_pruning() {
+        let pt = partitioned(100, 10);
+        let meter = Meter::new();
+        let result = scan(
+            &pt,
+            &Predicate::between("id", Value::Int(5), Value::Int(14)),
+            None,
+            &meter,
+        )
+        .unwrap();
+        assert_eq!(result.num_rows(), 10);
+        let s = meter.snapshot();
+        assert!(
+            s.partitions_pruned >= 7,
+            "most partitions should be pruned by id range, pruned={}",
+            s.partitions_pruned
+        );
+        assert!(s.rows_scanned <= 30, "only matching partitions scanned");
+    }
+
+    #[test]
+    fn scan_limit_stops_early() {
+        let pt = partitioned(100, 10);
+        let meter = Meter::new();
+        let result = scan(&pt, &Predicate::True, Some(7), &meter).unwrap();
+        assert_eq!(result.num_rows(), 7);
+        assert!(meter.snapshot().rows_scanned <= 20);
+    }
+
+    #[test]
+    fn scan_unknown_column_errors() {
+        let pt = partitioned(10, 5);
+        assert!(scan(
+            &pt,
+            &Predicate::eq("nope", Value::Int(1)),
+            None,
+            &Meter::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn and_predicate() {
+        let pt = partitioned(40, 10);
+        let p = Predicate::and(vec![
+            Predicate::eq("region", Value::Str("r2".into())),
+            Predicate::between("id", Value::Int(0), Value::Int(19)),
+        ]);
+        let result = scan(&pt, &p, None, &Meter::new()).unwrap();
+        assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn count_matching_counts() {
+        let pt = partitioned(40, 10);
+        let c = count_matching(
+            &pt,
+            &Predicate::eq("region", Value::Str("r0".into())),
+            &Meter::new(),
+        )
+        .unwrap();
+        assert_eq!(c, 10);
+    }
+
+    #[test]
+    fn predicate_null_never_matches() {
+        let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::new(DataType::Int, vec![Value::Null, Value::Int(1)]).unwrap()],
+        )
+        .unwrap();
+        let pt = PartitionedTable::single(t);
+        let r = scan(&pt, &Predicate::eq("x", Value::Int(1)), None, &Meter::new()).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        let r2 = scan(
+            &pt,
+            &Predicate::between("x", Value::Int(0), Value::Int(5)),
+            None,
+            &Meter::new(),
+        )
+        .unwrap();
+        assert_eq!(r2.num_rows(), 1);
+    }
+
+    #[test]
+    fn random_rows_sampling() {
+        let pt = partitioned(50, 7);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let meter = Meter::new();
+        let sample = random_rows(&pt, 10, &mut rng, &meter).unwrap();
+        assert_eq!(sample.num_rows(), 10);
+        assert_eq!(meter.snapshot().rows_scanned, 10, "point reads only");
+        // Oversampling clamps to the table size.
+        let all = random_rows(&pt, 500, &mut rng, &Meter::new()).unwrap();
+        assert_eq!(all.num_rows(), 50);
+        let none = random_rows(&pt, 0, &mut rng, &Meter::new()).unwrap();
+        assert_eq!(none.num_rows(), 0);
+    }
+
+    #[test]
+    fn left_anti_join_detects_missing_rows() {
+        let parent = partitioned(20, 5);
+        let child_tbl = base_table(10); // rows 0..10 all appear in parent
+        let meter = Meter::new();
+        let missing = left_anti_join(&child_tbl, &parent, &["id", "region", "amount"], &meter)
+            .unwrap();
+        assert_eq!(missing.num_rows(), 0);
+
+        // Now probe with a row that does not exist in the parent.
+        let schema = child_tbl.schema().clone();
+        let foreign = Table::new(
+            schema,
+            vec![
+                Column::from_ints([999]),
+                Column::from_strs(["zz"]),
+                Column::from_floats([1.0]),
+            ],
+        )
+        .unwrap();
+        let missing = left_anti_join(&foreign, &parent, &["id", "region", "amount"], &meter)
+            .unwrap();
+        assert_eq!(missing.num_rows(), 1);
+    }
+
+    #[test]
+    fn containment_check_exact_subset() {
+        let parent = partitioned(30, 10);
+        let child = PartitionedTable::single(base_table(30).take(&(0..12).collect::<Vec<_>>()).unwrap());
+        let meter = Meter::new();
+        let chk = containment_check(&child, &parent, &meter).unwrap();
+        assert!(chk.is_exact());
+        assert_eq!(chk.fraction(), 1.0);
+        assert_eq!(chk.child_rows, 12);
+    }
+
+    #[test]
+    fn containment_check_partial() {
+        let parent = partitioned(10, 5);
+        // Child: 5 rows from parent + 5 rows that don't exist there.
+        let in_parent = base_table(10).take(&[0, 1, 2, 3, 4]).unwrap();
+        let schema = in_parent.schema().clone();
+        let foreign = Table::new(
+            schema,
+            vec![
+                Column::from_ints(100..105),
+                Column::from_strs((0..5).map(|i| format!("x{i}"))),
+                Column::from_floats((0..5).map(|i| i as f64)),
+            ],
+        )
+        .unwrap();
+        let child = PartitionedTable::single(in_parent.concat(&foreign).unwrap());
+        let chk = containment_check(&child, &parent, &Meter::new()).unwrap();
+        assert_eq!(chk.child_rows, 10);
+        assert_eq!(chk.contained_rows, 5);
+        assert!((chk.fraction() - 0.5).abs() < 1e-12);
+        assert!(!chk.is_exact());
+    }
+
+    #[test]
+    fn containment_check_multiset_semantics() {
+        // Parent has one copy of a row; child has two copies → only one counts.
+        let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+        let parent = PartitionedTable::single(
+            Table::new(schema.clone(), vec![Column::from_ints([1, 2])]).unwrap(),
+        );
+        let child = PartitionedTable::single(
+            Table::new(schema, vec![Column::from_ints([1, 1])]).unwrap(),
+        );
+        let chk = containment_check(&child, &parent, &Meter::new()).unwrap();
+        assert_eq!(chk.contained_rows, 1);
+        assert!(!chk.is_exact());
+    }
+
+    #[test]
+    fn containment_check_projection_onto_child_schema() {
+        // Parent has an extra column; containment is judged on the child's columns.
+        let parent_tbl = base_table(10);
+        let child_tbl = parent_tbl.project(&["id", "region"]).unwrap().take(&[0, 3, 7]).unwrap();
+        let chk = containment_check(
+            &PartitionedTable::single(child_tbl),
+            &PartitionedTable::single(parent_tbl),
+            &Meter::new(),
+        )
+        .unwrap();
+        assert!(chk.is_exact());
+    }
+
+    #[test]
+    fn containment_check_missing_column_errors() {
+        let schema = Schema::flat(&[("only_in_child", DataType::Int)]).unwrap();
+        let child = PartitionedTable::single(
+            Table::new(schema, vec![Column::from_ints([1])]).unwrap(),
+        );
+        let parent = partitioned(5, 5);
+        assert!(containment_check(&child, &parent, &Meter::new()).is_err());
+    }
+
+    #[test]
+    fn empty_child_is_contained() {
+        let schema = Schema::flat(&[("id", DataType::Int)]).unwrap();
+        let child = PartitionedTable::single(Table::empty(schema));
+        let parent = partitioned(5, 5);
+        let chk = containment_check(&child, &parent, &Meter::new()).unwrap();
+        assert_eq!(chk.fraction(), 1.0);
+    }
+}

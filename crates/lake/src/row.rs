@@ -1,0 +1,213 @@
+//! Rows and row hashing.
+//!
+//! R2D2 defines containment over *row tuples* (footnote 6 of the paper makes
+//! the point that column-wise set containment is not enough: the tuples
+//! `(June, 20), (May, 12)` are not contained in `(June, 12), (May, 20)` even
+//! though every column is). To compare row tuples across tables cheaply we
+//! hash the canonicalised value tuple of a row — projected onto a chosen
+//! column subset in a fixed (lexicographic by column name) order — into a
+//! 128-bit [`RowHash`]. The brute-force ground-truth builder also uses these
+//! hashes, mirroring the paper's "compare hashes of all possible row pairs".
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// A single row: an owned tuple of values, positionally aligned with a
+/// table's schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Construct a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values of the row.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of cells in the row.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Consume the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Approximate byte size of the row (sum of its values' sizes).
+    pub fn byte_size(&self) -> usize {
+        self.values.iter().map(Value::byte_size).sum()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// A 128-bit content hash of a row tuple (projected onto some column subset).
+///
+/// Two rows with equal hashes are treated as equal rows by the containment
+/// machinery; 128 bits keeps the collision probability negligible even for
+/// billions of rows (birthday bound ≈ 2^-64 per pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowHash(pub u128);
+
+/// A simple, fast, deterministic 128-bit hasher (two independent FxHash-style
+/// 64-bit lanes seeded differently). Deterministic across runs and platforms
+/// so that stored fingerprints remain valid.
+#[derive(Debug, Clone)]
+pub struct RowHasher {
+    lane0: u64,
+    lane1: u64,
+}
+
+const SEED0: u64 = 0x9e37_79b9_7f4a_7c15;
+const SEED1: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const MULT: u64 = 0x100_0000_01b3;
+
+impl Default for RowHasher {
+    fn default() -> Self {
+        RowHasher {
+            lane0: SEED0,
+            lane1: SEED1,
+        }
+    }
+}
+
+impl RowHasher {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and produce the 128-bit hash.
+    pub fn finish128(&self) -> RowHash {
+        // Final avalanche (splitmix-style) on each lane.
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        RowHash(((mix(self.lane0) as u128) << 64) | mix(self.lane1) as u128)
+    }
+}
+
+impl Hasher for RowHasher {
+    fn finish(&self) -> u64 {
+        self.finish128().0 as u64
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lane0 = (self.lane0 ^ b as u64).wrapping_mul(MULT);
+            self.lane1 = (self.lane1 ^ b as u64)
+                .wrapping_mul(MULT)
+                .rotate_left(17);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write(&i.to_le_bytes());
+    }
+}
+
+/// Hash a tuple of values (in the given order) into a [`RowHash`].
+pub fn hash_values(values: &[&Value]) -> RowHash {
+    let mut h = RowHasher::new();
+    for v in values {
+        v.hash(&mut h);
+        // Separator between cells so that ("ab", "c") != ("a", "bc").
+        h.write_u8(0x1f);
+    }
+    h.finish128()
+}
+
+/// Hash an owned row (all of its cells, in order).
+pub fn hash_row(row: &Row) -> RowHash {
+    let refs: Vec<&Value> = row.values().iter().collect();
+    hash_values(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rows_hash_equal() {
+        let a = Row::new(vec![Value::Int(1), Value::Str("x".into())]);
+        let b = Row::new(vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(hash_row(&a), hash_row(&b));
+    }
+
+    #[test]
+    fn different_rows_hash_differently() {
+        let a = Row::new(vec![Value::Int(1), Value::Str("x".into())]);
+        let b = Row::new(vec![Value::Int(2), Value::Str("x".into())]);
+        let c = Row::new(vec![Value::Str("x".into()), Value::Int(1)]);
+        assert_ne!(hash_row(&a), hash_row(&b));
+        assert_ne!(hash_row(&a), hash_row(&c), "order must matter");
+    }
+
+    #[test]
+    fn cell_boundaries_matter() {
+        let a = Row::new(vec![Value::Str("ab".into()), Value::Str("c".into())]);
+        let b = Row::new(vec![Value::Str("a".into()), Value::Str("bc".into())]);
+        assert_ne!(hash_row(&a), hash_row(&b));
+    }
+
+    #[test]
+    fn int_float_equivalence_carries_to_hash() {
+        let a = Row::new(vec![Value::Int(5)]);
+        let b = Row::new(vec![Value::Float(5.0)]);
+        assert_eq!(hash_row(&a), hash_row(&b));
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_hashers() {
+        let row = Row::new(vec![Value::Int(123), Value::Str("abc".into()), Value::Null]);
+        assert_eq!(hash_row(&row), hash_row(&row));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let r = Row::new(vec![Value::Int(1), Value::Null]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.get(1), Some(&Value::Null));
+        assert_eq!(r.get(5), None);
+        assert_eq!(r.byte_size(), 9);
+        assert_eq!(r.clone().into_values().len(), 2);
+    }
+
+    #[test]
+    fn empty_tuple_hash_is_stable() {
+        assert_eq!(hash_values(&[]), hash_values(&[]));
+    }
+}

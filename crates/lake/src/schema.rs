@@ -1,0 +1,387 @@
+//! Schemas: flat and nested ("tree") schemas and their flattened schema sets.
+//!
+//! §4.1 of the paper constructs, for every dataset, a *schema set*: for flat
+//! schemas it is the list of column names; for tree schemas (typical in
+//! enterprise workloads) it is the set of flattened root-to-leaf paths, e.g.
+//! a node `product` with children `price` and `id` flattens to
+//! `product.price` and `product.id`. Schema-level containment is then plain
+//! set containment between schema sets, which the Schema Graph Builder (SGB)
+//! exploits.
+
+use crate::datatype::DataType;
+use crate::error::{LakeError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A leaf field of a flattened schema: a dotted path plus its data type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Flattened, dot-separated column path, e.g. `product.price`.
+    pub name: String,
+    /// Logical data type of the leaf column.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// A node in a (possibly nested) schema tree.
+///
+/// Leaves carry a [`DataType`]; internal nodes only group their children.
+/// The enterprise datasets in the paper use such tree schemas (XDM-style
+/// event records); the open-data corpora use flat schemas, which are just
+/// trees of depth one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemaNode {
+    /// A leaf column with a name and a type.
+    Leaf {
+        /// Column name (single path segment, no dots).
+        name: String,
+        /// Data type of the column.
+        data_type: DataType,
+    },
+    /// An internal node grouping child nodes under a common prefix.
+    Group {
+        /// Group name (single path segment, no dots).
+        name: String,
+        /// Child nodes.
+        children: Vec<SchemaNode>,
+    },
+}
+
+impl SchemaNode {
+    /// Convenience constructor for a leaf.
+    pub fn leaf(name: impl Into<String>, data_type: DataType) -> Self {
+        SchemaNode::Leaf {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Convenience constructor for a group.
+    pub fn group(name: impl Into<String>, children: Vec<SchemaNode>) -> Self {
+        SchemaNode::Group {
+            name: name.into(),
+            children,
+        }
+    }
+
+    /// Name of this node (leaf or group).
+    pub fn name(&self) -> &str {
+        match self {
+            SchemaNode::Leaf { name, .. } | SchemaNode::Group { name, .. } => name,
+        }
+    }
+
+    /// Recursively flatten the node into `(path, type)` pairs.
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<Field>) {
+        let path = if prefix.is_empty() {
+            self.name().to_string()
+        } else {
+            format!("{prefix}.{}", self.name())
+        };
+        match self {
+            SchemaNode::Leaf { data_type, .. } => out.push(Field::new(path, *data_type)),
+            SchemaNode::Group { children, .. } => {
+                for child in children {
+                    child.flatten_into(&path, out);
+                }
+            }
+        }
+    }
+
+    /// Number of leaves under this node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            SchemaNode::Leaf { .. } => 1,
+            SchemaNode::Group { children, .. } => {
+                children.iter().map(SchemaNode::leaf_count).sum()
+            }
+        }
+    }
+
+    /// Maximum depth of the subtree rooted at this node (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            SchemaNode::Leaf { .. } => 1,
+            SchemaNode::Group { children, .. } => {
+                1 + children.iter().map(SchemaNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// A table schema: an ordered list of flattened leaf fields.
+///
+/// The order matters for storage layout and row tuples; containment checks
+/// use the unordered [`SchemaSet`] view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from flattened fields, rejecting duplicates.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut seen = BTreeSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.clone()) {
+                return Err(LakeError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Build a flat schema from `(name, type)` pairs.
+    pub fn flat(cols: &[(&str, DataType)]) -> Result<Self> {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Build a schema by flattening a forest of nested schema nodes
+    /// (step 1 of the SGB algorithm).
+    pub fn from_tree(roots: &[SchemaNode]) -> Result<Self> {
+        let mut fields = Vec::new();
+        for root in roots {
+            root.flatten_into("", &mut fields);
+        }
+        Schema::new(fields)
+    }
+
+    /// The flattened fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of leaf columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by flattened name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by flattened name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Data type of a column, or an error if it does not exist.
+    pub fn data_type(&self, name: &str) -> Result<DataType> {
+        self.field(name)
+            .map(|f| f.data_type)
+            .ok_or_else(|| LakeError::ColumnNotFound(name.to_string()))
+    }
+
+    /// The unordered set view of flattened column names used for
+    /// schema-containment checks.
+    pub fn schema_set(&self) -> SchemaSet {
+        SchemaSet {
+            names: self.fields.iter().map(|f| f.name.clone()).collect(),
+        }
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Project this schema onto a subset of column names (keeping this
+    /// schema's declaration order). Errors if any name is missing.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let wanted: BTreeSet<&str> = names.iter().copied().collect();
+        for n in &wanted {
+            if self.index_of(n).is_none() {
+                return Err(LakeError::ColumnNotFound((*n).to_string()));
+            }
+        }
+        Schema::new(
+            self.fields
+                .iter()
+                .filter(|f| wanted.contains(f.name.as_str()))
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// The flattened, unordered set of column names of a schema.
+///
+/// This is the "schema set" of §4.1; containment between schema sets is the
+/// necessary condition for table-level containment that SGB builds its graph
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaSet {
+    names: BTreeSet<String>,
+}
+
+impl SchemaSet {
+    /// Build a schema set directly from names (useful in tests and synthetic
+    /// corpora).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SchemaSet {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Cardinality of the schema set (the `size` used to sort schemas in SGB).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Whether `self` is contained in `other` (`self ⊆ other`).
+    pub fn is_contained_in(&self, other: &SchemaSet) -> bool {
+        self.names.is_subset(&other.names)
+    }
+
+    /// Number of names common to both sets.
+    pub fn intersection_size(&self, other: &SchemaSet) -> usize {
+        self.names.intersection(&other.names).count()
+    }
+
+    /// The common names, in lexicographic order.
+    pub fn intersection(&self, other: &SchemaSet) -> Vec<String> {
+        self.names.intersection(&other.names).cloned().collect()
+    }
+
+    /// Schema containment fraction `CM(self, other) = |self ∩ other| / |self|`
+    /// (§3 of the paper, applied to schemas). Returns 1.0 for an empty `self`.
+    pub fn containment_fraction(&self, other: &SchemaSet) -> f64 {
+        if self.names.is_empty() {
+            return 1.0;
+        }
+        self.intersection_size(other) as f64 / self.names.len() as f64
+    }
+
+    /// Iterate over names in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Whether a specific column name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_schema() -> Schema {
+        Schema::from_tree(&[
+            SchemaNode::group(
+                "product",
+                vec![
+                    SchemaNode::leaf("price", DataType::Float),
+                    SchemaNode::leaf("id", DataType::Int),
+                ],
+            ),
+            SchemaNode::leaf("timestamp", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn flatten_tree_schema_matches_paper_example() {
+        let s = nested_schema();
+        assert_eq!(
+            s.names(),
+            vec!["product.price", "product.id", "timestamp"]
+        );
+        assert_eq!(s.data_type("product.price").unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::flat(&[("a", DataType::Int), ("a", DataType::Float)]);
+        assert!(matches!(err, Err(LakeError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn schema_set_containment() {
+        let big = Schema::flat(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Utf8),
+        ])
+        .unwrap()
+        .schema_set();
+        let small = SchemaSet::from_names(["a", "c"]);
+        let other = SchemaSet::from_names(["a", "z"]);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+        assert!(!other.is_contained_in(&big));
+        assert_eq!(small.intersection_size(&big), 2);
+        assert!((other.containment_fraction(&big) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_fraction_empty_self_is_one() {
+        let empty = SchemaSet::from_names(Vec::<String>::new());
+        let big = SchemaSet::from_names(["a"]);
+        assert_eq!(empty.containment_fraction(&big), 1.0);
+    }
+
+    #[test]
+    fn projection_preserves_order_and_errors_on_missing() {
+        let s = Schema::flat(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Utf8),
+        ])
+        .unwrap();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["a", "c"]);
+        assert!(s.project(&["zzz"]).is_err());
+    }
+
+    #[test]
+    fn leaf_count_and_depth() {
+        let node = SchemaNode::group(
+            "root",
+            vec![
+                SchemaNode::leaf("x", DataType::Int),
+                SchemaNode::group("g", vec![SchemaNode::leaf("y", DataType::Int)]),
+            ],
+        );
+        assert_eq!(node.leaf_count(), 2);
+        assert_eq!(node.depth(), 3);
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = nested_schema();
+        assert_eq!(s.index_of("timestamp"), Some(2));
+        assert!(s.field("nope").is_none());
+        assert!(s.data_type("nope").is_err());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Dyn-Lin: linear-time dynamic program for line graphs (§5.3, Theorem 5.1).
+//!
+//! When the pruned containment graph is a collection of directed chains
+//! (every parent has one child and every child one parent — the typical
+//! shape when a sequence of edits is saved step by step), Opt-Ret can be
+//! solved exactly in `O(N)` per chain with the recursion of §5.3:
+//!
+//! ```text
+//! ALG[0] = (C_s + C_m·f_0)·S_0
+//! ALG[1] = min(retain_1, A_1·C_{0,1}) + ALG[0]
+//! ALG[i] = min(retain_i + ALG[i−1],
+//!              A_i·C_{i−1,i} + retain_{i−1} + ALG[i−2])
+//! ```
+//!
+//! The second branch deletes node `i`, which forces its only parent `i−1` to
+//! be retained. Backtracking over the chosen branches recovers the retained
+//! set.
+
+use crate::problem::OptRetProblem;
+use crate::solver::Solution;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Check that the problem's edge set forms a forest of directed chains and
+/// return the chains (each ordered root → leaf). Returns `None` when any
+/// node has more than one parent or more than one child.
+pub fn extract_chains(problem: &OptRetProblem) -> Option<Vec<Vec<u64>>> {
+    let mut out_deg: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut in_deg: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut next: BTreeMap<u64, u64> = BTreeMap::new();
+    for id in problem.nodes.keys() {
+        out_deg.insert(*id, 0);
+        in_deg.insert(*id, 0);
+    }
+    for e in &problem.edges {
+        *out_deg.get_mut(&e.parent)? += 1;
+        *in_deg.get_mut(&e.child)? += 1;
+        next.insert(e.parent, e.child);
+    }
+    if out_deg.values().any(|&d| d > 1) || in_deg.values().any(|&d| d > 1) {
+        return None;
+    }
+    // Roots are nodes with in-degree 0; walk each chain. Cycles (no root)
+    // are rejected.
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    let mut chains = Vec::new();
+    for (&id, &deg) in &in_deg {
+        if deg != 0 {
+            continue;
+        }
+        let mut chain = vec![id];
+        visited.insert(id);
+        let mut cur = id;
+        while let Some(&n) = next.get(&cur) {
+            if !visited.insert(n) {
+                return None;
+            }
+            chain.push(n);
+            cur = n;
+        }
+        chains.push(chain);
+    }
+    if visited.len() != problem.nodes.len() {
+        // Some node was never reached from a root → there is a cycle.
+        return None;
+    }
+    Some(chains)
+}
+
+/// Solve one chain with the Dyn-Lin recursion, returning (cost, retained set).
+fn solve_chain(problem: &OptRetProblem, chain: &[u64]) -> (f64, BTreeSet<u64>, BTreeMap<u64, u64>) {
+    let n = chain.len();
+    let retain_cost = |i: usize| problem.nodes[&chain[i]].retention_cost;
+    let recon_cost = |i: usize| -> f64 {
+        // Cost of deleting chain[i], reconstructing from chain[i-1].
+        let edge = problem
+            .edges
+            .iter()
+            .find(|e| e.parent == chain[i - 1] && e.child == chain[i])
+            .expect("chain edge exists");
+        problem.nodes[&chain[i]].accesses * edge.cost
+    };
+
+    if n == 0 {
+        return (0.0, BTreeSet::new(), BTreeMap::new());
+    }
+    if n == 1 {
+        return (
+            retain_cost(0),
+            BTreeSet::from([chain[0]]),
+            BTreeMap::new(),
+        );
+    }
+
+    // alg[i] = optimal cost for nodes 0..=i; keep[i] = whether node i was
+    // retained in the optimal solution for the prefix.
+    let mut alg = vec![0.0f64; n];
+    // choice[i] = true → node i retained in the optimum of prefix i.
+    let mut choice = vec![true; n];
+    alg[0] = retain_cost(0);
+    choice[0] = true;
+    {
+        let keep1 = retain_cost(1);
+        let del1 = recon_cost(1);
+        alg[1] = keep1.min(del1) + alg[0];
+        choice[1] = keep1 <= del1;
+    }
+    for i in 2..n {
+        let keep = retain_cost(i) + alg[i - 1];
+        let delete = recon_cost(i) + retain_cost(i - 1) + alg[i - 2];
+        if keep <= delete {
+            alg[i] = keep;
+            choice[i] = true;
+        } else {
+            alg[i] = delete;
+            choice[i] = false;
+        }
+    }
+
+    // Backtrack.
+    let mut retained: BTreeSet<u64> = BTreeSet::new();
+    let mut recon: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut i = n as isize - 1;
+    while i >= 0 {
+        let idx = i as usize;
+        if choice[idx] || idx == 0 {
+            retained.insert(chain[idx]);
+            i -= 1;
+        } else {
+            // Node idx deleted; its parent idx-1 must be retained.
+            recon.insert(chain[idx], chain[idx - 1]);
+            retained.insert(chain[idx - 1]);
+            i -= 2;
+        }
+    }
+    (alg[n - 1], retained, recon)
+}
+
+/// Solve an Opt-Ret instance whose graph is a forest of directed chains with
+/// the Dyn-Lin dynamic program. Returns `None` when the graph is not a line
+/// forest (use the general solver then).
+pub fn solve_line(problem: &OptRetProblem) -> Option<Solution> {
+    let chains = extract_chains(problem)?;
+    let mut retained = BTreeSet::new();
+    let mut recon = BTreeMap::new();
+    let mut total = 0.0;
+    for chain in &chains {
+        let (cost, r, m) = solve_chain(problem, chain);
+        total += cost;
+        retained.extend(r);
+        recon.extend(m);
+    }
+    let deleted: BTreeSet<u64> = problem
+        .nodes
+        .keys()
+        .copied()
+        .filter(|id| !retained.contains(id))
+        .collect();
+    Some(Solution {
+        retained,
+        deleted,
+        reconstruction_parent: recon,
+        total_cost: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CostModel;
+    use crate::solver::solve_exact;
+    use r2d2_graph::random::{erdos_renyi_dag, line_forest, line_graph};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line_problem(n: usize, seed: u64) -> OptRetProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..50u64) << 26).collect();
+        let accesses: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
+        let graph = line_graph(n);
+        OptRetProblem::synthetic(
+            &graph,
+            &CostModel::default(),
+            |d| sizes[d as usize],
+            |d| accesses[d as usize],
+        )
+    }
+
+    #[test]
+    fn dyn_lin_matches_exact_on_random_chains() {
+        for seed in 0..10u64 {
+            for n in [1usize, 2, 3, 5, 9, 14] {
+                let p = line_problem(n, seed * 31 + n as u64);
+                let dp = solve_line(&p).expect("line graph");
+                let exact = solve_exact(&p);
+                assert!(dp.is_feasible(&p), "n={n} seed={seed}");
+                assert!(
+                    (dp.total_cost - exact.total_cost).abs() < 1e-6,
+                    "n={n} seed={seed}: dp={} exact={}",
+                    dp.total_cost,
+                    exact.total_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_always_retained() {
+        let p = line_problem(8, 3);
+        let dp = solve_line(&p).unwrap();
+        assert!(dp.retained.contains(&0));
+    }
+
+    #[test]
+    fn no_two_adjacent_deletions() {
+        let p = line_problem(20, 7);
+        let dp = solve_line(&p).unwrap();
+        for w in (0..20u64).collect::<Vec<_>>().windows(2) {
+            assert!(
+                !(dp.deleted.contains(&w[0]) && dp.deleted.contains(&w[1])),
+                "adjacent nodes {} and {} both deleted",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn forest_of_chains_is_solved_per_chain() {
+        let graph = line_forest(&[3, 4, 2]);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 5 << 30, |_| 0.1);
+        let dp = solve_line(&p).unwrap();
+        let exact = solve_exact(&p);
+        assert!((dp.total_cost - exact.total_cost).abs() < 1e-6);
+        assert!(dp.is_feasible(&p));
+    }
+
+    #[test]
+    fn non_line_graphs_are_rejected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // A dense DAG almost surely has a node with 2 parents or 2 children.
+        let graph = erdos_renyi_dag(8, 0.8, &mut rng);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 30, |_| 1.0);
+        assert!(solve_line(&p).is_none());
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut graph = r2d2_graph::ContainmentGraph::new();
+        graph.add_edge(0, 1);
+        graph.add_edge(1, 2);
+        graph.add_edge(2, 0);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 30, |_| 1.0);
+        assert!(solve_line(&p).is_none(), "cycle is not a line forest");
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let p = line_problem(1, 0);
+        let dp = solve_line(&p).unwrap();
+        assert_eq!(dp.retained.len(), 1);
+        assert_eq!(dp.deleted.len(), 0);
+    }
+
+    #[test]
+    fn deletion_actually_happens_when_cheap() {
+        // Large, rarely-accessed datasets in a chain: interior nodes should
+        // alternate towards deletion.
+        let graph = line_graph(6);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 100 << 30, |_| 0.01);
+        let dp = solve_line(&p).unwrap();
+        assert!(
+            dp.deleted_count() >= 2,
+            "expected several deletions, got {}",
+            dp.deleted_count()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # r2d2-opt — cost optimization for the R2D2 reproduction
+//!
+//! Section 5 of the paper turns the containment graph into savings: it
+//! pre-processes the graph for "safe deletion" (§5.1: every edge must have a
+//! known transformation and a bounded reconstruction latency), then solves
+//! the **Opt-Ret** integer program (Eq. 3) that chooses which datasets to
+//! retain and which to delete so that the total of storage, maintenance and
+//! expected reconstruction costs is minimised, subject to every deleted
+//! dataset keeping at least one retained parent. §5.3 gives a linear-time
+//! dynamic program, **Dyn-Lin**, for the special case of line graphs.
+//!
+//! This crate provides:
+//!
+//! * [`costmodel::CostModel`] — Azure-hot-tier-like storage / read / write /
+//!   maintenance prices and latency estimates (all configurable);
+//! * [`preprocess`] — §5.1 edge annotation and pruning (transformation
+//!   knowledge from catalog lineage, latency thresholds);
+//! * [`problem::OptRetProblem`] — the concrete optimization instance built
+//!   from a containment graph, a lake and a cost model;
+//! * [`solver`] — an exact branch & bound solver (used for the moderate
+//!   instance sizes the pipeline produces and to validate the heuristic), a
+//!   greedy heuristic for large random graphs (Fig. 6 scalability sweeps),
+//!   and [`solver::solve`] which picks between them per connected component;
+//! * [`dynlin`] — the Dyn-Lin dynamic program (Theorem 5.1);
+//! * [`savings`] — GDPR row-scan savings (Table 7) and the 10 PB / 1-year
+//!   horizon projection of Fig. 5.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod costmodel;
+pub mod dynlin;
+pub mod preprocess;
+pub mod problem;
+pub mod savings;
+pub mod solver;
+
+pub use costmodel::CostModel;
+pub use problem::{NodeCosts, OptRetProblem, ReconstructionEdge};
+pub use solver::{solve, solve_exact, solve_greedy, Solution};

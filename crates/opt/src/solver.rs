@@ -1,0 +1,612 @@
+//! Solvers for the Opt-Ret integer program (Eq. 3 of the paper).
+//!
+//! The decision variables are `x_v` (retain dataset `v`) and `y_e` (use edge
+//! `e = (u, v)` to reconstruct a deleted `v` from a retained `u`). Because
+//! the objective is separable in `y` — once the retained set is fixed, the
+//! best choice for every deleted node is simply its cheapest retained parent
+//! — a solution is fully described by the retained set, and solvers only
+//! search over `x`.
+//!
+//! Two solvers are provided:
+//!
+//! * [`solve_exact`] — branch & bound over the retain/delete assignment,
+//!   run independently per weakly connected component with an admissible
+//!   lower bound. Exact, intended for the instance sizes the pipeline
+//!   actually produces (the paper reports 100–300 candidate edges).
+//! * [`solve_greedy`] — a feasibility-preserving greedy heuristic (delete the
+//!   node with the largest positive saving until no saving remains), used
+//!   for the large Erdős–Rényi instances of the Fig. 6 scalability sweep and
+//!   cross-validated against the exact solver on small instances.
+//!
+//! [`solve`] picks per component: exact when the component is small enough,
+//! greedy otherwise.
+
+use crate::problem::OptRetProblem;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (feasible) solution to an Opt-Ret instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Datasets to retain.
+    pub retained: BTreeSet<u64>,
+    /// Datasets recommended for deletion.
+    pub deleted: BTreeSet<u64>,
+    /// For each deleted dataset, the retained parent chosen for
+    /// reconstruction (the `y_e = 1` edge).
+    pub reconstruction_parent: BTreeMap<u64, u64>,
+    /// Objective value (Eq. 3) of this solution.
+    pub total_cost: f64,
+}
+
+impl Solution {
+    /// Retain every dataset (the trivial feasible solution).
+    pub fn retain_all(problem: &OptRetProblem) -> Self {
+        let retained: BTreeSet<u64> = problem.nodes.keys().copied().collect();
+        Solution {
+            total_cost: problem.retain_all_cost(),
+            retained,
+            deleted: BTreeSet::new(),
+            reconstruction_parent: BTreeMap::new(),
+        }
+    }
+
+    /// Number of deleted datasets.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Total bytes of the deleted datasets.
+    pub fn deleted_bytes(&self, problem: &OptRetProblem) -> u64 {
+        self.deleted
+            .iter()
+            .filter_map(|d| problem.nodes.get(d))
+            .map(|n| n.size_bytes)
+            .sum()
+    }
+
+    /// Savings relative to retaining everything.
+    pub fn savings(&self, problem: &OptRetProblem) -> f64 {
+        problem.retain_all_cost() - self.total_cost
+    }
+
+    /// Verify that the solution satisfies Eq. 3's constraints: retained and
+    /// deleted partition the nodes, every deleted node has a retained
+    /// reconstruction parent connected by a real edge.
+    pub fn is_feasible(&self, problem: &OptRetProblem) -> bool {
+        let all: BTreeSet<u64> = problem.nodes.keys().copied().collect();
+        let union: BTreeSet<u64> = self.retained.union(&self.deleted).copied().collect();
+        if union != all || !self.retained.is_disjoint(&self.deleted) {
+            return false;
+        }
+        for d in &self.deleted {
+            match self.reconstruction_parent.get(d) {
+                None => return false,
+                Some(p) => {
+                    if !self.retained.contains(p) {
+                        return false;
+                    }
+                    if !problem.edges.iter().any(|e| e.parent == *p && e.child == *d) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Evaluate a retained-set choice: returns `None` if some deleted node has no
+/// retained parent, otherwise the total cost and the chosen reconstruction
+/// parents.
+fn evaluate(
+    problem: &OptRetProblem,
+    retained: &BTreeSet<u64>,
+) -> Option<(f64, BTreeMap<u64, u64>)> {
+    let mut cost = 0.0;
+    let mut recon = BTreeMap::new();
+    for (id, node) in &problem.nodes {
+        if retained.contains(id) {
+            cost += node.retention_cost;
+        } else {
+            let best = problem
+                .parents_of(*id)
+                .into_iter()
+                .filter(|e| retained.contains(&e.parent))
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))?;
+            cost += node.accesses * best.cost;
+            recon.insert(*id, best.parent);
+        }
+    }
+    Some((cost, recon))
+}
+
+/// Build a solution from a retained set, if feasible.
+fn solution_from_retained(problem: &OptRetProblem, retained: BTreeSet<u64>) -> Option<Solution> {
+    let (total_cost, reconstruction_parent) = evaluate(problem, &retained)?;
+    let deleted = problem
+        .nodes
+        .keys()
+        .copied()
+        .filter(|id| !retained.contains(id))
+        .collect();
+    Some(Solution {
+        retained,
+        deleted,
+        reconstruction_parent,
+        total_cost,
+    })
+}
+
+/// Weakly connected components of the problem graph (isolated nodes form
+/// singleton components).
+fn components(problem: &OptRetProblem) -> Vec<Vec<u64>> {
+    let ids: Vec<u64> = problem.nodes.keys().copied().collect();
+    let mut comp: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut adjacency: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for e in &problem.edges {
+        adjacency.entry(e.parent).or_default().push(e.child);
+        adjacency.entry(e.child).or_default().push(e.parent);
+    }
+    let mut count = 0;
+    for &start in &ids {
+        if comp.contains_key(&start) {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp.insert(start, count);
+        while let Some(u) = stack.pop() {
+            for &v in adjacency.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if let std::collections::btree_map::Entry::Vacant(slot) = comp.entry(v) {
+                    slot.insert(count);
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    let mut out = vec![Vec::new(); count];
+    for (&id, &c) in &comp {
+        out[c].push(id);
+    }
+    out
+}
+
+/// Restrict a problem to a subset of nodes (edges with both endpoints inside).
+fn sub_problem(problem: &OptRetProblem, nodes: &[u64]) -> OptRetProblem {
+    let set: BTreeSet<u64> = nodes.iter().copied().collect();
+    OptRetProblem {
+        nodes: problem
+            .nodes
+            .iter()
+            .filter(|(id, _)| set.contains(id))
+            .map(|(id, n)| (*id, *n))
+            .collect(),
+        edges: problem
+            .edges
+            .iter()
+            .filter(|e| set.contains(&e.parent) && set.contains(&e.child))
+            .copied()
+            .collect(),
+    }
+}
+
+/// Exact branch & bound over one (sub-)problem.
+fn branch_and_bound(problem: &OptRetProblem) -> Solution {
+    let ids: Vec<u64> = problem.nodes.keys().copied().collect();
+    // Optimistic per-node lower bound: the cheaper of retaining and
+    // reconstructing from the cheapest parent (regardless of its status).
+    let optimistic: BTreeMap<u64, f64> = ids
+        .iter()
+        .map(|&id| {
+            let node = &problem.nodes[&id];
+            let best_parent = problem
+                .cheapest_parent(id)
+                .map(|e| node.accesses * e.cost)
+                .unwrap_or(f64::INFINITY);
+            (id, node.retention_cost.min(best_parent))
+        })
+        .collect();
+
+    let mut best = Solution::retain_all(problem);
+
+    // DFS over assignments. `retained`/`deleted` hold the partial assignment
+    // for ids[0..depth].
+    fn dfs(
+        problem: &OptRetProblem,
+        ids: &[u64],
+        optimistic: &BTreeMap<u64, f64>,
+        depth: usize,
+        retained: &mut BTreeSet<u64>,
+        deleted: &mut BTreeSet<u64>,
+        best: &mut Solution,
+    ) {
+        // Lower bound: cost of decided retained nodes + optimistic bound for
+        // everything else (decided-deleted nodes still use the optimistic
+        // reconstruction estimate, which never overestimates).
+        let mut bound = 0.0;
+        for id in retained.iter() {
+            bound += problem.nodes[id].retention_cost;
+        }
+        for id in deleted.iter() {
+            let node = &problem.nodes[id];
+            let opt_recon = problem
+                .cheapest_parent(*id)
+                .map(|e| node.accesses * e.cost)
+                .unwrap_or(f64::INFINITY);
+            bound += opt_recon;
+        }
+        for id in &ids[depth..] {
+            bound += optimistic[id];
+        }
+        if bound >= best.total_cost - 1e-12 {
+            return;
+        }
+
+        if depth == ids.len() {
+            if let Some(sol) = solution_from_retained(problem, retained.clone()) {
+                if sol.total_cost < best.total_cost {
+                    *best = sol;
+                }
+            }
+            return;
+        }
+
+        let id = ids[depth];
+        // Branch 1: retain.
+        retained.insert(id);
+        dfs(problem, ids, optimistic, depth + 1, retained, deleted, best);
+        retained.remove(&id);
+
+        // Branch 2: delete — only worth trying if the node has any parent.
+        if !problem.parents_of(id).is_empty() {
+            deleted.insert(id);
+            dfs(problem, ids, optimistic, depth + 1, retained, deleted, best);
+            deleted.remove(&id);
+        }
+    }
+
+    let mut retained = BTreeSet::new();
+    let mut deleted = BTreeSet::new();
+    dfs(
+        problem,
+        &ids,
+        &optimistic,
+        0,
+        &mut retained,
+        &mut deleted,
+        &mut best,
+    );
+    best
+}
+
+/// Merge per-component solutions into one.
+fn merge(parts: Vec<Solution>) -> Solution {
+    let mut out = Solution {
+        retained: BTreeSet::new(),
+        deleted: BTreeSet::new(),
+        reconstruction_parent: BTreeMap::new(),
+        total_cost: 0.0,
+    };
+    for p in parts {
+        out.retained.extend(p.retained);
+        out.deleted.extend(p.deleted);
+        out.reconstruction_parent.extend(p.reconstruction_parent);
+        out.total_cost += p.total_cost;
+    }
+    out
+}
+
+/// Solve exactly with branch & bound (per connected component).
+///
+/// Worst-case exponential in the largest component; intended for the
+/// moderate graphs the pipeline produces and for validating the heuristic.
+pub fn solve_exact(problem: &OptRetProblem) -> Solution {
+    let parts = components(problem)
+        .iter()
+        .map(|nodes| branch_and_bound(&sub_problem(problem, nodes)))
+        .collect();
+    merge(parts)
+}
+
+/// Greedy heuristic: repeatedly delete the dataset with the largest positive
+/// saving while preserving feasibility.
+///
+/// Implementation note: adjacency lists and per-node "retained parent"
+/// counters are maintained incrementally, so one deletion step costs O(E) in
+/// the worst case and the whole heuristic O(V·E) — this is what keeps the
+/// Fig. 6 sweeps (thousands of nodes, tens of thousands of edges) fast.
+pub fn solve_greedy(problem: &OptRetProblem) -> Solution {
+    let mut retained: BTreeSet<u64> = problem.nodes.keys().copied().collect();
+    let mut deleted: BTreeSet<u64> = BTreeSet::new();
+
+    // child → [(parent, cost)] and parent → [children] adjacency.
+    let mut parents: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+    let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for e in &problem.edges {
+        if e.parent == e.child {
+            continue;
+        }
+        parents.entry(e.child).or_default().push((e.parent, e.cost));
+        children.entry(e.parent).or_default().push(e.child);
+    }
+    // Number of *retained* parents per node (all parents are retained at start).
+    let mut retained_parent_count: BTreeMap<u64, usize> = problem
+        .nodes
+        .keys()
+        .map(|&v| (v, parents.get(&v).map(Vec::len).unwrap_or(0)))
+        .collect();
+
+    loop {
+        // For each retained candidate, compute the saving of deleting it now.
+        let mut best_choice: Option<(u64, f64)> = None;
+        for &v in &retained {
+            let node = &problem.nodes[&v];
+            // v needs at least one retained parent to be deletable.
+            let best_parent_cost = parents
+                .get(&v)
+                .map(|ps| {
+                    ps.iter()
+                        .filter(|(p, _)| retained.contains(p))
+                        .map(|(_, c)| *c)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .unwrap_or(f64::INFINITY);
+            if !best_parent_cost.is_finite() {
+                continue;
+            }
+            // v must not be the sole retained parent of an already-deleted node.
+            let is_sole_support = children
+                .get(&v)
+                .map(|cs| {
+                    cs.iter()
+                        .any(|c| deleted.contains(c) && retained_parent_count[c] == 1)
+                })
+                .unwrap_or(false);
+            if is_sole_support {
+                continue;
+            }
+            let saving = node.retention_cost - node.accesses * best_parent_cost;
+            if saving > 1e-12 {
+                match best_choice {
+                    Some((_, s)) if s >= saving => {}
+                    _ => best_choice = Some((v, saving)),
+                }
+            }
+        }
+        match best_choice {
+            Some((v, _)) => {
+                retained.remove(&v);
+                deleted.insert(v);
+                if let Some(cs) = children.get(&v) {
+                    for c in cs {
+                        if let Some(count) = retained_parent_count.get_mut(c) {
+                            *count = count.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+
+    solution_from_retained(problem, retained)
+        .expect("greedy maintains feasibility by construction")
+}
+
+/// Default component-size threshold below which [`solve`] uses the exact
+/// branch & bound.
+pub const EXACT_COMPONENT_LIMIT: usize = 22;
+
+/// Solve the instance: exact branch & bound on components of at most
+/// `EXACT_COMPONENT_LIMIT` nodes, greedy on larger components.
+pub fn solve(problem: &OptRetProblem) -> Solution {
+    solve_with_limit(problem, EXACT_COMPONENT_LIMIT)
+}
+
+/// [`solve`] with an explicit component-size threshold.
+pub fn solve_with_limit(problem: &OptRetProblem, exact_limit: usize) -> Solution {
+    let parts = components(problem)
+        .iter()
+        .map(|nodes| {
+            let sub = sub_problem(problem, nodes);
+            if nodes.len() <= exact_limit {
+                branch_and_bound(&sub)
+            } else {
+                solve_greedy(&sub)
+            }
+        })
+        .collect();
+    merge(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CostModel;
+    use crate::problem::{NodeCosts, ReconstructionEdge};
+    use r2d2_graph::random::{erdos_renyi, line_graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Hand-built instance: parent P (big, must stay), child C (cheap to
+    /// rebuild, rarely accessed) and child D (expensive to rebuild because it
+    /// is accessed constantly).
+    fn tiny_problem() -> OptRetProblem {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            0,
+            NodeCosts {
+                dataset: 0,
+                size_bytes: 1 << 30,
+                retention_cost: 10.0,
+                accesses: 1.0,
+            },
+        );
+        nodes.insert(
+            1,
+            NodeCosts {
+                dataset: 1,
+                size_bytes: 1 << 29,
+                retention_cost: 5.0,
+                accesses: 1.0,
+            },
+        );
+        nodes.insert(
+            2,
+            NodeCosts {
+                dataset: 2,
+                size_bytes: 1 << 29,
+                retention_cost: 5.0,
+                accesses: 100.0,
+            },
+        );
+        let edges = vec![
+            ReconstructionEdge {
+                parent: 0,
+                child: 1,
+                cost: 1.0,
+            },
+            ReconstructionEdge {
+                parent: 0,
+                child: 2,
+                cost: 1.0,
+            },
+        ];
+        OptRetProblem { nodes, edges }
+    }
+
+    #[test]
+    fn exact_solver_picks_obvious_deletions() {
+        let p = tiny_problem();
+        let sol = solve_exact(&p);
+        assert!(sol.is_feasible(&p));
+        // Node 1: retention 5 vs reconstruction 1*1 = 1 → delete.
+        assert!(sol.deleted.contains(&1));
+        // Node 2: retention 5 vs reconstruction 100*1 = 100 → retain.
+        assert!(sol.retained.contains(&2));
+        // Root has no parent → must be retained.
+        assert!(sol.retained.contains(&0));
+        assert_eq!(sol.reconstruction_parent[&1], 0);
+        assert!((sol.total_cost - (10.0 + 5.0 + 1.0)).abs() < 1e-9);
+        assert!(sol.savings(&p) > 0.0);
+        assert_eq!(sol.deleted_count(), 1);
+        assert_eq!(sol.deleted_bytes(&p), 1 << 29);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_tiny_instance() {
+        let p = tiny_problem();
+        let exact = solve_exact(&p);
+        let greedy = solve_greedy(&p);
+        assert!(greedy.is_feasible(&p));
+        assert!((greedy.total_cost - exact.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retain_all_is_feasible_baseline() {
+        let p = tiny_problem();
+        let sol = Solution::retain_all(&p);
+        assert!(sol.is_feasible(&p));
+        assert_eq!(sol.total_cost, 20.0);
+    }
+
+    #[test]
+    fn deleted_node_always_keeps_a_retained_parent() {
+        // Chain 0 → 1 → 2: deleting both 1 and 2 forces 2 to reconstruct
+        // from 1 which would itself be deleted → only one of them can go
+        // unless 2 can reconstruct from... it can't (its only parent is 1).
+        let model = CostModel::default();
+        let graph = line_graph(3);
+        let p = OptRetProblem::synthetic(&graph, &model, |_| 10 << 30, |_| 0.1);
+        let sol = solve_exact(&p);
+        assert!(sol.is_feasible(&p));
+        // Node 0 has no parent: retained. If 1 is deleted, 2 must be retained.
+        assert!(sol.retained.contains(&0));
+        assert!(sol.retained.contains(&1) || sol.retained.contains(&2));
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy_on_random_dags() {
+        let model = CostModel::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [6usize, 10, 14] {
+            for p_edge in [0.1, 0.3] {
+                let graph = r2d2_graph::random::erdos_renyi_dag(n, p_edge, &mut rng);
+                let prob = OptRetProblem::synthetic(
+                    &graph,
+                    &model,
+                    |d| ((d % 7) + 1) << 28,
+                    |d| (d % 5) as f64,
+                );
+                let exact = solve_exact(&prob);
+                let greedy = solve_greedy(&prob);
+                assert!(exact.is_feasible(&prob));
+                assert!(greedy.is_feasible(&prob));
+                assert!(
+                    exact.total_cost <= greedy.total_cost + 1e-9,
+                    "exact ({}) must not exceed greedy ({})",
+                    exact.total_cost,
+                    greedy.total_cost
+                );
+                assert!(exact.total_cost <= prob.retain_all_cost() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_scales_to_larger_random_graphs() {
+        let model = CostModel::default();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let graph = erdos_renyi(150, 0.05, &mut rng);
+        let prob =
+            OptRetProblem::synthetic(&graph, &model, |d| ((d % 11) + 1) << 27, |d| (d % 3) as f64);
+        let sol = solve_greedy(&prob);
+        assert!(sol.is_feasible(&prob));
+        assert!(sol.total_cost <= prob.retain_all_cost() + 1e-9);
+    }
+
+    #[test]
+    fn solve_dispatches_by_component_size() {
+        let p = tiny_problem();
+        let auto = solve(&p);
+        let exact = solve_exact(&p);
+        assert!((auto.total_cost - exact.total_cost).abs() < 1e-9);
+        let forced_greedy = solve_with_limit(&p, 0);
+        assert!(forced_greedy.is_feasible(&p));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = OptRetProblem::default();
+        let sol = solve(&p);
+        assert!(sol.retained.is_empty());
+        assert!(sol.deleted.is_empty());
+        assert_eq!(sol.total_cost, 0.0);
+        assert!(sol.is_feasible(&p));
+    }
+
+    #[test]
+    fn isolated_nodes_are_retained() {
+        let model = CostModel::default();
+        let graph = r2d2_graph::ContainmentGraph::with_datasets(0..5);
+        let p = OptRetProblem::synthetic(&graph, &model, |_| 1 << 30, |_| 1.0);
+        let sol = solve(&p);
+        assert_eq!(sol.retained.len(), 5);
+        assert_eq!(sol.deleted_count(), 0);
+    }
+
+    #[test]
+    fn infeasible_marker_detected() {
+        // A solution claiming to delete a node with no retained parent is
+        // reported as infeasible.
+        let p = tiny_problem();
+        let bad = Solution {
+            retained: BTreeSet::from([1, 2]),
+            deleted: BTreeSet::from([0]),
+            reconstruction_parent: BTreeMap::from([(0, 1)]),
+            total_cost: 0.0,
+        };
+        assert!(!bad.is_feasible(&p), "edge 1→0 does not exist");
+    }
+}

@@ -1,0 +1,119 @@
+//! Access-pattern generation.
+//!
+//! The Opt-Ret objective (Eq. 3) needs, per dataset, the expected number of
+//! customer-initiated accesses `A_v` and the maintenance frequency `f_v` per
+//! billing period. For enterprise data the paper takes these from real access
+//! logs; "for synthetic data, we sampled A and f_m from a power law
+//! distribution" (§6.7). This module implements that sampling.
+
+use r2d2_lake::{AccessProfile, DataLake, DatasetId};
+use rand::Rng;
+
+/// Draw a value from a bounded Pareto (power-law) distribution with shape
+/// `alpha` on `[min, max]` via inverse-CDF sampling.
+pub fn bounded_pareto<R: Rng + ?Sized>(min: f64, max: f64, alpha: f64, rng: &mut R) -> f64 {
+    assert!(min > 0.0 && max > min, "need 0 < min < max");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let ha = max.powf(-alpha);
+    let la = min.powf(-alpha);
+    (-(u * (ha - la) + la)).abs().powf(-1.0 / alpha)
+}
+
+/// Generate a power-law access profile: most datasets are accessed rarely,
+/// a few are hot. Maintenance frequency defaults to the paper's observation
+/// of roughly one privacy-initiated scan per week (≈4 per monthly period),
+/// scaled by another power-law draw.
+pub fn power_law_profile<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> AccessProfile {
+    let accesses = bounded_pareto(0.1, 100.0, alpha, rng);
+    let maintenance = bounded_pareto(1.0, 16.0, alpha, rng);
+    AccessProfile {
+        accesses_per_period: accesses,
+        maintenance_per_period: maintenance,
+    }
+}
+
+/// Assign fresh power-law access profiles to every dataset in the lake.
+pub fn assign_power_law_profiles<R: Rng + ?Sized>(
+    lake: &mut DataLake,
+    alpha: f64,
+    rng: &mut R,
+) {
+    let ids: Vec<DatasetId> = lake.ids();
+    for id in ids {
+        let profile = power_law_profile(alpha, rng);
+        lake.set_access_profile(id, profile)
+            .expect("id came from the lake");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_lake::{Column, DataType, PartitionedTable, Schema, Table};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = bounded_pareto(0.5, 50.0, 1.2, &mut rng);
+            assert!(v >= 0.5 - 1e-9 && v <= 50.0 + 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_skewed_low() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| bounded_pareto(1.0, 100.0, 1.5, &mut rng))
+            .collect();
+        let below_10 = samples.iter().filter(|&&v| v < 10.0).count();
+        assert!(
+            below_10 > samples.len() / 2,
+            "power law should concentrate mass at small values ({below_10})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min < max")]
+    fn bad_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        bounded_pareto(5.0, 1.0, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn profiles_are_positive() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let p = power_law_profile(1.1, &mut rng);
+            assert!(p.accesses_per_period > 0.0);
+            assert!(p.maintenance_per_period >= 1.0);
+        }
+    }
+
+    #[test]
+    fn assign_profiles_to_lake() {
+        let mut lake = DataLake::new();
+        let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+        for i in 0..5 {
+            lake.add_dataset(
+                format!("d{i}"),
+                PartitionedTable::single(
+                    Table::new(schema.clone(), vec![Column::from_ints(0..3)]).unwrap(),
+                ),
+                AccessProfile::default(),
+                None,
+            )
+            .unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        assign_power_law_profiles(&mut lake, 1.2, &mut rng);
+        let distinct: std::collections::BTreeSet<u64> = lake
+            .iter()
+            .map(|e| (e.access.accesses_per_period * 1e6) as u64)
+            .collect();
+        assert!(distinct.len() > 1, "profiles should vary across datasets");
+    }
+}

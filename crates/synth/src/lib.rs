@@ -1,0 +1,38 @@
+//! # r2d2-synth — synthetic data lake corpora for the R2D2 reproduction
+//!
+//! The paper evaluates R2D2 on (a) three enterprise customer orgs and (b) two
+//! synthetic corpora derived from open data (the Table Union Benchmark and
+//! Kaggle competition tables) by applying "the main types of transformations
+//! and processing that occur in real data lakes" (§6.1.1):
+//!
+//! * size reduction via `SELECT … WHERE …` queries whose selectivities follow
+//!   a skewed Zipfian distribution,
+//! * adding rows drawn from each column's distribution,
+//! * adding derived columns (linear combinations of numeric columns),
+//! * adding noise to numeric columns,
+//! * combinations of the above.
+//!
+//! Neither the enterprise data nor the original open-data corpora are
+//! available here, so this crate generates stand-ins with the same
+//! *structure*: [`roots`] creates root tables in several domains
+//! (transactions, clickstream with nested schemas, Kaggle-style numeric
+//! tables, open-data-style categorical tables), [`transforms`] applies the
+//! paper's transformation recipe while tracking which transformations
+//! preserve containment, and [`corpus`] assembles whole per-org corpora
+//! (lake + expected containment edges + lineage) whose schema-similarity
+//! profiles can be tuned to mimic the different customer orgs of Fig. 2.
+//! [`access`] draws access/maintenance frequencies from the power-law model
+//! §6.7 uses.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod access;
+pub mod corpus;
+pub mod roots;
+pub mod transforms;
+pub mod zipf;
+
+pub use corpus::{Corpus, CorpusSpec, OrgProfile};
+pub use transforms::{ContainmentEffect, Transform, TransformOutcome};
+pub use zipf::Zipf;

@@ -1,0 +1,308 @@
+//! Root table generators.
+//!
+//! §6.1.1 starts from root datasets (Table Union Benchmark tables and Kaggle
+//! competition tables) and derives the rest of the corpus through
+//! transformations. This module generates root tables in four domains so
+//! corpora can vary in schema shape and value distributions the way the
+//! paper's customer orgs do:
+//!
+//! * **transactions** — flat commerce schema (ids, amounts, regions,
+//!   timestamps), the "digital transactions" domain;
+//! * **clickstream** — nested (tree) schema flattened to dotted paths, the
+//!   enterprise event-log domain;
+//! * **kaggle-style** — wide numeric feature tables;
+//! * **open-data style** — categorical/string-heavy tables like the Table
+//!   Union Benchmark's civic datasets.
+
+use r2d2_lake::{Column, DataType, Schema, SchemaNode, Table};
+use rand::distributions::{Alphanumeric, Distribution};
+use rand::Rng;
+
+/// Which domain a root table is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RootDomain {
+    /// Flat commerce/transaction tables.
+    Transactions,
+    /// Nested clickstream/event tables.
+    Clickstream,
+    /// Wide numeric feature tables (Kaggle style).
+    KaggleNumeric,
+    /// Categorical/string-heavy open-data tables.
+    OpenData,
+}
+
+impl RootDomain {
+    /// All domains, for round-robin corpus generation.
+    pub const ALL: [RootDomain; 4] = [
+        RootDomain::Transactions,
+        RootDomain::Clickstream,
+        RootDomain::KaggleNumeric,
+        RootDomain::OpenData,
+    ];
+}
+
+fn random_word<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    Alphanumeric
+        .sample_iter(rng)
+        .take(len)
+        .map(char::from)
+        .collect::<String>()
+        .to_lowercase()
+}
+
+/// Generate a transactions root table with `rows` rows. `table_tag` goes into
+/// category values so different roots have different value distributions.
+pub fn transactions<R: Rng + ?Sized>(rows: usize, table_tag: u64, rng: &mut R) -> Table {
+    let schema = Schema::flat(&[
+        ("txn_id", DataType::Int),
+        ("user_id", DataType::Int),
+        ("amount", DataType::Float),
+        ("region", DataType::Utf8),
+        ("ts", DataType::Timestamp),
+    ])
+    .unwrap();
+    let regions = ["na", "emea", "apac", "latam"];
+    let base_ts = 1_650_000_000_000_000i64 + (table_tag as i64) * 1_000_000_000;
+    let mut txn_ids = Vec::with_capacity(rows);
+    let mut user_ids = Vec::with_capacity(rows);
+    let mut amounts = Vec::with_capacity(rows);
+    let mut region_vals = Vec::with_capacity(rows);
+    let mut ts = Vec::with_capacity(rows);
+    for i in 0..rows {
+        txn_ids.push((table_tag as i64) * 10_000_000 + i as i64);
+        user_ids.push(rng.gen_range(0..(rows.max(10) as i64)));
+        amounts.push((rng.gen_range(1.0..5000.0f64) * 100.0).round() / 100.0);
+        region_vals.push(regions[rng.gen_range(0..regions.len())].to_string());
+        ts.push(base_ts + (i as i64) * 60_000_000 + rng.gen_range(0..60_000_000));
+    }
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(txn_ids),
+            Column::from_ints(user_ids),
+            Column::from_floats(amounts),
+            Column::from_strs(region_vals),
+            Column::from_timestamps(ts),
+        ],
+    )
+    .expect("generated columns are consistent")
+}
+
+/// Generate a clickstream root table with a nested schema
+/// (`event.id`, `event.type`, `device.os`, `device.browser`, `ts`, `value`).
+pub fn clickstream<R: Rng + ?Sized>(rows: usize, table_tag: u64, rng: &mut R) -> Table {
+    let schema = Schema::from_tree(&[
+        SchemaNode::group(
+            "event",
+            vec![
+                SchemaNode::leaf("id", DataType::Int),
+                SchemaNode::leaf("type", DataType::Utf8),
+            ],
+        ),
+        SchemaNode::group(
+            "device",
+            vec![
+                SchemaNode::leaf("os", DataType::Utf8),
+                SchemaNode::leaf("browser", DataType::Utf8),
+            ],
+        ),
+        SchemaNode::leaf("ts", DataType::Timestamp),
+        SchemaNode::leaf("value", DataType::Float),
+    ])
+    .unwrap();
+    let event_types = ["click", "view", "purchase", "scroll", "hover"];
+    let oses = ["linux", "windows", "macos", "android", "ios"];
+    let browsers = ["chrome", "firefox", "safari", "edge"];
+    let base_ts = 1_700_000_000_000_000i64 + (table_tag as i64) * 500_000_000;
+    let mut ids = Vec::with_capacity(rows);
+    let mut types = Vec::with_capacity(rows);
+    let mut os_vals = Vec::with_capacity(rows);
+    let mut browser_vals = Vec::with_capacity(rows);
+    let mut ts = Vec::with_capacity(rows);
+    let mut values = Vec::with_capacity(rows);
+    for i in 0..rows {
+        ids.push((table_tag as i64) * 1_000_000 + i as i64);
+        types.push(event_types[rng.gen_range(0..event_types.len())].to_string());
+        os_vals.push(oses[rng.gen_range(0..oses.len())].to_string());
+        browser_vals.push(browsers[rng.gen_range(0..browsers.len())].to_string());
+        ts.push(base_ts + (i as i64) * 1_000_000);
+        values.push(rng.gen_range(0.0..1.0f64));
+    }
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids),
+            Column::from_strs(types),
+            Column::from_strs(os_vals),
+            Column::from_strs(browser_vals),
+            Column::from_timestamps(ts),
+            Column::from_floats(values),
+        ],
+    )
+    .expect("generated columns are consistent")
+}
+
+/// Generate a Kaggle-style numeric feature table: an id column plus
+/// `features` numeric feature columns and a target column.
+pub fn kaggle_numeric<R: Rng + ?Sized>(
+    rows: usize,
+    features: usize,
+    table_tag: u64,
+    rng: &mut R,
+) -> Table {
+    let mut fields = vec![("row_id".to_string(), DataType::Int)];
+    for f in 0..features {
+        fields.push((format!("feature_{table_tag}_{f}"), DataType::Float));
+    }
+    fields.push(("target".to_string(), DataType::Float));
+    let schema = Schema::new(
+        fields
+            .iter()
+            .map(|(n, t)| r2d2_lake::Field::new(n.clone(), *t))
+            .collect(),
+    )
+    .unwrap();
+
+    let mut columns = Vec::with_capacity(fields.len());
+    columns.push(Column::from_ints(
+        (0..rows as i64).map(|i| (table_tag as i64) * 1_000_000 + i),
+    ));
+    for f in 0..features {
+        let center = (f as f64 + 1.0) * 10.0 + table_tag as f64;
+        columns.push(Column::from_floats(
+            (0..rows).map(|_| center + rng.gen_range(-5.0..5.0)).collect::<Vec<_>>(),
+        ));
+    }
+    columns.push(Column::from_floats(
+        (0..rows).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+    ));
+    Table::new(schema, columns).expect("generated columns are consistent")
+}
+
+/// Generate an open-data-style categorical table (string-heavy, like the
+/// civic datasets of the Table Union Benchmark).
+pub fn open_data<R: Rng + ?Sized>(rows: usize, table_tag: u64, rng: &mut R) -> Table {
+    let schema = Schema::flat(&[
+        ("record_id", DataType::Int),
+        ("agency", DataType::Utf8),
+        ("category", DataType::Utf8),
+        ("city", DataType::Utf8),
+        ("count", DataType::Int),
+        ("year", DataType::Int),
+    ])
+    .unwrap();
+    let agencies: Vec<String> = (0..6).map(|_| random_word(rng, 8)).collect();
+    let categories: Vec<String> = (0..10).map(|_| random_word(rng, 6)).collect();
+    let cities = ["springfield", "riverton", "lakeside", "hillview", "meadowbrook"];
+    let mut record_ids = Vec::with_capacity(rows);
+    let mut agency_vals = Vec::with_capacity(rows);
+    let mut cat_vals = Vec::with_capacity(rows);
+    let mut city_vals = Vec::with_capacity(rows);
+    let mut counts = Vec::with_capacity(rows);
+    let mut years = Vec::with_capacity(rows);
+    for i in 0..rows {
+        record_ids.push((table_tag as i64) * 100_000 + i as i64);
+        agency_vals.push(agencies[rng.gen_range(0..agencies.len())].clone());
+        cat_vals.push(categories[rng.gen_range(0..categories.len())].clone());
+        city_vals.push(cities[rng.gen_range(0..cities.len())].to_string());
+        counts.push(rng.gen_range(0..10_000i64));
+        years.push(rng.gen_range(2000..2024i64));
+    }
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(record_ids),
+            Column::from_strs(agency_vals),
+            Column::from_strs(cat_vals),
+            Column::from_strs(city_vals),
+            Column::from_ints(counts),
+            Column::from_ints(years),
+        ],
+    )
+    .expect("generated columns are consistent")
+}
+
+/// Generate a root table for the given domain.
+pub fn root_table<R: Rng + ?Sized>(
+    domain: RootDomain,
+    rows: usize,
+    table_tag: u64,
+    rng: &mut R,
+) -> Table {
+    match domain {
+        RootDomain::Transactions => transactions(rows, table_tag, rng),
+        RootDomain::Clickstream => clickstream(rows, table_tag, rng),
+        RootDomain::KaggleNumeric => kaggle_numeric(rows, 6, table_tag, rng),
+        RootDomain::OpenData => open_data(rows, table_tag, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transactions_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = transactions(50, 3, &mut rng);
+        assert_eq!(t.num_rows(), 50);
+        assert_eq!(t.num_columns(), 5);
+        assert_eq!(t.schema().data_type("ts").unwrap(), DataType::Timestamp);
+        // txn ids are unique.
+        assert_eq!(t.column("txn_id").unwrap().stats().distinct_count, 50);
+    }
+
+    #[test]
+    fn clickstream_has_nested_flattened_schema() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = clickstream(20, 1, &mut rng);
+        assert!(t.schema().index_of("event.id").is_some());
+        assert!(t.schema().index_of("device.os").is_some());
+        assert_eq!(t.num_rows(), 20);
+    }
+
+    #[test]
+    fn kaggle_numeric_width() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = kaggle_numeric(30, 8, 2, &mut rng);
+        assert_eq!(t.num_columns(), 10);
+        assert!(t.schema().index_of("feature_2_0").is_some());
+    }
+
+    #[test]
+    fn open_data_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = open_data(40, 9, &mut rng);
+        assert_eq!(t.num_rows(), 40);
+        assert_eq!(t.schema().data_type("agency").unwrap(), DataType::Utf8);
+    }
+
+    #[test]
+    fn different_tags_give_disjoint_id_ranges() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = transactions(10, 1, &mut rng);
+        let b = transactions(10, 2, &mut rng);
+        let a_max = a.column("txn_id").unwrap().stats().max.clone().unwrap();
+        let b_min = b.column("txn_id").unwrap().stats().min.clone().unwrap();
+        assert!(a_max.total_cmp(&b_min) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn root_table_dispatch() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for domain in RootDomain::ALL {
+            let t = root_table(domain, 15, 0, &mut rng);
+            assert_eq!(t.num_rows(), 15);
+            assert!(t.num_columns() >= 5);
+        }
+    }
+
+    #[test]
+    fn zero_rows_supported() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = transactions(0, 0, &mut rng);
+        assert_eq!(t.num_rows(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipfian distribution sampler.
+//!
+//! §6.1.1: "We generated synthetic `SELECT … FROM … WHERE …` queries based on
+//! a skewed Zipfian distribution whose parameters were fitted based on
+//! enterprise queries that followed the same distribution." This module
+//! provides the Zipf sampler those synthetic queries use (both for choosing
+//! filter values and for drawing selectivities).
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` ranks with exponent `exponent`.
+    /// `n` must be positive; `exponent ≥ 0` (0 is the uniform distribution).
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(exponent);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf {
+            cdf,
+            exponent,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent the distribution was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draw a rank in `0..n` (0-based; rank 0 is the most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(20, 1.2);
+        let total: f64 = (0..20).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(99), 0.0);
+        assert_eq!(z.len(), 20);
+        assert_eq!(z.exponent(), 1.2);
+    }
+
+    #[test]
+    fn skew_favours_low_ranks() {
+        let z = Zipf::new(10, 1.5);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(5));
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be clearly the most frequent and every rank observed.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[4]);
+        assert!(counts.iter().all(|&c| c > 0));
+        let freq0 = counts[0] as f64 / n as f64;
+        assert!((freq0 - z.pmf(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

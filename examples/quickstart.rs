@@ -1,0 +1,105 @@
+//! Quickstart: build a tiny data lake, run the R2D2 pipeline, inspect the
+//! containment graph, and ask the optimizer what can be safely deleted.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p r2d2-bench --example quickstart
+//! ```
+
+use r2d2_core::R2d2Pipeline;
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, Lineage, PartitionSpec, PartitionedTable, Schema,
+    Table,
+};
+use r2d2_opt::costmodel::CostModel;
+use r2d2_opt::preprocess::{preprocess_for_safe_deletion, TransformKnowledge};
+use r2d2_opt::{solve, OptRetProblem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a small data lake: an "orders" table, a filtered copy of it
+    //    (an analyst's `WHERE region = 'emea'` export) and an unrelated table.
+    let schema = Schema::flat(&[
+        ("order_id", DataType::Int),
+        ("region", DataType::Utf8),
+        ("amount", DataType::Float),
+    ])?;
+    let orders = Table::new(
+        schema.clone(),
+        vec![
+            Column::from_ints(0..1_000),
+            Column::from_strs((0..1_000).map(|i| if i % 3 == 0 { "emea" } else { "na" })),
+            Column::from_floats((0..1_000).map(|i| i as f64 * 1.5)),
+        ],
+    )?;
+    // The derived export: exactly the EMEA rows of `orders`.
+    let emea_rows: Vec<usize> = (0..1_000).filter(|i| i % 3 == 0).collect();
+    let emea_export = orders.take(&emea_rows)?;
+    // An unrelated table with the same schema but different content.
+    let other = Table::new(
+        schema,
+        vec![
+            Column::from_ints(50_000..50_200),
+            Column::from_strs((0..200).map(|_| "apac")),
+            Column::from_floats((0..200).map(|i| i as f64)),
+        ],
+    )?;
+
+    let mut lake = DataLake::new();
+    let part = |t: Table| {
+        PartitionedTable::from_table(t, PartitionSpec::ByRowCount { rows_per_partition: 128 })
+    };
+    let orders_id = lake.add_dataset("orders", part(orders)?, AccessProfile::default(), None)?;
+    let emea_id = lake.add_dataset(
+        "orders_emea_export",
+        part(emea_export)?,
+        AccessProfile {
+            accesses_per_period: 0.2,
+            maintenance_per_period: 4.0,
+        },
+        Some(Lineage {
+            parent: orders_id,
+            transform: "SELECT * FROM orders WHERE region = 'emea'".to_string(),
+        }),
+    )?;
+    lake.add_dataset("returns", part(other)?, AccessProfile::default(), None)?;
+
+    // 2. Run the R2D2 pipeline (SGB → MMP → CLP).
+    let report = R2d2Pipeline::with_defaults().run(&lake)?;
+    println!("datasets in the lake : {}", lake.len());
+    println!("edges after SGB      : {}", report.after_sgb.edge_count());
+    println!("edges after MMP      : {}", report.after_mmp.edge_count());
+    println!("edges after CLP      : {}", report.after_clp.edge_count());
+    for (parent, child) in report.after_clp.edges() {
+        let p = lake.dataset(r2d2_lake::DatasetId(parent))?;
+        let c = lake.dataset(r2d2_lake::DatasetId(child))?;
+        println!("containment: {} ⊆ {}", c.name, p.name);
+    }
+
+    // 3. Pre-process the graph for safe deletion and run Opt-Ret.
+    let mut graph = report.after_clp.clone();
+    let model = CostModel::default();
+    preprocess_for_safe_deletion(&mut graph, &lake, &model, TransformKnowledge::Required)?;
+    let problem = OptRetProblem::from_graph(&graph, &lake, &model)?;
+    let solution = solve(&problem);
+    println!(
+        "optimizer: retain {} dataset(s), delete {} dataset(s), cost {:.6} USD/period (vs {:.6} retaining everything)",
+        solution.retained.len(),
+        solution.deleted.len(),
+        solution.total_cost,
+        problem.retain_all_cost(),
+    );
+    for d in &solution.deleted {
+        let entry = lake.dataset(r2d2_lake::DatasetId(*d))?;
+        let parent = solution.reconstruction_parent[d];
+        let parent_name = lake.dataset(r2d2_lake::DatasetId(parent))?.name.clone();
+        println!(
+            "  delete `{}` ({} rows); reconstruct on demand from `{}`",
+            entry.name,
+            entry.num_rows(),
+            parent_name
+        );
+    }
+    assert!(solution.deleted.contains(&emea_id.0), "the derived export is redundant");
+    Ok(())
+}

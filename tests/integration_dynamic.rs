@@ -1,0 +1,132 @@
+//! Integration tests of §7.1 dynamic updates: incremental maintenance of the
+//! containment graph must agree with a full pipeline re-run after arbitrary
+//! sequences of lake mutations.
+
+use r2d2_bench::experiments::{enterprise_corpora, Scale};
+use r2d2_core::dynamic::{dataset_added, dataset_deleted, dataset_grew, dataset_shrank};
+use r2d2_core::{PipelineConfig, R2d2Pipeline};
+use r2d2_lake::{AccessProfile, DatasetId, Meter, PartitionSpec, PartitionedTable};
+use r2d2_synth::roots::transactions;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn edges_sorted(g: &r2d2_graph::ContainmentGraph) -> Vec<(u64, u64)> {
+    let mut e = g.edges();
+    e.sort_unstable();
+    e
+}
+
+#[test]
+fn incremental_addition_matches_full_rerun_on_corpus() {
+    let corpus = enterprise_corpora(Scale::Smoke)[2].clone();
+    let mut lake = corpus.lake.clone();
+    let config = PipelineConfig::default();
+    let mut graph = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+
+    // Add a new dataset derived from an existing one (a subset of some root).
+    let (first_id, source) = {
+        let first = lake.iter().next().unwrap();
+        (first.id, first.data.to_table(&Meter::new()).unwrap())
+    };
+    let subset = source
+        .take(&(0..source.num_rows() / 2).collect::<Vec<_>>())
+        .unwrap();
+    let new_id = lake
+        .add_dataset(
+            "incremental_subset",
+            PartitionedTable::from_table(
+                subset,
+                PartitionSpec::ByRowCount {
+                    rows_per_partition: 32,
+                },
+            )
+            .unwrap(),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap();
+
+    dataset_added(&lake, &mut graph, new_id.0, &config, &Meter::new()).unwrap();
+
+    // The incremental graph must have full recall against the brute-force
+    // ground truth of the updated lake (CLP keeps some probabilistically
+    // surviving incorrect edges, which may differ from a full re-run because
+    // different random filters are drawn, so exact equality is only required
+    // on the correct edges).
+    let gt = r2d2_baselines::ground_truth::content_ground_truth(&lake, &Meter::new())
+        .unwrap()
+        .containment_graph;
+    let d = r2d2_graph::diff::diff(&graph, &gt);
+    assert_eq!(d.not_detected, 0, "incremental update lost a correct edge");
+    assert!(graph.parents(new_id.0).contains(&first_id.0));
+
+    // A full re-run must agree with the incremental graph on every edge that
+    // touches the new dataset and is a true containment.
+    let full = R2d2Pipeline::new(config).run(&lake).unwrap().after_clp;
+    for (p, c) in gt.edges() {
+        if p == new_id.0 || c == new_id.0 {
+            assert_eq!(graph.has_edge(p, c), full.has_edge(p, c));
+        }
+    }
+}
+
+#[test]
+fn grow_shrink_delete_sequence_matches_full_rerun() {
+    let mut rng = SmallRng::seed_from_u64(123);
+    let config = PipelineConfig::default();
+    let meter = Meter::new();
+
+    // Small hand-built lake of transaction tables.
+    let mut lake = r2d2_lake::DataLake::new();
+    let base_table = transactions(200, 1, &mut rng);
+    let base = lake
+        .add_dataset(
+            "base",
+            PartitionedTable::single(base_table.clone()),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap();
+    let slice = lake
+        .add_dataset(
+            "slice",
+            PartitionedTable::single(base_table.take(&(20..80).collect::<Vec<_>>()).unwrap()),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap();
+    let mut graph = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    assert!(graph.has_edge(base.0, slice.0));
+
+    // 1. The slice grows with rows that are NOT in the base.
+    let mut foreign_rng = SmallRng::seed_from_u64(55);
+    let foreign = transactions(40, 99, &mut foreign_rng);
+    let grown = base_table
+        .take(&(20..80).collect::<Vec<_>>())
+        .unwrap()
+        .concat(&foreign)
+        .unwrap();
+    lake.replace_data(slice, PartitionedTable::single(grown)).unwrap();
+    dataset_grew(&lake, &mut graph, slice.0, &config, &meter).unwrap();
+    let full = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
+    assert!(!graph.has_edge(base.0, slice.0));
+
+    // 2. The slice shrinks back to a strict subset of the base.
+    lake.replace_data(
+        slice,
+        PartitionedTable::single(base_table.take(&(30..50).collect::<Vec<_>>()).unwrap()),
+    )
+    .unwrap();
+    dataset_shrank(&lake, &mut graph, slice.0, &config, &meter).unwrap();
+    let full = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
+    assert!(graph.has_edge(base.0, slice.0));
+
+    // 3. The base is deleted from the lake.
+    lake.remove_dataset(DatasetId(base.0)).unwrap();
+    dataset_deleted(&mut graph, base.0);
+    let full = R2d2Pipeline::new(config).run(&lake).unwrap().after_clp;
+    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
+    assert_eq!(graph.edge_count(), 0);
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the optimization layer: end-to-end from generated
+//! corpus through pipeline, safe-deletion preprocessing and Opt-Ret, plus
+//! cross-validation of the three solvers (exact, greedy, Dyn-Lin) and the
+//! savings accounting of Table 7 / Figure 5.
+
+use r2d2_bench::experiments::{enterprise_corpora, Scale};
+use r2d2_core::R2d2Pipeline;
+use r2d2_graph::random::{erdos_renyi_dag, line_graph};
+use r2d2_lake::DatasetId;
+use r2d2_opt::costmodel::CostModel;
+use r2d2_opt::dynlin::solve_line;
+use r2d2_opt::preprocess::{preprocess_for_safe_deletion, TransformKnowledge};
+use r2d2_opt::savings::{gdpr_savings, horizon_projection, HorizonScenario};
+use r2d2_opt::{solve, solve_exact, solve_greedy, OptRetProblem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn end_to_end_optimization_on_generated_corpus() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+    let mut graph = report.after_clp;
+    let model = CostModel::default();
+    let pre = preprocess_for_safe_deletion(
+        &mut graph,
+        &corpus.lake,
+        &model,
+        TransformKnowledge::Required,
+    )
+    .unwrap();
+    assert_eq!(
+        pre.kept + pre.pruned_unknown_transform + pre.pruned_latency,
+        pre.edges_examined
+    );
+
+    // Every surviving edge must be annotated.
+    for (p, c) in graph.edges() {
+        let edge = graph.edge(p, c).unwrap();
+        assert!(edge.reconstruction_cost.is_some());
+        assert!(edge.reconstruction_latency.is_some());
+        assert!(edge.transform.is_some());
+    }
+
+    let problem = OptRetProblem::from_graph(&graph, &corpus.lake, &model).unwrap();
+    let solution = solve(&problem);
+    assert!(solution.is_feasible(&problem));
+    assert!(solution.total_cost <= problem.retain_all_cost() + 1e-9);
+
+    // Deleted datasets must actually exist in the lake and must have a
+    // retained reconstruction parent with a containment edge.
+    for d in &solution.deleted {
+        assert!(corpus.lake.contains(DatasetId(*d)));
+        let parent = solution.reconstruction_parent[d];
+        assert!(solution.retained.contains(&parent));
+        assert!(graph.has_edge(parent, *d));
+    }
+
+    let savings = gdpr_savings(&solution, &corpus.lake, 1.0).unwrap();
+    assert_eq!(savings.datasets_deleted, solution.deleted.len());
+}
+
+#[test]
+fn exact_and_greedy_and_dynlin_agree_where_applicable() {
+    let model = CostModel::default();
+
+    // Line graphs: all three solvers must agree on the optimum.
+    for n in [4usize, 8, 13] {
+        let graph = line_graph(n);
+        let problem = OptRetProblem::synthetic(&graph, &model, |d| ((d % 5) + 1) << 30, |d| {
+            (d % 3) as f64 * 0.2
+        });
+        let exact = solve_exact(&problem);
+        let dp = solve_line(&problem).unwrap();
+        assert!((exact.total_cost - dp.total_cost).abs() < 1e-6, "n={n}");
+        let auto = solve(&problem);
+        assert!((auto.total_cost - exact.total_cost).abs() < 1e-6, "n={n}");
+    }
+
+    // Random DAGs: greedy is feasible and never better than exact.
+    let mut rng = SmallRng::seed_from_u64(77);
+    for n in [8usize, 12] {
+        let graph = erdos_renyi_dag(n, 0.3, &mut rng);
+        let problem =
+            OptRetProblem::synthetic(&graph, &model, |d| ((d % 5) + 1) << 29, |d| (d % 4) as f64);
+        let exact = solve_exact(&problem);
+        let greedy = solve_greedy(&problem);
+        assert!(exact.is_feasible(&problem));
+        assert!(greedy.is_feasible(&problem));
+        assert!(exact.total_cost <= greedy.total_cost + 1e-9);
+    }
+}
+
+#[test]
+fn latency_threshold_controls_how_much_can_be_deleted() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+
+    let solve_with_model = |model: CostModel| {
+        let mut graph = report.after_clp.clone();
+        preprocess_for_safe_deletion(
+            &mut graph,
+            &corpus.lake,
+            &model,
+            TransformKnowledge::AssumeKnown,
+        )
+        .unwrap();
+        let problem = OptRetProblem::from_graph(&graph, &corpus.lake, &model).unwrap();
+        (graph.edge_count(), solve(&problem))
+    };
+
+    let (edges_loose, sol_loose) = solve_with_model(CostModel::default());
+    let (edges_tight, sol_tight) =
+        solve_with_model(CostModel::default().with_latency_threshold(1e-12));
+    assert_eq!(edges_tight, 0, "a zero latency budget prunes every edge");
+    assert!(edges_loose >= edges_tight);
+    assert!(sol_tight.deleted.is_empty());
+    assert!(sol_loose.deleted.len() >= sol_tight.deleted.len());
+}
+
+#[test]
+fn horizon_projection_matches_paper_shape() {
+    // Fig. 5: savings grow with the contained fraction; the 5-access curve
+    // lies above the 1-access curve; both are positive for any non-zero
+    // contained fraction.
+    let model = CostModel::default();
+    let mut previous = f64::MIN;
+    for fraction in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let one = horizon_projection(&HorizonScenario::figure5(fraction, 1.0), &model);
+        let five = horizon_projection(&HorizonScenario::figure5(fraction, 5.0), &model);
+        assert!(one.net() > 0.0);
+        assert!(five.net() > one.net());
+        assert!(one.net() > previous);
+        previous = one.net();
+    }
+}

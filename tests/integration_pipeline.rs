@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the full R2D2 pipeline against the
+//! brute-force ground truth on generated corpora — the properties behind
+//! Tables 1 and 2 of the paper (full recall at every stage, monotonically
+//! shrinking incorrect-edge counts) and Table 3 (operation savings).
+
+use r2d2_baselines::ground_truth::{content_ground_truth, content_ground_truth_op_estimate};
+use r2d2_bench::experiments::{enterprise_corpora, synthetic_corpora, Scale};
+use r2d2_core::{ClpSampling, PipelineConfig, R2d2Pipeline};
+use r2d2_graph::diff::diff;
+use r2d2_lake::Meter;
+
+#[test]
+fn enterprise_corpora_full_recall_and_shrinking_incorrect_edges() {
+    for corpus in enterprise_corpora(Scale::Smoke) {
+        let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
+        let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+
+        let stages = [
+            ("SGB", &report.after_sgb),
+            ("MMP", &report.after_mmp),
+            ("CLP", &report.after_clp),
+        ];
+        let mut last_incorrect = usize::MAX;
+        for (name, graph) in stages {
+            let d = diff(graph, &gt.containment_graph);
+            assert_eq!(
+                d.not_detected, 0,
+                "{}: stage {name} must not lose a correct edge",
+                corpus.name
+            );
+            assert!(
+                d.incorrect <= last_incorrect,
+                "{}: stage {name} must not add incorrect edges",
+                corpus.name
+            );
+            last_incorrect = d.incorrect;
+        }
+
+        // The construction-implied edges are a subset of the ground truth,
+        // and the pipeline must find all of them.
+        let implied = diff(&corpus.expected, &gt.containment_graph);
+        assert_eq!(implied.incorrect, 0, "{}: corpus invariant", corpus.name);
+        let found = diff(&report.after_clp, &corpus.expected);
+        assert_eq!(
+            found.not_detected, 0,
+            "{}: every constructed containment must be detected",
+            corpus.name
+        );
+    }
+}
+
+#[test]
+fn synthetic_corpora_full_recall() {
+    for corpus in synthetic_corpora(Scale::Smoke) {
+        let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
+        let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+        let d = diff(&report.after_clp, &gt.containment_graph);
+        assert_eq!(d.not_detected, 0, "{}: recall must be 1.0", corpus.name);
+        let sgb = diff(&report.after_sgb, &gt.containment_graph);
+        assert!(
+            d.incorrect <= sgb.incorrect,
+            "{}: CLP must not be worse than SGB",
+            corpus.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_row_ops_are_orders_of_magnitude_below_brute_force() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
+    let brute_force_ops =
+        content_ground_truth_op_estimate(&corpus.lake, &gt.schema_graph).unwrap();
+    let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+    let pipeline_ops: u128 = report
+        .stages
+        .iter()
+        .map(|s| s.ops.row_level_ops() as u128)
+        .sum();
+    assert!(
+        brute_force_ops >= pipeline_ops * 10,
+        "pipeline must do at least 10x less row-level work (brute force {brute_force_ops}, pipeline {pipeline_ops})"
+    );
+}
+
+#[test]
+fn mmp_stage_is_metadata_only_end_to_end() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[1];
+    let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+    let mmp = report.stage("MMP").unwrap();
+    assert_eq!(mmp.ops.rows_scanned, 0);
+    assert!(mmp.ops.metadata_lookups > 0);
+}
+
+#[test]
+fn all_sampling_strategies_preserve_recall() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[2];
+    let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
+    for sampling in [
+        ClpSampling::PredicateFilter,
+        ClpSampling::RandomRows,
+        ClpSampling::BothSides,
+    ] {
+        let config = PipelineConfig::default().with_sampling(sampling);
+        let report = R2d2Pipeline::new(config).run(&corpus.lake).unwrap();
+        let d = diff(&report.after_clp, &gt.containment_graph);
+        assert_eq!(
+            d.not_detected, 0,
+            "sampling strategy {sampling:?} lost a correct edge"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_for_a_fixed_seed() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    let config = PipelineConfig::default().with_seed(1234);
+    let a = R2d2Pipeline::new(config.clone()).run(&corpus.lake).unwrap();
+    let b = R2d2Pipeline::new(config).run(&corpus.lake).unwrap();
+    let mut ea = a.after_clp.edges();
+    let mut eb = b.after_clp.edges();
+    ea.sort_unstable();
+    eb.sort_unstable();
+    assert_eq!(ea, eb);
+}

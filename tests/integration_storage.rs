@@ -1,0 +1,78 @@
+//! Integration tests of the storage layer with the rest of the system: a
+//! corpus written to the binary columnar format and read back must produce
+//! the same containment graph, and the footer-only path must expose the same
+//! min/max metadata MMP relies on.
+
+use r2d2_bench::experiments::{enterprise_corpora, Scale};
+use r2d2_core::R2d2Pipeline;
+use r2d2_lake::{storage, AccessProfile, DataLake, Meter};
+
+#[test]
+fn corpus_round_trips_through_storage_with_identical_containment_graph() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[2];
+    let dir = std::env::temp_dir().join("r2d2_integration_storage");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Write every dataset to disk and read it back into a fresh lake.
+    let mut restored = DataLake::new();
+    for entry in corpus.lake.iter() {
+        let path = dir.join(format!("{}.r2d2", entry.id.0));
+        storage::write_file(&entry.data, &path).unwrap();
+        let read_back = storage::read_file(&path, &Meter::new()).unwrap();
+        assert_eq!(read_back.num_rows(), entry.data.num_rows());
+        assert_eq!(read_back.schema(), entry.data.schema());
+        restored
+            .add_dataset(entry.name.clone(), read_back, AccessProfile::default(), None)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    let original = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
+    let roundtrip = R2d2Pipeline::with_defaults().run(&restored).unwrap();
+
+    // Dataset ids are re-assigned in insertion order, which matches the
+    // original iteration order, so the edge sets must be identical.
+    let mut a = original.after_clp.edges();
+    let mut b = roundtrip.after_clp.edges();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "containment graph must survive a storage round trip");
+}
+
+#[test]
+fn footer_metadata_matches_in_memory_statistics() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    for entry in corpus.lake.iter().take(5) {
+        let bytes = storage::encode(&entry.data);
+        let meter = Meter::new();
+        let footer = storage::read_footer(&bytes, &meter).unwrap();
+        assert_eq!(meter.snapshot().rows_scanned, 0, "footer read is metadata-only");
+
+        let from_footer = footer.table_level();
+        for (name, stats) in entry.data.table_stats() {
+            let f = &from_footer[name];
+            assert_eq!(f.min, stats.min, "min mismatch for {name}");
+            assert_eq!(f.max, stats.max, "max mismatch for {name}");
+            assert_eq!(f.null_count, stats.null_count, "nulls mismatch for {name}");
+        }
+        assert_eq!(
+            footer.row_counts.iter().sum::<u64>() as usize,
+            entry.data.num_rows()
+        );
+    }
+}
+
+#[test]
+fn encoded_size_tracks_logical_size() {
+    let corpus = &enterprise_corpora(Scale::Smoke)[0];
+    let mut entries = corpus.lake.iter();
+    let small = entries.next().unwrap();
+    let encoded = storage::encode(&small.data);
+    // The binary format should be within a small constant factor of the
+    // logical byte size (no blow-up, no impossible compression since values
+    // are stored verbatim).
+    let logical = small.data.byte_size() as f64;
+    let physical = encoded.len() as f64;
+    assert!(physical > logical * 0.5, "physical {physical} vs logical {logical}");
+    assert!(physical < logical * 3.0, "physical {physical} vs logical {logical}");
+}
