@@ -10,8 +10,8 @@
 //! reported.
 
 use r2d2_graph::{ContainmentEdge, ContainmentGraph};
-use r2d2_lake::query::containment_check;
-use r2d2_lake::{DataLake, DatasetId, Meter, Result, SchemaSet};
+use r2d2_lake::query::containment_check_cached;
+use r2d2_lake::{DataLake, DatasetId, HashJoinCache, Meter, Result, SchemaSet};
 
 /// Re-export of the brute-force schema graph builder (shared with the core
 /// crate so SGB's recall proof tests and the baseline use the same code).
@@ -46,10 +46,22 @@ pub fn content_ground_truth(lake: &DataLake, meter: &Meter) -> Result<GroundTrut
     for &id in schema_graph.datasets() {
         containment_graph.add_dataset(id);
     }
+    // Many children share a parent; cache each parent's hash multiset per
+    // distinct child column set so it is materialised and hashed once. The
+    // edge list is grouped by parent, so each parent's multisets are evicted
+    // as soon as its last edge is done — peak memory is one parent's worth,
+    // not the whole lake's.
+    let cache = HashJoinCache::new();
+    let mut previous_parent: Option<u64> = None;
     for (parent, child) in schema_graph.edges() {
+        match previous_parent {
+            Some(prev) if prev != parent => cache.evict_dataset(prev),
+            _ => {}
+        }
+        previous_parent = Some(parent);
         let p = lake.dataset(DatasetId(parent))?;
         let c = lake.dataset(DatasetId(child))?;
-        let chk = containment_check(&c.data, &p.data, meter)?;
+        let chk = containment_check_cached(&c.data, parent, &p.data, meter, &cache)?;
         if chk.is_exact() {
             containment_graph.add_edge_with(
                 parent,
@@ -118,11 +130,21 @@ mod tests {
         .unwrap();
         let mut lake = DataLake::new();
         let b = lake
-            .add_dataset("base", PartitionedTable::single(base), AccessProfile::default(), None)
+            .add_dataset(
+                "base",
+                PartitionedTable::single(base),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let s = lake
-            .add_dataset("sub", PartitionedTable::single(subset), AccessProfile::default(), None)
+            .add_dataset(
+                "sub",
+                PartitionedTable::single(subset),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let d = lake

@@ -200,19 +200,39 @@ mod tests {
 
         let mut lake = DataLake::new();
         let p = lake
-            .add_dataset("parent", PartitionedTable::single(parent), AccessProfile::default(), None)
+            .add_dataset(
+                "parent",
+                PartitionedTable::single(parent),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let s = lake
-            .add_dataset("subset", PartitionedTable::single(subset), AccessProfile::default(), None)
+            .add_dataset(
+                "subset",
+                PartitionedTable::single(subset),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let w = lake
-            .add_dataset("swapped", PartitionedTable::single(swapped), AccessProfile::default(), None)
+            .add_dataset(
+                "swapped",
+                PartitionedTable::single(swapped),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let u = lake
-            .add_dataset("unrelated", PartitionedTable::single(unrelated), AccessProfile::default(), None)
+            .add_dataset(
+                "unrelated",
+                PartitionedTable::single(unrelated),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         (lake, p, s, w, u)

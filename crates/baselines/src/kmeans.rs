@@ -79,7 +79,12 @@ pub struct KMeansResult {
 }
 
 /// Lloyd's k-means with k-means++ seeding.
-pub fn kmeans(points: &[[f64; EMBEDDING_DIM]], k: usize, max_iter: usize, seed: u64) -> KMeansResult {
+pub fn kmeans(
+    points: &[[f64; EMBEDDING_DIM]],
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+) -> KMeansResult {
     assert!(k > 0, "k must be positive");
     let k = k.min(points.len().max(1));
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -170,13 +175,8 @@ pub fn kmeans(points: &[[f64; EMBEDDING_DIM]], k: usize, max_iter: usize, seed: 
 /// The KMeans schema-containment baseline: cluster schema embeddings into
 /// `k` clusters, then add containment edges only between members of the same
 /// cluster (mirroring what SGB does within its clusters).
-pub fn kmeans_schema_graph(
-    schemas: &[(u64, SchemaSet)],
-    k: usize,
-    seed: u64,
-) -> ContainmentGraph {
-    let points: Vec<[f64; EMBEDDING_DIM]> =
-        schemas.iter().map(|(_, s)| embed_schema(s)).collect();
+pub fn kmeans_schema_graph(schemas: &[(u64, SchemaSet)], k: usize, seed: u64) -> ContainmentGraph {
+    let points: Vec<[f64; EMBEDDING_DIM]> = schemas.iter().map(|(_, s)| embed_schema(s)).collect();
     let result = kmeans(&points, k, 50, seed);
     let mut graph = ContainmentGraph::new();
     for (id, _) in schemas {
@@ -265,12 +265,21 @@ mod tests {
 
     fn schemas() -> Vec<(u64, SchemaSet)> {
         vec![
-            (1, SchemaSet::from_names(["user_id", "amount", "region", "ts"])),
+            (
+                1,
+                SchemaSet::from_names(["user_id", "amount", "region", "ts"]),
+            ),
             (2, SchemaSet::from_names(["user_id", "amount", "region"])),
             (3, SchemaSet::from_names(["user_id", "amount"])),
-            (4, SchemaSet::from_names(["product_name", "product_price", "stock"])),
+            (
+                4,
+                SchemaSet::from_names(["product_name", "product_price", "stock"]),
+            ),
             (5, SchemaSet::from_names(["product_name", "product_price"])),
-            (6, SchemaSet::from_names(["sensor", "reading", "unit", "site"])),
+            (
+                6,
+                SchemaSet::from_names(["sensor", "reading", "unit", "site"]),
+            ),
             (7, SchemaSet::from_names(["sensor", "reading"])),
             (8, SchemaSet::from_names(["wholly", "unrelated", "things"])),
         ]

@@ -44,10 +44,8 @@ pub fn columns_as_sets_graph(lake: &DataLake, meter: &Meter) -> Result<Containme
             let parent_table = parent.data.to_table(meter)?;
             let mut all_contained = true;
             for col in child_table.schema().names() {
-                let child_vals: HashSet<RowHash> = child_table
-                    .row_hashes(&[col], meter)?
-                    .into_iter()
-                    .collect();
+                let child_vals: HashSet<RowHash> =
+                    child_table.row_hashes(&[col], meter)?.into_iter().collect();
                 let parent_vals: HashSet<RowHash> = parent_table
                     .row_hashes(&[col], meter)?
                     .into_iter()
@@ -147,19 +145,39 @@ mod tests {
 
         let mut lake = DataLake::new();
         let a = lake
-            .add_dataset("t1", PartitionedTable::single(t1), AccessProfile::default(), None)
+            .add_dataset(
+                "t1",
+                PartitionedTable::single(t1),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let b = lake
-            .add_dataset("t2", PartitionedTable::single(t2), AccessProfile::default(), None)
+            .add_dataset(
+                "t2",
+                PartitionedTable::single(t2),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let p = lake
-            .add_dataset("parent", PartitionedTable::single(parent), AccessProfile::default(), None)
+            .add_dataset(
+                "parent",
+                PartitionedTable::single(parent),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let c = lake
-            .add_dataset("child", PartitionedTable::single(child), AccessProfile::default(), None)
+            .add_dataset(
+                "child",
+                PartitionedTable::single(child),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         (lake, a, b, p, c)
@@ -192,11 +210,21 @@ mod tests {
         let child = Table::new(schema, vec![Column::from_ints(2..5)]).unwrap();
         let mut lake = DataLake::new();
         let p = lake
-            .add_dataset("p", PartitionedTable::single(parent), AccessProfile::default(), None)
+            .add_dataset(
+                "p",
+                PartitionedTable::single(parent),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let c = lake
-            .add_dataset("c", PartitionedTable::single(child), AccessProfile::default(), None)
+            .add_dataset(
+                "c",
+                PartitionedTable::single(child),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let g = rows_as_sets_graph(&lake, &Meter::new()).unwrap();

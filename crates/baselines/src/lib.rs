@@ -24,8 +24,8 @@
 #![warn(clippy::all)]
 
 pub mod ground_truth;
-pub mod kmeans;
 pub mod josie;
+pub mod kmeans;
 pub mod lcjoin;
 pub mod minhash;
 pub mod schema_classifier;

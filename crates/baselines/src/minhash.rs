@@ -126,9 +126,7 @@ mod tests {
 
     fn table(ids: std::ops::Range<i64>) -> PartitionedTable {
         let schema = Schema::flat(&[("id", DataType::Int)]).unwrap();
-        PartitionedTable::single(
-            Table::new(schema, vec![Column::from_ints(ids)]).unwrap(),
-        )
+        PartitionedTable::single(Table::new(schema, vec![Column::from_ints(ids)]).unwrap())
     }
 
     #[test]
@@ -159,7 +157,10 @@ mod tests {
         let child = table(0..100); // half inside parent
         let parent = table(50..450);
         let est = estimate_containment(&child, &parent, 256, &Meter::new()).unwrap();
-        assert!(est > 0.2 && est < 0.85, "true containment 0.5, estimate {est}");
+        assert!(
+            est > 0.2 && est < 0.85,
+            "true containment 0.5, estimate {est}"
+        );
     }
 
     #[test]

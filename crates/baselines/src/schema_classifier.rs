@@ -80,7 +80,7 @@ pub fn pair_features(small: &SchemaSet, large: &SchemaSet) -> [f64; FEATURE_COUN
     } else {
         a.difference(&b).count() as f64 / a.len() as f64
     };
-    let ratio = if large.len() == 0 {
+    let ratio = if large.is_empty() {
         1.0
     } else {
         small.len() as f64 / large.len() as f64
@@ -152,8 +152,8 @@ fn build_tree(examples: &[&Example], depth: usize, max_depth: usize) -> TreeNode
             if lt == 0 || rt == 0 {
                 continue;
             }
-            let impurity = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt))
-                / examples.len() as f64;
+            let impurity =
+                (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt)) / examples.len() as f64;
             if best.map(|(_, _, b)| impurity < b).unwrap_or(true) {
                 best = Some((f, threshold, impurity));
             }
@@ -296,7 +296,11 @@ pub fn build_training_set(
             continue;
         }
         let (sa, sb) = (index[&a], index[&b]);
-        let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+        let (small, large) = if sa.len() <= sb.len() {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
         examples.push(Example {
             features: pair_features(small, large),
             label: false,
@@ -326,10 +330,7 @@ pub fn evaluate_classifier(
     for (i, (id_a, sa)) in schemas.iter().enumerate() {
         for (id_b, sb) in schemas.iter().skip(i + 1) {
             // Evaluate both directions, as containment is directional.
-            for (parent, child, ps, cs) in [
-                (*id_a, *id_b, sa, sb),
-                (*id_b, *id_a, sb, sa),
-            ] {
+            for (parent, child, ps, cs) in [(*id_a, *id_b, sa, sb), (*id_b, *id_a, sb, sa)] {
                 let _ = (ps, cs);
                 let (Some(p), Some(c)) = (index.get(&parent), index.get(&child)) else {
                     continue;
@@ -362,7 +363,10 @@ mod tests {
 
     fn schemas() -> Vec<(u64, SchemaSet)> {
         vec![
-            (1, SchemaSet::from_names(["user_id", "amount", "region", "ts"])),
+            (
+                1,
+                SchemaSet::from_names(["user_id", "amount", "region", "ts"]),
+            ),
             (2, SchemaSet::from_names(["user_id", "amount", "region"])),
             (3, SchemaSet::from_names(["user_id", "amount"])),
             (4, SchemaSet::from_names(["product", "price", "stock"])),
@@ -371,7 +375,10 @@ mod tests {
             (7, SchemaSet::from_names(["alpha", "beta"])),
             (8, SchemaSet::from_names(["x1", "x2", "x3", "x4"])),
             (9, SchemaSet::from_names(["x1", "x2"])),
-            (10, SchemaSet::from_names(["completely", "different", "cols"])),
+            (
+                10,
+                SchemaSet::from_names(["completely", "different", "cols"]),
+            ),
         ]
     }
 

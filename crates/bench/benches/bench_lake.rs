@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use r2d2_lake::query::{containment_check, left_anti_join, scan, Predicate};
-use r2d2_lake::{storage, Column, DataType, Meter, PartitionSpec, PartitionedTable, Schema, Table, Value};
+use r2d2_lake::{
+    storage, Column, DataType, Meter, PartitionSpec, PartitionedTable, Schema, Table, Value,
+};
 
 fn make_table(rows: i64) -> Table {
     let schema = Schema::flat(&[

@@ -3,16 +3,25 @@
 //! counterpart of Tables 1, 2 and 5 and Figure 4's size sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use r2d2_core::R2d2Pipeline;
+use r2d2_core::{PipelineConfig, R2d2Pipeline};
 use r2d2_synth::corpus::{generate, CorpusSpec};
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/full");
     group.sample_size(10);
     let corpora = vec![
-        ("enterprise_org1", generate(&CorpusSpec::enterprise_like(0, 128)).unwrap()),
-        ("enterprise_org2", generate(&CorpusSpec::enterprise_like(1, 128)).unwrap()),
-        ("table_union", generate(&CorpusSpec::table_union_like(8, 64)).unwrap()),
+        (
+            "enterprise_org1",
+            generate(&CorpusSpec::enterprise_like(0, 128)).unwrap(),
+        ),
+        (
+            "enterprise_org2",
+            generate(&CorpusSpec::enterprise_like(1, 128)).unwrap(),
+        ),
+        (
+            "table_union",
+            generate(&CorpusSpec::table_union_like(8, 64)).unwrap(),
+        ),
         ("kaggle", generate(&CorpusSpec::kaggle_like(4, 96)).unwrap()),
     ];
     for (name, corpus) in &corpora {
@@ -38,5 +47,25 @@ fn bench_pipeline_size_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_pipeline_size_sweep);
+fn bench_pipeline_seq_vs_par(c: &mut Criterion) {
+    // The tentpole comparison: identical results (see the determinism
+    // integration tests), different wall clock.
+    let mut group = c.benchmark_group("pipeline/seq_vs_par");
+    group.sample_size(10);
+    let corpus = generate(&CorpusSpec::enterprise_like(0, 320)).unwrap();
+    for (label, threads) in [("threads_1", 1usize), ("threads_all", 0)] {
+        let pipeline = R2d2Pipeline::new(PipelineConfig::default().with_threads(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &corpus, |b, corpus| {
+            b.iter(|| pipeline.run(&corpus.lake).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_pipeline_size_sweep,
+    bench_pipeline_seq_vs_par
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use r2d2_core::clp::content_level_prune;
-use r2d2_core::mmp::min_max_prune;
-use r2d2_core::sgb::build_schema_graph;
+use r2d2_core::mmp::{min_max_prune, min_max_prune_threaded};
+use r2d2_core::sgb::{build_schema_graph, build_schema_graph_string, build_schema_graph_threaded};
 use r2d2_core::{PipelineConfig, R2d2Pipeline};
 use r2d2_lake::{Meter, SchemaSet};
 use r2d2_synth::corpus::{generate, CorpusSpec};
@@ -27,6 +27,30 @@ fn bench_sgb(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sgb_interned_vs_string(c: &mut Criterion) {
+    // The interning win in isolation: identical algorithm and comparison
+    // counts, different schema-set representation.
+    let mut group = c.benchmark_group("stages/sgb_repr");
+    let corpus = corpus(0, 256);
+    let schemas: Vec<(u64, SchemaSet)> = R2d2Pipeline::schema_sets(&corpus.lake);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("string_sets"),
+        &schemas,
+        |b, schemas| b.iter(|| build_schema_graph_string(schemas, &Meter::new())),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("interned_ids"),
+        &schemas,
+        |b, schemas| b.iter(|| build_schema_graph(schemas, &Meter::new())),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("interned_ids_threads_all"),
+        &schemas,
+        |b, schemas| b.iter(|| build_schema_graph_threaded(schemas, 0, &Meter::new())),
+    );
+    group.finish();
+}
+
 fn bench_mmp(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages/mmp");
     group.sample_size(30);
@@ -36,6 +60,12 @@ fn bench_mmp(c: &mut Criterion) {
         b.iter(|| {
             let mut graph = sgb.graph.clone();
             min_max_prune(&corpus.lake, &mut graph, true, &Meter::new()).unwrap()
+        })
+    });
+    group.bench_function("enterprise_org1_threads_all", |b| {
+        b.iter(|| {
+            let mut graph = sgb.graph.clone();
+            min_max_prune_threaded(&corpus.lake, &mut graph, true, 0, &Meter::new()).unwrap()
         })
     });
     group.finish();
@@ -62,8 +92,28 @@ fn bench_clp(c: &mut Criterion) {
             },
         );
     }
+    // Same workload, all hardware threads.
+    let par_config = PipelineConfig::default()
+        .with_clp_params(4, 10)
+        .with_threads(0);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("s4_t10_threads_all"),
+        &par_config,
+        |b, config| {
+            b.iter(|| {
+                let mut graph = after_mmp.clone();
+                content_level_prune(&corpus.lake, &mut graph, config, &Meter::new()).unwrap()
+            })
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_sgb, bench_mmp, bench_clp);
+criterion_group!(
+    benches,
+    bench_sgb,
+    bench_sgb_interned_vs_string,
+    bench_mmp,
+    bench_clp
+);
 criterion_main!(benches);

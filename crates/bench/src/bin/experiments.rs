@@ -11,7 +11,7 @@
 //! `--smoke` switches to the small corpora used by the integration tests.
 
 use r2d2_bench::experiments::{
-    clp_params, containment, enterprise_corpora, figures, optimization, schema_baselines,
+    clp_params, containment, enterprise_corpora, figures, optimization, perf, schema_baselines,
     synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
@@ -130,12 +130,30 @@ fn fig6(scale: Scale) {
         ),
     };
     let nodes = optimization::figure6_nodes(&node_counts, 0.02, 11);
-    println!("{}", optimization::render_figure6(&nodes, "vary nodes (p=0.02)"));
+    println!(
+        "{}",
+        optimization::render_figure6(&nodes, "vary nodes (p=0.02)")
+    );
     let edges = optimization::figure6_edges(fixed_n, &probs, 13);
     println!(
         "{}",
         optimization::render_figure6(&edges, &format!("vary edges (n={fixed_n})"))
     );
+}
+
+fn bench_pipeline(scale: Scale) {
+    println!("== Perf snapshot: sequential vs parallel pipeline, hot-path before/after ==");
+    let snapshot = perf::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_pipeline.json write)");
+    } else {
+        let path = "BENCH_pipeline.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_pipeline.json");
+        println!("wrote {path}");
+    }
 }
 
 fn main() {
@@ -148,6 +166,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
 
     match which.as_str() {
+        "bench-pipeline" => bench_pipeline(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -174,7 +193,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

@@ -28,7 +28,12 @@ pub struct SweepPoint {
 }
 
 /// Sweep CLP parameters on one corpus (the paper uses its 42 TB customer).
-pub fn sweep(corpus: &Corpus, s_values: &[usize], t_values: &[usize], seed: u64) -> Vec<SweepPoint> {
+pub fn sweep(
+    corpus: &Corpus,
+    s_values: &[usize],
+    t_values: &[usize],
+    seed: u64,
+) -> Vec<SweepPoint> {
     let gt = content_ground_truth(&corpus.lake, &Meter::new())
         .expect("lake is self-consistent")
         .containment_graph;

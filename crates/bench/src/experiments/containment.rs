@@ -102,11 +102,8 @@ pub fn evaluate_corpus(corpus: &Corpus, config: &PipelineConfig) -> CorpusEvalua
         stage_ops,
         sgb_schema_comparisons,
         ground_truth_schema_ops: schema_ground_truth_op_estimate(&corpus.lake),
-        ground_truth_content_ops: content_ground_truth_op_estimate(
-            &corpus.lake,
-            &gt.schema_graph,
-        )
-        .expect("lake is self-consistent"),
+        ground_truth_content_ops: content_ground_truth_op_estimate(&corpus.lake, &gt.schema_graph)
+            .expect("lake is self-consistent"),
         ground_truth_duration,
         sgb_edges: report.after_sgb.edge_count(),
         mmp_edges: report.after_mmp.edge_count(),
@@ -161,28 +158,28 @@ pub fn render_edge_quality(evals: &[CorpusEvaluation]) -> String {
 
 /// Render Table 3 (pairwise operation counts).
 pub fn render_op_counts(evals: &[CorpusEvaluation]) -> String {
-    let t = TextTable::new(["Method", "Quantity"]
-        .into_iter()
-        .map(String::from)
-        .chain(evals.iter().map(|e| e.corpus.clone()))
-        .collect::<Vec<_>>());
+    let t = TextTable::new(
+        ["Method", "Quantity"]
+            .into_iter()
+            .map(String::from)
+            .chain(evals.iter().map(|e| e.corpus.clone()))
+            .collect::<Vec<_>>(),
+    );
     let row = |label: &str, quantity: &str, f: &dyn Fn(&CorpusEvaluation) -> u128| {
         let mut cells = vec![label.to_string(), quantity.to_string()];
         cells.extend(evals.iter().map(|e| fmt_count(f(e))));
         cells
     };
     let mut table = t;
-    table.add_row(row(
-        "Ground Truth Schema",
-        "pair comparisons",
-        &|e| e.ground_truth_schema_ops,
-    ));
-    table.add_row(row("SGB", "pair comparisons", &|e| e.sgb_schema_comparisons));
-    table.add_row(row(
-        "Ground Truth Content",
-        "row operations",
-        &|e| e.ground_truth_content_ops,
-    ));
+    table.add_row(row("Ground Truth Schema", "pair comparisons", &|e| {
+        e.ground_truth_schema_ops
+    }));
+    table.add_row(row("SGB", "pair comparisons", &|e| {
+        e.sgb_schema_comparisons
+    }));
+    table.add_row(row("Ground Truth Content", "row operations", &|e| {
+        e.ground_truth_content_ops
+    }));
     table.add_row(row("MMP", "edges examined (E1)", &|e| e.sgb_edges as u128));
     table.add_row(row("CLP", "row operations", &|e| {
         e.stage_ops
@@ -239,9 +236,9 @@ mod tests {
         let clp_ops = eval.stage_ops.last().unwrap().1;
         assert!(eval.ground_truth_content_ops > clp_ops);
         // Rendering shouldn't panic and should mention the corpus name.
-        let txt = render_edge_quality(&[eval.clone()]);
+        let txt = render_edge_quality(std::slice::from_ref(&eval));
         assert!(txt.contains(&eval.corpus));
-        assert!(render_op_counts(&[eval.clone()]).contains("Ground Truth Content"));
+        assert!(render_op_counts(std::slice::from_ref(&eval)).contains("Ground Truth Content"));
         assert!(render_timings(&[eval]).contains("Ours (total)"));
     }
 }

@@ -42,7 +42,10 @@ pub fn render_figure2(results: &[Fig2Result]) -> String {
             let lo = i as f64 / norm.len() as f64;
             let hi = (i + 1) as f64 / norm.len() as f64;
             let bar = "#".repeat((frac * 50.0).round() as usize);
-            out.push_str(&format!("  [{lo:.1}-{hi:.1})  {bar} {:.1}%\n", frac * 100.0));
+            out.push_str(&format!(
+                "  [{lo:.1}-{hi:.1})  {bar} {:.1}%\n",
+                frac * 100.0
+            ));
         }
         out.push('\n');
     }
@@ -68,8 +71,7 @@ pub fn figure4(org_variant: usize, rows_per_root: &[usize]) -> Vec<Fig4Point> {
     rows_per_root
         .iter()
         .map(|&rows| {
-            let corpus =
-                generate(&CorpusSpec::enterprise_like(org_variant, rows)).expect("corpus");
+            let corpus = generate(&CorpusSpec::enterprise_like(org_variant, rows)).expect("corpus");
             let report = R2d2Pipeline::with_defaults()
                 .run(&corpus.lake)
                 .expect("pipeline run");
@@ -77,10 +79,7 @@ pub fn figure4(org_variant: usize, rows_per_root: &[usize]) -> Vec<Fig4Point> {
                 rows_per_root: rows,
                 total_bytes: corpus.lake.total_bytes(),
                 total_time: report.stages.iter().map(|s| s.duration).sum(),
-                clp_time: report
-                    .stage("CLP")
-                    .map(|s| s.duration)
-                    .unwrap_or_default(),
+                clp_time: report.stage("CLP").map(|s| s.duration).unwrap_or_default(),
             }
         })
         .collect()
@@ -88,7 +87,12 @@ pub fn figure4(org_variant: usize, rows_per_root: &[usize]) -> Vec<Fig4Point> {
 
 /// Render Fig. 4.
 pub fn render_figure4(points: &[Fig4Point]) -> String {
-    let mut t = TextTable::new(["Rows per root", "Total size (MB)", "Pipeline time", "CLP time"]);
+    let mut t = TextTable::new([
+        "Rows per root",
+        "Total size (MB)",
+        "Pipeline time",
+        "CLP time",
+    ]);
     for p in points {
         t.add_row([
             p.rows_per_root.to_string(),
@@ -117,7 +121,10 @@ mod tests {
         let a = results[0].histogram.normalized();
         let b = results[1].histogram.normalized();
         let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(l1 > 0.05, "orgs should have different schema profiles (L1={l1})");
+        assert!(
+            l1 > 0.05,
+            "orgs should have different schema profiles (L1={l1})"
+        );
         assert!(render_figure2(&results).contains("pairwise schema containment"));
     }
 

@@ -4,6 +4,7 @@ pub mod clp_params;
 pub mod containment;
 pub mod figures;
 pub mod optimization;
+pub mod perf;
 pub mod schema_baselines;
 
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
@@ -54,8 +55,11 @@ impl Scale {
 pub fn enterprise_corpora(scale: Scale) -> Vec<Corpus> {
     (0..3)
         .map(|variant| {
-            generate(&CorpusSpec::enterprise_like(variant, scale.enterprise_rows()))
-                .expect("corpus generation cannot fail for valid specs")
+            generate(&CorpusSpec::enterprise_like(
+                variant,
+                scale.enterprise_rows(),
+            ))
+            .expect("corpus generation cannot fail for valid specs")
         })
         .collect()
 }

@@ -263,12 +263,8 @@ mod tests {
         let model = CostModel::default();
         let mut rng = SmallRng::seed_from_u64(9);
         let graph = erdos_renyi(12, 0.15, &mut rng);
-        let problem = OptRetProblem::synthetic(
-            &graph,
-            &model,
-            |d| ((d % 13) + 1) << 28,
-            |d| (d % 7) as f64,
-        );
+        let problem =
+            OptRetProblem::synthetic(&graph, &model, |d| ((d % 13) + 1) << 28, |d| (d % 7) as f64);
         let greedy = solve_greedy(&problem);
         let exact = solve_exact(&problem);
         assert!(greedy.total_cost + 1e-9 >= exact.total_cost);

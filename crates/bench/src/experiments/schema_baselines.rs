@@ -94,7 +94,11 @@ pub fn render(results: &[SchemaBaselineResult]) -> String {
     for r in results {
         for (i, m) in r.methods.iter().enumerate() {
             t.add_row([
-                if i == 0 { r.corpus.clone() } else { String::new() },
+                if i == 0 {
+                    r.corpus.clone()
+                } else {
+                    String::new()
+                },
                 m.method.clone(),
                 m.correctly_identified.to_string(),
                 m.not_detected.to_string(),

@@ -219,8 +219,7 @@ mod tests {
     #[test]
     fn estimate_full_containment() {
         let (child, parent) = tables(100, 100);
-        let est =
-            estimate_containment(&child, &parent, 50, 0.95, 1, &Meter::new()).unwrap();
+        let est = estimate_containment(&child, &parent, 50, 0.95, 1, &Meter::new()).unwrap();
         assert_eq!(est.estimate, 1.0);
         assert!(est.could_be_exact());
         assert_eq!(est.samples, 50);
@@ -229,9 +228,12 @@ mod tests {
     #[test]
     fn estimate_partial_containment() {
         let (child, parent) = tables(50, 100); // true CM = 0.5
-        let est =
-            estimate_containment(&child, &parent, 100, 0.95, 2, &Meter::new()).unwrap();
-        assert!(est.estimate > 0.2 && est.estimate < 0.8, "estimate {}", est.estimate);
+        let est = estimate_containment(&child, &parent, 100, 0.95, 2, &Meter::new()).unwrap();
+        assert!(
+            est.estimate > 0.2 && est.estimate < 0.8,
+            "estimate {}",
+            est.estimate
+        );
         assert!(est.lower <= est.estimate && est.estimate <= est.upper);
         assert!(!est.could_be_exact() || est.upper < 1.0 + 1e-9);
     }
@@ -239,8 +241,7 @@ mod tests {
     #[test]
     fn estimate_zero_containment() {
         let (child, parent) = tables(0, 60);
-        let est =
-            estimate_containment(&child, &parent, 60, 0.99, 3, &Meter::new()).unwrap();
+        let est = estimate_containment(&child, &parent, 60, 0.99, 3, &Meter::new()).unwrap();
         assert_eq!(est.estimate, 0.0);
         assert!(!est.could_be_exact());
     }
@@ -251,8 +252,7 @@ mod tests {
         let child = PartitionedTable::single(Table::empty(schema.clone()));
         let parent =
             PartitionedTable::single(Table::new(schema, vec![Column::from_ints(0..5)]).unwrap());
-        let est =
-            estimate_containment(&child, &parent, 10, 0.95, 4, &Meter::new()).unwrap();
+        let est = estimate_containment(&child, &parent, 10, 0.95, 4, &Meter::new()).unwrap();
         assert_eq!(est.samples, 0);
         assert!(est.could_be_exact());
     }
@@ -260,10 +260,8 @@ mod tests {
     #[test]
     fn interval_narrows_with_more_samples() {
         let (child, parent) = tables(80, 100);
-        let small =
-            estimate_containment(&child, &parent, 10, 0.95, 5, &Meter::new()).unwrap();
-        let large =
-            estimate_containment(&child, &parent, 100, 0.95, 5, &Meter::new()).unwrap();
+        let small = estimate_containment(&child, &parent, 10, 0.95, 5, &Meter::new()).unwrap();
+        let large = estimate_containment(&child, &parent, 100, 0.95, 5, &Meter::new()).unwrap();
         assert!(
             (large.upper - large.lower) < (small.upper - small.lower),
             "more samples → tighter interval"

@@ -11,8 +11,8 @@
 
 use crate::config::{ClpSampling, PipelineConfig};
 use r2d2_graph::ContainmentGraph;
-use r2d2_lake::query::{left_anti_join, random_rows, scan, Predicate};
-use r2d2_lake::{DataLake, DatasetId, Meter, Result, Table};
+use r2d2_lake::query::{left_anti_join, left_anti_join_cached, random_rows, scan, Predicate};
+use r2d2_lake::{DataLake, DatasetId, HashJoinCache, Meter, Result, Table};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -89,9 +89,7 @@ fn sample_child(
     meter: &Meter,
 ) -> Result<(Table, Option<Predicate>)> {
     match config.clp_sampling {
-        ClpSampling::RandomRows => {
-            Ok((random_rows(child, config.clp_rows, rng, meter)?, None))
-        }
+        ClpSampling::RandomRows => Ok((random_rows(child, config.clp_rows, rng, meter)?, None)),
         ClpSampling::PredicateFilter | ClpSampling::BothSides => {
             match build_filter(child, common, config.clp_columns, rng, meter)? {
                 Some(filter) => {
@@ -111,61 +109,135 @@ fn sample_child(
     }
 }
 
-/// Run Content-Level Pruning over `graph`, mutating it in place.
+/// Mix an edge's endpoints into the pipeline seed (SplitMix64 finaliser), so
+/// every edge gets an independent, schedule-free RNG stream. This is what
+/// makes CLP embarrassingly parallel *and* deterministic: with a single
+/// shared RNG the draws an edge sees would depend on how many draws earlier
+/// edges consumed (and, under threads, on scheduling order).
+fn edge_seed(seed: u64, parent_id: u64, child_id: u64) -> u64 {
+    let mut z = (seed ^ 0xC1B0_5EED)
+        .wrapping_add(parent_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(child_id.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Outcome of checking one edge, merged deterministically afterwards.
+struct EdgeOutcome {
+    prune: bool,
+    rows_sampled: usize,
+}
+
+/// Check a single `parent → child` edge by sampling and anti-joining.
+fn check_edge(
+    lake: &DataLake,
+    parent_id: u64,
+    child_id: u64,
+    config: &PipelineConfig,
+    cache: &HashJoinCache,
+    meter: &Meter,
+) -> Result<EdgeOutcome> {
+    let parent = lake.dataset(DatasetId(parent_id))?;
+    let child = lake.dataset(DatasetId(child_id))?;
+
+    let child_schema = child.data.schema();
+    let parent_set = parent.data.schema().schema_set();
+    let common: Vec<String> = child_schema.schema_set().intersection(&parent_set);
+    if common.len() < child_schema.len() {
+        // The child has columns the parent lacks: containment (over the
+        // child's schema) is impossible. SGB normally prevents this, but
+        // dynamic updates can surface it.
+        return Ok(EdgeOutcome {
+            prune: true,
+            rows_sampled: 0,
+        });
+    }
+    let join_cols: Vec<&str> = common.iter().map(String::as_str).collect();
+
+    let mut rng = SmallRng::seed_from_u64(edge_seed(config.seed, parent_id, child_id));
+    let mut rows_sampled = 0usize;
+    for _round in 0..config.clp_rounds.max(1) {
+        let (sample, filter) = sample_child(&child.data, &common, config, &mut rng, meter)?;
+        rows_sampled += sample.num_rows();
+        if sample.is_empty() {
+            continue;
+        }
+        let missing = match (config.clp_sampling, &filter) {
+            (ClpSampling::BothSides, Some(f)) => {
+                // Restrict the parent to the same filter before probing;
+                // under true containment sA ⊆ sB must hold. The filtered
+                // parent is filter-specific, so it bypasses the cache.
+                let parent_filtered = scan(&parent.data, f, None, meter)?;
+                let parent_part = r2d2_lake::PartitionedTable::single(parent_filtered);
+                left_anti_join(&sample, &parent_part, &join_cols, meter)?
+            }
+            // Unfiltered probes share the parent's hash multiset across all
+            // edges (and rounds) with the same parent and column set.
+            _ => left_anti_join_cached(&sample, parent_id, &parent.data, &join_cols, meter, cache)?,
+        };
+        if !missing.is_empty() {
+            return Ok(EdgeOutcome {
+                prune: true,
+                rows_sampled,
+            });
+        }
+    }
+    Ok(EdgeOutcome {
+        prune: false,
+        rows_sampled,
+    })
+}
+
+/// Run Content-Level Pruning over `graph`, mutating it in place, on up to
+/// `config.threads` workers (`1` = inline sequential, `0` = all hardware
+/// threads).
+///
+/// Each edge draws from its own RNG stream seeded by
+/// `(config.seed, parent, child)` and only reads the immutable lake (plus a
+/// shared build-side hash cache that computes each parent multiset exactly
+/// once), so edges fan out freely; prune decisions are applied in edge
+/// order afterwards. The resulting graph, stats and meter totals are
+/// identical for every thread count.
 pub fn content_level_prune(
     lake: &DataLake,
     graph: &mut ContainmentGraph,
     config: &PipelineConfig,
     meter: &Meter,
 ) -> Result<ClpStats> {
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC1B0_5EED);
+    let edges = graph.edges();
+    let cache = HashJoinCache::new();
+    // The edge list is grouped by parent. When running inline (one worker)
+    // edges are processed in exactly that order, so a finished parent's
+    // multisets can be evicted as soon as the sweep moves past it — keeping
+    // peak cache memory at one parent's worth, like the seed. With several
+    // workers, parents interleave and eviction could force re-builds (which
+    // would also skew meter totals versus a sequential run), so the cache is
+    // instead left bounded by the edge list's distinct (parent, column-set)
+    // keys for the duration of the stage.
+    let sequential = rayon::resolve_threads(config.threads) <= 1;
+    let previous_parent = std::sync::Mutex::new(None::<u64>);
+    let outcomes: Vec<EdgeOutcome> =
+        crate::fanout::try_parallel_map(config.threads, &edges, |&(parent_id, child_id)| {
+            if sequential {
+                let mut previous = previous_parent.lock().expect("eviction lock poisoned");
+                match *previous {
+                    Some(prev) if prev != parent_id => cache.evict_dataset(prev),
+                    _ => {}
+                }
+                *previous = Some(parent_id);
+            }
+            check_edge(lake, parent_id, child_id, config, &cache, meter)
+        })?;
+
     let mut stats = ClpStats::default();
-
-    for (parent_id, child_id) in graph.edges() {
+    for (&(parent_id, child_id), outcome) in edges.iter().zip(outcomes) {
         stats.edges_examined += 1;
-        let parent = lake.dataset(DatasetId(parent_id))?;
-        let child = lake.dataset(DatasetId(child_id))?;
-
-        let child_schema = child.data.schema();
-        let parent_set = parent.data.schema().schema_set();
-        let common: Vec<String> = child_schema.schema_set().intersection(&parent_set);
-        if common.len() < child_schema.len() {
-            // The child has columns the parent lacks: containment (over the
-            // child's schema) is impossible. SGB normally prevents this, but
-            // dynamic updates can surface it.
+        stats.rows_sampled += outcome.rows_sampled;
+        if outcome.prune {
             graph.remove_edge(parent_id, child_id);
             stats.edges_pruned += 1;
-            continue;
         }
-        let join_cols: Vec<&str> = common.iter().map(String::as_str).collect();
-
-        let mut pruned = false;
-        for _round in 0..config.clp_rounds.max(1) {
-            let (sample, filter) =
-                sample_child(&child.data, &common, config, &mut rng, meter)?;
-            stats.rows_sampled += sample.num_rows();
-            if sample.is_empty() {
-                continue;
-            }
-            let missing = match (config.clp_sampling, &filter) {
-                (ClpSampling::BothSides, Some(f)) => {
-                    // Restrict the parent to the same filter before probing;
-                    // under true containment sA ⊆ sB must hold.
-                    let parent_filtered = scan(&parent.data, f, None, meter)?;
-                    let parent_part =
-                        r2d2_lake::PartitionedTable::single(parent_filtered);
-                    left_anti_join(&sample, &parent_part, &join_cols, meter)?
-                }
-                _ => left_anti_join(&sample, &parent.data, &join_cols, meter)?,
-            };
-            if !missing.is_empty() {
-                graph.remove_edge(parent_id, child_id);
-                stats.edges_pruned += 1;
-                pruned = true;
-                break;
-            }
-        }
-        let _ = pruned;
     }
     Ok(stats)
 }
@@ -365,6 +437,82 @@ mod tests {
         g.add_edge(p, c);
         let stats = content_level_prune(&lake, &mut g, &config(), &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 0);
+    }
+
+    #[test]
+    fn threaded_clp_matches_sequential() {
+        // A mix of true, false and extra-column edges across shared parents,
+        // under every sampling strategy.
+        for sampling in [
+            ClpSampling::PredicateFilter,
+            ClpSampling::RandomRows,
+            ClpSampling::BothSides,
+        ] {
+            let mut lake = DataLake::new();
+            let parent_t = base_table(100);
+            let p = add(&mut lake, "p", parent_t.clone());
+            let c_ok = add(
+                &mut lake,
+                "c_ok",
+                parent_t.take(&(5..45).collect::<Vec<_>>()).unwrap(),
+            );
+            let c_ok2 = add(
+                &mut lake,
+                "c_ok2",
+                parent_t.take(&(50..90).collect::<Vec<_>>()).unwrap(),
+            );
+            let schema = parent_t.schema().clone();
+            let c_bad = add(
+                &mut lake,
+                "c_bad",
+                Table::new(
+                    schema,
+                    vec![
+                        Column::from_ints(5000..5030),
+                        Column::from_strs((0..30).map(|i| format!("e{}", i % 5))),
+                        Column::from_floats((0..30).map(|i| i as f64)),
+                    ],
+                )
+                .unwrap(),
+            );
+            let build = || {
+                let mut g = ContainmentGraph::new();
+                g.add_edge(p, c_ok);
+                g.add_edge(p, c_ok2);
+                g.add_edge(p, c_bad);
+                g
+            };
+
+            let seq_meter = Meter::new();
+            let mut seq_graph = build();
+            let seq_cfg = config().with_sampling(sampling).with_threads(1);
+            let seq = content_level_prune(&lake, &mut seq_graph, &seq_cfg, &seq_meter).unwrap();
+
+            let par_meter = Meter::new();
+            let mut par_graph = build();
+            let par_cfg = config().with_sampling(sampling).with_threads(4);
+            let par = content_level_prune(&lake, &mut par_graph, &par_cfg, &par_meter).unwrap();
+
+            assert_eq!(seq_graph, par_graph, "{sampling:?}: graphs must match");
+            assert_eq!(seq, par, "{sampling:?}: stats must match");
+            assert_eq!(
+                seq_meter.snapshot(),
+                par_meter.snapshot(),
+                "{sampling:?}: meter totals must match"
+            );
+            assert!(!par_graph.has_edge(p, c_bad));
+            assert!(par_graph.has_edge(p, c_ok));
+        }
+    }
+
+    #[test]
+    fn edge_seed_streams_are_independent() {
+        let a = edge_seed(1, 10, 20);
+        let b = edge_seed(1, 10, 21);
+        let c = edge_seed(1, 11, 20);
+        let d = edge_seed(2, 10, 20);
+        assert!(a != b && a != c && a != d && b != c);
+        assert_eq!(a, edge_seed(1, 10, 20), "seed derivation is pure");
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct PipelineConfig {
     /// min/max statistics (numeric, timestamp, string); if false it uses
     /// every common column that happens to have statistics.
     pub mmp_typed_columns_only: bool,
+    /// Number of worker threads for the data-parallel stages (SGB step 6
+    /// pair checks, MMP per-edge metadata checks, CLP per-edge sampling and
+    /// anti-joins). `1` (the default) runs every stage inline on the calling
+    /// thread; `0` uses all hardware threads. Any value produces bit-for-bit
+    /// identical graphs and meter totals — see the determinism test in
+    /// `tests/integration_parallel.rs`.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +59,7 @@ impl Default for PipelineConfig {
             clp_sampling: ClpSampling::PredicateFilter,
             seed: 0x5eed,
             mmp_typed_columns_only: true,
+            threads: 1,
         }
     }
 }
@@ -80,6 +88,13 @@ impl PipelineConfig {
         self.clp_sampling = sampling;
         self
     }
+
+    /// Override the worker thread count (`1` = sequential, `0` = all
+    /// hardware threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,10 +115,17 @@ mod tests {
         let c = PipelineConfig::default()
             .with_clp_params(8, 30)
             .with_seed(7)
-            .with_sampling(ClpSampling::RandomRows);
+            .with_sampling(ClpSampling::RandomRows)
+            .with_threads(4);
         assert_eq!(c.clp_columns, 8);
         assert_eq!(c.clp_rows, 30);
         assert_eq!(c.seed, 7);
         assert_eq!(c.clp_sampling, ClpSampling::RandomRows);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(PipelineConfig::default().threads, 1);
     }
 }

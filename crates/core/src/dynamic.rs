@@ -199,9 +199,7 @@ pub fn dataset_deleted(graph: &mut ContainmentGraph, id: u64) -> UpdateStats {
 mod tests {
     use super::*;
     use crate::pipeline::R2d2Pipeline;
-    use r2d2_lake::{
-        AccessProfile, Column, DataType, PartitionedTable, Schema, Table,
-    };
+    use r2d2_lake::{AccessProfile, Column, DataType, PartitionedTable, Schema, Table};
 
     fn schema() -> Schema {
         Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap()
@@ -244,8 +242,7 @@ mod tests {
 
         // New dataset: a strict subset of base.
         let sub = add(&mut lake, "sub", table(10..30));
-        let stats =
-            dataset_added(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
+        let stats = dataset_added(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
         assert!(graph.has_edge(base, sub));
         assert!(!graph.has_edge(sub, base));
         assert_eq!(stats.edges_added, 1);
@@ -260,8 +257,7 @@ mod tests {
         let mut graph = report.after_clp;
 
         let other = add(&mut lake, "other", table(1000..1050));
-        let stats =
-            dataset_added(&lake, &mut graph, other, &config(), &Meter::new()).unwrap();
+        let stats = dataset_added(&lake, &mut graph, other, &config(), &Meter::new()).unwrap();
         assert_eq!(stats.edges_added, 0);
         assert_eq!(graph.edge_count(), 0);
     }
@@ -275,11 +271,8 @@ mod tests {
         graph.add_edge(base, sub);
 
         // The child grows beyond the parent's id range.
-        lake.replace_data(
-            DatasetId(sub),
-            PartitionedTable::single(table(10..90)),
-        )
-        .unwrap();
+        lake.replace_data(DatasetId(sub), PartitionedTable::single(table(10..90)))
+            .unwrap();
         let stats = dataset_grew(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
         assert!(!graph.has_edge(base, sub));
         assert_eq!(stats.edges_removed, 1);
@@ -314,8 +307,7 @@ mod tests {
         // The parent shrinks so much that it no longer covers the child.
         lake.replace_data(DatasetId(base), PartitionedTable::single(table(0..15)))
             .unwrap();
-        let stats =
-            dataset_shrank(&lake, &mut graph, base, &config(), &Meter::new()).unwrap();
+        let stats = dataset_shrank(&lake, &mut graph, base, &config(), &Meter::new()).unwrap();
         assert!(!graph.has_edge(base, sub));
         assert_eq!(stats.edges_removed, 1);
     }
@@ -332,8 +324,7 @@ mod tests {
         // b shrinks to a subset of a.
         lake.replace_data(DatasetId(b), PartitionedTable::single(table(5..20)))
             .unwrap();
-        let stats =
-            dataset_shrank(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
+        let stats = dataset_shrank(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
         assert!(graph.has_edge(a, b));
         assert_eq!(stats.edges_added, 1);
     }

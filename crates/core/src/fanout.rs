@@ -1,0 +1,106 @@
+//! Fallible parallel fan-out shared by the MMP and CLP stages.
+
+use r2d2_lake::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Map a fallible check over `items` on up to `threads` workers, returning
+/// results in input order.
+///
+/// On success every item's result is returned, exactly aligned with `items`.
+/// On failure the earliest (in input order) error among the items that ran
+/// is returned, and a shared abort flag stops not-yet-started items from
+/// doing any work — so a run that is going to fail does not first pay for a
+/// full sweep (with `threads = 1` this matches the seed's behaviour of
+/// stopping at the first erroring item; with more threads, items already in
+/// flight finish but queued ones are skipped).
+pub(crate) fn try_parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Result<U> + Sync,
+{
+    let abort = AtomicBool::new(false);
+    let outcomes: Vec<Option<Result<U>>> = rayon::parallel_map(threads, items, |item| {
+        if abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let result = f(item);
+        if result.is_err() {
+            abort.store(true, Ordering::Relaxed);
+        }
+        Some(result)
+    });
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut first_err = None;
+    for outcome in outcomes {
+        match outcome {
+            Some(Ok(v)) => results.push(v),
+            Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+            Some(Err(_)) | None => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        // Without an error the abort flag is never set, so no item was
+        // skipped and `results` is aligned 1:1 with `items`.
+        None => Ok(results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_lake::LakeError;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn success_keeps_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let out = try_parallel_map(threads, &items, |&x| Ok(x * 2)).unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequential_error_short_circuits() {
+        let items: Vec<u64> = (0..1000).collect();
+        let ran = AtomicUsize::new(0);
+        let err = try_parallel_map(1, &items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 3 {
+                Err(LakeError::InvalidArgument("boom".into()))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, LakeError::InvalidArgument(_)));
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            4,
+            "items after the failing one must not run sequentially"
+        );
+    }
+
+    #[test]
+    fn parallel_error_propagates_and_aborts_queued_work() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let ran = AtomicUsize::new(0);
+        let err = try_parallel_map(4, &items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                Err(LakeError::InvalidArgument("boom".into()))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, LakeError::InvalidArgument(_)));
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len(),
+            "abort flag must stop queued items"
+        );
+    }
+}

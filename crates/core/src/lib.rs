@@ -23,6 +23,32 @@
 //! counts, edge counts) used to regenerate the paper's Tables 1–3 and 5–6.
 //! [`dynamic`] implements the §7.1 dynamic-update scenarios and [`approx`]
 //! the §7.2 approximate-containment extensions.
+//!
+//! ## Execution model
+//!
+//! The paper runs the pipeline on a Spark cluster; this reproduction makes
+//! the same data-parallelism explicit through
+//! [`config::PipelineConfig::threads`]:
+//!
+//! * **`threads = 1`** (default) runs every stage inline on the calling
+//!   thread.
+//! * **`threads = n`** fans the per-cluster pair checks (SGB step 6), the
+//!   per-edge metadata checks (MMP) and the per-edge sampling/anti-join
+//!   checks (CLP) out over `n` workers; **`0`** uses all hardware threads.
+//!
+//! **Determinism guarantee:** the thread count changes wall clock only.
+//! Graphs, cluster lists, stage statistics and meter totals are bit-for-bit
+//! identical for every `threads` value, because (a) each work item only
+//! reads the immutable lake and an atomic meter, (b) results are merged in
+//! input order, and (c) every CLP edge draws from its own RNG stream seeded
+//! by `(config.seed, parent, child)` rather than a shared sequential stream
+//! (see `tests/integration_parallel.rs`).
+//!
+//! Two constant-factor optimisations ride along: SGB interns all column
+//! names once and compares schema sets as sorted `u32` ids with a bitset
+//! fast path ([`r2d2_lake::SchemaInterner`]), and CLP shares each parent's
+//! hash multiset across all edges probing that parent
+//! ([`r2d2_lake::HashJoinCache`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -31,6 +57,7 @@ pub mod approx;
 pub mod clp;
 pub mod config;
 pub mod dynamic;
+mod fanout;
 pub mod mmp;
 pub mod pipeline;
 pub mod sampling;

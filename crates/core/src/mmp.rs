@@ -23,58 +23,104 @@ pub struct MmpStats {
     pub columns_checked: usize,
 }
 
-/// Run Min-Max Pruning over `graph`, mutating it in place.
-///
-/// `typed_columns_only` restricts the check to columns whose declared type
-/// supports min/max semantics (numbers, timestamps, strings), matching the
-/// paper's focus on numerical columns while still exploiting what parquet
-/// metadata provides for byte arrays.
+/// Outcome of checking one edge, merged deterministically afterwards.
+struct EdgeCheck {
+    prune: bool,
+    columns_checked: usize,
+}
+
+/// Check a single `parent → child` edge against column min/max metadata.
+fn check_edge(
+    lake: &DataLake,
+    parent_id: u64,
+    child_id: u64,
+    typed_columns_only: bool,
+    meter: &Meter,
+) -> Result<EdgeCheck> {
+    let parent = lake.dataset(DatasetId(parent_id))?;
+    let child = lake.dataset(DatasetId(child_id))?;
+
+    let parent_schema = parent.data.schema();
+    let child_schema = child.data.schema();
+    let common: Vec<String> = child_schema
+        .schema_set()
+        .intersection(&parent_schema.schema_set());
+
+    let mut columns_checked = 0usize;
+    let mut prune = false;
+    for col in &common {
+        if typed_columns_only {
+            let dt = child_schema.data_type(col)?;
+            if !dt.supports_min_max() {
+                continue;
+            }
+        }
+        columns_checked += 1;
+        let (cmin, cmax) = child.data.column_min_max(col, meter)?;
+        let (pmin, pmax) = parent.data.column_min_max(col, meter)?;
+        let violates = match (cmin, cmax, pmin, pmax) {
+            (Some(cmin), Some(cmax), Some(pmin), Some(pmax)) => {
+                cmin.total_cmp(&pmin) == std::cmp::Ordering::Less
+                    || cmax.total_cmp(&pmax) == std::cmp::Ordering::Greater
+            }
+            // Child has values in a column where the parent has none:
+            // containment is impossible.
+            (Some(_), Some(_), None, None) => true,
+            // Child column all-null (or empty): cannot disprove.
+            _ => false,
+        };
+        if violates {
+            prune = true;
+            break;
+        }
+    }
+    Ok(EdgeCheck {
+        prune,
+        columns_checked,
+    })
+}
+
+/// Run Min-Max Pruning over `graph`, mutating it in place, single-threaded.
+/// See [`min_max_prune_threaded`].
 pub fn min_max_prune(
     lake: &DataLake,
     graph: &mut ContainmentGraph,
     typed_columns_only: bool,
     meter: &Meter,
 ) -> Result<MmpStats> {
+    min_max_prune_threaded(lake, graph, typed_columns_only, 1, meter)
+}
+
+/// Run Min-Max Pruning over `graph` on up to `threads` workers (`0` = all
+/// hardware threads), mutating the graph in place.
+///
+/// `typed_columns_only` restricts the check to columns whose declared type
+/// supports min/max semantics (numbers, timestamps, strings), matching the
+/// paper's focus on numerical columns while still exploiting what parquet
+/// metadata provides for byte arrays.
+///
+/// Each edge's check only reads the (immutable) lake and the shared atomic
+/// meter, so edges fan out freely; prune decisions are applied to the graph
+/// afterwards in edge order, making the resulting graph, stats and meter
+/// totals identical for every thread count.
+pub fn min_max_prune_threaded(
+    lake: &DataLake,
+    graph: &mut ContainmentGraph,
+    typed_columns_only: bool,
+    threads: usize,
+    meter: &Meter,
+) -> Result<MmpStats> {
+    let edges = graph.edges();
+    let checks: Vec<EdgeCheck> =
+        crate::fanout::try_parallel_map(threads, &edges, |&(parent_id, child_id)| {
+            check_edge(lake, parent_id, child_id, typed_columns_only, meter)
+        })?;
+
     let mut stats = MmpStats::default();
-    for (parent_id, child_id) in graph.edges() {
+    for (&(parent_id, child_id), check) in edges.iter().zip(checks) {
         stats.edges_examined += 1;
-        let parent = lake.dataset(DatasetId(parent_id))?;
-        let child = lake.dataset(DatasetId(child_id))?;
-
-        let parent_schema = parent.data.schema();
-        let child_schema = child.data.schema();
-        let common: Vec<String> = child_schema
-            .schema_set()
-            .intersection(&parent_schema.schema_set());
-
-        let mut prune = false;
-        for col in &common {
-            if typed_columns_only {
-                let dt = child_schema.data_type(col)?;
-                if !dt.supports_min_max() {
-                    continue;
-                }
-            }
-            stats.columns_checked += 1;
-            let (cmin, cmax) = child.data.column_min_max(col, meter)?;
-            let (pmin, pmax) = parent.data.column_min_max(col, meter)?;
-            let violates = match (cmin, cmax, pmin, pmax) {
-                (Some(cmin), Some(cmax), Some(pmin), Some(pmax)) => {
-                    cmin.total_cmp(&pmin) == std::cmp::Ordering::Less
-                        || cmax.total_cmp(&pmax) == std::cmp::Ordering::Greater
-                }
-                // Child has values in a column where the parent has none:
-                // containment is impossible.
-                (Some(_), Some(_), None, None) => true,
-                // Child column all-null (or empty): cannot disprove.
-                _ => false,
-            };
-            if violates {
-                prune = true;
-                break;
-            }
-        }
-        if prune {
+        stats.columns_checked += check.columns_checked;
+        if check.prune {
             graph
                 .remove_edge(parent_id, child_id)
                 .ok_or_else(|| LakeError::InvalidArgument("edge disappeared".into()))?;
@@ -87,9 +133,7 @@ pub fn min_max_prune(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use r2d2_lake::{
-        AccessProfile, Column, DataLake, DataType, PartitionedTable, Schema, Table,
-    };
+    use r2d2_lake::{AccessProfile, Column, DataLake, DataType, PartitionedTable, Schema, Table};
 
     fn add_table(lake: &mut DataLake, name: &str, ids: Vec<i64>, amounts: Vec<f64>) -> u64 {
         let schema = Schema::flat(&[("id", DataType::Int), ("amount", DataType::Float)]).unwrap();
@@ -111,7 +155,12 @@ mod tests {
     #[test]
     fn prunes_edge_when_child_range_exceeds_parent() {
         let mut lake = DataLake::new();
-        let parent = add_table(&mut lake, "parent", vec![0, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0]);
+        let parent = add_table(
+            &mut lake,
+            "parent",
+            vec![0, 1, 2, 3],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
         let child_ok = add_table(&mut lake, "child_ok", vec![1, 2], vec![2.0, 3.0]);
         let child_bad = add_table(&mut lake, "child_bad", vec![1, 99], vec![2.0, 3.0]);
 
@@ -130,8 +179,18 @@ mod tests {
     #[test]
     fn never_reads_rows() {
         let mut lake = DataLake::new();
-        let parent = add_table(&mut lake, "p", (0..100).collect(), (0..100).map(|i| i as f64).collect());
-        let child = add_table(&mut lake, "c", (10..20).collect(), (10..20).map(|i| i as f64).collect());
+        let parent = add_table(
+            &mut lake,
+            "p",
+            (0..100).collect(),
+            (0..100).map(|i| i as f64).collect(),
+        );
+        let child = add_table(
+            &mut lake,
+            "c",
+            (10..20).collect(),
+            (10..20).map(|i| i as f64).collect(),
+        );
         let mut graph = ContainmentGraph::new();
         graph.add_edge(parent, child);
         let meter = Meter::new();
@@ -182,11 +241,21 @@ mod tests {
         )
         .unwrap();
         let p = lake
-            .add_dataset("p", PartitionedTable::single(parent_t), AccessProfile::default(), None)
+            .add_dataset(
+                "p",
+                PartitionedTable::single(parent_t),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let c = lake
-            .add_dataset("c", PartitionedTable::single(child_t), AccessProfile::default(), None)
+            .add_dataset(
+                "c",
+                PartitionedTable::single(child_t),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let mut graph = ContainmentGraph::new();
@@ -201,22 +270,75 @@ mod tests {
         let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
         let parent_t = Table::new(
             schema.clone(),
-            vec![Column::new(DataType::Int, vec![r2d2_lake::Value::Null, r2d2_lake::Value::Null]).unwrap()],
+            vec![Column::new(
+                DataType::Int,
+                vec![r2d2_lake::Value::Null, r2d2_lake::Value::Null],
+            )
+            .unwrap()],
         )
         .unwrap();
         let child_t = Table::new(schema, vec![Column::from_ints([4])]).unwrap();
         let p = lake
-            .add_dataset("p", PartitionedTable::single(parent_t), AccessProfile::default(), None)
+            .add_dataset(
+                "p",
+                PartitionedTable::single(parent_t),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let c = lake
-            .add_dataset("c", PartitionedTable::single(child_t), AccessProfile::default(), None)
+            .add_dataset(
+                "c",
+                PartitionedTable::single(child_t),
+                AccessProfile::default(),
+                None,
+            )
             .unwrap()
             .0;
         let mut graph = ContainmentGraph::new();
         graph.add_edge(p, c);
         let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn threaded_mmp_matches_sequential() {
+        let mut lake = DataLake::new();
+        let parent = add_table(
+            &mut lake,
+            "p",
+            (0..50).collect(),
+            (0..50).map(|i| i as f64).collect(),
+        );
+        let ok = add_table(
+            &mut lake,
+            "ok",
+            (5..15).collect(),
+            (5..15).map(|i| i as f64).collect(),
+        );
+        let bad = add_table(&mut lake, "bad", vec![1, 999], vec![1.0, 2.0]);
+        let bad2 = add_table(&mut lake, "bad2", vec![-7, 3], vec![1.0, 2.0]);
+
+        let build = || {
+            let mut g = ContainmentGraph::new();
+            g.add_edge(parent, ok);
+            g.add_edge(parent, bad);
+            g.add_edge(parent, bad2);
+            g
+        };
+        let seq_meter = Meter::new();
+        let mut seq_graph = build();
+        let seq = min_max_prune(&lake, &mut seq_graph, true, &seq_meter).unwrap();
+
+        let par_meter = Meter::new();
+        let mut par_graph = build();
+        let par = min_max_prune_threaded(&lake, &mut par_graph, true, 4, &par_meter).unwrap();
+
+        assert_eq!(seq_graph, par_graph);
+        assert_eq!(seq, par);
+        assert_eq!(seq_meter.snapshot(), par_meter.snapshot());
+        assert_eq!(par.edges_pruned, 2);
     }
 
     #[test]

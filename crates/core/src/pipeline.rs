@@ -7,8 +7,8 @@
 
 use crate::clp::content_level_prune;
 use crate::config::PipelineConfig;
-use crate::mmp::min_max_prune;
-use crate::sgb::{build_schema_graph, SgbResult};
+use crate::mmp::min_max_prune_threaded;
+use crate::sgb::{build_schema_graph_threaded, SgbResult};
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::{DataLake, Meter, OpCounts, Result, SchemaSet};
 use serde::{Deserialize, Serialize};
@@ -87,10 +87,10 @@ impl R2d2Pipeline {
             .collect()
     }
 
-    /// Run only the SGB stage.
+    /// Run only the SGB stage (on `config.threads` workers).
     pub fn run_sgb(&self, lake: &DataLake, meter: &Meter) -> SgbResult {
         let schemas = Self::schema_sets(lake);
-        build_schema_graph(&schemas, meter)
+        build_schema_graph_threaded(&schemas, self.config.threads, meter)
     }
 
     /// Run the full SGB → MMP → CLP pipeline over the lake.
@@ -115,10 +115,11 @@ impl R2d2Pipeline {
         let mut graph = after_sgb.clone();
         let before = meter.snapshot();
         let t0 = Instant::now();
-        min_max_prune(
+        min_max_prune_threaded(
             lake,
             &mut graph,
             self.config.mmp_typed_columns_only,
+            self.config.threads,
             &meter,
         )?;
         let after_mmp = graph.clone();
@@ -234,7 +235,10 @@ mod tests {
             assert!(g.has_edge(base, projected));
         }
         // SGB adds the schema-compatible but content-disjoint edge...
-        assert!(report.after_sgb.has_edge(base, unrelated) || report.after_sgb.has_edge(unrelated, base));
+        assert!(
+            report.after_sgb.has_edge(base, unrelated)
+                || report.after_sgb.has_edge(unrelated, base)
+        );
         // ...which must be gone after MMP (disjoint id ranges) or CLP.
         assert!(!report.after_clp.has_edge(base, unrelated));
         assert!(!report.after_clp.has_edge(unrelated, base));
@@ -243,12 +247,10 @@ mod tests {
         assert_eq!(report.stages.len(), 3);
         assert!(report.stage("SGB").is_some());
         assert!(
-            report.stage("SGB").unwrap().edges_after
-                >= report.stage("MMP").unwrap().edges_after
+            report.stage("SGB").unwrap().edges_after >= report.stage("MMP").unwrap().edges_after
         );
         assert!(
-            report.stage("MMP").unwrap().edges_after
-                >= report.stage("CLP").unwrap().edges_after
+            report.stage("MMP").unwrap().edges_after >= report.stage("CLP").unwrap().edges_after
         );
         assert!(report.sgb_clusters >= 1);
         assert!(report.total_duration >= report.stages[0].duration);

@@ -96,10 +96,7 @@ mod tests {
             let c = detectable_containment(n, delta);
             // With n samples we can rule out containment ≥ (1 - eps)... i.e.
             // the detectable containment bound must be at least 1 - eps.
-            assert!(
-                c >= 1.0 - eps - 1e-9,
-                "eps={eps} delta={delta} n={n} c={c}"
-            );
+            assert!(c >= 1.0 - eps - 1e-9, "eps={eps} delta={delta} n={n} c={c}");
         }
     }
 

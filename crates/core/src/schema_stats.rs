@@ -58,9 +58,7 @@ impl Histogram {
 /// with `|A.schema| ≤ |B.schema|` — the quantity whose histogram Fig. 2
 /// plots. Returns `(pairs, fractions)` where `pairs[i]` is the (smaller,
 /// larger) dataset-id pair behind `fractions[i]`.
-pub fn schema_containment_fractions(
-    schemas: &[(u64, SchemaSet)],
-) -> (Vec<(u64, u64)>, Vec<f64>) {
+pub fn schema_containment_fractions(schemas: &[(u64, SchemaSet)]) -> (Vec<(u64, u64)>, Vec<f64>) {
     let mut pairs = Vec::new();
     let mut fractions = Vec::new();
     for (i, (id_a, sa)) in schemas.iter().enumerate() {
@@ -115,7 +113,11 @@ impl QuantileDivergence {
 /// For every pair of datasets with identical schemas, compute the average
 /// normalised quantile distance over their numeric columns and count how
 /// many pairs exceed `threshold` (§1.2 uses 0.5).
-pub fn quantile_divergence(lake: &DataLake, threshold: f64, meter: &Meter) -> Result<QuantileDivergence> {
+pub fn quantile_divergence(
+    lake: &DataLake,
+    threshold: f64,
+    meter: &Meter,
+) -> Result<QuantileDivergence> {
     let entries: Vec<_> = lake.iter().collect();
     let mut result = QuantileDivergence {
         threshold,
@@ -138,14 +140,10 @@ pub fn quantile_divergence(lake: &DataLake, threshold: f64, meter: &Meter) -> Re
                 if !field.data_type.is_numeric() {
                     continue;
                 }
-                let qa = numeric_quantiles(
-                    ta.column(&field.name)?.values(),
-                    &PAPER_QUANTILE_FRACTIONS,
-                );
-                let qb = numeric_quantiles(
-                    tb.column(&field.name)?.values(),
-                    &PAPER_QUANTILE_FRACTIONS,
-                );
+                let qa =
+                    numeric_quantiles(ta.column(&field.name)?.values(), &PAPER_QUANTILE_FRACTIONS);
+                let qb =
+                    numeric_quantiles(tb.column(&field.name)?.values(), &PAPER_QUANTILE_FRACTIONS);
                 if let Some(d) = normalized_quantile_distance(&qa, &qb) {
                     total += d;
                     n += 1;
@@ -218,10 +216,20 @@ mod tests {
         )
         .unwrap();
         let mut lake = DataLake::new();
-        lake.add_dataset("a", PartitionedTable::single(a), AccessProfile::default(), None)
-            .unwrap();
-        lake.add_dataset("b", PartitionedTable::single(b), AccessProfile::default(), None)
-            .unwrap();
+        lake.add_dataset(
+            "a",
+            PartitionedTable::single(a),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap();
+        lake.add_dataset(
+            "b",
+            PartitionedTable::single(b),
+            AccessProfile::default(),
+            None,
+        )
+        .unwrap();
         lake
     }
 

@@ -17,7 +17,7 @@
 //! Table 3.
 
 use r2d2_graph::ContainmentGraph;
-use r2d2_lake::{Meter, SchemaSet};
+use r2d2_lake::{InternedSchemaSet, Meter, SchemaInterner, SchemaSet};
 use serde::{Deserialize, Serialize};
 
 /// One schema cluster produced by SGB: a center plus its members
@@ -49,29 +49,61 @@ impl SgbResult {
     }
 }
 
-/// Run the Schema Graph Builder over `(dataset id, schema set)` pairs.
+/// A set that supports the two operations SGB needs: cardinality and subset
+/// testing. Implemented by both the interned (fast) and the string (legacy /
+/// baseline) schema-set representations so the two code paths share one
+/// algorithm and produce identical graphs and comparison counts.
+trait ContainmentSet: Sync {
+    fn card(&self) -> usize;
+    fn subset_of(&self, other: &Self) -> bool;
+}
+
+impl ContainmentSet for SchemaSet {
+    fn card(&self) -> usize {
+        self.len()
+    }
+
+    fn subset_of(&self, other: &Self) -> bool {
+        self.is_contained_in(other)
+    }
+}
+
+impl ContainmentSet for InternedSchemaSet {
+    fn card(&self) -> usize {
+        self.len()
+    }
+
+    fn subset_of(&self, other: &Self) -> bool {
+        self.is_contained_in(other)
+    }
+}
+
+/// The SGB algorithm over any [`ContainmentSet`] representation.
 ///
-/// Every dataset becomes a node of the output graph even if it has no edges.
-/// Schema comparisons are counted both in the returned result and on the
-/// meter (as `schema_comparisons`).
-pub fn build_schema_graph(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbResult {
+/// `ids[i]` and `sets[i]` describe dataset `i`. Step 6 (intra-cluster pair
+/// checks, the dominant cost) fans out over clusters on up to `threads`
+/// workers; per-cluster edge lists are merged back in cluster order, so the
+/// resulting graph and comparison count are identical for every thread
+/// count.
+fn sgb_core<S: ContainmentSet>(ids: &[u64], sets: &[S], threads: usize) -> SgbResult {
     // Step 2: sort by non-increasing schema-set cardinality. Ties are broken
     // by dataset id for determinism.
-    let mut order: Vec<usize> = (0..schemas.len()).collect();
+    let mut order: Vec<usize> = (0..ids.len()).collect();
     order.sort_by(|&a, &b| {
-        schemas[b]
-            .1
-            .len()
-            .cmp(&schemas[a].1.len())
-            .then(schemas[a].0.cmp(&schemas[b].0))
+        sets[b]
+            .card()
+            .cmp(&sets[a].card())
+            .then(ids[a].cmp(&ids[b]))
     });
 
     let mut graph = ContainmentGraph::new();
-    for (id, _) in schemas {
-        graph.add_dataset(*id);
+    for &id in ids {
+        graph.add_dataset(id);
     }
 
-    // Steps 3–5: sweep, maintaining clusters; indices into `schemas`.
+    // Steps 3–5: sweep, maintaining clusters; indices into `ids` / `sets`.
+    // The sweep is inherently sequential (the center list evolves), but it
+    // only performs O(K·N) of the comparisons; the quadratic part is step 6.
     struct Cluster {
         center: usize,
         members: Vec<usize>,
@@ -80,12 +112,12 @@ pub fn build_schema_graph(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbRes
     let mut comparisons: u64 = 0;
 
     for &si in &order {
-        let (_, schema) = &schemas[si];
+        let schema = &sets[si];
         let mut contained_in_some_center = false;
         for cluster in clusters.iter_mut() {
-            let (_, center_schema) = &schemas[cluster.center];
+            let center_schema = &sets[cluster.center];
             comparisons += 1;
-            if schema.len() <= center_schema.len() && schema.is_contained_in(center_schema) {
+            if schema.card() <= center_schema.card() && schema.subset_of(center_schema) {
                 cluster.members.push(si);
                 contained_in_some_center = true;
             }
@@ -99,36 +131,47 @@ pub fn build_schema_graph(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbRes
     }
 
     // Step 6: add edges between every containment-ordered pair of cluster
-    // members (the center is a member).
-    for cluster in &clusters {
-        let members = &cluster.members;
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                let (id_i, schema_i) = &schemas[members[i]];
-                let (id_j, schema_j) = &schemas[members[j]];
-                if id_i == id_j {
-                    continue;
-                }
-                comparisons += 1;
-                // WLOG the larger schema is the potential parent; check both
-                // directions so equal-size (identical) schemas get both edges.
-                if schema_j.is_contained_in(schema_i) {
-                    graph.add_edge(*id_i, *id_j);
-                }
-                if schema_i.is_contained_in(schema_j) {
-                    graph.add_edge(*id_j, *id_i);
+    // members (the center is a member). Each cluster is independent, so the
+    // pair checks fan out per cluster; results carry their edges in pair
+    // order and are merged in cluster order.
+    let per_cluster: Vec<(Vec<(u64, u64)>, u64)> =
+        rayon::parallel_map(threads, &clusters, |cluster| {
+            let members = &cluster.members;
+            let mut edges = Vec::new();
+            let mut local_comparisons = 0u64;
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (id_i, schema_i) = (ids[members[i]], &sets[members[i]]);
+                    let (id_j, schema_j) = (ids[members[j]], &sets[members[j]]);
+                    if id_i == id_j {
+                        continue;
+                    }
+                    local_comparisons += 1;
+                    // WLOG the larger schema is the potential parent; check
+                    // both directions so equal-size (identical) schemas get
+                    // both edges.
+                    if schema_j.subset_of(schema_i) {
+                        edges.push((id_i, id_j));
+                    }
+                    if schema_i.subset_of(schema_j) {
+                        edges.push((id_j, id_i));
+                    }
                 }
             }
+            (edges, local_comparisons)
+        });
+    for (edges, local_comparisons) in per_cluster {
+        comparisons += local_comparisons;
+        for (parent, child) in edges {
+            graph.add_edge(parent, child);
         }
     }
-
-    meter.add_schema_comparisons(comparisons);
 
     let clusters = clusters
         .into_iter()
         .map(|c| SchemaCluster {
-            center: schemas[c.center].0,
-            members: c.members.iter().map(|&i| schemas[i].0).collect(),
+            center: ids[c.center],
+            members: c.members.iter().map(|&i| ids[i]).collect(),
         })
         .collect();
 
@@ -137,6 +180,50 @@ pub fn build_schema_graph(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbRes
         clusters,
         schema_comparisons: comparisons,
     }
+}
+
+/// Run the Schema Graph Builder over `(dataset id, schema set)` pairs,
+/// single-threaded. See [`build_schema_graph_threaded`].
+pub fn build_schema_graph(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbResult {
+    build_schema_graph_threaded(schemas, 1, meter)
+}
+
+/// Run the Schema Graph Builder over `(dataset id, schema set)` pairs on up
+/// to `threads` workers (`0` = all hardware threads).
+///
+/// Every dataset becomes a node of the output graph even if it has no edges.
+/// Schema comparisons are counted both in the returned result and on the
+/// meter (as `schema_comparisons`). All column names are interned up front
+/// so each comparison is a sorted-`u32` merge-walk (with a bitset fast path)
+/// rather than a `BTreeSet<String>` subset test; the produced graph,
+/// clusters and comparison counts are identical to the string-based
+/// implementation at any thread count.
+pub fn build_schema_graph_threaded(
+    schemas: &[(u64, SchemaSet)],
+    threads: usize,
+    meter: &Meter,
+) -> SgbResult {
+    let mut interner = SchemaInterner::new();
+    let ids: Vec<u64> = schemas.iter().map(|(id, _)| *id).collect();
+    let sets: Vec<InternedSchemaSet> = schemas
+        .iter()
+        .map(|(_, s)| interner.intern_set(s))
+        .collect();
+    let result = sgb_core(&ids, &sets, threads);
+    meter.add_schema_comparisons(result.schema_comparisons);
+    result
+}
+
+/// The pre-interning implementation: identical algorithm, but containment
+/// checks run directly on the string [`SchemaSet`]s. Kept as the baseline
+/// the criterion benches compare interning against; produces exactly the
+/// same graph and comparison counts as [`build_schema_graph`].
+pub fn build_schema_graph_string(schemas: &[(u64, SchemaSet)], meter: &Meter) -> SgbResult {
+    let ids: Vec<u64> = schemas.iter().map(|(id, _)| *id).collect();
+    let sets: Vec<SchemaSet> = schemas.iter().map(|(_, s)| s.clone()).collect();
+    let result = sgb_core(&ids, &sets, 1);
+    meter.add_schema_comparisons(result.schema_comparisons);
+    result
 }
 
 /// The brute-force `O(N²)` schema containment graph ("Ground Truth Schema"
@@ -220,10 +307,7 @@ mod tests {
 
     #[test]
     fn identical_schemas_get_edges_in_both_directions() {
-        let schemas = vec![
-            (10, schema(&["a", "b"])),
-            (20, schema(&["a", "b"])),
-        ];
+        let schemas = vec![(10, schema(&["a", "b"])), (20, schema(&["a", "b"]))];
         let result = build_schema_graph(&schemas, &Meter::new());
         assert!(result.graph.has_edge(10, 20));
         assert!(result.graph.has_edge(20, 10));
@@ -310,11 +394,22 @@ mod tests {
     }
 
     #[test]
+    fn string_interned_and_threaded_variants_agree() {
+        let schemas = paper_example();
+        let interned = build_schema_graph(&schemas, &Meter::new());
+        let string = build_schema_graph_string(&schemas, &Meter::new());
+        let threaded = build_schema_graph_threaded(&schemas, 0, &Meter::new());
+        assert_eq!(interned.graph, string.graph);
+        assert_eq!(interned.graph, threaded.graph);
+        assert_eq!(interned.clusters, string.clusters);
+        assert_eq!(interned.clusters, threaded.clusters);
+        assert_eq!(interned.schema_comparisons, string.schema_comparisons);
+        assert_eq!(interned.schema_comparisons, threaded.schema_comparisons);
+    }
+
+    #[test]
     fn empty_schema_contained_everywhere() {
-        let schemas = vec![
-            (1, schema(&["a", "b"])),
-            (2, schema(&[])),
-        ];
+        let schemas = vec![(1, schema(&["a", "b"])), (2, schema(&[]))];
         let result = build_schema_graph(&schemas, &Meter::new());
         assert!(result.graph.has_edge(1, 2));
     }

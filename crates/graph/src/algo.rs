@@ -13,10 +13,7 @@ pub fn is_acyclic(g: &DiGraph) -> bool {
 pub fn topological_order(g: &DiGraph) -> Option<Vec<NodeId>> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i))).collect();
-    let mut queue: VecDeque<NodeId> = (0..n)
-        .filter(|&i| in_deg[i] == 0)
-        .map(NodeId)
-        .collect();
+    let mut queue: VecDeque<NodeId> = (0..n).filter(|&i| in_deg[i] == 0).map(NodeId).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -138,10 +135,7 @@ mod tests {
     #[test]
     fn reachability() {
         let g = graph(5, &[(0, 1), (1, 2), (3, 4)]);
-        assert_eq!(
-            reachable_from(&g, NodeId(0)),
-            vec![NodeId(1), NodeId(2)]
-        );
+        assert_eq!(reachable_from(&g, NodeId(0)), vec![NodeId(1), NodeId(2)]);
         assert_eq!(reachable_from(&g, NodeId(2)), Vec::<NodeId>::new());
         assert_eq!(reachable_from(&g, NodeId(3)), vec![NodeId(4)]);
     }

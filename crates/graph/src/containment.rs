@@ -114,7 +114,9 @@ impl ContainmentGraph {
     pub fn remove_edge(&mut self, parent: u64, child: u64) -> Option<ContainmentEdge> {
         let (p, c) = (self.node_of(parent)?, self.node_of(child)?);
         if self.graph.remove_edge(p, c) {
-            self.edges.remove(&(p, c)).or(Some(ContainmentEdge::default()))
+            self.edges
+                .remove(&(p, c))
+                .or(Some(ContainmentEdge::default()))
         } else {
             None
         }

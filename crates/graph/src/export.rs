@@ -96,7 +96,12 @@ pub fn to_dot(graph: &ContainmentGraph, options: &DotOptions) -> String {
 /// datasets it contains).
 pub fn adjacency_summary(graph: &ContainmentGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "nodes={} edges={}", graph.node_count(), graph.edge_count());
+    let _ = writeln!(
+        out,
+        "nodes={} edges={}",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for &ds in graph.datasets() {
         let parents = graph.parents(ds);
         let children = graph.children(ds);

@@ -24,9 +24,9 @@
 
 pub mod algo;
 pub mod containment;
-pub mod export;
 pub mod diff;
 pub mod digraph;
+pub mod export;
 pub mod random;
 
 pub use containment::{ContainmentEdge, ContainmentGraph};

@@ -108,12 +108,17 @@ mod tests {
     fn build_simple_table() {
         let mut b = TableBuilder::new(schema());
         assert!(b.is_empty());
-        b.push_row(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
-        b.push_row(vec![Value::Int(2), Value::Str("b".into())]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        b.push_row(vec![Value::Int(2), Value::Str("b".into())])
+            .unwrap();
         assert_eq!(b.len(), 2);
         let t = b.build().unwrap();
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.column("name").unwrap().values()[1], Value::Str("b".into()));
+        assert_eq!(
+            t.column("name").unwrap().values()[1],
+            Value::Str("b".into())
+        );
     }
 
     #[test]

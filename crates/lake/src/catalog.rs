@@ -18,9 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Opaque identifier of a dataset within a [`DataLake`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DatasetId(pub u64);
 
 impl std::fmt::Display for DatasetId {
@@ -239,9 +237,7 @@ mod tests {
 
     fn tiny_table(n: i64) -> PartitionedTable {
         let schema = Schema::flat(&[("id", DataType::Int)]).unwrap();
-        PartitionedTable::single(
-            Table::new(schema, vec![Column::from_ints(0..n)]).unwrap(),
-        )
+        PartitionedTable::single(Table::new(schema, vec![Column::from_ints(0..n)]).unwrap())
     }
 
     #[test]
@@ -323,7 +319,9 @@ mod tests {
         assert_eq!(lake.dataset(id).unwrap().access.accesses_per_period, 3.0);
         lake.replace_data(id, tiny_table(20)).unwrap();
         assert_eq!(lake.dataset(id).unwrap().num_rows(), 20);
-        assert!(lake.set_access_profile(DatasetId(5), AccessProfile::default()).is_err());
+        assert!(lake
+            .set_access_profile(DatasetId(5), AccessProfile::default())
+            .is_err());
     }
 
     #[test]

@@ -106,10 +106,7 @@ impl Column {
 
     /// Take the rows at the given indices, producing a new column.
     pub fn take(&self, indices: &[usize]) -> Column {
-        let values: Vec<Value> = indices
-            .iter()
-            .map(|&i| self.values[i].clone())
-            .collect();
+        let values: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
         let stats = ColumnStats::compute(&values);
         Column {
             data_type: self.data_type,

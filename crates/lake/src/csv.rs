@@ -146,12 +146,7 @@ fn escape(cell: &str) -> String {
 /// Render a table as CSV text (header + rows).
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<String> = table
-        .schema()
-        .names()
-        .iter()
-        .map(|n| escape(n))
-        .collect();
+    let names: Vec<String> = table.schema().names().iter().map(|n| escape(n)).collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in table.iter_rows() {

@@ -19,6 +19,13 @@
 //! * **Predicate queries, sampling and anti-joins** ([`query`]) — the
 //!   operations Content-Level Pruning (Algorithm 3) issues
 //!   (`SELECT * FROM A WHERE col = v`, left-anti join against the parent).
+//!   Scans gather matches through a single pre-sized builder, uniform
+//!   sampling draws `k` of `n` rows in O(k), and repeated probes against
+//!   one parent share its hash multiset via [`query::HashJoinCache`].
+//! * **Interned schema sets** ([`schema::SchemaInterner`]) — column names
+//!   mapped to dense `u32` symbols so schema-containment checks are sorted
+//!   id merge-walks with a bitset fast path instead of string-set subset
+//!   tests.
 //! * **Operation metering** ([`meter`]) — row and byte scan counters used to
 //!   reproduce Table 3 (pairwise row-level operation counts) and the GDPR
 //!   row-scan savings of Table 7.
@@ -58,9 +65,9 @@ pub use datatype::DataType;
 pub use error::{LakeError, Result};
 pub use meter::{Meter, OpCounts};
 pub use partition::{PartitionSpec, PartitionedTable};
-pub use query::{ContainmentCheck, Predicate};
+pub use query::{ContainmentCheck, HashJoinCache, Predicate};
 pub use row::{Row, RowHash};
-pub use schema::{Field, Schema, SchemaNode, SchemaSet};
+pub use schema::{Field, InternedSchemaSet, Schema, SchemaInterner, SchemaNode, SchemaSet};
 pub use stats::ColumnStats;
 pub use table::Table;
 pub use value::Value;

@@ -50,7 +50,9 @@ impl OpCounts {
             bytes_scanned: self.bytes_scanned.saturating_sub(earlier.bytes_scanned),
             rows_hashed: self.rows_hashed.saturating_sub(earlier.rows_hashed),
             row_comparisons: self.row_comparisons.saturating_sub(earlier.row_comparisons),
-            metadata_lookups: self.metadata_lookups.saturating_sub(earlier.metadata_lookups),
+            metadata_lookups: self
+                .metadata_lookups
+                .saturating_sub(earlier.metadata_lookups),
             partitions_pruned: self
                 .partitions_pruned
                 .saturating_sub(earlier.partitions_pruned),
@@ -119,7 +121,9 @@ impl Meter {
 
     /// Record `n` pairwise row comparisons / hash probes.
     pub fn add_row_comparisons(&self, n: u64) {
-        self.counters.row_comparisons.fetch_add(n, Ordering::Relaxed);
+        self.counters
+            .row_comparisons
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` metadata (min/max) lookups.

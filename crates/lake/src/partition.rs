@@ -245,12 +245,7 @@ impl PartitionedTable {
         meter.add_rows_scanned(self.num_rows as u64);
         meter.add_bytes_scanned(self.byte_size() as u64);
         meter.add_partitions_scanned(self.partitions.len() as u64);
-        let mut iter = self.partitions.iter();
-        let first = match iter.next() {
-            Some(t) => t.clone(),
-            None => return Ok(Table::empty(self.schema.clone())),
-        };
-        iter.try_fold(first, |acc, t| acc.concat(t))
+        Table::concat_many(self.schema.clone(), self.partitions.iter())
     }
 
     /// Convenience: wrap a table as a single partition.
@@ -289,7 +284,10 @@ mod tests {
         assert_eq!(pt.num_partitions(), 3);
         assert_eq!(pt.num_rows(), 10);
         assert_eq!(
-            pt.partition_meta().iter().map(|m| m.row_count).sum::<usize>(),
+            pt.partition_meta()
+                .iter()
+                .map(|m| m.row_count)
+                .sum::<usize>(),
             10
         );
     }
@@ -368,9 +366,7 @@ mod tests {
         let meter = Meter::new();
         let back = pt.to_table(&meter).unwrap();
         assert_eq!(back.num_rows(), 10);
-        let a = t
-            .row_hash_multiset(&["id", "grp"], &Meter::new())
-            .unwrap();
+        let a = t.row_hash_multiset(&["id", "grp"], &Meter::new()).unwrap();
         let b = back
             .row_hash_multiset(&["id", "grp"], &Meter::new())
             .unwrap();

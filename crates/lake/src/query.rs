@@ -14,11 +14,11 @@ use crate::partition::{PartitionMeta, PartitionedTable};
 use crate::row::RowHash;
 use crate::table::Table;
 use crate::value::Value;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A predicate over a single table, in the small WHERE-clause language that
 /// CLP needs (`col = value`, `col BETWEEN lo AND hi`, conjunctions).
@@ -131,7 +131,8 @@ impl Predicate {
                 Some(stats) => match (&stats.min, &stats.max) {
                     (Some(min), Some(max)) => {
                         // Ranges [lo,hi] and [min,max] must overlap.
-                        hi.total_cmp(min) != Ordering::Less && lo.total_cmp(max) != Ordering::Greater
+                        hi.total_cmp(min) != Ordering::Less
+                            && lo.total_cmp(max) != Ordering::Greater
                     }
                     _ => true,
                 },
@@ -154,21 +155,31 @@ pub fn scan(
     limit: Option<usize>,
     meter: &Meter,
 ) -> Result<Table> {
-    // Validate referenced columns against the schema up front.
-    for c in predicate.columns() {
+    // Referenced columns are computed once per scan (not per partition) and
+    // validated against the schema up front.
+    let pred_cols = predicate.columns();
+    for c in &pred_cols {
         if table.schema().index_of(c).is_none() {
-            return Err(LakeError::ColumnNotFound(c.to_string()));
+            return Err(LakeError::ColumnNotFound((*c).to_string()));
         }
     }
-    let mut out: Option<Table> = None;
+    let metadata_lookups_per_partition = pred_cols.len().max(1) as u64;
+
+    // Pass 1: collect the surviving (partition, row indices) pairs.
+    let mut selected: Vec<(usize, Vec<usize>)> = Vec::new();
     let mut collected = 0usize;
-    for (part, meta) in table.partitions().iter().zip(table.partition_meta()) {
+    'parts: for (pi, (part, meta)) in table
+        .partitions()
+        .iter()
+        .zip(table.partition_meta())
+        .enumerate()
+    {
         if let Some(lim) = limit {
             if collected >= lim {
                 break;
             }
         }
-        meter.add_metadata_lookups(predicate.columns().len().max(1) as u64);
+        meter.add_metadata_lookups(metadata_lookups_per_partition);
         if !predicate.could_match_partition(meta) {
             meter.add_partitions_pruned(1);
             continue;
@@ -183,18 +194,45 @@ pub fn scan(
                 collected += 1;
                 if let Some(lim) = limit {
                     if collected >= lim {
-                        break;
+                        selected.push((pi, keep));
+                        break 'parts;
                     }
                 }
             }
         }
-        let chunk = part.take(&keep)?;
-        out = Some(match out {
-            None => chunk,
-            Some(acc) => acc.concat(&chunk)?,
-        });
+        if !keep.is_empty() {
+            selected.push((pi, keep));
+        }
     }
-    Ok(out.unwrap_or_else(|| Table::empty(table.schema().clone())))
+
+    // Pass 2: gather each output column once, pre-sized to the final row
+    // count (the old fold over `Table::concat` re-copied the accumulated
+    // prefix for every partition — O(P²) values moved).
+    gather_rows(table, &selected, collected)
+}
+
+/// Build a result table by gathering `(partition index, local row indices)`
+/// picks, allocating each output column once at `total` rows.
+fn gather_rows(
+    table: &PartitionedTable,
+    selected: &[(usize, Vec<usize>)],
+    total: usize,
+) -> Result<Table> {
+    let schema = table.schema().clone();
+    let columns: Vec<crate::column::Column> = (0..schema.len())
+        .map(|ci| {
+            let mut values = Vec::with_capacity(total);
+            for (pi, keep) in selected {
+                let col_values = table.partitions()[*pi]
+                    .column_at(ci)
+                    .expect("column index in range")
+                    .values();
+                values.extend(keep.iter().map(|&i| col_values[i].clone()));
+            }
+            crate::column::Column::new(schema.fields()[ci].data_type, values)
+        })
+        .collect::<Result<_>>()?;
+    Table::new(schema, columns)
 }
 
 /// Count rows matching a predicate (partition-pruned, metered).
@@ -222,36 +260,36 @@ pub fn random_rows<R: Rng + ?Sized>(
     if k == 0 {
         return Ok(Table::empty(table.schema().clone()));
     }
-    let mut global_indices: Vec<usize> = (0..n).collect();
-    global_indices.shuffle(rng);
-    let chosen: Vec<usize> = global_indices.into_iter().take(k).collect();
+    // Draw k distinct global indices in O(k) (sparse partial Fisher–Yates),
+    // instead of shuffling a full 0..n index vector.
+    let chosen = rand::seq::index::sample(rng, n, k).into_vec();
 
-    // Translate global row indices to (partition, local) coordinates.
+    // Translate global row indices to (partition, local) coordinates and
+    // group the picks per partition, so each partition is visited once.
     let mut boundaries = Vec::with_capacity(table.num_partitions());
     let mut acc = 0usize;
     for p in table.partitions() {
         boundaries.push(acc);
         acc += p.num_rows();
     }
-    let mut out: Option<Table> = None;
+    let mut per_partition: Vec<Vec<usize>> = vec![Vec::new(); table.num_partitions()];
     for &g in &chosen {
         let pi = match boundaries.binary_search(&g) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        let local = g - boundaries[pi];
-        let part = &table.partitions()[pi];
-        let row_tbl = part.take(&[local])?;
-        out = Some(match out {
-            None => row_tbl,
-            Some(acc) => acc.concat(&row_tbl)?,
-        });
+        per_partition[pi].push(g - boundaries[pi]);
     }
+    let selected: Vec<(usize, Vec<usize>)> = per_partition
+        .into_iter()
+        .enumerate()
+        .filter(|(_, keep)| !keep.is_empty())
+        .collect();
+
+    let out = gather_rows(table, &selected, k)?;
     meter.add_rows_scanned(k as u64);
-    meter.add_bytes_scanned(
-        out.as_ref().map(|t| t.byte_size() as u64).unwrap_or(0),
-    );
-    Ok(out.unwrap_or_else(|| Table::empty(table.schema().clone())))
+    meter.add_bytes_scanned(out.byte_size() as u64);
+    Ok(out)
 }
 
 /// Left-anti join: the rows of `probe` (projected onto `on` columns) that do
@@ -268,6 +306,16 @@ pub fn left_anti_join(
 ) -> Result<Table> {
     let build_table = build.to_table(meter)?;
     let build_hashes = build_table.row_hash_multiset(on, meter)?;
+    anti_join_against(probe, &build_hashes, on, meter)
+}
+
+/// Probe-side half of the anti-join, against an already-built hash multiset.
+fn anti_join_against(
+    probe: &Table,
+    build_hashes: &HashMap<RowHash, usize>,
+    on: &[&str],
+    meter: &Meter,
+) -> Result<Table> {
     let probe_hashes = probe.row_hashes(on, meter)?;
     meter.add_row_comparisons(probe_hashes.len() as u64);
     let keep: Vec<usize> = probe_hashes
@@ -277,6 +325,101 @@ pub fn left_anti_join(
         .map(|(i, _)| i)
         .collect();
     probe.take(&keep)
+}
+
+/// A shared, thread-safe cache of build-side hash multisets, keyed by
+/// `(build dataset id, canonicalised column set)`.
+///
+/// CLP probes many child samples against the *same* parent: without a cache
+/// every [`left_anti_join`] re-materialises and re-hashes the full parent
+/// table per edge. With the cache, the parent is scanned and hashed exactly
+/// **once per (dataset, column set) key** — under any thread count — and
+/// the meter records exactly that one materialisation, which keeps parallel
+/// and sequential op counts identical.
+///
+/// Concurrency: a global map hands out one slot per key; the slot's own lock
+/// is held across the (expensive) build, so two threads asking for the same
+/// key serialise on that key only, and the loser reuses the winner's result
+/// instead of recomputing.
+#[derive(Debug, Default)]
+pub struct HashJoinCache {
+    #[allow(clippy::type_complexity)]
+    slots: Mutex<HashMap<(u64, Vec<String>), Arc<Mutex<Option<Arc<HashMap<RowHash, usize>>>>>>>,
+}
+
+impl HashJoinCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hash multiset of `build` projected onto `on`, computed (and
+    /// metered) at most once per `(build_id, on)` key.
+    pub fn multiset(
+        &self,
+        build_id: u64,
+        build: &PartitionedTable,
+        on: &[&str],
+        meter: &Meter,
+    ) -> Result<Arc<HashMap<RowHash, usize>>> {
+        let mut key_cols: Vec<String> = on.iter().map(|s| (*s).to_string()).collect();
+        key_cols.sort_unstable();
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            Arc::clone(slots.entry((build_id, key_cols)).or_default())
+        };
+        let mut entry = slot.lock().expect("slot lock poisoned");
+        if let Some(cached) = entry.as_ref() {
+            return Ok(Arc::clone(cached));
+        }
+        let build_table = build.to_table(meter)?;
+        let multiset = Arc::new(build_table.row_hash_multiset(on, meter)?);
+        *entry = Some(Arc::clone(&multiset));
+        Ok(multiset)
+    }
+
+    /// Number of cached build sides.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached multiset of `build_id`, releasing its memory.
+    ///
+    /// Sweeps that visit edges grouped by build side (e.g. the ground-truth
+    /// containment sweep, whose edge list is sorted by parent) should evict
+    /// each build dataset once its last edge is done, so peak cache memory
+    /// is one dataset's multisets instead of the whole lake's. Callers that
+    /// interleave build sides (parallel CLP) skip eviction and instead
+    /// bound the cache by the edge set's distinct `(parent, column set)`
+    /// keys. In-flight handles stay valid (`Arc`); evicting a key that is
+    /// requested again later causes a re-build and re-metering, so only
+    /// evict keys that are truly finished.
+    pub fn evict_dataset(&self, build_id: u64) {
+        self.slots
+            .lock()
+            .expect("cache lock poisoned")
+            .retain(|(id, _), _| *id != build_id);
+    }
+}
+
+/// [`left_anti_join`] with the build side served from a [`HashJoinCache`]
+/// (keyed by `build_id`): the first call per key pays the build scan, every
+/// later call only pays the probe.
+pub fn left_anti_join_cached(
+    probe: &Table,
+    build_id: u64,
+    build: &PartitionedTable,
+    on: &[&str],
+    meter: &Meter,
+    cache: &HashJoinCache,
+) -> Result<Table> {
+    let build_hashes = cache.multiset(build_id, build, on, meter)?;
+    anti_join_against(probe, &build_hashes, on, meter)
 }
 
 /// Result of a full containment check between two tables.
@@ -317,33 +460,69 @@ pub fn containment_check(
     parent: &PartitionedTable,
     meter: &Meter,
 ) -> Result<ContainmentCheck> {
-    let child_cols_owned: Vec<String> = child
+    let child_cols = validated_child_columns(child, parent)?;
+    let child_cols: Vec<&str> = child_cols.iter().map(String::as_str).collect();
+    let parent_table = parent.to_table(meter)?;
+    let parent_hashes = parent_table.row_hash_multiset(&child_cols, meter)?;
+    containment_against(child, &parent_hashes, &child_cols, meter)
+}
+
+/// [`containment_check`] with the parent's hash multiset served from a
+/// [`HashJoinCache`] (keyed by `parent_id`), so ground-truth sweeps that
+/// check many children against one parent materialise and hash that parent
+/// once per distinct child column set instead of once per child.
+pub fn containment_check_cached(
+    child: &PartitionedTable,
+    parent_id: u64,
+    parent: &PartitionedTable,
+    meter: &Meter,
+    cache: &HashJoinCache,
+) -> Result<ContainmentCheck> {
+    let child_cols = validated_child_columns(child, parent)?;
+    let child_cols: Vec<&str> = child_cols.iter().map(String::as_str).collect();
+    let parent_hashes = cache.multiset(parent_id, parent, &child_cols, meter)?;
+    containment_against(child, &parent_hashes, &child_cols, meter)
+}
+
+/// The child's full column list, verified to exist in the parent.
+fn validated_child_columns(
+    child: &PartitionedTable,
+    parent: &PartitionedTable,
+) -> Result<Vec<String>> {
+    let cols: Vec<String> = child
         .schema()
         .names()
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let child_cols: Vec<&str> = child_cols_owned.iter().map(String::as_str).collect();
-    for c in &child_cols {
+    for c in &cols {
         if parent.schema().index_of(c).is_none() {
-            return Err(LakeError::ColumnNotFound((*c).to_string()));
+            return Err(LakeError::ColumnNotFound(c.clone()));
         }
     }
+    Ok(cols)
+}
+
+/// Child-side half of the containment check, against an already-built parent
+/// multiset. Multiset semantics via per-hash `min(child count, parent
+/// count)`, which leaves the (possibly shared) parent map untouched.
+fn containment_against(
+    child: &PartitionedTable,
+    parent_hashes: &HashMap<RowHash, usize>,
+    child_cols: &[&str],
+    meter: &Meter,
+) -> Result<ContainmentCheck> {
     let child_table = child.to_table(meter)?;
-    let parent_table = parent.to_table(meter)?;
-    let mut parent_hashes: HashMap<RowHash, usize> =
-        parent_table.row_hash_multiset(&child_cols, meter)?;
-    let child_hashes = child_table.row_hashes(&child_cols, meter)?;
+    let child_hashes = child_table.row_hashes(child_cols, meter)?;
     meter.add_row_comparisons(child_hashes.len() as u64);
-    let mut contained = 0usize;
+    let mut child_counts: HashMap<RowHash, usize> = HashMap::with_capacity(child_hashes.len());
     for h in &child_hashes {
-        if let Some(cnt) = parent_hashes.get_mut(h) {
-            if *cnt > 0 {
-                *cnt -= 1;
-                contained += 1;
-            }
-        }
+        *child_counts.entry(*h).or_insert(0) += 1;
     }
+    let contained = child_counts
+        .iter()
+        .map(|(h, &count)| count.min(parent_hashes.get(h).copied().unwrap_or(0)))
+        .sum();
     Ok(ContainmentCheck {
         child_rows: child_hashes.len(),
         contained_rows: contained,
@@ -511,8 +690,8 @@ mod tests {
         let parent = partitioned(20, 5);
         let child_tbl = base_table(10); // rows 0..10 all appear in parent
         let meter = Meter::new();
-        let missing = left_anti_join(&child_tbl, &parent, &["id", "region", "amount"], &meter)
-            .unwrap();
+        let missing =
+            left_anti_join(&child_tbl, &parent, &["id", "region", "amount"], &meter).unwrap();
         assert_eq!(missing.num_rows(), 0);
 
         // Now probe with a row that does not exist in the parent.
@@ -526,15 +705,16 @@ mod tests {
             ],
         )
         .unwrap();
-        let missing = left_anti_join(&foreign, &parent, &["id", "region", "amount"], &meter)
-            .unwrap();
+        let missing =
+            left_anti_join(&foreign, &parent, &["id", "region", "amount"], &meter).unwrap();
         assert_eq!(missing.num_rows(), 1);
     }
 
     #[test]
     fn containment_check_exact_subset() {
         let parent = partitioned(30, 10);
-        let child = PartitionedTable::single(base_table(30).take(&(0..12).collect::<Vec<_>>()).unwrap());
+        let child =
+            PartitionedTable::single(base_table(30).take(&(0..12).collect::<Vec<_>>()).unwrap());
         let meter = Meter::new();
         let chk = containment_check(&child, &parent, &meter).unwrap();
         assert!(chk.is_exact());
@@ -572,9 +752,8 @@ mod tests {
         let parent = PartitionedTable::single(
             Table::new(schema.clone(), vec![Column::from_ints([1, 2])]).unwrap(),
         );
-        let child = PartitionedTable::single(
-            Table::new(schema, vec![Column::from_ints([1, 1])]).unwrap(),
-        );
+        let child =
+            PartitionedTable::single(Table::new(schema, vec![Column::from_ints([1, 1])]).unwrap());
         let chk = containment_check(&child, &parent, &Meter::new()).unwrap();
         assert_eq!(chk.contained_rows, 1);
         assert!(!chk.is_exact());
@@ -584,7 +763,11 @@ mod tests {
     fn containment_check_projection_onto_child_schema() {
         // Parent has an extra column; containment is judged on the child's columns.
         let parent_tbl = base_table(10);
-        let child_tbl = parent_tbl.project(&["id", "region"]).unwrap().take(&[0, 3, 7]).unwrap();
+        let child_tbl = parent_tbl
+            .project(&["id", "region"])
+            .unwrap()
+            .take(&[0, 3, 7])
+            .unwrap();
         let chk = containment_check(
             &PartitionedTable::single(child_tbl),
             &PartitionedTable::single(parent_tbl),
@@ -597,9 +780,8 @@ mod tests {
     #[test]
     fn containment_check_missing_column_errors() {
         let schema = Schema::flat(&[("only_in_child", DataType::Int)]).unwrap();
-        let child = PartitionedTable::single(
-            Table::new(schema, vec![Column::from_ints([1])]).unwrap(),
-        );
+        let child =
+            PartitionedTable::single(Table::new(schema, vec![Column::from_ints([1])]).unwrap());
         let parent = partitioned(5, 5);
         assert!(containment_check(&child, &parent, &Meter::new()).is_err());
     }
@@ -611,5 +793,158 @@ mod tests {
         let parent = partitioned(5, 5);
         let chk = containment_check(&child, &parent, &Meter::new()).unwrap();
         assert_eq!(chk.fraction(), 1.0);
+    }
+
+    #[test]
+    fn cached_anti_join_matches_uncached_and_scans_build_once() {
+        let parent = partitioned(40, 8);
+        let cols = ["id", "region", "amount"];
+        let probes: Vec<Table> = vec![
+            base_table(40).take(&[0, 5, 9]).unwrap(),
+            base_table(40).take(&[1, 2]).unwrap(),
+            base_table(50).take(&[45, 46]).unwrap(), // rows 45,46 missing
+        ];
+
+        let uncached_meter = Meter::new();
+        let uncached: Vec<usize> = probes
+            .iter()
+            .map(|p| {
+                left_anti_join(p, &parent, &cols, &uncached_meter)
+                    .unwrap()
+                    .num_rows()
+            })
+            .collect();
+
+        let cached_meter = Meter::new();
+        let cache = HashJoinCache::new();
+        let cached: Vec<usize> = probes
+            .iter()
+            .map(|p| {
+                left_anti_join_cached(p, 7, &parent, &cols, &cached_meter, &cache)
+                    .unwrap()
+                    .num_rows()
+            })
+            .collect();
+
+        assert_eq!(uncached, cached, "results must agree");
+        assert_eq!(cached, vec![0, 0, 2]);
+        assert_eq!(cache.len(), 1, "one build side cached");
+        assert!(!cache.is_empty());
+        // Uncached pays the 40-row build scan 3×, cached pays it once.
+        let u = uncached_meter.snapshot();
+        let c = cached_meter.snapshot();
+        assert_eq!(u.rows_hashed - c.rows_hashed, 2 * 40);
+        assert!(c.rows_scanned < u.rows_scanned);
+    }
+
+    #[test]
+    fn cache_distinguishes_column_sets_and_datasets() {
+        let parent = partitioned(20, 5);
+        let meter = Meter::new();
+        let cache = HashJoinCache::new();
+        cache.multiset(1, &parent, &["id"], &meter).unwrap();
+        cache.multiset(1, &parent, &["id"], &meter).unwrap(); // hit
+        cache
+            .multiset(1, &parent, &["id", "region"], &meter)
+            .unwrap(); // new column set
+        cache.multiset(2, &parent, &["id"], &meter).unwrap(); // new dataset id
+        assert_eq!(cache.len(), 3);
+        // Column order is canonicalised, so this is a hit, not a new entry.
+        cache
+            .multiset(1, &parent, &["region", "id"], &meter)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn evict_dataset_releases_only_that_build_side() {
+        let parent = partitioned(20, 5);
+        let meter = Meter::new();
+        let cache = HashJoinCache::new();
+        cache.multiset(1, &parent, &["id"], &meter).unwrap();
+        cache
+            .multiset(1, &parent, &["id", "region"], &meter)
+            .unwrap();
+        cache.multiset(2, &parent, &["id"], &meter).unwrap();
+        assert_eq!(cache.len(), 3);
+        cache.evict_dataset(1);
+        assert_eq!(cache.len(), 1, "both column sets of dataset 1 evicted");
+        // Dataset 2 is untouched: asking again is a hit (no extra hashing).
+        let hashed_before = meter.snapshot().rows_hashed;
+        cache.multiset(2, &parent, &["id"], &meter).unwrap();
+        assert_eq!(meter.snapshot().rows_hashed, hashed_before);
+        // An evicted key is rebuilt (and re-metered) on demand.
+        cache.multiset(1, &parent, &["id"], &meter).unwrap();
+        assert_eq!(meter.snapshot().rows_hashed, hashed_before + 20);
+    }
+
+    #[test]
+    fn cached_containment_check_matches_uncached() {
+        let parent = partitioned(30, 10);
+        let children: Vec<PartitionedTable> = vec![
+            PartitionedTable::single(base_table(30).take(&(0..12).collect::<Vec<_>>()).unwrap()),
+            PartitionedTable::single(base_table(30).take(&[3, 3, 7]).unwrap()),
+        ];
+        let cache = HashJoinCache::new();
+        for child in &children {
+            let plain = containment_check(child, &parent, &Meter::new()).unwrap();
+            let cached =
+                containment_check_cached(child, 9, &parent, &Meter::new(), &cache).unwrap();
+            assert_eq!(plain, cached);
+        }
+    }
+
+    #[test]
+    fn cache_is_thread_safe_and_builds_once() {
+        let parent = std::sync::Arc::new(partitioned(100, 10));
+        let cache = std::sync::Arc::new(HashJoinCache::new());
+        let meter = Meter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let parent = std::sync::Arc::clone(&parent);
+                let cache = std::sync::Arc::clone(&cache);
+                let meter = meter.clone();
+                scope.spawn(move || {
+                    cache.multiset(1, &parent, &["id"], &meter).unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        // Exactly one 100-row build hash despite 8 concurrent requests.
+        assert_eq!(meter.snapshot().rows_hashed, 100);
+    }
+
+    #[test]
+    fn scan_without_matches_returns_empty_table() {
+        let pt = partitioned(20, 5);
+        let r = scan(
+            &pt,
+            &Predicate::eq("id", Value::Int(999)),
+            None,
+            &Meter::new(),
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.schema(), pt.schema());
+    }
+
+    #[test]
+    fn random_rows_draws_distinct_rows() {
+        let pt = partitioned(50, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let sample = random_rows(&pt, 50, &mut rng, &Meter::new()).unwrap();
+        // Sampling without replacement at k = n must return every row once.
+        let mut ids: Vec<i64> = sample
+            .column("id")
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
     }
 }

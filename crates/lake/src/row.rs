@@ -121,9 +121,7 @@ impl Hasher for RowHasher {
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.lane0 = (self.lane0 ^ b as u64).wrapping_mul(MULT);
-            self.lane1 = (self.lane1 ^ b as u64)
-                .wrapping_mul(MULT)
-                .rotate_left(17);
+            self.lane1 = (self.lane1 ^ b as u64).wrapping_mul(MULT).rotate_left(17);
         }
     }
 

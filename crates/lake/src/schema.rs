@@ -11,7 +11,7 @@
 use crate::datatype::DataType;
 use crate::error::{LakeError, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// A leaf field of a flattened schema: a dotted path plus its data type.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -101,9 +101,7 @@ impl SchemaNode {
     pub fn leaf_count(&self) -> usize {
         match self {
             SchemaNode::Leaf { .. } => 1,
-            SchemaNode::Group { children, .. } => {
-                children.iter().map(SchemaNode::leaf_count).sum()
-            }
+            SchemaNode::Group { children, .. } => children.iter().map(SchemaNode::leaf_count).sum(),
         }
     }
 
@@ -290,6 +288,151 @@ impl SchemaSet {
     }
 }
 
+/// A lake-wide column-name interner mapping flattened names to dense `u32`
+/// symbol ids.
+///
+/// Schema-containment-heavy stages (SGB compares `O(K·N)` + intra-cluster
+/// pairs of schema sets) spend most of their time in string comparisons when
+/// sets are `BTreeSet<String>`. Interning every distinct column name once
+/// turns each containment check into a merge-walk over two sorted `u32`
+/// slices, with a 256-bit summary mask as a constant-time fast path.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaInterner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl SchemaInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern one name, returning its stable symbol id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve a symbol id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern every name of a string schema set.
+    pub fn intern_set(&mut self, set: &SchemaSet) -> InternedSchemaSet {
+        let mut ids: Vec<u32> = set.iter().map(|n| self.intern(n)).collect();
+        ids.sort_unstable();
+        InternedSchemaSet::from_sorted_ids(ids)
+    }
+}
+
+/// A schema set as sorted interned symbol ids plus a 256-bit summary mask.
+///
+/// The mask stores bit `id % 256` for every member. For a containment check
+/// `self ⊆ other` this gives two fast paths:
+///
+/// * **reject**: if `self` sets a mask bit `other` lacks, containment is
+///   impossible — no id walk needed (this catches most non-contained pairs);
+/// * **accept**: if *all* ids on both sides are `< 256` the mask is an exact
+///   bitset, so mask-subset alone proves containment (the "small schema"
+///   case — typical corpora have far fewer than 256 distinct columns).
+///
+/// Only when neither shortcut applies does the check fall back to a linear
+/// merge-walk over the two sorted id slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedSchemaSet {
+    /// Sorted ascending, no duplicates.
+    ids: Vec<u32>,
+    /// Bit `id % 256` for every member.
+    mask: [u64; 4],
+    /// Whether every id is `< 256` (mask is then an exact bitset).
+    exact: bool,
+}
+
+impl InternedSchemaSet {
+    /// Build from ids that are already sorted and deduplicated.
+    pub fn from_sorted_ids(ids: Vec<u32>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted+unique"
+        );
+        let mut mask = [0u64; 4];
+        let mut exact = true;
+        for &id in &ids {
+            let bit = (id % 256) as usize;
+            mask[bit / 64] |= 1u64 << (bit % 64);
+            exact &= id < 256;
+        }
+        InternedSchemaSet { ids, mask, exact }
+    }
+
+    /// Cardinality of the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted symbol ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Whether `self ⊆ other`, equivalent to
+    /// [`SchemaSet::is_contained_in`] on the un-interned sets.
+    pub fn is_contained_in(&self, other: &InternedSchemaSet) -> bool {
+        if self.ids.len() > other.ids.len() {
+            return false;
+        }
+        // Mask fast reject: a bit set here but not there → not a subset.
+        for i in 0..4 {
+            if self.mask[i] & !other.mask[i] != 0 {
+                return false;
+            }
+        }
+        // Mask fast accept: both sides exact → mask subset ⇔ set subset.
+        if self.exact && other.exact {
+            return true;
+        }
+        // Merge-walk over the sorted id slices.
+        let mut oi = 0;
+        let other_ids = &other.ids;
+        'outer: for &id in &self.ids {
+            while oi < other_ids.len() {
+                match other_ids[oi].cmp(&id) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,10 +454,7 @@ mod tests {
     #[test]
     fn flatten_tree_schema_matches_paper_example() {
         let s = nested_schema();
-        assert_eq!(
-            s.names(),
-            vec!["product.price", "product.id", "timestamp"]
-        );
+        assert_eq!(s.names(), vec!["product.price", "product.id", "timestamp"]);
         assert_eq!(s.data_type("product.price").unwrap(), DataType::Float);
     }
 
@@ -383,5 +523,93 @@ mod tests {
         assert!(s.data_type("nope").is_err());
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn interner_assigns_stable_ids() {
+        let mut interner = SchemaInterner::new();
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("alpha"), a, "re-interning is stable");
+        assert_eq!(interner.resolve(a), Some("alpha"));
+        assert_eq!(interner.resolve(99), None);
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn interned_containment_matches_string_containment() {
+        let mut interner = SchemaInterner::new();
+        let big = SchemaSet::from_names(["a", "b", "c", "d"]);
+        let small = SchemaSet::from_names(["b", "d"]);
+        let other = SchemaSet::from_names(["b", "z"]);
+        let ibig = interner.intern_set(&big);
+        let ismall = interner.intern_set(&small);
+        let iother = interner.intern_set(&other);
+        assert!(ismall.is_contained_in(&ibig));
+        assert!(!ibig.is_contained_in(&ismall));
+        assert!(!iother.is_contained_in(&ibig));
+        assert!(ibig.is_contained_in(&ibig));
+        assert_eq!(ismall.len(), 2);
+        assert!(!ismall.is_empty());
+    }
+
+    #[test]
+    fn interned_containment_beyond_bitset_range() {
+        // Force ids past 256 so the merge-walk path (not the exact-bitset
+        // fast path) is exercised, including mask collisions (id % 256).
+        let mut interner = SchemaInterner::new();
+        for i in 0..300 {
+            interner.intern(&format!("pad{i}"));
+        }
+        let parent = SchemaSet::from_names((0..40).map(|i| format!("col{i}")));
+        let child = SchemaSet::from_names((10..20).map(|i| format!("col{i}")));
+        // "collides" interns to an id ≡ some parent id (mod 256) with high
+        // likelihood once > 256 symbols exist; containment must still be
+        // decided exactly.
+        let foreign = SchemaSet::from_names(["col10", "collides"]);
+        let ip = interner.intern_set(&parent);
+        let ic = interner.intern_set(&child);
+        let if_ = interner.intern_set(&foreign);
+        assert!(ic.is_contained_in(&ip));
+        assert!(!if_.is_contained_in(&ip));
+        assert!(!ip.is_contained_in(&ic));
+    }
+
+    #[test]
+    fn empty_interned_set_contained_everywhere() {
+        let mut interner = SchemaInterner::new();
+        let empty = interner.intern_set(&SchemaSet::from_names(Vec::<String>::new()));
+        let any = interner.intern_set(&SchemaSet::from_names(["x"]));
+        assert!(empty.is_contained_in(&any));
+        assert!(empty.is_contained_in(&empty));
+        assert!(!any.is_contained_in(&empty));
+    }
+
+    proptest::proptest! {
+        /// Interned containment must agree with string-set containment on
+        /// random schema families, in both directions, including past the
+        /// 256-symbol exact-bitset range.
+        #[test]
+        fn interned_agrees_with_string_containment(raw in proptest::collection::vec(
+            proptest::collection::btree_set(0u16..400, 0..12), 2..10)) {
+            let sets: Vec<SchemaSet> = raw
+                .iter()
+                .map(|cols| SchemaSet::from_names(cols.iter().map(|c| format!("c{c}"))))
+                .collect();
+            let mut interner = SchemaInterner::new();
+            let interned: Vec<InternedSchemaSet> =
+                sets.iter().map(|s| interner.intern_set(s)).collect();
+            for (i, a) in sets.iter().enumerate() {
+                for (j, b) in sets.iter().enumerate() {
+                    proptest::prop_assert_eq!(
+                        interned[i].is_contained_in(&interned[j]),
+                        a.is_contained_in(b),
+                        "sets {} vs {}", i, j
+                    );
+                }
+            }
+        }
     }
 }

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn quantiles_nearest_rank() {
-        let q = numeric_quantiles(&ints(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]), &PAPER_QUANTILE_FRACTIONS);
+        let q = numeric_quantiles(
+            &ints(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]),
+            &PAPER_QUANTILE_FRACTIONS,
+        );
         assert_eq!(q.values[0], Some(1.0));
         assert_eq!(q.values[4], Some(10.0));
         assert_eq!(q.values[1], Some(6.0)); // round(0.5*9)=5 -> value 6

@@ -113,11 +113,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
                     .map_err(|_| LakeError::Corrupt("invalid utf8".into()))?,
             )
         }
-        other => {
-            return Err(LakeError::Corrupt(format!(
-                "unknown value tag {other}"
-            )))
-        }
+        other => return Err(LakeError::Corrupt(format!("unknown value tag {other}"))),
     })
 }
 
@@ -142,6 +138,9 @@ fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
     }
 }
 
+/// Per-column footer entry: `(min, max, null_count)`.
+pub type ColumnFooterStats = (Option<Value>, Option<Value>, u64);
+
 /// Per-row-group, per-column statistics that live in the file footer and can
 /// be read without touching data pages.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,7 +148,7 @@ pub struct FooterStats {
     /// Row count of each row group.
     pub row_counts: Vec<u64>,
     /// Per row group: column name → (min, max, null_count).
-    pub column_stats: Vec<HashMap<String, (Option<Value>, Option<Value>, u64)>>,
+    pub column_stats: Vec<HashMap<String, ColumnFooterStats>>,
 }
 
 /// Serialise a partitioned table into the binary format.

@@ -138,14 +138,10 @@ impl PartialEq for Value {
             (Int(a), Int(b)) => a == b,
             (Timestamp(a), Timestamp(b)) => a == b,
             (Str(a), Str(b)) => a == b,
-            (Float(a), Float(b)) => {
-                Self::canonical_f64_bits(*a) == Self::canonical_f64_bits(*b)
-            }
+            (Float(a), Float(b)) => Self::canonical_f64_bits(*a) == Self::canonical_f64_bits(*b),
             // Int/Float cross-type equality is intentional: a derived table
             // that casts an int column to float still holds "the same" data.
-            (Int(a), Float(b)) | (Float(b), Int(a)) => {
-                (*a as f64) == *b && b.fract() == 0.0
-            }
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b && b.fract() == 0.0,
             _ => false,
         }
     }

@@ -135,7 +135,10 @@ mod tests {
         let cost = m.reconstruction_cost(GB, GB);
         let write_only = m.write_per_gb;
         assert!(cost > write_only, "includes the read part");
-        assert!(cost < 2.0 * write_only, "write dominates when sizes are equal");
+        assert!(
+            cost < 2.0 * write_only,
+            "write dominates when sizes are equal"
+        );
     }
 
     #[test]

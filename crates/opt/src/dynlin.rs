@@ -84,11 +84,7 @@ fn solve_chain(problem: &OptRetProblem, chain: &[u64]) -> (f64, BTreeSet<u64>, B
         return (0.0, BTreeSet::new(), BTreeMap::new());
     }
     if n == 1 {
-        return (
-            retain_cost(0),
-            BTreeSet::from([chain[0]]),
-            BTreeMap::new(),
-        );
+        return (retain_cost(0), BTreeSet::from([chain[0]]), BTreeMap::new());
     }
 
     // alg[i] = optimal cost for nodes 0..=i; keep[i] = whether node i was

@@ -99,8 +99,8 @@ pub fn preprocess_for_safe_deletion(
             edge.reconstruction_cost = Some(cost);
             edge.reconstruction_latency = Some(latency);
             if edge.transform.is_none() {
-                edge.transform =
-                    transform_desc.or_else(|| Some("exact containment (SELECT subset)".to_string()));
+                edge.transform = transform_desc
+                    .or_else(|| Some("exact containment (SELECT subset)".to_string()));
             }
         }
         stats.kept += 1;
@@ -111,9 +111,7 @@ pub fn preprocess_for_safe_deletion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use r2d2_lake::{
-        AccessProfile, Column, DataType, Lineage, PartitionedTable, Schema, Table,
-    };
+    use r2d2_lake::{AccessProfile, Column, DataType, Lineage, PartitionedTable, Schema, Table};
 
     fn make_lake(with_lineage: bool) -> (DataLake, u64, u64) {
         let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
@@ -211,7 +209,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stats.kept, 1);
-        assert_eq!(graph.edge(p, c).unwrap().transform.as_deref(), Some("manual note"));
+        assert_eq!(
+            graph.edge(p, c).unwrap().transform.as_deref(),
+            Some("manual note")
+        );
     }
 
     #[test]
@@ -221,13 +222,9 @@ mod tests {
         graph.add_edge(p, c);
         // Absurdly tight threshold: everything is too slow.
         let model = CostModel::default().with_latency_threshold(1e-12);
-        let stats = preprocess_for_safe_deletion(
-            &mut graph,
-            &lake,
-            &model,
-            TransformKnowledge::Required,
-        )
-        .unwrap();
+        let stats =
+            preprocess_for_safe_deletion(&mut graph, &lake, &model, TransformKnowledge::Required)
+                .unwrap();
         assert_eq!(stats.pruned_latency, 1);
         assert_eq!(graph.edge_count(), 0);
     }

@@ -65,8 +65,7 @@ impl OptRetProblem {
                 NodeCosts {
                     dataset: ds,
                     size_bytes: size,
-                    retention_cost: model
-                        .retention_cost(size, entry.access.maintenance_per_period),
+                    retention_cost: model.retention_cost(size, entry.access.maintenance_per_period),
                     accesses: entry.access.accesses_per_period,
                 },
             );
@@ -155,9 +154,11 @@ impl OptRetProblem {
     /// The cheapest reconstruction cost (per access) available for a node,
     /// if it has any parent.
     pub fn cheapest_parent(&self, child: u64) -> Option<&ReconstructionEdge> {
-        self.parents_of(child)
-            .into_iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+        self.parents_of(child).into_iter().min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 
@@ -238,12 +239,7 @@ mod tests {
     #[test]
     fn synthetic_instance() {
         let graph = r2d2_graph::random::line_graph(4);
-        let p = OptRetProblem::synthetic(
-            &graph,
-            &CostModel::default(),
-            |_| 1 << 30,
-            |d| d as f64,
-        );
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 30, |d| d as f64);
         assert_eq!(p.node_count(), 4);
         assert_eq!(p.edge_count(), 3);
         assert_eq!(p.nodes[&2].accesses, 2.0);

@@ -104,12 +104,9 @@ pub fn horizon_projection(scenario: &HorizonScenario, model: &CostModel) -> Hori
     let deleted_gb = scenario.lake_bytes * scenario.contained_fraction / BYTES_PER_GB;
     let scans_per_month = scenario.accesses_per_week * 52.0 / 12.0;
 
-    let storage_savings =
-        deleted_gb * model.storage_per_gb_period * scenario.horizon_months;
-    let maintenance_savings = deleted_gb
-        * model.maintenance_per_gb_op
-        * scans_per_month
-        * scenario.horizon_months;
+    let storage_savings = deleted_gb * model.storage_per_gb_period * scenario.horizon_months;
+    let maintenance_savings =
+        deleted_gb * model.maintenance_per_gb_op * scans_per_month * scenario.horizon_months;
 
     // Accesses after deletion: a fraction of the scans over deleted data
     // triggers reconstruction (read the parent ≈ same size, write the child).
@@ -117,8 +114,7 @@ pub fn horizon_projection(scenario: &HorizonScenario, model: &CostModel) -> Hori
         * scans_per_month
         * scenario.horizon_months
         * scenario.access_after_deletion_fraction;
-    let reconstruction_cost =
-        reconstructions_gb * (model.read_per_gb + model.write_per_gb);
+    let reconstruction_cost = reconstructions_gb * (model.read_per_gb + model.write_per_gb);
 
     HorizonSavings {
         storage_savings,

@@ -86,7 +86,11 @@ impl Solution {
                     if !self.retained.contains(p) {
                         return false;
                     }
-                    if !problem.edges.iter().any(|e| e.parent == *p && e.child == *d) {
+                    if !problem
+                        .edges
+                        .iter()
+                        .any(|e| e.parent == *p && e.child == *d)
+                    {
                         return false;
                     }
                 }
@@ -113,7 +117,11 @@ fn evaluate(
                 .parents_of(*id)
                 .into_iter()
                 .filter(|e| retained.contains(&e.parent))
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))?;
+                .min_by(|a, b| {
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })?;
             cost += node.accesses * best.cost;
             recon.insert(*id, best.parent);
         }
@@ -390,8 +398,7 @@ pub fn solve_greedy(problem: &OptRetProblem) -> Solution {
         }
     }
 
-    solution_from_retained(problem, retained)
-        .expect("greedy maintains feasibility by construction")
+    solution_from_retained(problem, retained).expect("greedy maintains feasibility by construction")
 }
 
 /// Default component-size threshold below which [`solve`] uses the exact

@@ -34,11 +34,7 @@ pub fn power_law_profile<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> AccessProf
 }
 
 /// Assign fresh power-law access profiles to every dataset in the lake.
-pub fn assign_power_law_profiles<R: Rng + ?Sized>(
-    lake: &mut DataLake,
-    alpha: f64,
-    rng: &mut R,
-) {
+pub fn assign_power_law_profiles<R: Rng + ?Sized>(lake: &mut DataLake, alpha: f64, rng: &mut R) {
     let ids: Vec<DatasetId> = lake.ids();
     for id in ids {
         let profile = power_law_profile(alpha, rng);
@@ -59,7 +55,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..1000 {
             let v = bounded_pareto(0.5, 50.0, 1.2, &mut rng);
-            assert!(v >= 0.5 - 1e-9 && v <= 50.0 + 1e-9, "v={v}");
+            assert!((0.5 - 1e-9..=50.0 + 1e-9).contains(&v), "v={v}");
         }
     }
 

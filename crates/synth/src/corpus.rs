@@ -22,9 +22,7 @@ use crate::access::assign_power_law_profiles;
 use crate::roots::{root_table, RootDomain};
 use crate::transforms::{ContainmentEffect, Transform};
 use r2d2_graph::ContainmentGraph;
-use r2d2_lake::{
-    AccessProfile, DataLake, Lineage, PartitionSpec, PartitionedTable, Result, Table,
-};
+use r2d2_lake::{AccessProfile, DataLake, Lineage, PartitionSpec, PartitionedTable, Result, Table};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -240,7 +238,9 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
         Transform::SampleWhere { zipf_exponent: 1.1 },
         Transform::SampleFraction { fraction: 0.4 },
         Transform::SampleFraction { fraction: 0.7 },
-        Transform::AddRows { count: spec.profile.rows_per_root / 4 + 1 },
+        Transform::AddRows {
+            count: spec.profile.rows_per_root / 4 + 1,
+        },
         Transform::AddDerivedColumn,
         Transform::SortByColumn,
         Transform::DropColumns { count: 1 },
@@ -251,9 +251,7 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
     ];
 
     for root_idx in 0..spec.profile.roots {
-        let domain: RootDomain = spec.profile.domains
-            [root_idx % spec.profile.domains.len()]
-        .into();
+        let domain: RootDomain = spec.profile.domains[root_idx % spec.profile.domains.len()].into();
         let table_tag = (spec.seed % 1000) * 1000 + root_idx as u64;
         let root = root_table(domain, spec.profile.rows_per_root, table_tag, &mut rng);
         let root_id = lake
@@ -443,8 +441,7 @@ mod tests {
         let a = generate(&tiny_spec()).unwrap();
         let b = generate(&spec2).unwrap();
         assert!(
-            a.lake.total_rows() != b.lake.total_rows()
-                || a.expected.edges() != b.expected.edges()
+            a.lake.total_rows() != b.lake.total_rows() || a.expected.edges() != b.expected.edges()
         );
     }
 
@@ -462,10 +459,23 @@ mod tests {
 
     #[test]
     fn enterprise_variants_have_different_densities() {
-        let dense = generate(&CorpusSpec::enterprise_like(0, 80)).unwrap();
-        let sparse = generate(&CorpusSpec::enterprise_like(1, 80)).unwrap();
-        let dense_ratio = dense.expected.edge_count() as f64 / dense.dataset_count() as f64;
-        let sparse_ratio = sparse.expected.edge_count() as f64 / sparse.dataset_count() as f64;
+        // The density gap is a property of the variant *parameters*
+        // (breaking probability 0.25 vs 0.55), not of any one seed, so
+        // compare mean densities over several seeds to keep the assertion
+        // robust to the RNG stream.
+        let mean_ratio = |variant: usize| {
+            let ratios: Vec<f64> = (0..5u64)
+                .map(|extra| {
+                    let mut spec = CorpusSpec::enterprise_like(variant, 80);
+                    spec.seed += extra * 101;
+                    let c = generate(&spec).unwrap();
+                    c.expected.edge_count() as f64 / c.dataset_count() as f64
+                })
+                .collect();
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        };
+        let dense_ratio = mean_ratio(0);
+        let sparse_ratio = mean_ratio(1);
         assert!(
             dense_ratio > sparse_ratio,
             "variant 0 should be denser ({dense_ratio:.2} vs {sparse_ratio:.2})"

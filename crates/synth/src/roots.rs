@@ -170,11 +170,15 @@ pub fn kaggle_numeric<R: Rng + ?Sized>(
     for f in 0..features {
         let center = (f as f64 + 1.0) * 10.0 + table_tag as f64;
         columns.push(Column::from_floats(
-            (0..rows).map(|_| center + rng.gen_range(-5.0..5.0)).collect::<Vec<_>>(),
+            (0..rows)
+                .map(|_| center + rng.gen_range(-5.0..5.0))
+                .collect::<Vec<_>>(),
         ));
     }
     columns.push(Column::from_floats(
-        (0..rows).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+        (0..rows)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect::<Vec<_>>(),
     ));
     Table::new(schema, columns).expect("generated columns are consistent")
 }
@@ -193,7 +197,13 @@ pub fn open_data<R: Rng + ?Sized>(rows: usize, table_tag: u64, rng: &mut R) -> T
     .unwrap();
     let agencies: Vec<String> = (0..6).map(|_| random_word(rng, 8)).collect();
     let categories: Vec<String> = (0..10).map(|_| random_word(rng, 6)).collect();
-    let cities = ["springfield", "riverton", "lakeside", "hillview", "meadowbrook"];
+    let cities = [
+        "springfield",
+        "riverton",
+        "lakeside",
+        "hillview",
+        "meadowbrook",
+    ];
     let mut record_ids = Vec::with_capacity(rows);
     let mut agency_vals = Vec::with_capacity(rows);
     let mut cat_vals = Vec::with_capacity(rows);

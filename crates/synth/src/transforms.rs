@@ -128,7 +128,11 @@ impl Transform {
                     *counts.entry(v).or_insert(0) += 1;
                 }
                 let mut ranked: Vec<(&Value, usize)> = counts.into_iter().collect();
-                ranked.sort_by(|a, b| b.1.cmp(&a.1));
+                // Tie-break equal frequencies by value: a frequency-only sort
+                // leaves ties in HashMap iteration order, which differs
+                // between map instances and would make same-seed corpus
+                // generation non-reproducible.
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(b.0)));
                 let zipf = Zipf::new(ranked.len(), *zipf_exponent);
                 let value = ranked[zipf.sample(rng)].0.clone();
                 let keep: Vec<usize> = (0..source.num_rows())
@@ -190,7 +194,9 @@ impl Transform {
                 let table = source.concat(&extra)?;
                 Ok(TransformOutcome {
                     table,
-                    description: format!("UNION ALL {count} rows sampled from column distributions"),
+                    description: format!(
+                        "UNION ALL {count} rows sampled from column distributions"
+                    ),
                     effect: ContainmentEffect::SourceInDerived,
                 })
             }
@@ -213,7 +219,10 @@ impl Transform {
                 let cb = source.column(&b)?;
                 let values: Vec<Value> = (0..source.num_rows())
                     .map(|i| {
-                        match (ca.get(i).and_then(Value::as_f64), cb.get(i).and_then(Value::as_f64)) {
+                        match (
+                            ca.get(i).and_then(Value::as_f64),
+                            cb.get(i).and_then(Value::as_f64),
+                        ) {
                             (Some(x), Some(y)) => Value::Float(wa * x + wb * y),
                             _ => Value::Null,
                         }
@@ -255,9 +264,7 @@ impl Transform {
                             .values()
                             .iter()
                             .map(|v| match v.as_f64() {
-                                Some(x) => {
-                                    Value::Float(x + rng.gen_range(-*magnitude..*magnitude))
-                                }
+                                Some(x) => Value::Float(x + rng.gen_range(-*magnitude..*magnitude)),
                                 None => v.clone(),
                             })
                             .collect();
@@ -275,7 +282,9 @@ impl Transform {
             }
             Transform::SortByColumn => {
                 if source.num_columns() == 0 {
-                    return Err(LakeError::InvalidArgument("no columns to sort by".to_string()));
+                    return Err(LakeError::InvalidArgument(
+                        "no columns to sort by".to_string(),
+                    ));
                 }
                 let idx = rng.gen_range(0..source.num_columns());
                 let name = source.schema().fields()[idx].name.clone();
@@ -371,7 +380,9 @@ mod tests {
     fn add_rows_makes_source_contained_in_derived() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = Transform::AddRows { count: 30 }.apply(&src, &mut rng).unwrap();
+        let out = Transform::AddRows { count: 30 }
+            .apply(&src, &mut rng)
+            .unwrap();
         assert_eq!(out.effect, ContainmentEffect::SourceInDerived);
         assert_eq!(out.table.num_rows(), 150);
         assert!(check(&src, &out.table));
@@ -413,10 +424,14 @@ mod tests {
     fn drop_columns_projection_contained() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(7);
-        let out = Transform::DropColumns { count: 2 }.apply(&src, &mut rng).unwrap();
+        let out = Transform::DropColumns { count: 2 }
+            .apply(&src, &mut rng)
+            .unwrap();
         assert_eq!(out.table.num_columns(), src.num_columns() - 2);
         assert!(check(&out.table, &src));
-        assert!(Transform::DropColumns { count: 99 }.apply(&src, &mut rng).is_err());
+        assert!(Transform::DropColumns { count: 99 }
+            .apply(&src, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -426,7 +441,9 @@ mod tests {
         assert!(Transform::SampleWhere { zipf_exponent: 1.0 }
             .apply(&empty, &mut rng)
             .is_err());
-        assert!(Transform::AddRows { count: 5 }.apply(&empty, &mut rng).is_err());
+        assert!(Transform::AddRows { count: 5 }
+            .apply(&empty, &mut rng)
+            .is_err());
         assert!(Transform::AddNoise { magnitude: 1.0 }
             .apply(&empty, &mut rng)
             .is_err());
@@ -438,7 +455,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let once = Transform::AddDerivedColumn.apply(&src, &mut rng).unwrap();
         // Applying again may pick the same pair; must not fail on collision.
-        let twice = Transform::AddDerivedColumn.apply(&once.table, &mut rng).unwrap();
+        let twice = Transform::AddDerivedColumn
+            .apply(&once.table, &mut rng)
+            .unwrap();
         assert_eq!(twice.table.num_columns(), src.num_columns() + 2);
     }
 }

@@ -30,10 +30,7 @@ impl Zipf {
             weights.push(total);
         }
         let cdf = weights.into_iter().map(|w| w / total).collect();
-        Zipf {
-            cdf,
-            exponent,
-        }
+        Zipf { cdf, exponent }
     }
 
     /// Number of ranks.

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut lake = DataLake::new();
     let part = |t: Table| {
-        PartitionedTable::from_table(t, PartitionSpec::ByRowCount { rows_per_partition: 128 })
+        PartitionedTable::from_table(
+            t,
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 128,
+            },
+        )
     };
     let orders_id = lake.add_dataset("orders", part(orders)?, AccessProfile::default(), None)?;
     let emea_id = lake.add_dataset(
@@ -100,6 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             parent_name
         );
     }
-    assert!(solution.deleted.contains(&emea_id.0), "the derived export is redundant");
+    assert!(
+        solution.deleted.contains(&emea_id.0),
+        "the derived export is redundant"
+    );
     Ok(())
 }

@@ -1,0 +1,172 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset used in this workspace: the [`proptest!`] macro with
+//! `arg in strategy` bindings, integer-range strategies, and
+//! [`collection::vec`] / [`collection::btree_set`] combinators. Instead of
+//! proptest's shrinking machinery, each test runs a fixed number of cases
+//! (64) from an RNG seeded deterministically from the test name, so failures
+//! are reproducible run-to-run (print the case index to replay).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of generated cases per property test.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Deterministic per-test RNG (FNV-1a hash of the test name as seed).
+pub fn new_test_rng(test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size` (duplicates collapse, so the realised size may be smaller).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate ordered sets whose elements come from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..target).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Assert equality inside a property test (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert a condition inside a property test (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy) { body }` runs
+/// [`DEFAULT_CASES`] generated cases under a deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::new_test_rng(stringify!($name));
+                for proptest_case in 0..$crate::DEFAULT_CASES {
+                    let _ = proptest_case;
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::proptest! {
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..10, 2..5)) {
+            crate::prop_assert!(v.len() >= 2 && v.len() < 5);
+            crate::prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn sets_are_bounded(s in crate::collection::btree_set(0u8..12, 0..6)) {
+            crate::prop_assert!(s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = new_test_rng("foo");
+        let mut b = new_test_rng("foo");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

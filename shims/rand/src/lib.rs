@@ -1,0 +1,384 @@
+//! Offline shim for `rand` (0.8-style API).
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! subset of the `rand` API the workspace uses, backed by a deterministic
+//! xoshiro256++ generator seeded via SplitMix64. Stream values differ from
+//! the real `rand` crate (seeded runs are reproducible *within* this
+//! workspace, not against external rand-based code), which is acceptable
+//! because every consumer treats the RNG as an opaque seeded source.
+//!
+//! Provided surface:
+//!
+//! * [`RngCore`] / [`Rng`] (`gen`, `gen_range`, `gen_bool`) with blanket
+//!   impls for `&mut R`,
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::SmallRng`],
+//! * [`distributions::Alphanumeric`], [`distributions::Distribution`]
+//!   (`sample`, `sample_iter`),
+//! * [`seq::SliceRandom::shuffle`] and [`seq::index::sample`]
+//!   (O(k) partial Fisher–Yates).
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: Copy {
+    /// Draw a value in `lo..hi` (`hi` exclusive; callers guarantee `lo < hi`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Map a random word to a float in `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level random value helpers (auto-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draw a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draw uniformly from a half-open range (`range.start < range.end`).
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Value distributions.
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+        /// Iterator of draws, consuming `rng`.
+        fn sample_iter<R: RngCore>(self, rng: R) -> DistIter<Self, R, T>
+        where
+            Self: Sized,
+        {
+            DistIter {
+                dist: self,
+                rng,
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Iterator returned by [`Distribution::sample_iter`].
+    pub struct DistIter<D, R, T> {
+        dist: D,
+        rng: R,
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            Some(self.dist.sample(&mut self.rng))
+        }
+    }
+
+    /// Uniform distribution over ASCII letters and digits (samples `u8`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Alphanumeric;
+
+    const ALPHANUMERIC: &[u8; 62] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+    impl Distribution<u8> for Alphanumeric {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            ALPHANUMERIC[rng.gen_range(0..ALPHANUMERIC.len())]
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::{Rng, RngCore};
+        use std::collections::HashMap;
+
+        /// A sampled set of indices (the shim keeps them as a plain vector).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The sampled indices, in draw order.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Iterate the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length`, uniformly at
+        /// random, in O(`amount`) time and space (sparse partial
+        /// Fisher–Yates: only displaced entries are stored in a map).
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                let elem_j = displaced.get(&j).copied().unwrap_or(j);
+                let elem_i = displaced.get(&i).copied().unwrap_or(i);
+                out.push(elem_j);
+                displaced.insert(j, elem_i);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let set: BTreeSet<usize> = v.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn index_sample_distinct_and_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let picked = super::seq::index::sample(&mut rng, 1000, 10).into_vec();
+        assert_eq!(picked.len(), 10);
+        let set: BTreeSet<usize> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 10, "indices must be distinct");
+        assert!(picked.iter().all(|&i| i < 1000));
+        // Full-range sample is a permutation.
+        let all = super::seq::index::sample(&mut rng, 64, 64).into_vec();
+        let set: BTreeSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The build container has no crates.io access, and this workspace only uses
+//! serde as a derive marker (`#[derive(Serialize, Deserialize)]`); nothing
+//! serializes through serde's data model. This shim provides empty marker
+//! traits and re-exports the no-op derive macros from the `serde_derive`
+//! shim under the same names, so `use serde::{Serialize, Deserialize}`
+//! resolves both the trait and the derive exactly like the real crate.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

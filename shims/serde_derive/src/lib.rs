@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a marker
+//! (nothing is actually serialized through serde's data model — reports are
+//! rendered as text and the storage layer has its own binary format), so the
+//! derives expand to nothing. The trait names are still importable from the
+//! sibling `serde` shim, which re-exports these macros under the same names.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

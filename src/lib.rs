@@ -1,0 +1,11 @@
+//! Workspace root crate: convenience re-exports of every R2D2 reproduction
+//! crate, so downstream users (and the integration tests / examples in this
+//! package) can depend on a single name.
+
+pub use r2d2_baselines as baselines;
+pub use r2d2_bench as bench;
+pub use r2d2_core as core;
+pub use r2d2_graph as graph;
+pub use r2d2_lake as lake;
+pub use r2d2_opt as opt;
+pub use r2d2_synth as synth;

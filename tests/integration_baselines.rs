@@ -80,8 +80,20 @@ fn minhash_estimates_track_true_containment_direction() {
     let (parent, child) = edges
         .iter()
         .find(|(p, c)| {
-            let ps = corpus.lake.dataset(DatasetId(*p)).unwrap().data.schema().schema_set();
-            let cs = corpus.lake.dataset(DatasetId(*c)).unwrap().data.schema().schema_set();
+            let ps = corpus
+                .lake
+                .dataset(DatasetId(*p))
+                .unwrap()
+                .data
+                .schema()
+                .schema_set();
+            let cs = corpus
+                .lake
+                .dataset(DatasetId(*c))
+                .unwrap()
+                .data
+                .schema()
+                .schema_set();
             cs == ps
         })
         .copied()

@@ -21,7 +21,10 @@ fn incremental_addition_matches_full_rerun_on_corpus() {
     let corpus = enterprise_corpora(Scale::Smoke)[2].clone();
     let mut lake = corpus.lake.clone();
     let config = PipelineConfig::default();
-    let mut graph = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    let mut graph = R2d2Pipeline::new(config.clone())
+        .run(&lake)
+        .unwrap()
+        .after_clp;
 
     // Add a new dataset derived from an existing one (a subset of some root).
     let (first_id, source) = {
@@ -95,7 +98,10 @@ fn grow_shrink_delete_sequence_matches_full_rerun() {
             None,
         )
         .unwrap();
-    let mut graph = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    let mut graph = R2d2Pipeline::new(config.clone())
+        .run(&lake)
+        .unwrap()
+        .after_clp;
     assert!(graph.has_edge(base.0, slice.0));
 
     // 1. The slice grows with rows that are NOT in the base.
@@ -106,9 +112,13 @@ fn grow_shrink_delete_sequence_matches_full_rerun() {
         .unwrap()
         .concat(&foreign)
         .unwrap();
-    lake.replace_data(slice, PartitionedTable::single(grown)).unwrap();
+    lake.replace_data(slice, PartitionedTable::single(grown))
+        .unwrap();
     dataset_grew(&lake, &mut graph, slice.0, &config, &meter).unwrap();
-    let full = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    let full = R2d2Pipeline::new(config.clone())
+        .run(&lake)
+        .unwrap()
+        .after_clp;
     assert_eq!(edges_sorted(&graph), edges_sorted(&full));
     assert!(!graph.has_edge(base.0, slice.0));
 
@@ -119,7 +129,10 @@ fn grow_shrink_delete_sequence_matches_full_rerun() {
     )
     .unwrap();
     dataset_shrank(&lake, &mut graph, slice.0, &config, &meter).unwrap();
-    let full = R2d2Pipeline::new(config.clone()).run(&lake).unwrap().after_clp;
+    let full = R2d2Pipeline::new(config.clone())
+        .run(&lake)
+        .unwrap()
+        .after_clp;
     assert_eq!(edges_sorted(&graph), edges_sorted(&full));
     assert!(graph.has_edge(base.0, slice.0));
 

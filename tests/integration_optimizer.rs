@@ -66,9 +66,12 @@ fn exact_and_greedy_and_dynlin_agree_where_applicable() {
     // Line graphs: all three solvers must agree on the optimum.
     for n in [4usize, 8, 13] {
         let graph = line_graph(n);
-        let problem = OptRetProblem::synthetic(&graph, &model, |d| ((d % 5) + 1) << 30, |d| {
-            (d % 3) as f64 * 0.2
-        });
+        let problem = OptRetProblem::synthetic(
+            &graph,
+            &model,
+            |d| ((d % 5) + 1) << 30,
+            |d| (d % 3) as f64 * 0.2,
+        );
         let exact = solve_exact(&problem);
         let dp = solve_line(&problem).unwrap();
         assert!((exact.total_cost - dp.total_cost).abs() < 1e-6, "n={n}");

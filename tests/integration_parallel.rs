@@ -1,0 +1,117 @@
+//! Determinism of the parallel containment pipeline.
+//!
+//! `PipelineConfig::threads` may change *how fast* the pipeline runs, never
+//! *what it computes*: for any thread count the three stage graphs, the
+//! per-stage operation counts and the lake meter totals must be bit-for-bit
+//! identical to a sequential run. These tests pin that guarantee on full
+//! synthetic corpora.
+
+use r2d2_bench::experiments::{enterprise_corpora, synthetic_corpora, Scale};
+use r2d2_core::{ClpSampling, PipelineConfig, R2d2Pipeline};
+use r2d2_lake::OpCounts;
+use r2d2_synth::corpus::{generate, CorpusSpec};
+
+/// Run the full pipeline on a freshly generated copy of `spec` and return
+/// everything observable: the report plus the lake meter totals.
+fn run_with_threads(
+    spec: &CorpusSpec,
+    config: PipelineConfig,
+) -> (r2d2_core::PipelineReport, OpCounts) {
+    let corpus = generate(spec).unwrap();
+    corpus.lake.meter().reset();
+    let report = R2d2Pipeline::new(config).run(&corpus.lake).unwrap();
+    (report, corpus.lake.meter().snapshot())
+}
+
+fn assert_identical(spec: &CorpusSpec, base: PipelineConfig) {
+    let (seq, seq_ops) = run_with_threads(spec, base.clone().with_threads(1));
+    for threads in [0usize, 3] {
+        let (par, par_ops) = run_with_threads(spec, base.clone().with_threads(threads));
+        assert_eq!(
+            seq.after_sgb, par.after_sgb,
+            "{}: SGB graph must not depend on threads={threads}",
+            spec.name
+        );
+        assert_eq!(
+            seq.after_mmp, par.after_mmp,
+            "{}: MMP graph must not depend on threads={threads}",
+            spec.name
+        );
+        assert_eq!(
+            seq.after_clp, par.after_clp,
+            "{}: CLP graph must not depend on threads={threads}",
+            spec.name
+        );
+        assert_eq!(
+            seq.sgb_clusters, par.sgb_clusters,
+            "{}: cluster count must not depend on threads",
+            spec.name
+        );
+        for (s, p) in seq.stages.iter().zip(&par.stages) {
+            assert_eq!(s.stage, p.stage);
+            assert_eq!(
+                s.ops, p.ops,
+                "{}: stage {} op counts must not depend on threads={threads}",
+                spec.name, s.stage
+            );
+            assert_eq!(s.edges_after, p.edges_after);
+        }
+        assert_eq!(
+            seq_ops, par_ops,
+            "{}: lake meter totals must not depend on threads={threads}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn parallel_pipeline_is_deterministic_on_enterprise_corpus() {
+    assert_identical(
+        &CorpusSpec::enterprise_like(0, 96),
+        PipelineConfig::default(),
+    );
+}
+
+#[test]
+fn parallel_pipeline_is_deterministic_across_sampling_strategies() {
+    let spec = CorpusSpec::enterprise_like(1, 80);
+    for sampling in [
+        ClpSampling::PredicateFilter,
+        ClpSampling::RandomRows,
+        ClpSampling::BothSides,
+    ] {
+        assert_identical(&spec, PipelineConfig::default().with_sampling(sampling));
+    }
+}
+
+#[test]
+fn parallel_pipeline_is_deterministic_on_synthetic_corpora() {
+    assert_identical(
+        &CorpusSpec::table_union_like(8, 48),
+        PipelineConfig::default(),
+    );
+    assert_identical(&CorpusSpec::kaggle_like(4, 60), PipelineConfig::default());
+}
+
+#[test]
+fn parallel_pipeline_keeps_full_recall() {
+    // Recall (no ground-truth edge lost) must survive parallel execution on
+    // the stock corpora used by the sequential integration tests.
+    use r2d2_baselines::ground_truth::content_ground_truth;
+    use r2d2_graph::diff::diff;
+    use r2d2_lake::Meter;
+    let mut corpora = enterprise_corpora(Scale::Smoke);
+    corpora.extend(synthetic_corpora(Scale::Smoke));
+    for corpus in corpora {
+        let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
+        let report = R2d2Pipeline::new(PipelineConfig::default().with_threads(0))
+            .run(&corpus.lake)
+            .unwrap();
+        let d = diff(&report.after_clp, &gt.containment_graph);
+        assert_eq!(
+            d.not_detected, 0,
+            "{}: parallel run must keep recall 1.0",
+            corpus.name
+        );
+    }
+}

@@ -69,8 +69,7 @@ fn synthetic_corpora_full_recall() {
 fn pipeline_row_ops_are_orders_of_magnitude_below_brute_force() {
     let corpus = &enterprise_corpora(Scale::Smoke)[0];
     let gt = content_ground_truth(&corpus.lake, &Meter::new()).unwrap();
-    let brute_force_ops =
-        content_ground_truth_op_estimate(&corpus.lake, &gt.schema_graph).unwrap();
+    let brute_force_ops = content_ground_truth_op_estimate(&corpus.lake, &gt.schema_graph).unwrap();
     let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
     let pipeline_ops: u128 = report
         .stages

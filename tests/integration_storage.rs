@@ -22,7 +22,12 @@ fn corpus_round_trips_through_storage_with_identical_containment_graph() {
         assert_eq!(read_back.num_rows(), entry.data.num_rows());
         assert_eq!(read_back.schema(), entry.data.schema());
         restored
-            .add_dataset(entry.name.clone(), read_back, AccessProfile::default(), None)
+            .add_dataset(
+                entry.name.clone(),
+                read_back,
+                AccessProfile::default(),
+                None,
+            )
             .unwrap();
         std::fs::remove_file(&path).ok();
     }
@@ -46,7 +51,11 @@ fn footer_metadata_matches_in_memory_statistics() {
         let bytes = storage::encode(&entry.data);
         let meter = Meter::new();
         let footer = storage::read_footer(&bytes, &meter).unwrap();
-        assert_eq!(meter.snapshot().rows_scanned, 0, "footer read is metadata-only");
+        assert_eq!(
+            meter.snapshot().rows_scanned,
+            0,
+            "footer read is metadata-only"
+        );
 
         let from_footer = footer.table_level();
         for (name, stats) in entry.data.table_stats() {
@@ -73,6 +82,12 @@ fn encoded_size_tracks_logical_size() {
     // are stored verbatim).
     let logical = small.data.byte_size() as f64;
     let physical = encoded.len() as f64;
-    assert!(physical > logical * 0.5, "physical {physical} vs logical {logical}");
-    assert!(physical < logical * 3.0, "physical {physical} vs logical {logical}");
+    assert!(
+        physical > logical * 0.5,
+        "physical {physical} vs logical {logical}"
+    );
+    assert!(
+        physical < logical * 3.0,
+        "physical {physical} vs logical {logical}"
+    );
 }
