@@ -12,7 +12,7 @@ use crate::report::{fmt_count, fmt_duration, TextTable};
 use r2d2_baselines::ground_truth::{
     content_ground_truth, content_ground_truth_op_estimate, schema_ground_truth_op_estimate,
 };
-use r2d2_core::{PipelineConfig, R2d2Pipeline};
+use r2d2_core::{PipelineConfig, R2d2Pipeline, Stage};
 use r2d2_graph::diff::{diff, GraphDiff};
 use r2d2_lake::Meter;
 use r2d2_synth::corpus::Corpus;
@@ -30,11 +30,11 @@ pub struct CorpusEvaluation {
     pub total_bytes: usize,
     /// Stage-by-stage comparison with the content ground truth, in pipeline
     /// order (SGB, MMP, CLP).
-    pub stage_diffs: Vec<(String, GraphDiff)>,
+    pub stage_diffs: Vec<(Stage, GraphDiff)>,
     /// Stage wall-clock durations (SGB, MMP, CLP).
-    pub stage_durations: Vec<(String, Duration)>,
+    pub stage_durations: Vec<(Stage, Duration)>,
     /// Stage row-level operation counts (SGB, MMP, CLP).
-    pub stage_ops: Vec<(String, u128)>,
+    pub stage_ops: Vec<(Stage, u128)>,
     /// Schema comparisons done by SGB.
     pub sgb_schema_comparisons: u128,
     /// Brute-force schema ground-truth comparison count (N·(N−1)/2).
@@ -64,28 +64,19 @@ pub fn evaluate_corpus(corpus: &Corpus, config: &PipelineConfig) -> CorpusEvalua
     let report = pipeline.run(&corpus.lake).expect("pipeline run");
 
     let stage_diffs = vec![
-        (
-            "SGB".to_string(),
-            diff(&report.after_sgb, &gt.containment_graph),
-        ),
-        (
-            "MMP".to_string(),
-            diff(&report.after_mmp, &gt.containment_graph),
-        ),
-        (
-            "CLP".to_string(),
-            diff(&report.after_clp, &gt.containment_graph),
-        ),
+        (Stage::Sgb, diff(&report.after_sgb, &gt.containment_graph)),
+        (Stage::Mmp, diff(&report.after_mmp, &gt.containment_graph)),
+        (Stage::Clp, diff(&report.after_clp, &gt.containment_graph)),
     ];
     let stage_durations = report
         .stages
         .iter()
-        .map(|s| (s.stage.clone(), s.duration))
+        .map(|s| (s.stage, s.duration))
         .collect();
     let stage_ops = report
         .stages
         .iter()
-        .map(|s| (s.stage.clone(), s.ops.row_level_ops() as u128))
+        .map(|s| (s.stage, s.ops.row_level_ops() as u128))
         .collect();
     let sgb_schema_comparisons = report
         .stages
@@ -184,7 +175,7 @@ pub fn render_op_counts(evals: &[CorpusEvaluation]) -> String {
     table.add_row(row("CLP", "row operations", &|e| {
         e.stage_ops
             .iter()
-            .find(|(s, _)| s == "CLP")
+            .find(|(s, _)| *s == Stage::Clp)
             .map(|(_, v)| *v)
             .unwrap_or(0)
     }));

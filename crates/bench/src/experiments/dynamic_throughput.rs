@@ -1,0 +1,234 @@
+//! Dynamic-update throughput (`BENCH_dynamic.json`): how many lake updates
+//! per second the incremental [`R2d2Session`] sustains versus re-running the
+//! full batch pipeline after every mutation — the §7.1 claim ("work linear
+//! in the number of datasets per update") measured end to end.
+
+use crate::report::TextTable;
+use r2d2_core::{PipelineConfig, R2d2Pipeline, R2d2Session};
+use r2d2_lake::{AccessProfile, DataLake, LakeUpdate, Meter, PartitionedTable, Predicate};
+use r2d2_synth::corpus::{generate, CorpusSpec};
+use std::time::{Duration, Instant};
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone)]
+pub struct DynamicThroughputSnapshot {
+    /// Corpus the updates ran against.
+    pub corpus_name: String,
+    /// Datasets in the corpus before any update.
+    pub datasets: usize,
+    /// Total rows in the corpus before any update.
+    pub rows: usize,
+    /// Updates applied through the incremental session.
+    pub incremental_updates: usize,
+    /// Wall clock for all incremental updates (bootstrap excluded).
+    pub incremental_total: Duration,
+    /// Updates applied on the full-recompute path (each followed by a
+    /// complete `R2d2Pipeline::run`); a prefix of the incremental sequence,
+    /// kept short because each one pays a whole batch run.
+    pub full_updates: usize,
+    /// Wall clock for the full-recompute updates.
+    pub full_total: Duration,
+    /// Edges in the session graph after the final update.
+    pub final_edges: usize,
+}
+
+impl DynamicThroughputSnapshot {
+    /// Updates per second through the incremental session.
+    pub fn incremental_updates_per_sec(&self) -> f64 {
+        per_sec(self.incremental_updates, self.incremental_total)
+    }
+
+    /// Updates per second with a full pipeline recompute per update.
+    pub fn full_updates_per_sec(&self) -> f64 {
+        per_sec(self.full_updates, self.full_total)
+    }
+
+    /// How many times faster the incremental path is.
+    pub fn speedup(&self) -> f64 {
+        let full = self.full_updates_per_sec();
+        if full == 0.0 {
+            f64::INFINITY
+        } else {
+            self.incremental_updates_per_sec() / full
+        }
+    }
+
+    /// Render as a stable, hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- dynamic-throughput\",\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"incremental\": {{ \"updates\": {}, \"total_ms\": {:.3}, \"updates_per_sec\": {:.2} }},\n  \"full_recompute\": {{ \"updates\": {}, \"total_ms\": {:.3}, \"updates_per_sec\": {:.2} }},\n  \"speedup\": {:.2},\n  \"final_edges\": {}\n}}\n",
+            self.corpus_name,
+            self.datasets,
+            self.rows,
+            self.incremental_updates,
+            self.incremental_total.as_secs_f64() * 1_000.0,
+            self.incremental_updates_per_sec(),
+            self.full_updates,
+            self.full_total.as_secs_f64() * 1_000.0,
+            self.full_updates_per_sec(),
+            self.speedup(),
+            self.final_edges,
+        )
+    }
+
+    /// Render as an aligned text table for the console.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["path", "updates", "total (ms)", "updates/sec"]);
+        t.add_row([
+            "incremental session".to_string(),
+            self.incremental_updates.to_string(),
+            format!("{:.3}", self.incremental_total.as_secs_f64() * 1_000.0),
+            format!("{:.2}", self.incremental_updates_per_sec()),
+        ]);
+        t.add_row([
+            "full recompute".to_string(),
+            self.full_updates.to_string(),
+            format!("{:.3}", self.full_total.as_secs_f64() * 1_000.0),
+            format!("{:.2}", self.full_updates_per_sec()),
+        ]);
+        format!(
+            "{}\nincremental vs full recompute: {:.2}x updates/sec\n",
+            t.render(),
+            self.speedup()
+        )
+    }
+}
+
+fn per_sec(count: usize, total: Duration) -> f64 {
+    let secs = total.as_secs_f64();
+    if secs == 0.0 {
+        f64::INFINITY
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// Build a deterministic mixed update stream against `lake`: appends of a
+/// dataset's own head rows (growth), point deletes (shrinkage), and new
+/// subset datasets — the three content-changing §7.1 scenarios. Targets
+/// rotate over the catalog so the sweeps touch different datasets.
+fn make_updates(lake: &DataLake, k: usize) -> Vec<LakeUpdate> {
+    let ids = lake.ids();
+    let meter = Meter::new();
+    let mut updates = Vec::with_capacity(k);
+    for i in 0..k {
+        let id = ids[i % ids.len()];
+        let entry = lake.dataset(id).expect("id from catalog");
+        let t = entry.data.to_table(&meter).expect("materialise");
+        if t.num_rows() == 0 {
+            updates.push(LakeUpdate::AppendRows {
+                id,
+                rows: t.clone(),
+            });
+            continue;
+        }
+        match i % 3 {
+            0 => {
+                let head: Vec<usize> = (0..t.num_rows().min(8)).collect();
+                updates.push(LakeUpdate::AppendRows {
+                    id,
+                    rows: t.take(&head).expect("head rows"),
+                });
+            }
+            1 => {
+                let col = t.schema().names()[0].to_string();
+                let v = t.column(&col).expect("first column").values()[0].clone();
+                updates.push(LakeUpdate::DeleteRows {
+                    id,
+                    predicate: Predicate::eq(col, v),
+                });
+            }
+            _ => {
+                let half: Vec<usize> = (0..t.num_rows() / 2).collect();
+                updates.push(LakeUpdate::AddDataset {
+                    name: format!("dyn_subset_{i}"),
+                    data: PartitionedTable::single(t.take(&half).expect("half rows")),
+                    access: AccessProfile::default(),
+                    lineage: None,
+                });
+            }
+        }
+    }
+    updates
+}
+
+/// Run the throughput measurement. `smoke` shrinks the corpus and update
+/// counts so CI can exercise the path in seconds; the checked-in
+/// `BENCH_dynamic.json` is generated at full size.
+pub fn collect(smoke: bool) -> DynamicThroughputSnapshot {
+    let (rows_per_root, k_inc, k_full) = if smoke { (96, 6, 2) } else { (400, 36, 6) };
+    let spec = CorpusSpec::enterprise_like(0, rows_per_root);
+
+    // Incremental: bootstrap once, then apply every update through the
+    // session (timed without the bootstrap).
+    let corpus = generate(&spec).expect("corpus generation");
+    let corpus_name = corpus.name.clone();
+    let datasets = corpus.lake.len();
+    let rows = corpus.lake.total_rows();
+    let updates = make_updates(&corpus.lake, k_inc);
+    let mut session =
+        R2d2Session::bootstrap(corpus.lake, PipelineConfig::default()).expect("bootstrap");
+    let t0 = Instant::now();
+    for update in &updates {
+        session.apply(update.clone()).expect("session apply");
+    }
+    let incremental_total = t0.elapsed();
+    let final_edges = session.graph().edge_count();
+
+    // Full recompute: the same mutations against a fresh copy of the lake,
+    // each followed by a complete batch pipeline run.
+    let mut lake = generate(&spec).expect("corpus generation").lake;
+    let pipeline = R2d2Pipeline::with_defaults();
+    let full_updates = k_full.min(updates.len());
+    let t0 = Instant::now();
+    for update in updates.iter().take(full_updates) {
+        lake.apply_update(update).expect("lake mutation");
+        pipeline.run(&lake).expect("full recompute");
+    }
+    let full_total = t0.elapsed();
+
+    DynamicThroughputSnapshot {
+        corpus_name,
+        datasets,
+        rows,
+        incremental_updates: updates.len(),
+        incremental_total,
+        full_updates,
+        full_total,
+        final_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_snapshot_measures_and_renders() {
+        let snap = collect(true);
+        assert_eq!(snap.incremental_updates, 6);
+        assert_eq!(snap.full_updates, 2);
+        assert!(snap.incremental_updates_per_sec() > 0.0);
+        assert!(
+            snap.speedup() > 1.0,
+            "incremental must beat full recompute even at smoke scale ({:.2}x)",
+            snap.speedup()
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("full_recompute"));
+        let table = snap.render();
+        assert!(table.contains("updates/sec"));
+    }
+
+    #[test]
+    fn update_stream_is_deterministic_and_mixed() {
+        let corpus = generate(&CorpusSpec::enterprise_like(0, 96)).unwrap();
+        let a = make_updates(&corpus.lake, 9);
+        let b = make_updates(&corpus.lake, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|u| matches!(u, LakeUpdate::AppendRows { .. })));
+        assert!(a.iter().any(|u| matches!(u, LakeUpdate::DeleteRows { .. })));
+        assert!(a.iter().any(|u| matches!(u, LakeUpdate::AddDataset { .. })));
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::report::{fmt_duration, TextTable};
 use r2d2_core::schema_stats::{schema_containment_histogram, Histogram};
-use r2d2_core::R2d2Pipeline;
+use r2d2_core::{R2d2Pipeline, Stage};
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
 use serde::Serialize;
 use std::time::Duration;
@@ -79,7 +79,10 @@ pub fn figure4(org_variant: usize, rows_per_root: &[usize]) -> Vec<Fig4Point> {
                 rows_per_root: rows,
                 total_bytes: corpus.lake.total_bytes(),
                 total_time: report.stages.iter().map(|s| s.duration).sum(),
-                clp_time: report.stage("CLP").map(|s| s.duration).unwrap_or_default(),
+                clp_time: report
+                    .stage(Stage::Clp)
+                    .map(|s| s.duration)
+                    .unwrap_or_default(),
             }
         })
         .collect()

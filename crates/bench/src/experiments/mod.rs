@@ -2,6 +2,7 @@
 
 pub mod clp_params;
 pub mod containment;
+pub mod dynamic_throughput;
 pub mod figures;
 pub mod optimization;
 pub mod perf;

@@ -189,6 +189,24 @@ fn check_edge(
     })
 }
 
+/// Whether the single edge `parent → child` survives Content-Level Pruning,
+/// together with the number of child rows sampled. This is the per-edge
+/// primitive behind [`content_level_prune`], shared with the session's
+/// dynamic-update verification path: the caller's `HashJoinCache` serves the
+/// parent's hash multiset, so repeated verifications against one parent
+/// build it once instead of once per candidate edge.
+pub(crate) fn edge_passes(
+    lake: &DataLake,
+    parent_id: u64,
+    child_id: u64,
+    config: &PipelineConfig,
+    cache: &HashJoinCache,
+    meter: &Meter,
+) -> Result<(bool, usize)> {
+    let outcome = check_edge(lake, parent_id, child_id, config, cache, meter)?;
+    Ok((!outcome.prune, outcome.rows_sampled))
+}
+
 /// Run Content-Level Pruning over `graph`, mutating it in place, on up to
 /// `config.threads` workers (`1` = inline sequential, `0` = all hardware
 /// threads).

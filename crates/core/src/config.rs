@@ -1,4 +1,9 @@
-//! Pipeline configuration.
+//! Pipeline configuration, shared by the batch runner
+//! ([`crate::pipeline::R2d2Pipeline`]) and the incremental session
+//! ([`crate::session::R2d2Session`]): the session's bootstrap run and every
+//! dynamic re-verification sweep read the same `s`/`t`/rounds/sampling
+//! parameters, seed derivation and worker-thread count, which is what keeps
+//! incremental results bit-identical to a fresh batch run.
 
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +94,18 @@ impl PipelineConfig {
         self
     }
 
+    /// Override the number of CLP sampling rounds per edge.
+    pub fn with_clp_rounds(mut self, rounds: usize) -> Self {
+        self.clp_rounds = rounds;
+        self
+    }
+
+    /// Restrict (or not) MMP to columns whose type supports min/max stats.
+    pub fn with_mmp_typed_columns_only(mut self, typed_only: bool) -> Self {
+        self.mmp_typed_columns_only = typed_only;
+        self
+    }
+
     /// Override the worker thread count (`1` = sequential, `0` = all
     /// hardware threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -116,12 +133,16 @@ mod tests {
             .with_clp_params(8, 30)
             .with_seed(7)
             .with_sampling(ClpSampling::RandomRows)
-            .with_threads(4);
+            .with_threads(4)
+            .with_clp_rounds(3)
+            .with_mmp_typed_columns_only(false);
         assert_eq!(c.clp_columns, 8);
         assert_eq!(c.clp_rows, 30);
         assert_eq!(c.seed, 7);
         assert_eq!(c.clp_sampling, ClpSampling::RandomRows);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.clp_rounds, 3);
+        assert!(!c.mmp_typed_columns_only);
     }
 
     #[test]

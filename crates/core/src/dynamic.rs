@@ -1,215 +1,220 @@
-//! Dynamic graph updates (§7.1 of the paper).
+//! Dynamic graph maintenance (§7.1 of the paper): verification plans.
 //!
-//! Enterprise data lakes change: datasets are added, rows or columns are
-//! appended or removed, and datasets are deleted. Rather than re-running the
-//! whole pipeline, §7.1 observes that each update only requires work linear
-//! in the number of datasets: the affected dataset is re-checked against the
-//! rest of the lake (schema check, then MMP, then CLP on the surviving
-//! candidate edges), while the unaffected edges keep their validity.
+//! Enterprise data lakes change: datasets are added, rows are appended or
+//! removed, datasets are dropped. §7.1 observes that each update only needs
+//! work **linear in the number of datasets**: only pairs involving a changed
+//! dataset can change validity, while every other edge keeps its state.
+//!
+//! This module is the private machinery behind [`crate::session::R2d2Session`].
+//! A batch of applied updates is first coalesced into one [`Effect`] per
+//! dataset (N appends to one table cause one re-verification sweep, not N),
+//! then turned into a sorted candidate-pair list by [`plan_pairs`], and
+//! finally verified by [`verify_pairs`] — schema containment on the
+//! session's interned schema sets, then the MMP metadata check, then the CLP
+//! sampling check through the session's shared [`HashJoinCache`] — fanned
+//! out over `config.threads` workers with the same bit-identical-at-any-
+//! thread-count guarantee as the batch pipeline (pure per-pair work, RNG
+//! streams seeded per edge, results merged in input order).
+//!
+//! ## Which pairs must be re-verified
+//!
+//! Every pipeline check of a pair `(parent, child)` — schema, MMP, CLP
+//! sampling — is a pure function of the two datasets' current content, the
+//! config, and the pair's own RNG stream. A pair therefore needs
+//! re-verification exactly when either endpoint's content changed, with two
+//! provable exceptions that survive *any* sample draw:
+//!
+//! * a **grown** parent keeps every existing outgoing edge (its row multiset
+//!   only gained rows, so an anti-join that found nothing missing still
+//!   finds nothing missing, and its min/max ranges only widened);
+//! * a **shrunk** parent gains no new outgoing edge (its row multiset only
+//!   lost rows, so an anti-join that disproved containment still does).
+//!
+//! Everything else — all incoming pairs of a changed dataset, absent
+//! outgoing pairs of a grown one, existing outgoing edges of a shrunk one,
+//! and both directions for added or mixed-change datasets — is re-verified.
+//! This is what makes the session graph *bit-identical* to a fresh batch
+//! run over the mutated lake (the oracle pinned by
+//! `tests/integration_dynamic.rs`), not merely equal on true edges.
 
-use crate::clp::content_level_prune;
+use crate::clp;
 use crate::config::PipelineConfig;
-use crate::mmp::min_max_prune;
+use crate::mmp;
 use r2d2_graph::ContainmentGraph;
-use r2d2_lake::{DataLake, DatasetId, Meter, Result};
-use serde::{Deserialize, Serialize};
+use r2d2_lake::{DataLake, DatasetId, HashJoinCache, InternedSchemaSet, Meter, Result};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Statistics of a dynamic update.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct UpdateStats {
-    /// Candidate edges (pairs involving the updated dataset) examined.
-    pub candidates_checked: usize,
-    /// Edges added to the graph by this update.
-    pub edges_added: usize,
-    /// Edges removed from the graph by this update.
-    pub edges_removed: usize,
+/// Coalesced content effect of a batch of updates on one dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Effect {
+    /// The dataset was created by this batch.
+    pub added: bool,
+    /// The dataset's row multiset gained rows.
+    pub grew: bool,
+    /// The dataset's row multiset lost rows.
+    pub shrank: bool,
+    /// The dataset was removed from the lake by this batch.
+    pub dropped: bool,
 }
 
-/// Verify a single candidate edge `parent → child` with the MMP + CLP checks
-/// (schema containment is assumed to have been established by the caller).
-/// Returns `true` if the edge survives both pruning stages.
-fn verify_edge(
+impl Effect {
+    pub(crate) const ADDED: Effect = Effect {
+        added: true,
+        grew: false,
+        shrank: false,
+        dropped: false,
+    };
+    pub(crate) const GREW: Effect = Effect {
+        added: false,
+        grew: true,
+        shrank: false,
+        dropped: false,
+    };
+    pub(crate) const SHRANK: Effect = Effect {
+        added: false,
+        grew: false,
+        shrank: true,
+        dropped: false,
+    };
+    pub(crate) const DROPPED: Effect = Effect {
+        added: false,
+        grew: false,
+        shrank: false,
+        dropped: true,
+    };
+
+    /// Merge a later effect into this one. Dropping is terminal (the
+    /// catalog refuses further updates to the id), so it wins outright.
+    pub(crate) fn merge(&mut self, later: Effect) {
+        if later.dropped {
+            *self = Effect::DROPPED;
+        } else {
+            self.added |= later.added;
+            self.grew |= later.grew;
+            self.shrank |= later.shrank;
+        }
+    }
+
+    /// Whether both directions of every pair involving the dataset must be
+    /// re-verified (new dataset, or mixed growth and shrinkage).
+    fn full_recheck(self) -> bool {
+        self.added || (self.grew && self.shrank)
+    }
+}
+
+/// Build the sorted candidate-pair list for one verification sweep.
+///
+/// `graph` must still hold the pre-sweep edges (drop-clearing aside): the
+/// grown/shrunk exceptions are keyed off which outgoing edges currently
+/// exist. Pairs are deduplicated across affected datasets; pairs whose
+/// partner was dropped never appear because partners are drawn from the
+/// post-mutation catalog.
+pub(crate) fn plan_pairs(
+    lake: &DataLake,
+    graph: &ContainmentGraph,
+    effects: &BTreeMap<u64, Effect>,
+) -> Vec<(u64, u64)> {
+    let live: Vec<u64> = lake.ids().iter().map(|d| d.0).collect();
+    let mut pairs: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for (&d, &e) in effects {
+        if e.dropped || !lake.contains(DatasetId(d)) {
+            continue;
+        }
+        for &o in &live {
+            if o == d {
+                continue;
+            }
+            // Incoming (o → d): d's content is the child side of the check,
+            // so any content change invalidates the previous outcome.
+            pairs.insert((o, d));
+            // Outgoing (d → o): apply the grown/shrunk parent exceptions.
+            let existing = graph.has_edge(d, o);
+            let recheck = if e.full_recheck() {
+                true
+            } else if e.grew {
+                !existing
+            } else if e.shrank {
+                existing
+            } else {
+                false
+            };
+            if recheck {
+                pairs.insert((d, o));
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+/// Outcome of verifying one candidate pair.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VerifyOutcome {
+    /// Whether the pair survives all three checks (schema, MMP, CLP).
+    pub pass: bool,
+    /// Child rows sampled by the CLP check.
+    pub rows_sampled: usize,
+}
+
+/// Verify candidate pairs on up to `config.threads` workers, returning
+/// outcomes aligned with `pairs`. Each pair runs the same three checks the
+/// batch pipeline would: interned schema containment, the MMP metadata
+/// check, and the CLP sampling check through the shared `cache`.
+pub(crate) fn verify_pairs(
+    lake: &DataLake,
+    pairs: &[(u64, u64)],
+    schemas: &BTreeMap<u64, InternedSchemaSet>,
+    config: &PipelineConfig,
+    cache: &HashJoinCache,
+    meter: &Meter,
+) -> Result<Vec<VerifyOutcome>> {
+    crate::fanout::try_parallel_map(config.threads, pairs, |&(parent, child)| {
+        verify_pair(lake, parent, child, schemas, config, cache, meter)
+    })
+}
+
+/// Run the schema → MMP → CLP check cascade on one `parent → child` pair.
+fn verify_pair(
     lake: &DataLake,
     parent: u64,
     child: u64,
+    schemas: &BTreeMap<u64, InternedSchemaSet>,
     config: &PipelineConfig,
+    cache: &HashJoinCache,
     meter: &Meter,
-) -> Result<bool> {
-    let mut probe = ContainmentGraph::new();
-    probe.add_edge(parent, child);
-    min_max_prune(lake, &mut probe, config.mmp_typed_columns_only, meter)?;
-    if probe.edge_count() == 0 {
-        return Ok(false);
-    }
-    content_level_prune(lake, &mut probe, config, meter)?;
-    Ok(probe.edge_count() == 1)
-}
-
-/// Schema containment check between two datasets in the lake:
-/// returns `true` when `child.schema ⊆ parent.schema`.
-fn schema_contained(lake: &DataLake, parent: u64, child: u64, meter: &Meter) -> Result<bool> {
+) -> Result<VerifyOutcome> {
+    let missing = |id: u64| {
+        r2d2_lake::LakeError::DatasetNotFound(format!("no interned schema for dataset ds{id}"))
+    };
+    let p = schemas.get(&parent).ok_or_else(|| missing(parent))?;
+    let c = schemas.get(&child).ok_or_else(|| missing(child))?;
     meter.add_schema_comparisons(1);
-    let p = lake.dataset(DatasetId(parent))?.data.schema().schema_set();
-    let c = lake.dataset(DatasetId(child))?.data.schema().schema_set();
-    Ok(c.is_contained_in(&p))
-}
-
-/// A new dataset `new_id` was added to the lake (it must already be present
-/// in the catalog). Containment is checked in both directions against every
-/// other dataset in the graph; surviving edges are added. Work is linear in
-/// the number of datasets, as §7.1 claims.
-pub fn dataset_added(
-    lake: &DataLake,
-    graph: &mut ContainmentGraph,
-    new_id: u64,
-    config: &PipelineConfig,
-    meter: &Meter,
-) -> Result<UpdateStats> {
-    let mut stats = UpdateStats::default();
-    graph.add_dataset(new_id);
-    let others: Vec<u64> = graph
-        .datasets()
-        .iter()
-        .copied()
-        .filter(|&d| d != new_id)
-        .collect();
-    for other in others {
-        if !lake.contains(DatasetId(other)) {
-            continue;
-        }
-        // other as parent of new_id.
-        stats.candidates_checked += 1;
-        if schema_contained(lake, other, new_id, meter)?
-            && verify_edge(lake, other, new_id, config, meter)?
-            && graph.add_edge(other, new_id)
-        {
-            stats.edges_added += 1;
-        }
-        // new_id as parent of other.
-        stats.candidates_checked += 1;
-        if schema_contained(lake, new_id, other, meter)?
-            && verify_edge(lake, new_id, other, config, meter)?
-            && graph.add_edge(new_id, other)
-        {
-            stats.edges_added += 1;
-        }
+    if !c.is_contained_in(p) {
+        return Ok(VerifyOutcome {
+            pass: false,
+            rows_sampled: 0,
+        });
     }
-    Ok(stats)
-}
-
-/// Rows (or columns) were **added** to dataset `id` (the catalog already
-/// holds the new data). Outgoing edges of `id` (where `id` is the parent)
-/// remain valid — a grown parent still contains its children. Incoming
-/// edges (where `id` is the child) and previously absent relationships must
-/// be re-checked.
-pub fn dataset_grew(
-    lake: &DataLake,
-    graph: &mut ContainmentGraph,
-    id: u64,
-    config: &PipelineConfig,
-    meter: &Meter,
-) -> Result<UpdateStats> {
-    let mut stats = UpdateStats::default();
-    // Re-check incoming edges.
-    for parent in graph.parents(id) {
-        stats.candidates_checked += 1;
-        let ok = schema_contained(lake, parent, id, meter)?
-            && verify_edge(lake, parent, id, config, meter)?;
-        if !ok && graph.remove_edge(parent, id).is_some() {
-            stats.edges_removed += 1;
-        }
+    if !mmp::edge_passes(lake, parent, child, config.mmp_typed_columns_only, meter)? {
+        return Ok(VerifyOutcome {
+            pass: false,
+            rows_sampled: 0,
+        });
     }
-    // Check previously absent relationships: id as new parent of others.
-    let others: Vec<u64> = graph
-        .datasets()
-        .iter()
-        .copied()
-        .filter(|&d| d != id && !graph.has_edge(id, d))
-        .collect();
-    for other in others {
-        if !lake.contains(DatasetId(other)) {
-            continue;
-        }
-        stats.candidates_checked += 1;
-        if schema_contained(lake, id, other, meter)?
-            && verify_edge(lake, id, other, config, meter)?
-            && graph.add_edge(id, other)
-        {
-            stats.edges_added += 1;
-        }
-    }
-    Ok(stats)
-}
-
-/// Rows (or columns) were **removed** from dataset `id`. Incoming edges of
-/// `id` remain valid — a shrunk child is still contained in its parents.
-/// Outgoing edges and previously absent relationships where `id` is the
-/// child must be re-checked.
-pub fn dataset_shrank(
-    lake: &DataLake,
-    graph: &mut ContainmentGraph,
-    id: u64,
-    config: &PipelineConfig,
-    meter: &Meter,
-) -> Result<UpdateStats> {
-    let mut stats = UpdateStats::default();
-    // Re-check outgoing edges (id as parent).
-    for child in graph.children(id) {
-        stats.candidates_checked += 1;
-        let ok = schema_contained(lake, id, child, meter)?
-            && verify_edge(lake, id, child, config, meter)?;
-        if !ok && graph.remove_edge(id, child).is_some() {
-            stats.edges_removed += 1;
-        }
-    }
-    // Check previously absent relationships: id as new child of others.
-    let others: Vec<u64> = graph
-        .datasets()
-        .iter()
-        .copied()
-        .filter(|&d| d != id && !graph.has_edge(d, id))
-        .collect();
-    for other in others {
-        if !lake.contains(DatasetId(other)) {
-            continue;
-        }
-        stats.candidates_checked += 1;
-        if schema_contained(lake, other, id, meter)?
-            && verify_edge(lake, other, id, config, meter)?
-            && graph.add_edge(other, id)
-        {
-            stats.edges_added += 1;
-        }
-    }
-    Ok(stats)
-}
-
-/// Dataset `id` was deleted from the lake: drop all of its incident edges.
-pub fn dataset_deleted(graph: &mut ContainmentGraph, id: u64) -> UpdateStats {
-    let before = graph.edge_count();
-    graph.clear_dataset(id);
-    UpdateStats {
-        candidates_checked: 0,
-        edges_added: 0,
-        edges_removed: before - graph.edge_count(),
-    }
+    let (pass, rows_sampled) = clp::edge_passes(lake, parent, child, config, cache, meter)?;
+    Ok(VerifyOutcome { pass, rows_sampled })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::R2d2Pipeline;
-    use r2d2_lake::{AccessProfile, Column, DataType, PartitionedTable, Schema, Table};
-
-    fn schema() -> Schema {
-        Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap()
-    }
+    use r2d2_lake::{
+        AccessProfile, Column, DataType, PartitionedTable, Schema, SchemaInterner, Table,
+    };
 
     fn table(ids: std::ops::Range<i64>) -> Table {
-        // The float column is a function of the id so that any id-range
-        // subset is also a true row-tuple subset.
+        let schema = Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap();
         Table::new(
-            schema(),
+            schema,
             vec![
                 Column::from_ints(ids.clone()),
                 Column::from_floats(ids.map(|i| i as f64 * 0.5)),
@@ -218,146 +223,156 @@ mod tests {
         .unwrap()
     }
 
-    fn add(lake: &mut DataLake, name: &str, t: Table) -> u64 {
-        lake.add_dataset(
-            name,
-            PartitionedTable::single(t),
-            AccessProfile::default(),
-            None,
+    fn lake3() -> (DataLake, u64, u64, u64) {
+        let mut lake = DataLake::new();
+        let add = |lake: &mut DataLake, name: &str, t: Table| {
+            lake.add_dataset(
+                name,
+                PartitionedTable::single(t),
+                AccessProfile::default(),
+                None,
+            )
+            .unwrap()
+            .0
+        };
+        let a = add(&mut lake, "a", table(0..50));
+        let b = add(&mut lake, "b", table(10..30));
+        let c = add(&mut lake, "c", table(100..120));
+        (lake, a, b, c)
+    }
+
+    fn interned(lake: &DataLake) -> BTreeMap<u64, InternedSchemaSet> {
+        let mut interner = SchemaInterner::new();
+        lake.iter()
+            .map(|e| (e.id.0, interner.intern_set(&e.data.schema().schema_set())))
+            .collect()
+    }
+
+    #[test]
+    fn effect_merge_coalesces_and_drop_wins() {
+        let mut e = Effect::GREW;
+        e.merge(Effect::GREW);
+        assert_eq!(e, Effect::GREW);
+        e.merge(Effect::SHRANK);
+        assert!(e.grew && e.shrank && e.full_recheck());
+        let mut a = Effect::ADDED;
+        a.merge(Effect::GREW);
+        assert!(a.added && a.full_recheck());
+        a.merge(Effect::DROPPED);
+        assert_eq!(a, Effect::DROPPED);
+    }
+
+    #[test]
+    fn grown_dataset_skips_existing_outgoing_edges_only() {
+        let (lake, a, b, c) = lake3();
+        let mut graph = ContainmentGraph::new();
+        for d in [a, b, c] {
+            graph.add_dataset(d);
+        }
+        graph.add_edge(a, b); // a currently contains b
+        let mut effects = BTreeMap::new();
+        effects.insert(a, Effect::GREW);
+        let pairs = plan_pairs(&lake, &graph, &effects);
+        // Incoming pairs of a are all re-checked; the existing outgoing
+        // (a, b) is provably still valid; the absent outgoing (a, c) is not.
+        assert!(pairs.contains(&(b, a)) && pairs.contains(&(c, a)));
+        assert!(pairs.contains(&(a, c)));
+        assert!(!pairs.contains(&(a, b)));
+    }
+
+    #[test]
+    fn shrunk_dataset_skips_absent_outgoing_pairs_only() {
+        let (lake, a, b, c) = lake3();
+        let mut graph = ContainmentGraph::new();
+        for d in [a, b, c] {
+            graph.add_dataset(d);
+        }
+        graph.add_edge(a, b);
+        let mut effects = BTreeMap::new();
+        effects.insert(a, Effect::SHRANK);
+        let pairs = plan_pairs(&lake, &graph, &effects);
+        assert!(pairs.contains(&(b, a)) && pairs.contains(&(c, a)));
+        assert!(pairs.contains(&(a, b)), "existing outgoing is re-checked");
+        assert!(!pairs.contains(&(a, c)), "absent outgoing stays absent");
+    }
+
+    #[test]
+    fn added_dataset_rechecks_both_directions_and_dropped_none() {
+        let (lake, a, b, c) = lake3();
+        let graph = ContainmentGraph::with_datasets([a, b, c]);
+        let mut effects = BTreeMap::new();
+        effects.insert(c, Effect::ADDED);
+        let pairs = plan_pairs(&lake, &graph, &effects);
+        assert_eq!(
+            pairs,
+            vec![(a, c), (b, c), (c, a), (c, b)],
+            "sorted, both directions, no self pairs"
+        );
+
+        let mut dropped = BTreeMap::new();
+        dropped.insert(a, Effect::DROPPED);
+        assert!(plan_pairs(&lake, &graph, &dropped).is_empty());
+    }
+
+    #[test]
+    fn pairs_are_deduplicated_across_affected_datasets() {
+        let (lake, a, b, c) = lake3();
+        let graph = ContainmentGraph::with_datasets([a, b, c]);
+        let mut effects = BTreeMap::new();
+        effects.insert(a, Effect::ADDED);
+        effects.insert(b, Effect::ADDED);
+        let pairs = plan_pairs(&lake, &graph, &effects);
+        let unique: BTreeSet<_> = pairs.iter().copied().collect();
+        assert_eq!(unique.len(), pairs.len());
+        assert!(pairs.contains(&(a, b)) && pairs.contains(&(b, a)));
+    }
+
+    #[test]
+    fn verify_pairs_matches_the_batch_checks() {
+        let (lake, a, b, c) = lake3();
+        let schemas = interned(&lake);
+        let config = PipelineConfig::default();
+        let cache = HashJoinCache::new();
+        let meter = Meter::new();
+        let pairs = vec![(a, b), (b, a), (a, c)];
+        let outcomes = verify_pairs(&lake, &pairs, &schemas, &config, &cache, &meter).unwrap();
+        assert!(outcomes[0].pass, "b ⊂ a must verify");
+        assert!(!outcomes[1].pass, "a ⊄ b");
+        assert!(!outcomes[2].pass, "disjoint ranges fail MMP");
+        assert!(outcomes[0].rows_sampled > 0);
+        assert_eq!(meter.snapshot().schema_comparisons, 3);
+    }
+
+    #[test]
+    fn verify_pairs_is_identical_across_thread_counts() {
+        let (lake, a, b, c) = lake3();
+        let schemas = interned(&lake);
+        let pairs = vec![(a, b), (a, c), (b, a), (b, c), (c, a), (c, b)];
+        let run = |threads: usize| {
+            let config = PipelineConfig::default().with_threads(threads);
+            let cache = HashJoinCache::new();
+            let meter = Meter::new();
+            let outcomes = verify_pairs(&lake, &pairs, &schemas, &config, &cache, &meter).unwrap();
+            let passes: Vec<bool> = outcomes.iter().map(|o| o.pass).collect();
+            let sampled: Vec<usize> = outcomes.iter().map(|o| o.rows_sampled).collect();
+            (passes, sampled, meter.snapshot())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn verify_pair_without_interned_schema_errors() {
+        let (lake, a, ..) = lake3();
+        let schemas = BTreeMap::new();
+        let err = verify_pairs(
+            &lake,
+            &[(a, a + 1)],
+            &schemas,
+            &PipelineConfig::default(),
+            &HashJoinCache::new(),
+            &Meter::new(),
         )
-        .unwrap()
-        .0
-    }
-
-    fn config() -> PipelineConfig {
-        PipelineConfig::default().with_seed(3)
-    }
-
-    #[test]
-    fn adding_a_contained_dataset_creates_edges() {
-        let mut lake = DataLake::new();
-        let base = add(&mut lake, "base", table(0..50));
-        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
-        let mut graph = report.after_clp;
-
-        // New dataset: a strict subset of base.
-        let sub = add(&mut lake, "sub", table(10..30));
-        let stats = dataset_added(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
-        assert!(graph.has_edge(base, sub));
-        assert!(!graph.has_edge(sub, base));
-        assert_eq!(stats.edges_added, 1);
-        assert!(stats.candidates_checked >= 2);
-    }
-
-    #[test]
-    fn adding_an_unrelated_dataset_creates_no_edges() {
-        let mut lake = DataLake::new();
-        let _base = add(&mut lake, "base", table(0..50));
-        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
-        let mut graph = report.after_clp;
-
-        let other = add(&mut lake, "other", table(1000..1050));
-        let stats = dataset_added(&lake, &mut graph, other, &config(), &Meter::new()).unwrap();
-        assert_eq!(stats.edges_added, 0);
-        assert_eq!(graph.edge_count(), 0);
-    }
-
-    #[test]
-    fn growing_a_child_invalidates_incoming_edges() {
-        let mut lake = DataLake::new();
-        let base = add(&mut lake, "base", table(0..50));
-        let sub = add(&mut lake, "sub", table(10..30));
-        let mut graph = ContainmentGraph::new();
-        graph.add_edge(base, sub);
-
-        // The child grows beyond the parent's id range.
-        lake.replace_data(DatasetId(sub), PartitionedTable::single(table(10..90)))
-            .unwrap();
-        let stats = dataset_grew(&lake, &mut graph, sub, &config(), &Meter::new()).unwrap();
-        assert!(!graph.has_edge(base, sub));
-        assert_eq!(stats.edges_removed, 1);
-    }
-
-    #[test]
-    fn growing_a_dataset_can_create_new_outgoing_edges() {
-        let mut lake = DataLake::new();
-        let a = add(&mut lake, "a", table(0..20));
-        let b = add(&mut lake, "b", table(0..10));
-        let mut graph = ContainmentGraph::new();
-        graph.add_dataset(a);
-        graph.add_dataset(b);
-
-        // `b` grows to superset of `a`... actually grow `a` so that it now
-        // contains nothing new; instead grow b to cover a.
-        lake.replace_data(DatasetId(b), PartitionedTable::single(table(0..40)))
-            .unwrap();
-        let stats = dataset_grew(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
-        assert!(graph.has_edge(b, a), "b now contains a");
-        assert_eq!(stats.edges_added, 1);
-    }
-
-    #[test]
-    fn shrinking_a_parent_invalidates_outgoing_edges() {
-        let mut lake = DataLake::new();
-        let base = add(&mut lake, "base", table(0..50));
-        let sub = add(&mut lake, "sub", table(10..30));
-        let mut graph = ContainmentGraph::new();
-        graph.add_edge(base, sub);
-
-        // The parent shrinks so much that it no longer covers the child.
-        lake.replace_data(DatasetId(base), PartitionedTable::single(table(0..15)))
-            .unwrap();
-        let stats = dataset_shrank(&lake, &mut graph, base, &config(), &Meter::new()).unwrap();
-        assert!(!graph.has_edge(base, sub));
-        assert_eq!(stats.edges_removed, 1);
-    }
-
-    #[test]
-    fn shrinking_a_dataset_can_create_new_incoming_edges() {
-        let mut lake = DataLake::new();
-        let a = add(&mut lake, "a", table(0..30));
-        let b = add(&mut lake, "b", table(0..60));
-        let mut graph = ContainmentGraph::new();
-        graph.add_dataset(a);
-        graph.add_dataset(b);
-
-        // b shrinks to a subset of a.
-        lake.replace_data(DatasetId(b), PartitionedTable::single(table(5..20)))
-            .unwrap();
-        let stats = dataset_shrank(&lake, &mut graph, b, &config(), &Meter::new()).unwrap();
-        assert!(graph.has_edge(a, b));
-        assert_eq!(stats.edges_added, 1);
-    }
-
-    #[test]
-    fn deleting_a_dataset_clears_incident_edges() {
-        let mut graph = ContainmentGraph::new();
-        graph.add_edge(1, 2);
-        graph.add_edge(2, 3);
-        graph.add_edge(4, 5);
-        let stats = dataset_deleted(&mut graph, 2);
-        assert_eq!(stats.edges_removed, 2);
-        assert!(graph.has_edge(4, 5));
-    }
-
-    #[test]
-    fn incremental_result_matches_full_rerun() {
-        // Build a lake, run the pipeline, then add a dataset incrementally
-        // and compare against re-running the pipeline from scratch.
-        let mut lake = DataLake::new();
-        let _a = add(&mut lake, "a", table(0..40));
-        let _b = add(&mut lake, "b", table(5..25));
-        let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
-        let mut incremental = report.after_clp.clone();
-
-        let c = add(&mut lake, "c", table(10..20));
-        dataset_added(&lake, &mut incremental, c, &config(), &Meter::new()).unwrap();
-
-        let full = R2d2Pipeline::with_defaults().run(&lake).unwrap().after_clp;
-        let mut inc_edges = incremental.edges();
-        let mut full_edges = full.edges();
-        inc_edges.sort_unstable();
-        full_edges.sort_unstable();
-        assert_eq!(inc_edges, full_edges);
+        .unwrap_err();
+        assert!(matches!(err, r2d2_lake::LakeError::DatasetNotFound(_)));
     }
 }

@@ -21,7 +21,10 @@
 //! [`pipeline::R2d2Pipeline`] orchestrates the three stages over a
 //! [`r2d2_lake::DataLake`], producing per-stage reports (timings, operation
 //! counts, edge counts) used to regenerate the paper's Tables 1–3 and 5–6.
-//! [`dynamic`] implements the §7.1 dynamic-update scenarios and [`approx`]
+//! [`session::R2d2Session`] wraps the pipeline into a long-lived service:
+//! bootstrap once, then keep the graph current through typed
+//! [`r2d2_lake::LakeUpdate`] events (the §7.1 dynamic-update scenarios) with
+//! work linear in the number of datasets per update. [`approx`] implements
 //! the §7.2 approximate-containment extensions.
 //!
 //! ## Execution model
@@ -56,14 +59,17 @@
 pub mod approx;
 pub mod clp;
 pub mod config;
-pub mod dynamic;
+mod dynamic;
 mod fanout;
 pub mod mmp;
 pub mod pipeline;
 pub mod sampling;
 pub mod schema_stats;
+pub mod session;
 pub mod sgb;
 
 pub use config::{ClpSampling, PipelineConfig};
-pub use pipeline::{PipelineReport, R2d2Pipeline, StageReport};
+pub use pipeline::{PipelineReport, R2d2Pipeline, Stage, StageReport};
+pub use r2d2_lake::{AppliedUpdate, LakeUpdate};
+pub use session::{R2d2Session, SessionReport, UpdateReport};
 pub use sgb::{SchemaCluster, SgbResult};

@@ -80,6 +80,20 @@ fn check_edge(
     })
 }
 
+/// Whether the single edge `parent → child` survives Min-Max Pruning, using
+/// only column metadata. This is the per-edge primitive behind
+/// [`min_max_prune_threaded`], shared with the session's dynamic-update
+/// verification path.
+pub(crate) fn edge_passes(
+    lake: &DataLake,
+    parent_id: u64,
+    child_id: u64,
+    typed_columns_only: bool,
+    meter: &Meter,
+) -> Result<bool> {
+    Ok(!check_edge(lake, parent_id, child_id, typed_columns_only, meter)?.prune)
+}
+
 /// Run Min-Max Pruning over `graph`, mutating it in place, single-threaded.
 /// See [`min_max_prune_threaded`].
 pub fn min_max_prune(

@@ -14,11 +14,42 @@ use r2d2_lake::{DataLake, Meter, OpCounts, Result, SchemaSet};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
+/// The three pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Schema Graph Builder (Algorithm 1).
+    Sgb,
+    /// Min-Max Pruning (Algorithm 2).
+    Mmp,
+    /// Content-Level Pruning (Algorithm 3).
+    Clp,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 3] = [Stage::Sgb, Stage::Mmp, Stage::Clp];
+
+    /// The paper's name for the stage ("SGB" / "MMP" / "CLP").
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Sgb => "SGB",
+            Stage::Mmp => "MMP",
+            Stage::Clp => "CLP",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Per-stage measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageReport {
-    /// Stage name ("SGB", "MMP", "CLP").
-    pub stage: String,
+    /// Which stage was measured.
+    pub stage: Stage,
     /// Wall-clock duration of the stage.
     pub duration: Duration,
     /// Operation counts attributable to the stage.
@@ -52,9 +83,9 @@ impl PipelineReport {
         &self.after_clp
     }
 
-    /// Stage report by name, if present.
-    pub fn stage(&self, name: &str) -> Option<&StageReport> {
-        self.stages.iter().find(|s| s.stage == name)
+    /// Stage report for `stage`, if present.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
     }
 }
 
@@ -105,7 +136,7 @@ impl R2d2Pipeline {
         let sgb = self.run_sgb(lake, &meter);
         let after_sgb = sgb.graph.clone();
         stages.push(StageReport {
-            stage: "SGB".to_string(),
+            stage: Stage::Sgb,
             duration: t0.elapsed(),
             ops: meter.snapshot().since(&before),
             edges_after: after_sgb.edge_count(),
@@ -124,7 +155,7 @@ impl R2d2Pipeline {
         )?;
         let after_mmp = graph.clone();
         stages.push(StageReport {
-            stage: "MMP".to_string(),
+            stage: Stage::Mmp,
             duration: t0.elapsed(),
             ops: meter.snapshot().since(&before),
             edges_after: after_mmp.edge_count(),
@@ -135,7 +166,7 @@ impl R2d2Pipeline {
         let t0 = Instant::now();
         content_level_prune(lake, &mut graph, &self.config, &meter)?;
         stages.push(StageReport {
-            stage: "CLP".to_string(),
+            stage: Stage::Clp,
             duration: t0.elapsed(),
             ops: meter.snapshot().since(&before),
             edges_after: graph.edge_count(),
@@ -245,12 +276,15 @@ mod tests {
 
         // Stage reports are ordered and monotone in edge count.
         assert_eq!(report.stages.len(), 3);
-        assert!(report.stage("SGB").is_some());
+        let order: Vec<Stage> = report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(order, Stage::ALL);
         assert!(
-            report.stage("SGB").unwrap().edges_after >= report.stage("MMP").unwrap().edges_after
+            report.stage(Stage::Sgb).unwrap().edges_after
+                >= report.stage(Stage::Mmp).unwrap().edges_after
         );
         assert!(
-            report.stage("MMP").unwrap().edges_after >= report.stage("CLP").unwrap().edges_after
+            report.stage(Stage::Mmp).unwrap().edges_after
+                >= report.stage(Stage::Clp).unwrap().edges_after
         );
         assert!(report.sgb_clusters >= 1);
         assert!(report.total_duration >= report.stages[0].duration);
@@ -260,7 +294,7 @@ mod tests {
     fn mmp_stage_uses_no_row_scans() {
         let (lake, ..) = small_lake();
         let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
-        let mmp = report.stage("MMP").unwrap();
+        let mmp = report.stage(Stage::Mmp).unwrap();
         assert_eq!(mmp.ops.rows_scanned, 0);
         assert!(mmp.ops.metadata_lookups > 0);
     }
@@ -281,6 +315,14 @@ mod tests {
         let report = R2d2Pipeline::with_defaults().run(&lake).unwrap();
         assert_eq!(report.after_clp.node_count(), 0);
         assert_eq!(report.after_clp.edge_count(), 0);
+    }
+
+    #[test]
+    fn stage_names_match_the_paper() {
+        assert_eq!(Stage::Sgb.to_string(), "SGB");
+        assert_eq!(Stage::Mmp.to_string(), "MMP");
+        assert_eq!(Stage::Clp.to_string(), "CLP");
+        assert_eq!(Stage::ALL.len(), 3);
     }
 
     #[test]

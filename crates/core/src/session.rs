@@ -1,0 +1,809 @@
+//! [`R2d2Session`] — a long-lived incremental containment service.
+//!
+//! The batch API ([`crate::pipeline::R2d2Pipeline`]) answers "what does the
+//! lake contain *right now*"; a production deployment instead keeps one
+//! session alive and feeds it a stream of typed [`LakeUpdate`] events as the
+//! lake changes. The session owns the [`DataLake`], the live
+//! [`ContainmentGraph`], a [`SchemaInterner`] with every dataset's interned
+//! schema set, a long-lived build-side [`HashJoinCache`], and the cumulative
+//! [`Meter`] — the shared state the old free-function dynamic API
+//! (`dataset_added` / `dataset_grew` / `dataset_shrank` / `dataset_deleted`)
+//! forced every caller to wire together and silently failed to share.
+//!
+//! * [`R2d2Session::bootstrap`] runs the SGB → MMP → CLP batch pipeline once
+//!   and keeps its [`PipelineReport`].
+//! * [`R2d2Session::apply`] / [`R2d2Session::apply_batch`] execute updates
+//!   against the catalog, coalesce them into one re-verification sweep per
+//!   affected dataset (N appends to one table are verified once), and fan
+//!   the candidate checks out over `config.threads` workers.
+//! * [`R2d2Session::graph`] / [`R2d2Session::report`] snapshot the current
+//!   state; [`R2d2Session::update_log`] is the session's update-event log.
+//!
+//! **Equivalence guarantee.** After any sequence of updates the session
+//! graph has exactly the edges a fresh `R2d2Pipeline::run` over the mutated
+//! lake would produce, and — like the batch pipeline — graph, reports and
+//! meter totals are bit-for-bit identical for every `config.threads` value
+//! (`tests/integration_dynamic.rs` pins both properties with a randomized
+//! oracle). Dropped datasets keep an isolated node in the session graph so
+//! node ids stay stable for downstream consumers.
+
+use crate::config::PipelineConfig;
+use crate::dynamic::{self, Effect};
+use crate::pipeline::{PipelineReport, R2d2Pipeline};
+use r2d2_graph::diff::EdgeDelta;
+use r2d2_graph::ContainmentGraph;
+use r2d2_lake::{
+    AppliedUpdate, DataLake, DatasetId, HashJoinCache, InternedSchemaSet, LakeUpdate, Meter,
+    OpCounts, Result, SchemaInterner, Table,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// What one [`R2d2Session::apply_batch`] (or [`R2d2Session::apply`]) did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateReport {
+    /// Updates executed against the catalog in this batch.
+    pub updates_applied: usize,
+    /// What each executed mutation did, in execution order (merged append
+    /// runs appear once, with their total row count). `AddDataset` callers
+    /// read their assigned id from the [`AppliedUpdate::Added`] entry.
+    pub applied: Vec<AppliedUpdate>,
+    /// Distinct datasets whose content (or existence) changed.
+    pub datasets_changed: usize,
+    /// Candidate pairs re-verified (schema → MMP → CLP cascade).
+    pub candidates_checked: usize,
+    /// Child rows sampled by the CLP checks of this sweep.
+    pub rows_sampled: usize,
+    /// Edges added / removed by this batch.
+    pub delta: EdgeDelta,
+    /// Metered work attributable to this batch (mutation rebuilds plus the
+    /// verification sweep).
+    pub ops: OpCounts,
+    /// Wall-clock duration of the batch.
+    pub duration: Duration,
+}
+
+/// Point-in-time summary of a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Datasets currently in the lake.
+    pub datasets: usize,
+    /// Edges currently in the containment graph.
+    pub edges: usize,
+    /// Total updates executed since bootstrap.
+    pub updates_applied: usize,
+    /// Batches executed since bootstrap (entries in the update log).
+    pub batches_applied: usize,
+    /// Wall-clock duration of the bootstrap pipeline run.
+    pub bootstrap_duration: Duration,
+    /// Cumulative meter totals since bootstrap began.
+    pub ops: OpCounts,
+}
+
+/// A long-lived containment-detection service over one data lake.
+#[derive(Debug)]
+pub struct R2d2Session {
+    lake: DataLake,
+    graph: ContainmentGraph,
+    interner: SchemaInterner,
+    schemas: BTreeMap<u64, InternedSchemaSet>,
+    cache: HashJoinCache,
+    meter: Meter,
+    config: PipelineConfig,
+    bootstrap: PipelineReport,
+    updates_applied: usize,
+    log: Vec<UpdateReport>,
+}
+
+impl R2d2Session {
+    /// Take ownership of `lake`, run the batch SGB → MMP → CLP pipeline once
+    /// and start serving incremental updates from its final graph.
+    pub fn bootstrap(lake: DataLake, config: PipelineConfig) -> Result<Self> {
+        let meter = lake.meter().clone();
+        let bootstrap = R2d2Pipeline::new(config.clone()).run(&lake)?;
+        let graph = bootstrap.after_clp.clone();
+        let mut interner = SchemaInterner::new();
+        let schemas = lake
+            .iter()
+            .map(|e| (e.id.0, interner.intern_set(&e.data.schema().schema_set())))
+            .collect();
+        Ok(R2d2Session {
+            lake,
+            graph,
+            interner,
+            schemas,
+            cache: HashJoinCache::new(),
+            meter,
+            config,
+            bootstrap,
+            updates_applied: 0,
+            log: Vec::new(),
+        })
+    }
+
+    /// Bootstrap with the paper's default configuration.
+    pub fn with_defaults(lake: DataLake) -> Result<Self> {
+        Self::bootstrap(lake, PipelineConfig::default())
+    }
+
+    /// Execute one update and re-verify the affected pairs.
+    pub fn apply(&mut self, update: LakeUpdate) -> Result<UpdateReport> {
+        self.apply_batch(std::slice::from_ref(&update))
+    }
+
+    /// Execute a batch of updates, coalescing per-dataset work: adjacent
+    /// appends to one table merge into a single catalog rebuild, the whole
+    /// batch triggers one re-verification sweep (N appends to one table
+    /// re-verify that table's pairs once), and a dataset dropped at the end
+    /// of the batch is never verified at all.
+    ///
+    /// Error semantics: if a *mutation* fails mid-batch (unknown dataset,
+    /// schema mismatch, …), the updates before it stay applied; the session
+    /// still runs the verification sweep for them — so the graph remains
+    /// consistent with the lake — and then returns the error. If the
+    /// *verification sweep itself* fails (a lake read error, which cannot
+    /// arise from session-managed state), the mutations stand but the graph
+    /// is left at its pre-batch state; re-bootstrap via
+    /// [`R2d2Session::into_parts`] in that case. Failed batches are not
+    /// recorded in the update log.
+    pub fn apply_batch(&mut self, updates: &[LakeUpdate]) -> Result<UpdateReport> {
+        let start = Instant::now();
+        let ops_before = self.meter.snapshot();
+
+        // Phase 1: execute the catalog mutations — merging each adjacent
+        // run of appends to one dataset into a single rebuild — and
+        // coalesce content effects.
+        let mut effects: BTreeMap<u64, Effect> = BTreeMap::new();
+        let mut applied = Vec::new();
+        let mut applied_count = 0usize;
+        let mut first_err = None;
+        for (op, merged) in Self::coalesce_appends(updates) {
+            match self.lake.apply_update(&op) {
+                Ok(done) => {
+                    applied_count += merged;
+                    applied.push(done);
+                    if done.is_noop() {
+                        continue;
+                    }
+                    let effect = match done {
+                        AppliedUpdate::Added { .. } => Effect::ADDED,
+                        AppliedUpdate::Appended { .. } => Effect::GREW,
+                        AppliedUpdate::Deleted { .. } => Effect::SHRANK,
+                        AppliedUpdate::Dropped { .. } => Effect::DROPPED,
+                    };
+                    effects.entry(done.dataset().0).or_default().merge(effect);
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: invalidate per-dataset derived state (stale build-side
+        // hash multisets, interned schema sets) for everything that changed.
+        for (&d, &e) in &effects {
+            self.cache.evict_dataset(d);
+            if e.dropped {
+                self.schemas.remove(&d);
+            } else if let Ok(entry) = self.lake.dataset(DatasetId(d)) {
+                self.schemas.insert(
+                    d,
+                    self.interner.intern_set(&entry.data.schema().schema_set()),
+                );
+            }
+        }
+
+        // Phase 3: plan and run one verification sweep. The plan reads the
+        // pre-batch edges (the grown/shrunk exceptions key off them) and
+        // excludes dropped datasets, so it does not need the node changes
+        // below — which keeps the graph untouched if verification errors.
+        let pairs = dynamic::plan_pairs(&self.lake, &self.graph, &effects);
+        let outcomes = dynamic::verify_pairs(
+            &self.lake,
+            &pairs,
+            &self.schemas,
+            &self.config,
+            &self.cache,
+            &self.meter,
+        )?;
+
+        // Phase 4: commit node changes and pair outcomes in order,
+        // accumulating the edge delta as it happens.
+        let mut added: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut removed: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for (&d, &e) in &effects {
+            if e.dropped {
+                for parent in self.graph.parents(d) {
+                    removed.insert((parent, d));
+                }
+                for child in self.graph.children(d) {
+                    removed.insert((d, child));
+                }
+                self.graph.clear_dataset(d);
+            } else {
+                self.graph.add_dataset(d);
+            }
+        }
+        let mut rows_sampled = 0usize;
+        for (&(parent, child), outcome) in pairs.iter().zip(&outcomes) {
+            rows_sampled += outcome.rows_sampled;
+            if outcome.pass {
+                if self.graph.add_edge(parent, child) {
+                    added.insert((parent, child));
+                }
+            } else if self.graph.remove_edge(parent, child).is_some() {
+                removed.insert((parent, child));
+            }
+        }
+
+        self.updates_applied += applied_count;
+        let report = UpdateReport {
+            updates_applied: applied_count,
+            applied,
+            datasets_changed: effects.len(),
+            candidates_checked: pairs.len(),
+            rows_sampled,
+            delta: EdgeDelta {
+                added: added.into_iter().collect(),
+                removed: removed.into_iter().collect(),
+            },
+            ops: self.meter.snapshot().since(&ops_before),
+            duration: start.elapsed(),
+        };
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                self.log.push(report.clone());
+                Ok(report)
+            }
+        }
+    }
+
+    /// Merge each *adjacent* run of `AppendRows` to one dataset into a
+    /// single update (one pre-sized concat, one catalog rebuild). Returns
+    /// `(update, how many source updates it stands for)`.
+    ///
+    /// Only adjacent appends merge: a merged run then always corresponds to
+    /// a contiguous prefix-respecting slice of `updates`, so the mid-batch
+    /// error guarantee ("exactly the updates before the failure are
+    /// applied") survives coalescing. Runs whose row schemas disagree are
+    /// left unmerged so the catalog reports the mismatch against the exact
+    /// offending update.
+    fn coalesce_appends(updates: &[LakeUpdate]) -> Vec<(LakeUpdate, usize)> {
+        let mut ops: Vec<(LakeUpdate, usize)> = Vec::with_capacity(updates.len());
+        let mut i = 0;
+        while i < updates.len() {
+            let LakeUpdate::AppendRows { id, rows } = &updates[i] else {
+                ops.push((updates[i].clone(), 1));
+                i += 1;
+                continue;
+            };
+            let mut chunks = vec![rows];
+            let mut j = i + 1;
+            while j < updates.len() {
+                match &updates[j] {
+                    LakeUpdate::AppendRows { id: next, rows: r } if next == id => {
+                        chunks.push(r);
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if j == i + 1 {
+                ops.push((updates[i].clone(), 1));
+            } else {
+                match Table::concat_many(rows.schema().clone(), chunks) {
+                    Ok(merged) => ops.push((
+                        LakeUpdate::AppendRows {
+                            id: *id,
+                            rows: merged,
+                        },
+                        j - i,
+                    )),
+                    // Mixed schemas inside the run: execute unmerged so the
+                    // error lands on the precise source update.
+                    Err(_) => {
+                        for update in &updates[i..j] {
+                            ops.push((update.clone(), 1));
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        ops
+    }
+
+    /// The lake as of the last applied update.
+    pub fn lake(&self) -> &DataLake {
+        &self.lake
+    }
+
+    /// The live containment graph.
+    pub fn graph(&self) -> &ContainmentGraph {
+        &self.graph
+    }
+
+    /// The session's pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The report of the bootstrap batch run (per-stage timings, op counts
+    /// and intermediate graphs).
+    pub fn bootstrap_report(&self) -> &PipelineReport {
+        &self.bootstrap
+    }
+
+    /// Every successful batch since bootstrap, in order — the session's
+    /// update-event log.
+    pub fn update_log(&self) -> &[UpdateReport] {
+        &self.log
+    }
+
+    /// Cumulative meter totals since bootstrap began.
+    pub fn ops(&self) -> OpCounts {
+        self.meter.snapshot()
+    }
+
+    /// Number of `(dataset, column set)` build-side hash multisets currently
+    /// cached for re-use across updates.
+    pub fn cached_build_sides(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Point-in-time summary of the session.
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            datasets: self.lake.len(),
+            edges: self.graph.edge_count(),
+            updates_applied: self.updates_applied,
+            batches_applied: self.log.len(),
+            bootstrap_duration: self.bootstrap.total_duration,
+            ops: self.meter.snapshot(),
+        }
+    }
+
+    /// Dissolve the session into its lake and graph.
+    pub fn into_parts(self) -> (DataLake, ContainmentGraph) {
+        (self.lake, self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d2_lake::{
+        AccessProfile, Column, DataType, PartitionSpec, PartitionedTable, Predicate, Schema, Table,
+        Value,
+    };
+
+    fn table(ids: std::ops::Range<i64>) -> Table {
+        // The float column is a function of the id so any id-range subset is
+        // also a true row-tuple subset.
+        let schema = Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(ids.clone()),
+                Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn part(t: Table) -> PartitionedTable {
+        PartitionedTable::from_table(
+            t,
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 16,
+            },
+        )
+        .unwrap()
+    }
+
+    fn add_update(name: &str, t: Table) -> LakeUpdate {
+        LakeUpdate::AddDataset {
+            name: name.into(),
+            data: part(t),
+            access: AccessProfile::default(),
+            lineage: None,
+        }
+    }
+
+    fn session_with(datasets: &[(&str, Table)]) -> R2d2Session {
+        let mut lake = DataLake::new();
+        for (name, t) in datasets {
+            lake.add_dataset(*name, part(t.clone()), AccessProfile::default(), None)
+                .unwrap();
+        }
+        R2d2Session::bootstrap(lake, PipelineConfig::default().with_seed(3)).unwrap()
+    }
+
+    fn fresh_edges(session: &R2d2Session) -> Vec<(u64, u64)> {
+        let mut edges = R2d2Pipeline::new(session.config().clone())
+            .run(session.lake())
+            .unwrap()
+            .after_clp
+            .edges();
+        edges.sort_unstable();
+        edges
+    }
+
+    fn session_edges(session: &R2d2Session) -> Vec<(u64, u64)> {
+        let mut edges = session.graph().edges();
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn bootstrap_runs_the_batch_pipeline() {
+        let session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        assert_eq!(session.bootstrap_report().stages.len(), 3);
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+        assert_eq!(session.graph().edge_count(), 1);
+        let report = session.report();
+        assert_eq!(report.datasets, 2);
+        assert_eq!(report.edges, 1);
+        assert_eq!(report.updates_applied, 0);
+        assert!(report.ops.row_level_ops() > 0);
+    }
+
+    #[test]
+    fn adding_a_contained_dataset_creates_edges() {
+        let mut session = session_with(&[("base", table(0..50))]);
+        let before = session.graph().clone();
+        let report = session.apply(add_update("sub", table(10..30))).unwrap();
+        assert_eq!(report.updates_applied, 1);
+        assert_eq!(report.datasets_changed, 1);
+        assert_eq!(report.delta.added.len(), 1);
+        assert!(report.candidates_checked >= 2);
+        // The report's delta is exactly the graph-level edge diff.
+        assert_eq!(
+            report.delta,
+            r2d2_graph::diff::edge_delta(&before, session.graph())
+        );
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+        assert_eq!(session.update_log().len(), 1);
+    }
+
+    #[test]
+    fn appending_foreign_rows_invalidates_incoming_edges() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let (base, sub) = (0u64, 1u64);
+        assert!(session.graph().has_edge(base, sub));
+        // The child grows past its parent's range.
+        let report = session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(sub),
+                rows: table(60..90),
+            })
+            .unwrap();
+        assert!(!session.graph().has_edge(base, sub));
+        assert!(report.delta.removed.contains(&(base, sub)));
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn deleting_rows_can_create_new_incoming_edges() {
+        let mut session = session_with(&[("a", table(0..30)), ("b", table(0..60))]);
+        let (a, b) = (0u64, 1u64);
+        assert!(session.graph().has_edge(b, a), "b ⊇ a initially");
+        // b shrinks to a strict subset of a.
+        let report = session
+            .apply(LakeUpdate::DeleteRows {
+                id: DatasetId(b),
+                predicate: Predicate::between("id", Value::Int(20), Value::Int(59)),
+            })
+            .unwrap();
+        assert!(session.graph().has_edge(a, b), "a now contains b");
+        assert!(report.delta.added.contains(&(a, b)));
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn dropping_a_dataset_clears_its_edges() {
+        let mut session = session_with(&[
+            ("base", table(0..50)),
+            ("sub", table(10..30)),
+            ("other", table(5..25)),
+        ]);
+        let report = session
+            .apply(LakeUpdate::DropDataset { id: DatasetId(0) })
+            .unwrap();
+        assert!(report.delta.added.is_empty());
+        assert!(!report.delta.removed.is_empty());
+        assert_eq!(report.candidates_checked, 0, "drops verify nothing");
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+        assert_eq!(session.report().datasets, 2);
+    }
+
+    #[test]
+    fn batch_coalesces_repeated_appends_into_one_sweep() {
+        let mut seq = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
+        let mut batch = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
+        let updates = vec![
+            LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(30..40),
+            },
+            LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(40..50),
+            },
+            LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(50..60),
+            },
+        ];
+        let mut seq_candidates = 0;
+        for u in &updates {
+            seq_candidates += seq.apply(u.clone()).unwrap().candidates_checked;
+        }
+        let report = batch.apply_batch(&updates).unwrap();
+        assert_eq!(report.updates_applied, 3);
+        assert_eq!(report.datasets_changed, 1);
+        assert!(
+            report.candidates_checked < seq_candidates,
+            "batch must verify once, not once per append ({} vs {})",
+            report.candidates_checked,
+            seq_candidates
+        );
+        // The three appends also merged into ONE catalog rebuild...
+        assert_eq!(
+            report.applied,
+            vec![r2d2_lake::AppliedUpdate::Appended {
+                id: DatasetId(1),
+                rows: 30
+            }]
+        );
+        // ...so the batch scans strictly less than the three sequential
+        // materialise+rebuild cycles did.
+        let seq_scanned: u64 = seq.update_log().iter().map(|r| r.ops.rows_scanned).sum();
+        assert!(
+            report.ops.rows_scanned < seq_scanned,
+            "merged append must rebuild once ({} vs {})",
+            report.ops.rows_scanned,
+            seq_scanned
+        );
+        // Both routes land on the same graph, which matches a fresh run.
+        assert_eq!(session_edges(&seq), session_edges(&batch));
+        assert_eq!(session_edges(&batch), fresh_edges(&batch));
+    }
+
+    #[test]
+    fn append_runs_do_not_merge_across_a_delete_of_the_same_dataset() {
+        // append(5 rows) → delete(id ≥ 10) → append(rows 10..15): merging
+        // the appends across the delete would resurrect deleted rows.
+        let mut session = session_with(&[("d", table(0..10))]);
+        session
+            .apply_batch(&[
+                LakeUpdate::AppendRows {
+                    id: DatasetId(0),
+                    rows: table(10..15),
+                },
+                LakeUpdate::DeleteRows {
+                    id: DatasetId(0),
+                    predicate: Predicate::between("id", Value::Int(10), Value::Int(99)),
+                },
+                LakeUpdate::AppendRows {
+                    id: DatasetId(0),
+                    rows: table(10..15),
+                },
+            ])
+            .unwrap();
+        assert_eq!(session.lake().dataset(DatasetId(0)).unwrap().num_rows(), 15);
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+
+        // Only ADJACENT appends merge — any intervening update (even to
+        // another dataset) closes the run, so a merged run always maps to a
+        // contiguous slice of the batch and the mid-batch error guarantee
+        // ("exactly the updates before the failure are applied") holds.
+        let mut session = session_with(&[("a", table(0..10)), ("b", table(0..10))]);
+        let report = session
+            .apply_batch(&[
+                LakeUpdate::AppendRows {
+                    id: DatasetId(0),
+                    rows: table(10..12),
+                },
+                LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(10..12),
+                },
+                LakeUpdate::AppendRows {
+                    id: DatasetId(0),
+                    rows: table(12..14),
+                },
+            ])
+            .unwrap();
+        assert_eq!(report.updates_applied, 3);
+        assert_eq!(report.applied.len(), 3, "interleaved appends stay separate");
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn appends_after_a_failing_update_are_not_applied() {
+        // Regression: an append AFTER the failure point must never merge
+        // into an earlier run and sneak in before the error.
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let err = session
+            .apply_batch(&[
+                LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(30..35),
+                },
+                LakeUpdate::DropDataset { id: DatasetId(99) },
+                LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(35..40),
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, r2d2_lake::LakeError::DatasetNotFound(_)));
+        assert_eq!(
+            session.lake().dataset(DatasetId(1)).unwrap().num_rows(),
+            25,
+            "exactly the updates before the failure are applied"
+        );
+        assert_eq!(session.report().updates_applied, 1);
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn add_then_drop_in_one_batch_is_never_verified() {
+        let mut session = session_with(&[("base", table(0..40))]);
+        let report = session
+            .apply_batch(&[
+                add_update("ephemeral", table(0..10)),
+                LakeUpdate::DropDataset { id: DatasetId(1) },
+            ])
+            .unwrap();
+        assert_eq!(report.candidates_checked, 0);
+        assert!(report.delta.is_empty());
+        assert_eq!(session.report().datasets, 1);
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn verification_reuses_cached_parent_multisets_across_updates() {
+        let mut session = session_with(&[("base", table(0..64)), ("sub", table(10..30))]);
+        let parent_rows = 64;
+
+        // First content update: the sweep builds base's multiset once.
+        let first = session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(30..40),
+            })
+            .unwrap();
+        assert!(
+            first.ops.rows_hashed >= parent_rows,
+            "first sweep must build the parent's hash multiset ({} hashed)",
+            first.ops.rows_hashed
+        );
+        let cached = session.cached_build_sides();
+        assert!(cached >= 1, "parent multiset must stay cached");
+
+        // Second update to the same child: the parent was not mutated, so
+        // its multiset is served from the session cache — only the (small)
+        // child sample is hashed.
+        let second = session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(40..50),
+            })
+            .unwrap();
+        assert!(
+            second.ops.rows_hashed < parent_rows,
+            "second sweep must reuse the cached parent multiset ({} hashed)",
+            second.ops.rows_hashed
+        );
+        assert_eq!(session.cached_build_sides(), cached);
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn mutating_a_parent_invalidates_its_cached_multiset() {
+        // cand (rows 60..70) is NOT contained in base (rows 0..64) at
+        // bootstrap; once base grows to 0..80 it is. The verification of the
+        // new base → cand edge must probe base's *post-append* multiset — a
+        // stale cached one (0..64) would wrongly prune rows 64..69.
+        let mut session = session_with(&[
+            ("base", table(0..64)),
+            ("sub", table(10..30)),
+            ("cand", table(60..70)),
+        ]);
+        assert!(!session.graph().has_edge(0, 2));
+        // Populate the session cache with base's multiset (an update to sub
+        // re-verifies base → sub through the cache).
+        session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(30..40),
+            })
+            .unwrap();
+        assert!(session.cached_build_sides() >= 1);
+        // Append to base itself: its cached multiset is stale and evicted.
+        let report = session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(0),
+                rows: table(64..80),
+            })
+            .unwrap();
+        assert!(
+            session.graph().has_edge(0, 2),
+            "base now contains cand — a stale cached multiset would prune this edge"
+        );
+        assert!(
+            report.ops.rows_hashed >= 80,
+            "the grown parent's multiset must be rebuilt ({} hashed)",
+            report.ops.rows_hashed
+        );
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+    }
+
+    #[test]
+    fn mid_batch_error_keeps_graph_consistent_with_lake() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let err = session
+            .apply_batch(&[
+                LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(60..90),
+                },
+                LakeUpdate::DropDataset { id: DatasetId(99) },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, r2d2_lake::LakeError::DatasetNotFound(_)));
+        // The append before the failure is applied AND verified: the edge
+        // base → sub is gone, exactly as a fresh run over the lake says.
+        assert!(!session.graph().has_edge(0, 1));
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+        assert!(
+            session.update_log().is_empty(),
+            "failed batches are not logged"
+        );
+        assert_eq!(session.report().updates_applied, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut session = session_with(&[("base", table(0..20))]);
+        let report = session.apply_batch(&[]).unwrap();
+        assert_eq!(report.updates_applied, 0);
+        assert_eq!(report.candidates_checked, 0);
+        assert!(report.delta.is_empty());
+    }
+
+    #[test]
+    fn noop_updates_trigger_no_verification() {
+        let mut session = session_with(&[("base", table(0..20)), ("sub", table(5..15))]);
+        let report = session
+            .apply(LakeUpdate::DeleteRows {
+                id: DatasetId(1),
+                predicate: Predicate::eq("id", Value::Int(999)),
+            })
+            .unwrap();
+        assert_eq!(report.updates_applied, 1);
+        assert_eq!(report.datasets_changed, 0);
+        assert_eq!(report.candidates_checked, 0);
+    }
+
+    #[test]
+    fn into_parts_returns_lake_and_graph() {
+        let session = session_with(&[("base", table(0..20)), ("sub", table(5..15))]);
+        let edges = session.graph().edge_count();
+        let (lake, graph) = session.into_parts();
+        assert_eq!(lake.len(), 2);
+        assert_eq!(graph.edge_count(), edges);
+    }
+
+    #[test]
+    fn with_defaults_uses_paper_config() {
+        let session = R2d2Session::with_defaults(DataLake::new()).unwrap();
+        assert_eq!(session.config(), &PipelineConfig::default());
+        assert_eq!(session.report().datasets, 0);
+    }
+}

@@ -75,6 +75,40 @@ pub fn diff(candidate: &ContainmentGraph, ground_truth: &ContainmentGraph) -> Gr
     }
 }
 
+/// Edge-set difference between two snapshots of the *same* evolving graph
+/// (e.g. a session's containment graph before and after a dynamic update).
+/// Unlike [`GraphDiff`], which scores a candidate against ground truth, this
+/// records exactly which edges appeared and disappeared.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeDelta {
+    /// Edges present in `after` but not in `before`, sorted.
+    pub added: Vec<(u64, u64)>,
+    /// Edges present in `before` but not in `after`, sorted.
+    pub removed: Vec<(u64, u64)>,
+}
+
+impl EdgeDelta {
+    /// Whether the two snapshots have identical edge sets.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed edges.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// Compute the [`EdgeDelta`] from `before` to `after`.
+pub fn edge_delta(before: &ContainmentGraph, after: &ContainmentGraph) -> EdgeDelta {
+    let b: BTreeSet<(u64, u64)> = before.edges().into_iter().collect();
+    let a: BTreeSet<(u64, u64)> = after.edges().into_iter().collect();
+    EdgeDelta {
+        added: a.difference(&b).copied().collect(),
+        removed: b.difference(&a).copied().collect(),
+    }
+}
+
 /// Classify every candidate edge individually.
 pub fn classify_edges(
     candidate: &ContainmentGraph,
@@ -157,6 +191,19 @@ mod tests {
         assert_eq!(classes.len(), 2);
         assert!(classes.contains(&((1, 2), EdgeDiff::Correct)));
         assert!(classes.contains(&((9, 8), EdgeDiff::Incorrect)));
+    }
+
+    #[test]
+    fn edge_delta_tracks_added_and_removed() {
+        let before = graph(&[(1, 2), (2, 3)]);
+        let after = graph(&[(1, 2), (4, 5), (0, 9)]);
+        let d = edge_delta(&before, &after);
+        assert_eq!(d.added, vec![(0, 9), (4, 5)]);
+        assert_eq!(d.removed, vec![(2, 3)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(edge_delta(&before, &before).is_empty());
+        assert_eq!(edge_delta(&before, &before).len(), 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod schema;
 pub mod stats;
 pub mod storage;
 pub mod table;
+pub mod update;
 pub mod value;
 
 pub use builder::TableBuilder;
@@ -70,4 +71,5 @@ pub use row::{Row, RowHash};
 pub use schema::{Field, InternedSchemaSet, Schema, SchemaInterner, SchemaNode, SchemaSet};
 pub use stats::ColumnStats;
 pub use table::Table;
+pub use update::{AppliedUpdate, LakeUpdate};
 pub use value::Value;

@@ -69,14 +69,28 @@ impl Predicate {
         Predicate::And(preds)
     }
 
-    /// Columns referenced by the predicate.
+    /// Columns referenced by the predicate, deduplicated in first-occurrence
+    /// order (an `And` of several clauses over one column names it once, so
+    /// callers sampling or metering by referenced column are not inflated).
     pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Predicate::True => Vec::new(),
+            Predicate::True => {}
             Predicate::Eq { column, .. } | Predicate::Between { column, .. } => {
-                vec![column.as_str()]
+                if !out.contains(&column.as_str()) {
+                    out.push(column.as_str());
+                }
             }
-            Predicate::And(ps) => ps.iter().flat_map(Predicate::columns).collect(),
+            Predicate::And(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
         }
     }
 
@@ -635,6 +649,18 @@ mod tests {
         ]);
         let result = scan(&pt, &p, None, &Meter::new()).unwrap();
         assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn predicate_columns_are_deduplicated_in_order() {
+        let p = Predicate::and(vec![
+            Predicate::between("id", Value::Int(0), Value::Int(9)),
+            Predicate::eq("region", Value::Str("r1".into())),
+            Predicate::eq("id", Value::Int(3)),
+            Predicate::and(vec![Predicate::eq("region", Value::Str("r2".into()))]),
+        ]);
+        assert_eq!(p.columns(), vec!["id", "region"]);
+        assert!(Predicate::True.columns().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p r2d2-bench --release --example cost_optimization
+//! cargo run --release --example cost_optimization
 //! ```
 
 use r2d2_core::R2d2Pipeline;

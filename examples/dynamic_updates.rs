@@ -2,16 +2,20 @@
 //! up to date as datasets are added, grown, shrunk and deleted, without
 //! re-running the whole pipeline.
 //!
+//! An [`R2d2Session`] owns the lake, the live graph and the shared caches;
+//! every lake change is a typed [`LakeUpdate`] event fed to
+//! `session.apply(...)` (or coalesced through `session.apply_batch(...)`).
+//!
 //! Run with:
 //!
 //! ```text
-//! cargo run -p r2d2-bench --example dynamic_updates
+//! cargo run --release --example dynamic_updates
 //! ```
 
-use r2d2_core::dynamic::{dataset_added, dataset_deleted, dataset_grew, dataset_shrank};
-use r2d2_core::{PipelineConfig, R2d2Pipeline};
+use r2d2_core::{AppliedUpdate, PipelineConfig, R2d2Pipeline, R2d2Session};
 use r2d2_lake::{
-    AccessProfile, Column, DataLake, DataType, DatasetId, Meter, PartitionedTable, Schema, Table,
+    AccessProfile, Column, DataLake, DataType, LakeUpdate, PartitionedTable, Predicate, Schema,
+    Table, Value,
 };
 
 fn events_table(ids: std::ops::Range<i64>) -> Table {
@@ -33,9 +37,6 @@ fn events_table(ids: std::ops::Range<i64>) -> Table {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = PipelineConfig::default();
-    let meter = Meter::new();
-
     // Initial lake: one base table and one derived subset.
     let mut lake = DataLake::new();
     let base = lake.add_dataset(
@@ -51,56 +52,88 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None,
     )?;
 
-    let mut graph = R2d2Pipeline::new(config.clone()).run(&lake)?.after_clp;
-    println!("initial containment edges: {:?}", graph.edges());
+    // Bootstrap runs the batch SGB → MMP → CLP pipeline once; from here on
+    // the session maintains the graph incrementally.
+    let mut session = R2d2Session::bootstrap(lake, PipelineConfig::default())?;
+    println!("initial containment edges: {:?}", session.graph().edges());
 
     // 1. A new dataset lands in the lake: an analyst's export of a slice.
-    let export = lake.add_dataset(
-        "events_slice_export",
-        PartitionedTable::single(events_table(100..160)),
-        AccessProfile::default(),
-        None,
-    )?;
-    let stats = dataset_added(&lake, &mut graph, export.0, &config, &meter)?;
+    let report = session.apply(LakeUpdate::AddDataset {
+        name: "events_slice_export".into(),
+        data: PartitionedTable::single(events_table(100..160)),
+        access: AccessProfile::default(),
+        lineage: None,
+    })?;
+    let export = report
+        .applied
+        .iter()
+        .find_map(|a| match a {
+            AppliedUpdate::Added { id } => Some(*id),
+            _ => None,
+        })
+        .expect("AddDataset reports its assigned id");
     println!(
         "after adding events_slice_export: +{} edges ({} candidates checked) → {:?}",
-        stats.edges_added,
-        stats.candidates_checked,
-        graph.edges()
+        report.delta.added.len(),
+        report.candidates_checked,
+        session.graph().edges()
     );
 
-    // 2. The derived subset grows beyond its parent (new rows appended).
-    lake.replace_data(subset, PartitionedTable::single(events_table(400..700)))?;
-    let stats = dataset_grew(&lake, &mut graph, subset.0, &config, &meter)?;
+    // 2. The derived subset grows beyond its parent (new rows appended) —
+    //    two appends to the same table coalesce into ONE verification sweep.
+    let report = session.apply_batch(&[
+        LakeUpdate::AppendRows {
+            id: subset,
+            rows: events_table(500..600),
+        },
+        LakeUpdate::AppendRows {
+            id: subset,
+            rows: events_table(600..700),
+        },
+    ])?;
     println!(
-        "after events_recent grew past its parent: -{} edges → {:?}",
-        stats.edges_removed,
-        graph.edges()
+        "after events_recent grew past its parent: -{} edges ({} candidates for 2 appends) → {:?}",
+        report.delta.removed.len(),
+        report.candidates_checked,
+        session.graph().edges()
     );
 
     // 3. The base table is truncated (old rows expire), so it may now fit
     //    inside other datasets — and some children may no longer be covered.
-    lake.replace_data(base, PartitionedTable::single(events_table(0..150)))?;
-    let stats = dataset_shrank(&lake, &mut graph, base.0, &config, &meter)?;
+    let report = session.apply(LakeUpdate::DeleteRows {
+        id: base,
+        predicate: Predicate::between("event_id", Value::Int(150), Value::Int(499)),
+    })?;
     println!(
         "after events shrank: -{} edges, +{} edges → {:?}",
-        stats.edges_removed,
-        stats.edges_added,
-        graph.edges()
+        report.delta.removed.len(),
+        report.delta.added.len(),
+        session.graph().edges()
     );
 
     // 4. The export is deleted outright.
-    lake.remove_dataset(DatasetId(export.0))?;
-    let stats = dataset_deleted(&mut graph, export.0);
+    let report = session.apply(LakeUpdate::DropDataset { id: export })?;
     println!(
         "after deleting events_slice_export: -{} edges → {:?}",
-        stats.edges_removed,
-        graph.edges()
+        report.delta.removed.len(),
+        session.graph().edges()
     );
 
-    // Sanity: an incremental maintenance pass and a full re-run agree.
-    let full = R2d2Pipeline::new(config).run(&lake)?.after_clp;
-    let mut incremental_edges = graph.edges();
+    // The session's event log remembers every batch.
+    let summary = session.report();
+    println!(
+        "session: {} updates in {} batches over {} datasets, {} row-level ops total",
+        summary.updates_applied,
+        summary.batches_applied,
+        summary.datasets,
+        summary.ops.row_level_ops()
+    );
+
+    // Sanity: incremental maintenance and a full re-run agree exactly.
+    let full = R2d2Pipeline::new(session.config().clone())
+        .run(session.lake())?
+        .after_clp;
+    let mut incremental_edges = session.graph().edges();
     let mut full_edges = full.edges();
     incremental_edges.sort_unstable();
     full_edges.sort_unstable();

@@ -4,7 +4,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p r2d2-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use r2d2_core::R2d2Pipeline;

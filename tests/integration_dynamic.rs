@@ -1,145 +1,354 @@
-//! Integration tests of §7.1 dynamic updates: incremental maintenance of the
-//! containment graph must agree with a full pipeline re-run after arbitrary
-//! sequences of lake mutations.
+//! Integration tests of §7.1 dynamic updates through [`R2d2Session`]:
+//! incremental maintenance must be **bit-identical** to a fresh batch
+//! pipeline run over the mutated lake, for any update sequence, at any
+//! thread count, whether updates are applied one by one or as a coalesced
+//! batch. The property-based oracle below generates random `LakeUpdate`
+//! sequences and checks all of it; the remaining tests pin the behaviour on
+//! full synthetic corpora.
 
-use r2d2_bench::experiments::{enterprise_corpora, Scale};
-use r2d2_core::dynamic::{dataset_added, dataset_deleted, dataset_grew, dataset_shrank};
-use r2d2_core::{PipelineConfig, R2d2Pipeline};
-use r2d2_lake::{AccessProfile, DatasetId, Meter, PartitionSpec, PartitionedTable};
-use r2d2_synth::roots::transactions;
+use r2d2_core::{PipelineConfig, R2d2Pipeline, R2d2Session, UpdateReport};
+use r2d2_graph::ContainmentGraph;
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, DatasetId, LakeUpdate, Meter, OpCounts,
+    PartitionSpec, PartitionedTable, Predicate, Schema, Table, Value,
+};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn edges_sorted(g: &r2d2_graph::ContainmentGraph) -> Vec<(u64, u64)> {
-    let mut e = g.edges();
-    e.sort_unstable();
-    e
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig::default().with_seed(7).with_threads(threads)
+}
+
+/// All oracle tables share one schema (so every dataset pair passes the
+/// schema check and MMP/CLP do the discriminating work); every column is a
+/// function of the id, so id-range subsets are true row-tuple subsets.
+fn table(ids: std::ops::Range<i64>) -> Table {
+    let schema = Schema::flat(&[
+        ("id", DataType::Int),
+        ("grp", DataType::Utf8),
+        ("v", DataType::Float),
+    ])
+    .unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids.clone()),
+            Column::from_strs(ids.clone().map(|i| format!("g{}", i % 3))),
+            Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+        ],
+    )
+    .unwrap()
+}
+
+fn part(t: Table) -> PartitionedTable {
+    PartitionedTable::from_table(
+        t,
+        PartitionSpec::ByRowCount {
+            rows_per_partition: 16,
+        },
+    )
+    .unwrap()
+}
+
+/// Deterministic starting lake (ids 0..4): one root, one subset, one
+/// disjoint table, one overlapping slice.
+fn base_lake() -> DataLake {
+    let mut lake = DataLake::new();
+    let add = |lake: &mut DataLake, name: &str, t: Table| {
+        lake.add_dataset(name, part(t), AccessProfile::default(), None)
+            .unwrap()
+    };
+    add(&mut lake, "root", table(0..60));
+    add(&mut lake, "mid", table(10..40));
+    add(&mut lake, "other", table(100..140));
+    add(&mut lake, "slice", table(30..80));
+    lake
+}
+
+/// Generate a random but *replayable* update sequence: ids are tracked the
+/// same way the catalog assigns them, and only live datasets are targeted,
+/// so the sequence applies cleanly to any equal copy of the base lake.
+fn gen_updates(seed: u64, count: usize) -> Vec<LakeUpdate> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(count as u64));
+    let mut live: Vec<u64> = vec![0, 1, 2, 3];
+    let mut next_id = 4u64;
+    let mut updates = Vec::with_capacity(count);
+    for k in 0..count {
+        let choice = if live.is_empty() {
+            0
+        } else {
+            rng.gen_range(0u8..10)
+        };
+        match choice {
+            0..=2 => {
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(1i64..40);
+                updates.push(LakeUpdate::AddDataset {
+                    name: format!("gen_{seed}_{k}"),
+                    data: part(table(start..start + len)),
+                    access: AccessProfile::default(),
+                    lineage: None,
+                });
+                live.push(next_id);
+                next_id += 1;
+            }
+            3..=5 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(0i64..20); // 0 → no-op append
+                updates.push(LakeUpdate::AppendRows {
+                    id: DatasetId(id),
+                    rows: table(start..start + len),
+                });
+            }
+            6..=7 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let lo = rng.gen_range(0i64..80);
+                let hi = lo + rng.gen_range(0i64..40);
+                updates.push(LakeUpdate::DeleteRows {
+                    id: DatasetId(id),
+                    predicate: Predicate::between("id", Value::Int(lo), Value::Int(hi)),
+                });
+            }
+            _ => {
+                let idx = rng.gen_range(0..live.len());
+                updates.push(LakeUpdate::DropDataset {
+                    id: DatasetId(live.remove(idx)),
+                });
+            }
+        }
+    }
+    updates
+}
+
+/// The deterministic slice of an `UpdateReport` (everything except wall
+/// clock), used to compare runs across thread counts.
+#[derive(Debug, Clone, PartialEq)]
+struct ComparableReport {
+    updates_applied: usize,
+    applied: Vec<r2d2_lake::AppliedUpdate>,
+    datasets_changed: usize,
+    candidates_checked: usize,
+    rows_sampled: usize,
+    delta: r2d2_graph::diff::EdgeDelta,
+    ops: OpCounts,
+}
+
+/// Everything observable about a session run, minus wall-clock times.
+struct SessionRun {
+    graph: ContainmentGraph,
+    edges: Vec<(u64, u64)>,
+    ops: OpCounts,
+    log: Vec<ComparableReport>,
+}
+
+fn comparable(report: &UpdateReport) -> ComparableReport {
+    ComparableReport {
+        updates_applied: report.updates_applied,
+        applied: report.applied.clone(),
+        datasets_changed: report.datasets_changed,
+        candidates_checked: report.candidates_checked,
+        rows_sampled: report.rows_sampled,
+        delta: report.delta.clone(),
+        ops: report.ops,
+    }
+}
+
+fn run_session(updates: &[LakeUpdate], threads: usize, batch: bool) -> SessionRun {
+    let mut session = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+    if batch {
+        session.apply_batch(updates).unwrap();
+    } else {
+        for update in updates {
+            session.apply(update.clone()).unwrap();
+        }
+    }
+    let mut edges = session.graph().edges();
+    edges.sort_unstable();
+    let ops = session.ops();
+    let log = session.update_log().iter().map(comparable).collect();
+    SessionRun {
+        graph: session.graph().clone(),
+        edges,
+        ops,
+        log,
+    }
+}
+
+fn fresh_edges(updates: &[LakeUpdate]) -> Vec<(u64, u64)> {
+    let mut lake = base_lake();
+    for update in updates {
+        lake.apply_update(update).unwrap();
+    }
+    let mut edges = R2d2Pipeline::new(config(1))
+        .run(&lake)
+        .unwrap()
+        .after_clp
+        .edges();
+    edges.sort_unstable();
+    edges
+}
+
+proptest::proptest! {
+    /// The equivalence oracle: after ANY random sequence of `LakeUpdate`s,
+    /// (a) the session graph has exactly the edges of a fresh
+    ///     `R2d2Pipeline::run` over the mutated lake,
+    /// (b) graph, meter totals and per-batch reports are bit-identical at
+    ///     threads = 1 and threads = 4,
+    /// (c) applying the sequence one-by-one or as one coalesced batch lands
+    ///     on the same graph.
+    #[test]
+    fn random_update_sequences_match_fresh_pipeline_runs(
+        seed in 0u64..1_000_000,
+        count in 1usize..6,
+    ) {
+        let updates = gen_updates(seed, count);
+        let expected = fresh_edges(&updates);
+
+        let seq1 = run_session(&updates, 1, false);
+        let seq4 = run_session(&updates, 4, false);
+        proptest::prop_assert_eq!(&seq1.edges, &expected, "sequential session != fresh run");
+        proptest::prop_assert_eq!(&seq1.graph, &seq4.graph, "session graph depends on threads");
+        proptest::prop_assert_eq!(seq1.ops, seq4.ops, "session meter depends on threads");
+        proptest::prop_assert_eq!(&seq1.log, &seq4.log, "update reports depend on threads");
+
+        let batch1 = run_session(&updates, 1, true);
+        let batch4 = run_session(&updates, 4, true);
+        proptest::prop_assert_eq!(&batch1.edges, &expected, "batched session != fresh run");
+        proptest::prop_assert_eq!(&batch1.graph, &batch4.graph, "batched graph depends on threads");
+        proptest::prop_assert_eq!(batch1.ops, batch4.ops, "batched meter depends on threads");
+        proptest::prop_assert_eq!(&batch1.log, &batch4.log, "batched reports depend on threads");
+    }
 }
 
 #[test]
 fn incremental_addition_matches_full_rerun_on_corpus() {
-    let corpus = enterprise_corpora(Scale::Smoke)[2].clone();
-    let mut lake = corpus.lake.clone();
-    let config = PipelineConfig::default();
-    let mut graph = R2d2Pipeline::new(config.clone())
-        .run(&lake)
-        .unwrap()
-        .after_clp;
+    use r2d2_bench::experiments::{enterprise_corpora, Scale};
 
-    // Add a new dataset derived from an existing one (a subset of some root).
+    let corpus = enterprise_corpora(Scale::Smoke)[2].clone();
     let (first_id, source) = {
-        let first = lake.iter().next().unwrap();
+        let first = corpus.lake.iter().next().unwrap();
         (first.id, first.data.to_table(&Meter::new()).unwrap())
     };
+    let mut session = R2d2Session::with_defaults(corpus.lake).unwrap();
+
+    // Add a new dataset derived from an existing one (a subset of a root).
     let subset = source
         .take(&(0..source.num_rows() / 2).collect::<Vec<_>>())
         .unwrap();
-    let new_id = lake
-        .add_dataset(
-            "incremental_subset",
-            PartitionedTable::from_table(
+    let report = session
+        .apply(LakeUpdate::AddDataset {
+            name: "incremental_subset".into(),
+            data: PartitionedTable::from_table(
                 subset,
                 PartitionSpec::ByRowCount {
                     rows_per_partition: 32,
                 },
             )
             .unwrap(),
-            AccessProfile::default(),
-            None,
-        )
+            access: AccessProfile::default(),
+            lineage: None,
+        })
         .unwrap();
+    let new_id = report
+        .applied
+        .iter()
+        .find_map(|a| match a {
+            r2d2_lake::AppliedUpdate::Added { id } => Some(id.0),
+            _ => None,
+        })
+        .expect("AddDataset reports its assigned id");
+    assert!(session.graph().parents(new_id).contains(&first_id.0));
 
-    dataset_added(&lake, &mut graph, new_id.0, &config, &Meter::new()).unwrap();
-
-    // The incremental graph must have full recall against the brute-force
-    // ground truth of the updated lake (CLP keeps some probabilistically
-    // surviving incorrect edges, which may differ from a full re-run because
-    // different random filters are drawn, so exact equality is only required
-    // on the correct edges).
-    let gt = r2d2_baselines::ground_truth::content_ground_truth(&lake, &Meter::new())
+    // The incremental graph must keep full recall against the brute-force
+    // ground truth of the updated lake...
+    let gt = r2d2_baselines::ground_truth::content_ground_truth(session.lake(), &Meter::new())
         .unwrap()
         .containment_graph;
-    let d = r2d2_graph::diff::diff(&graph, &gt);
+    let d = r2d2_graph::diff::diff(session.graph(), &gt);
     assert_eq!(d.not_detected, 0, "incremental update lost a correct edge");
-    assert!(graph.parents(new_id.0).contains(&first_id.0));
 
-    // A full re-run must agree with the incremental graph on every edge that
-    // touches the new dataset and is a true containment.
-    let full = R2d2Pipeline::new(config).run(&lake).unwrap().after_clp;
-    for (p, c) in gt.edges() {
-        if p == new_id.0 || c == new_id.0 {
-            assert_eq!(graph.has_edge(p, c), full.has_edge(p, c));
-        }
-    }
+    // ...and agree edge-for-edge with a fresh batch run over the same lake.
+    let full = R2d2Pipeline::new(session.config().clone())
+        .run(session.lake())
+        .unwrap()
+        .after_clp;
+    let mut inc_edges = session.graph().edges();
+    let mut full_edges = full.edges();
+    inc_edges.sort_unstable();
+    full_edges.sort_unstable();
+    assert_eq!(inc_edges, full_edges);
 }
 
 #[test]
 fn grow_shrink_delete_sequence_matches_full_rerun() {
-    let mut rng = SmallRng::seed_from_u64(123);
-    let config = PipelineConfig::default();
-    let meter = Meter::new();
+    let mut session = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    let check = |session: &R2d2Session| {
+        let full = R2d2Pipeline::new(session.config().clone())
+            .run(session.lake())
+            .unwrap()
+            .after_clp;
+        let mut inc = session.graph().edges();
+        let mut fre = full.edges();
+        inc.sort_unstable();
+        fre.sort_unstable();
+        assert_eq!(inc, fre);
+    };
+    assert!(session.graph().has_edge(0, 1), "root ⊇ mid at bootstrap");
 
-    // Small hand-built lake of transaction tables.
-    let mut lake = r2d2_lake::DataLake::new();
-    let base_table = transactions(200, 1, &mut rng);
-    let base = lake
-        .add_dataset(
-            "base",
-            PartitionedTable::single(base_table.clone()),
-            AccessProfile::default(),
-            None,
-        )
+    // 1. `mid` grows with rows that are NOT in `root`.
+    session
+        .apply(LakeUpdate::AppendRows {
+            id: DatasetId(1),
+            rows: table(200..240),
+        })
         .unwrap();
-    let slice = lake
-        .add_dataset(
-            "slice",
-            PartitionedTable::single(base_table.take(&(20..80).collect::<Vec<_>>()).unwrap()),
-            AccessProfile::default(),
-            None,
-        )
-        .unwrap();
-    let mut graph = R2d2Pipeline::new(config.clone())
-        .run(&lake)
-        .unwrap()
-        .after_clp;
-    assert!(graph.has_edge(base.0, slice.0));
+    assert!(!session.graph().has_edge(0, 1));
+    check(&session);
 
-    // 1. The slice grows with rows that are NOT in the base.
-    let mut foreign_rng = SmallRng::seed_from_u64(55);
-    let foreign = transactions(40, 99, &mut foreign_rng);
-    let grown = base_table
-        .take(&(20..80).collect::<Vec<_>>())
-        .unwrap()
-        .concat(&foreign)
+    // 2. `mid` shrinks back to a strict subset of `root`.
+    session
+        .apply(LakeUpdate::DeleteRows {
+            id: DatasetId(1),
+            predicate: Predicate::between("id", Value::Int(35), Value::Int(999)),
+        })
         .unwrap();
-    lake.replace_data(slice, PartitionedTable::single(grown))
+    assert!(session.graph().has_edge(0, 1));
+    check(&session);
+
+    // 3. `root` is deleted from the lake.
+    session
+        .apply(LakeUpdate::DropDataset { id: DatasetId(0) })
         .unwrap();
-    dataset_grew(&lake, &mut graph, slice.0, &config, &meter).unwrap();
-    let full = R2d2Pipeline::new(config.clone())
-        .run(&lake)
-        .unwrap()
-        .after_clp;
-    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
-    assert!(!graph.has_edge(base.0, slice.0));
+    assert!(session.graph().parents(1).is_empty());
+    check(&session);
+}
 
-    // 2. The slice shrinks back to a strict subset of the base.
-    lake.replace_data(
-        slice,
-        PartitionedTable::single(base_table.take(&(30..50).collect::<Vec<_>>()).unwrap()),
-    )
-    .unwrap();
-    dataset_shrank(&lake, &mut graph, slice.0, &config, &meter).unwrap();
-    let full = R2d2Pipeline::new(config.clone())
-        .run(&lake)
-        .unwrap()
-        .after_clp;
-    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
-    assert!(graph.has_edge(base.0, slice.0));
-
-    // 3. The base is deleted from the lake.
-    lake.remove_dataset(DatasetId(base.0)).unwrap();
-    dataset_deleted(&mut graph, base.0);
-    let full = R2d2Pipeline::new(config).run(&lake).unwrap().after_clp;
-    assert_eq!(edges_sorted(&graph), edges_sorted(&full));
-    assert_eq!(graph.edge_count(), 0);
+#[test]
+fn session_meter_accumulates_across_bootstrap_and_updates() {
+    let mut session = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    let after_bootstrap = session.ops();
+    assert!(after_bootstrap.row_level_ops() > 0, "bootstrap is metered");
+    session
+        .apply(LakeUpdate::AppendRows {
+            id: DatasetId(1),
+            rows: table(40..45),
+        })
+        .unwrap();
+    let after_update = session.ops();
+    assert!(
+        after_update.row_level_ops() > after_bootstrap.row_level_ops(),
+        "updates add to the cumulative meter"
+    );
+    let logged: u64 = session
+        .update_log()
+        .iter()
+        .map(|r| r.ops.row_level_ops())
+        .sum();
+    assert_eq!(
+        after_update.row_level_ops() - after_bootstrap.row_level_ops(),
+        logged,
+        "per-batch ops must account for all post-bootstrap work"
+    );
 }

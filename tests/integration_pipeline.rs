@@ -5,7 +5,7 @@
 
 use r2d2_baselines::ground_truth::{content_ground_truth, content_ground_truth_op_estimate};
 use r2d2_bench::experiments::{enterprise_corpora, synthetic_corpora, Scale};
-use r2d2_core::{ClpSampling, PipelineConfig, R2d2Pipeline};
+use r2d2_core::{ClpSampling, PipelineConfig, R2d2Pipeline, Stage};
 use r2d2_graph::diff::diff;
 use r2d2_lake::Meter;
 
@@ -86,7 +86,7 @@ fn pipeline_row_ops_are_orders_of_magnitude_below_brute_force() {
 fn mmp_stage_is_metadata_only_end_to_end() {
     let corpus = &enterprise_corpora(Scale::Smoke)[1];
     let report = R2d2Pipeline::with_defaults().run(&corpus.lake).unwrap();
-    let mmp = report.stage("MMP").unwrap();
+    let mmp = report.stage(Stage::Mmp).unwrap();
     assert_eq!(mmp.ops.rows_scanned, 0);
     assert!(mmp.ops.metadata_lookups > 0);
 }
