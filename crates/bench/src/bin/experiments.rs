@@ -8,13 +8,14 @@
 //!
 //! where `<which>` is one of `table1`, `table2`, `table3`, `table4`,
 //! `table5`, `table6`, `table7`, `fig2`, `fig4`, `fig5`, `fig6`, `all`,
-//! `bench-pipeline` (writes `BENCH_pipeline.json`) or `dynamic-throughput`
-//! (writes `BENCH_dynamic.json`). `--smoke` switches to the small corpora
-//! used by the integration tests.
+//! `bench-pipeline` (writes `BENCH_pipeline.json`), `dynamic-throughput`
+//! (writes `BENCH_dynamic.json`) or `optimizer-bench` (writes
+//! `BENCH_optimizer.json`). `--smoke` switches to the small corpora used by
+//! the integration tests.
 
 use r2d2_bench::experiments::{
-    clp_params, containment, dynamic_throughput, enterprise_corpora, figures, optimization, perf,
-    schema_baselines, synthetic_corpora, Scale,
+    clp_params, containment, dynamic_throughput, enterprise_corpora, figures, optimization,
+    optimizer_bench, perf, schema_baselines, synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -173,6 +174,23 @@ fn dynamic_throughput_cmd(scale: Scale) {
     }
 }
 
+fn optimizer_bench_cmd(scale: Scale) {
+    println!(
+        "== Optimizer: incremental advisor vs full re-solve, indexed vs linear-scan greedy =="
+    );
+    let snapshot = optimizer_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_optimizer.json write)");
+    } else {
+        let path = "BENCH_optimizer.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_optimizer.json");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -185,6 +203,7 @@ fn main() {
     match which.as_str() {
         "bench-pipeline" => bench_pipeline(scale),
         "dynamic-throughput" => dynamic_throughput_cmd(scale),
+        "optimizer-bench" => optimizer_bench_cmd(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -211,7 +230,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, dynamic-throughput, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, dynamic-throughput, optimizer-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

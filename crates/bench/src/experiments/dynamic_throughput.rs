@@ -106,8 +106,10 @@ fn per_sec(count: usize, total: Duration) -> f64 {
 /// Build a deterministic mixed update stream against `lake`: appends of a
 /// dataset's own head rows (growth), point deletes (shrinkage), and new
 /// subset datasets — the three content-changing §7.1 scenarios. Targets
-/// rotate over the catalog so the sweeps touch different datasets.
-fn make_updates(lake: &DataLake, k: usize) -> Vec<LakeUpdate> {
+/// rotate over the catalog so the sweeps touch different datasets. Also
+/// used by the `optimizer-bench` experiment so both benchmarks exercise the
+/// same workload shape.
+pub fn make_updates(lake: &DataLake, k: usize) -> Vec<LakeUpdate> {
     let ids = lake.ids();
     let meter = Meter::new();
     let mut updates = Vec::with_capacity(k);

@@ -5,6 +5,7 @@ pub mod containment;
 pub mod dynamic_throughput;
 pub mod figures;
 pub mod optimization;
+pub mod optimizer_bench;
 pub mod perf;
 pub mod schema_baselines;
 

@@ -24,8 +24,10 @@
 //! [`session::R2d2Session`] wraps the pipeline into a long-lived service:
 //! bootstrap once, then keep the graph current through typed
 //! [`r2d2_lake::LakeUpdate`] events (the §7.1 dynamic-update scenarios) with
-//! work linear in the number of datasets per update. [`approx`] implements
-//! the §7.2 approximate-containment extensions.
+//! work linear in the number of datasets per update, and optionally keep a
+//! live Opt-Ret **storage advisor** ([`r2d2_opt::advisor`]) in sync with the
+//! evolving graph. [`approx`] implements the §7.2 approximate-containment
+//! extensions.
 //!
 //! ## Execution model
 //!
@@ -71,5 +73,6 @@ pub mod sgb;
 pub use config::{ClpSampling, PipelineConfig};
 pub use pipeline::{PipelineReport, R2d2Pipeline, Stage, StageReport};
 pub use r2d2_lake::{AppliedUpdate, LakeUpdate};
+pub use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport};
 pub use session::{R2d2Session, SessionReport, UpdateReport};
 pub use sgb::{SchemaCluster, SgbResult};

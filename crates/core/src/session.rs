@@ -18,6 +18,13 @@
 //!   the candidate checks out over `config.threads` workers.
 //! * [`R2d2Session::graph`] / [`R2d2Session::report`] snapshot the current
 //!   state; [`R2d2Session::update_log`] is the session's update-event log.
+//! * [`R2d2Session::enable_advisor`] attaches a **live storage advisor**: an
+//!   incremental Opt-Ret (Eq. 3) state kept in sync with every applied
+//!   batch. [`R2d2Session::advise`] / [`R2d2Session::advisor_report`] return
+//!   the current deletion recommendation and its savings, re-solving only
+//!   the components the updates dirtied;
+//!   [`R2d2Session::refresh_access_profiles`] folds metered query traffic
+//!   back into the cost model's access estimates.
 //!
 //! **Equivalence guarantee.** After any sequence of updates the session
 //! graph has exactly the edges a fresh `R2d2Pipeline::run` over the mutated
@@ -36,6 +43,8 @@ use r2d2_lake::{
     AppliedUpdate, DataLake, DatasetId, HashJoinCache, InternedSchemaSet, LakeUpdate, Meter,
     OpCounts, Result, SchemaInterner, Table,
 };
+use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport, AdvisorState, DatasetChange};
+use r2d2_opt::{CostModel, Solution};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
@@ -94,6 +103,7 @@ pub struct R2d2Session {
     bootstrap: PipelineReport,
     updates_applied: usize,
     log: Vec<UpdateReport>,
+    advisor: Option<AdvisorState>,
 }
 
 impl R2d2Session {
@@ -119,6 +129,7 @@ impl R2d2Session {
             bootstrap,
             updates_applied: 0,
             log: Vec::new(),
+            advisor: None,
         })
     }
 
@@ -238,6 +249,32 @@ impl R2d2Session {
             }
         }
 
+        // Phase 5: keep the storage advisor's pruned problem in sync with
+        // what this batch did (it re-solves the dirtied components lazily,
+        // on the next `advise`). Runs even when a mutation failed mid-batch:
+        // the applied prefix is live and verified, so the advisor must see
+        // it.
+        let delta = EdgeDelta {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        };
+        if let Some(advisor) = &mut self.advisor {
+            let changes: Vec<(u64, DatasetChange)> = effects
+                .iter()
+                .map(|(&d, &e)| {
+                    let change = if e.dropped {
+                        DatasetChange::Dropped
+                    } else if e.added {
+                        DatasetChange::Added
+                    } else {
+                        DatasetChange::ContentChanged
+                    };
+                    (d, change)
+                })
+                .collect();
+            advisor.apply(&self.lake, &self.graph, &changes, &delta)?;
+        }
+
         self.updates_applied += applied_count;
         let report = UpdateReport {
             updates_applied: applied_count,
@@ -245,10 +282,7 @@ impl R2d2Session {
             datasets_changed: effects.len(),
             candidates_checked: pairs.len(),
             rows_sampled,
-            delta: EdgeDelta {
-                added: added.into_iter().collect(),
-                removed: removed.into_iter().collect(),
-            },
+            delta,
             ops: self.meter.snapshot().since(&ops_before),
             duration: start.elapsed(),
         };
@@ -352,6 +386,104 @@ impl R2d2Session {
     /// cached for re-use across updates.
     pub fn cached_build_sides(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Attach a live storage advisor: an incremental Opt-Ret (Eq. 3) state
+    /// built from the current lake and graph and kept in sync with every
+    /// subsequent [`R2d2Session::apply`] / [`R2d2Session::apply_batch`].
+    ///
+    /// After any update sequence, [`R2d2Session::advise`] returns exactly
+    /// the solution a from-scratch §5.1 preprocess + solve over the mutated
+    /// lake would produce ([`r2d2_opt::advisor::from_scratch`]), but only
+    /// re-solves the weakly-connected components the updates dirtied.
+    /// Replaces any previously attached advisor.
+    pub fn enable_advisor(&mut self, model: CostModel, config: AdvisorConfig) -> Result<()> {
+        self.advisor = Some(AdvisorState::build(&self.lake, &self.graph, model, config)?);
+        Ok(())
+    }
+
+    /// Whether a storage advisor is attached.
+    pub fn advisor_enabled(&self) -> bool {
+        self.advisor.is_some()
+    }
+
+    /// Detach the storage advisor (updates stop paying the sync cost).
+    pub fn disable_advisor(&mut self) {
+        self.advisor = None;
+    }
+
+    /// The advisor's view of the current Opt-Ret instance (for inspection
+    /// and oracle tests). Attaches a default advisor on first use, like
+    /// [`R2d2Session::advise`].
+    pub fn advisor_problem(&mut self) -> Result<r2d2_opt::OptRetProblem> {
+        self.ensure_advisor()?;
+        Ok(self.advisor.as_ref().expect("just ensured").problem())
+    }
+
+    /// Current Opt-Ret deletion recommendation over the live lake,
+    /// re-solving only the components dirtied since the last call.
+    ///
+    /// Attaches an advisor with [`CostModel::default`] and
+    /// [`AdvisorConfig::default`] on first use if none was enabled.
+    pub fn advise(&mut self) -> Result<Solution> {
+        self.ensure_advisor()?;
+        Ok(self
+            .advisor
+            .as_mut()
+            .expect("just ensured")
+            .advise()
+            .clone())
+    }
+
+    /// Re-solve statistics of the advisor's most recent
+    /// [`R2d2Session::advise`] pass (`None` when no advisor is attached).
+    pub fn advisor_stats(&self) -> Option<r2d2_opt::advisor::ResolveStats> {
+        self.advisor.as_ref().map(|a| a.last_resolve_stats())
+    }
+
+    /// [`R2d2Session::advise`] plus Table-7-style counters and GDPR savings,
+    /// and the re-solve statistics of the pass.
+    pub fn advisor_report(&mut self) -> Result<AdvisorReport> {
+        self.ensure_advisor()?;
+        let advisor = self.advisor.as_mut().expect("just ensured");
+        advisor.report(&self.lake)
+    }
+
+    /// Fold the metered query traffic since the last call into the catalog's
+    /// access profiles: each dataset's drained
+    /// [`access-log`](DataLake::access_log) tally becomes its
+    /// `accesses_per_period` (the drain window is treated as one billing
+    /// period, and a dataset that served no queries observed **0** — stale
+    /// estimates cool down instead of persisting). Datasets whose profile
+    /// moved are marked dirty on the advisor, so the next
+    /// [`R2d2Session::advise`] re-solves exactly the components whose costs
+    /// drifted. Returns how many profiles changed.
+    pub fn refresh_access_profiles(&mut self) -> Result<usize> {
+        let counts = self.lake.drain_access_counts();
+        let mut changed = 0usize;
+        // Every catalogued dataset is visited: one that served no queries
+        // this window observed 0 accesses — a once-hot dataset must cool
+        // down, not keep its stale estimate forever.
+        for id in self.lake.ids() {
+            let mut access = self.lake.dataset(id)?.access;
+            let observed = counts.get(&id.0).copied().unwrap_or(0) as f64;
+            if access.accesses_per_period != observed {
+                access.accesses_per_period = observed;
+                self.lake.set_access_profile(id, access)?;
+                changed += 1;
+                if let Some(advisor) = &mut self.advisor {
+                    advisor.note_cost_drift(&self.lake, id.0)?;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    fn ensure_advisor(&mut self) -> Result<()> {
+        if self.advisor.is_none() {
+            self.enable_advisor(CostModel::default(), AdvisorConfig::default())?;
+        }
+        Ok(())
     }
 
     /// Point-in-time summary of the session.
@@ -805,5 +937,142 @@ mod tests {
         let session = R2d2Session::with_defaults(DataLake::new()).unwrap();
         assert_eq!(session.config(), &PipelineConfig::default());
         assert_eq!(session.report().datasets, 0);
+    }
+
+    use r2d2_opt::advisor::{self, AdvisorConfig};
+    use r2d2_opt::preprocess::TransformKnowledge;
+    use r2d2_opt::CostModel;
+
+    fn advisor_config() -> AdvisorConfig {
+        // AssumeKnown: every containment edge is a reconstruction option, so
+        // the tiny test lakes produce non-trivial Opt-Ret instances.
+        AdvisorConfig::default().with_knowledge(TransformKnowledge::AssumeKnown)
+    }
+
+    fn assert_advice_matches_from_scratch(session: &mut R2d2Session) {
+        let incremental = session.advise().unwrap();
+        let fresh = advisor::from_scratch(
+            session.lake(),
+            session.graph(),
+            &CostModel::default(),
+            &advisor_config(),
+        )
+        .unwrap();
+        assert_eq!(incremental, fresh, "advisor diverged from from-scratch");
+    }
+
+    #[test]
+    fn advisor_stays_in_sync_across_updates() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        session
+            .enable_advisor(CostModel::default(), advisor_config())
+            .unwrap();
+        assert!(session.advisor_enabled());
+        assert_advice_matches_from_scratch(&mut session);
+
+        // Add a contained dataset, append foreign rows, drop a dataset —
+        // after every batch the incremental advice equals a fresh solve.
+        session.apply(add_update("extra", table(0..20))).unwrap();
+        assert_advice_matches_from_scratch(&mut session);
+
+        session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(60..90),
+            })
+            .unwrap();
+        assert_advice_matches_from_scratch(&mut session);
+
+        session
+            .apply(LakeUpdate::DropDataset { id: DatasetId(2) })
+            .unwrap();
+        assert_advice_matches_from_scratch(&mut session);
+
+        session.disable_advisor();
+        assert!(!session.advisor_enabled());
+    }
+
+    #[test]
+    fn advise_lazily_attaches_a_default_advisor() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        assert!(!session.advisor_enabled());
+        let solution = session.advise().unwrap();
+        assert!(session.advisor_enabled());
+        // Default knowledge policy is Required; with no lineage recorded the
+        // problem has no edges, so everything is retained.
+        assert_eq!(solution.deleted.len(), 0);
+        assert_eq!(solution.retained.len(), 2);
+        let problem = session.advisor_problem().unwrap();
+        assert_eq!(problem.edge_count(), 0);
+    }
+
+    #[test]
+    fn advisor_report_summarises_savings_and_resolves() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        session
+            .enable_advisor(CostModel::default(), advisor_config())
+            .unwrap();
+        let report = session.advisor_report().unwrap();
+        assert_eq!(
+            report.table7.deleted_nodes + report.table7.retained_nodes,
+            session.report().datasets
+        );
+        assert!(report.total_cost <= report.retain_all_cost + 1e-12);
+        assert_eq!(report.stats.components_reused, 0, "first pass solves all");
+
+        // A second report with no intervening update reuses every component.
+        let second = session.advisor_report().unwrap();
+        assert_eq!(second.solution, report.solution);
+        assert_eq!(second.stats.components_resolved, 0);
+        assert_eq!(
+            second.stats.components_reused,
+            second.stats.components_total
+        );
+    }
+
+    #[test]
+    fn metered_queries_refresh_access_profiles_and_trigger_readvice() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        session
+            .enable_advisor(CostModel::default(), advisor_config())
+            .unwrap();
+        session.advise().unwrap();
+
+        // Serve query traffic against `sub` through the metered entry point.
+        for _ in 0..5 {
+            session
+                .lake()
+                .query_dataset(DatasetId(1), &Predicate::True, Some(4))
+                .unwrap();
+        }
+        let changed = session.refresh_access_profiles().unwrap();
+        assert_eq!(changed, 1, "only the queried dataset's profile moved");
+        assert_eq!(
+            session
+                .lake()
+                .dataset(DatasetId(1))
+                .unwrap()
+                .access
+                .accesses_per_period,
+            5.0
+        );
+        // The advisor saw the drift and still matches a fresh solve over the
+        // updated profiles.
+        assert_advice_matches_from_scratch(&mut session);
+        // A window with no traffic cools the dataset back down to 0
+        // observed accesses (stale heat must not persist)...
+        assert_eq!(session.refresh_access_profiles().unwrap(), 1);
+        assert_eq!(
+            session
+                .lake()
+                .dataset(DatasetId(1))
+                .unwrap()
+                .access
+                .accesses_per_period,
+            0.0
+        );
+        assert_advice_matches_from_scratch(&mut session);
+        // ...after which further idle windows change nothing.
+        assert_eq!(session.refresh_access_profiles().unwrap(), 0);
     }
 }

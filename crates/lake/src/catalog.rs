@@ -15,7 +15,7 @@ use crate::meter::Meter;
 use crate::partition::PartitionedTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Opaque identifier of a dataset within a [`DataLake`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -93,6 +93,45 @@ impl DatasetEntry {
     }
 }
 
+/// Shared per-dataset access tally: how many customer-initiated accesses each
+/// dataset served since the log was last drained.
+///
+/// The lake [`Meter`] counts rows and bytes without attributing them to a
+/// dataset; the access log is its per-dataset companion for the `A_v` input
+/// of Eq. 3. Like the meter it is cheaply cloneable (an `Arc` of the
+/// counters) and shared by every clone of the lake, so metered query entry
+/// points ([`DataLake::query_dataset`]) can tally through a `&DataLake`.
+/// `r2d2_core::R2d2Session::refresh_access_profiles` drains it to refresh
+/// [`AccessProfile::accesses_per_period`] and trigger re-advice when the
+/// observed traffic drifts from the recorded profile.
+#[derive(Debug, Clone, Default)]
+pub struct AccessLog {
+    counts: Arc<Mutex<BTreeMap<u64, u64>>>,
+}
+
+impl AccessLog {
+    /// Create an empty access log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tally one access of `id`.
+    pub fn record(&self, id: DatasetId) {
+        let mut counts = self.counts.lock().expect("access log poisoned");
+        *counts.entry(id.0).or_insert(0) += 1;
+    }
+
+    /// Snapshot the per-dataset tallies without clearing them.
+    pub fn counts(&self) -> BTreeMap<u64, u64> {
+        self.counts.lock().expect("access log poisoned").clone()
+    }
+
+    /// Take the tallies, resetting the log (one observation window ends).
+    pub fn drain(&self) -> BTreeMap<u64, u64> {
+        std::mem::take(&mut *self.counts.lock().expect("access log poisoned"))
+    }
+}
+
 /// The data lake catalog: a set of datasets sharing one operation meter.
 #[derive(Debug, Clone, Default)]
 pub struct DataLake {
@@ -100,6 +139,7 @@ pub struct DataLake {
     by_name: BTreeMap<String, DatasetId>,
     next_id: u64,
     meter: Meter,
+    access_log: AccessLog,
 }
 
 impl DataLake {
@@ -111,6 +151,23 @@ impl DataLake {
     /// The shared operation meter.
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// The shared per-dataset access log.
+    pub fn access_log(&self) -> &AccessLog {
+        &self.access_log
+    }
+
+    /// Tally one customer-initiated access of `id` (no existence check — the
+    /// log is a statistic, not an index; unknown ids are simply ignored by
+    /// consumers).
+    pub fn record_access(&self, id: DatasetId) {
+        self.access_log.record(id);
+    }
+
+    /// Take the per-dataset access tallies accumulated since the last drain.
+    pub fn drain_access_counts(&self) -> BTreeMap<u64, u64> {
+        self.access_log.drain()
     }
 
     /// Register a dataset and return its id. Names must be unique.
@@ -322,6 +379,59 @@ mod tests {
         assert!(lake
             .set_access_profile(DatasetId(5), AccessProfile::default())
             .is_err());
+    }
+
+    #[test]
+    fn access_log_tallies_and_drains() {
+        let mut lake = DataLake::new();
+        let a = lake
+            .add_dataset("a", tiny_table(4), AccessProfile::default(), None)
+            .unwrap();
+        let b = lake
+            .add_dataset("b", tiny_table(4), AccessProfile::default(), None)
+            .unwrap();
+        lake.record_access(a);
+        lake.record_access(a);
+        lake.record_access(b);
+        // Clones share the log, like they share the meter.
+        lake.clone().record_access(a);
+        assert_eq!(
+            lake.access_log().counts(),
+            BTreeMap::from([(a.0, 3), (b.0, 1)])
+        );
+        let drained = lake.drain_access_counts();
+        assert_eq!(drained, BTreeMap::from([(a.0, 3), (b.0, 1)]));
+        assert!(
+            lake.access_log().counts().is_empty(),
+            "drain resets the log"
+        );
+    }
+
+    #[test]
+    fn query_dataset_meters_and_records_the_access() {
+        use crate::query::Predicate;
+
+        let mut lake = DataLake::new();
+        let id = lake
+            .add_dataset("a", tiny_table(10), AccessProfile::default(), None)
+            .unwrap();
+        let rows_before = lake.meter().snapshot().rows_scanned;
+        let result = lake.query_dataset(id, &Predicate::True, Some(3)).unwrap();
+        assert_eq!(result.num_rows(), 3);
+        assert!(lake.meter().snapshot().rows_scanned > rows_before);
+        assert_eq!(lake.access_log().counts(), BTreeMap::from([(id.0, 1)]));
+        assert!(lake
+            .query_dataset(DatasetId(99), &Predicate::True, None)
+            .is_err());
+        // Failed queries (unknown dataset or column) don't tally an access.
+        assert!(lake
+            .query_dataset(
+                id,
+                &Predicate::eq("nope", crate::value::Value::Int(1)),
+                None
+            )
+            .is_err());
+        assert_eq!(lake.access_log().counts(), BTreeMap::from([(id.0, 1)]));
     }
 
     #[test]

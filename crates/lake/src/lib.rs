@@ -60,7 +60,7 @@ pub mod update;
 pub mod value;
 
 pub use builder::TableBuilder;
-pub use catalog::{AccessProfile, DataLake, DatasetEntry, DatasetId, Lineage};
+pub use catalog::{AccessLog, AccessProfile, DataLake, DatasetEntry, DatasetId, Lineage};
 pub use column::Column;
 pub use datatype::DataType;
 pub use error::{LakeError, Result};

@@ -8,6 +8,7 @@
 //! partition pruning driven by the same min/max metadata that Min-Max Pruning
 //! uses, and with every row/byte/metadata access metered.
 
+use crate::catalog::{DataLake, DatasetId};
 use crate::error::{LakeError, Result};
 use crate::meter::Meter;
 use crate::partition::{PartitionMeta, PartitionedTable};
@@ -256,6 +257,29 @@ pub fn count_matching(
     meter: &Meter,
 ) -> Result<usize> {
     Ok(scan(table, predicate, None, meter)?.num_rows())
+}
+
+impl DataLake {
+    /// Customer-facing query entry point: [`scan`] a catalogued dataset with
+    /// the lake's shared meter, tallying the access on the lake's
+    /// [`AccessLog`](crate::catalog::AccessLog) so observed traffic can
+    /// later refresh the dataset's
+    /// [`AccessProfile`](crate::catalog::AccessProfile) (the `A_v` of
+    /// Eq. 3).
+    pub fn query_dataset(
+        &self,
+        id: DatasetId,
+        predicate: &Predicate,
+        limit: Option<usize>,
+    ) -> Result<Table> {
+        let entry = self.dataset(id)?;
+        let result = scan(&entry.data, predicate, limit, self.meter())?;
+        // Tally only queries that actually served data — a failed scan
+        // (unknown column, …) must not inflate the access estimates that
+        // feed the Eq. 3 cost model.
+        self.record_access(id);
+        Ok(result)
+    }
 }
 
 /// Uniformly sample `k` rows (without replacement) from a partitioned table.

@@ -16,13 +16,19 @@
 //! be retained. Backtracking over the chosen branches recovers the retained
 //! set.
 
-use crate::problem::OptRetProblem;
+use crate::problem::{AdjacencyIndex, OptRetProblem};
 use crate::solver::Solution;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Check that the problem's edge set forms a forest of directed chains and
 /// return the chains (each ordered root → leaf). Returns `None` when any
 /// node has more than one parent or more than one child.
+///
+/// An edge whose endpoint is absent from `problem.nodes` is a **malformed
+/// instance** (a caller bug — [`OptRetProblem::from_graph`] and `synthetic`
+/// can never produce one), not a legitimate "not a line forest" shape: debug
+/// builds panic on it via `debug_assert!`, release builds conservatively
+/// return `None` so the general solver handles the instance instead.
 pub fn extract_chains(problem: &OptRetProblem) -> Option<Vec<Vec<u64>>> {
     let mut out_deg: BTreeMap<u64, usize> = BTreeMap::new();
     let mut in_deg: BTreeMap<u64, usize> = BTreeMap::new();
@@ -32,8 +38,16 @@ pub fn extract_chains(problem: &OptRetProblem) -> Option<Vec<Vec<u64>>> {
         in_deg.insert(*id, 0);
     }
     for e in &problem.edges {
-        *out_deg.get_mut(&e.parent)? += 1;
-        *in_deg.get_mut(&e.child)? += 1;
+        let (Some(out), Some(inc)) = (out_deg.get_mut(&e.parent), in_deg.get_mut(&e.child)) else {
+            debug_assert!(
+                false,
+                "malformed OptRetProblem: edge {} → {} references a node absent from problem.nodes",
+                e.parent, e.child
+            );
+            return None;
+        };
+        *out += 1;
+        *inc += 1;
         next.insert(e.parent, e.child);
     }
     if out_deg.values().any(|&d| d > 1) || in_deg.values().any(|&d| d > 1) {
@@ -67,17 +81,23 @@ pub fn extract_chains(problem: &OptRetProblem) -> Option<Vec<Vec<u64>>> {
 }
 
 /// Solve one chain with the Dyn-Lin recursion, returning (cost, retained set).
-fn solve_chain(problem: &OptRetProblem, chain: &[u64]) -> (f64, BTreeSet<u64>, BTreeMap<u64, u64>) {
+fn solve_chain(
+    problem: &OptRetProblem,
+    index: &AdjacencyIndex,
+    chain: &[u64],
+) -> (f64, BTreeSet<u64>, BTreeMap<u64, u64>) {
     let n = chain.len();
     let retain_cost = |i: usize| problem.nodes[&chain[i]].retention_cost;
     let recon_cost = |i: usize| -> f64 {
-        // Cost of deleting chain[i], reconstructing from chain[i-1].
-        let edge = problem
-            .edges
-            .iter()
-            .find(|e| e.parent == chain[i - 1] && e.child == chain[i])
-            .expect("chain edge exists");
-        problem.nodes[&chain[i]].accesses * edge.cost
+        // Cost of deleting chain[i], reconstructing from chain[i-1]. In a
+        // chain every node has exactly one incoming edge, so the adjacency
+        // lookup replaces what used to be an O(E) edge-list scan per node.
+        let &(parent, cost) = index
+            .parents_of(chain[i])
+            .first()
+            .expect("chain node has exactly one parent");
+        debug_assert_eq!(parent, chain[i - 1]);
+        problem.nodes[&chain[i]].accesses * cost
     };
 
     if n == 0 {
@@ -136,11 +156,12 @@ fn solve_chain(problem: &OptRetProblem, chain: &[u64]) -> (f64, BTreeSet<u64>, B
 /// forest (use the general solver then).
 pub fn solve_line(problem: &OptRetProblem) -> Option<Solution> {
     let chains = extract_chains(problem)?;
+    let index = problem.adjacency();
     let mut retained = BTreeSet::new();
     let mut recon = BTreeMap::new();
     let mut total = 0.0;
     for chain in &chains {
-        let (cost, r, m) = solve_chain(problem, chain);
+        let (cost, r, m) = solve_chain(problem, &index, chain);
         total += cost;
         retained.extend(r);
         recon.extend(m);
@@ -237,6 +258,39 @@ mod tests {
         let graph = erdos_renyi_dag(8, 0.8, &mut rng);
         let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 30, |_| 1.0);
         assert!(solve_line(&p).is_none());
+    }
+
+    fn malformed_problem() -> OptRetProblem {
+        // Edge 0 → 7 references node 7, which is absent from `nodes`.
+        let mut p = line_problem(3, 0);
+        p.edges.push(crate::problem::ReconstructionEdge {
+            parent: 0,
+            child: 7,
+            cost: 1.0,
+        });
+        p
+    }
+
+    /// Malformed input (edge endpoint missing from `nodes`) is a caller bug:
+    /// debug builds panic via `debug_assert!` rather than silently treating
+    /// the instance as "not a line forest".
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "malformed OptRetProblem"))]
+    fn malformed_edges_are_a_debug_panic() {
+        // Debug builds panic inside extract_chains; release builds fall
+        // through to the documented conservative `None`.
+        assert!(extract_chains(&malformed_problem()).is_none());
+    }
+
+    /// The legitimate not-a-chain shapes (branching, cycles) keep returning
+    /// `None` without tripping the malformed-input assertion.
+    #[test]
+    fn branching_is_not_malformed() {
+        let mut graph = r2d2_graph::ContainmentGraph::new();
+        graph.add_edge(0, 1);
+        graph.add_edge(0, 2);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 30, |_| 1.0);
+        assert!(extract_chains(&p).is_none(), "a fork is not a line forest");
     }
 
     #[test]

@@ -23,11 +23,26 @@
 //!   and [`solver::solve`] which picks between them per connected component;
 //! * [`dynlin`] — the Dyn-Lin dynamic program (Theorem 5.1);
 //! * [`savings`] — GDPR row-scan savings (Table 7) and the 10 PB / 1-year
-//!   horizon projection of Fig. 5.
+//!   horizon projection of Fig. 5;
+//! * [`advisor`] — the **incremental** entry point: an
+//!   [`advisor::AdvisorState`] keeps the pruned problem in sync with graph
+//!   edge deltas and lake changes and re-solves only the dirtied components.
+//!
+//! ## Batch vs incremental
+//!
+//! One-shot analyses compose the batch pieces directly —
+//! [`preprocess::preprocess_for_safe_deletion`], then
+//! [`problem::OptRetProblem::from_graph`], then [`solver::solve`]. A
+//! long-lived service (`r2d2_core::R2d2Session`) instead owns an
+//! [`advisor::AdvisorState`] and feeds it every update's effect; both paths
+//! produce *identical* solutions because they share the same canonical
+//! problem layout and per-component solver dispatch
+//! ([`advisor::from_scratch`] is the pinned oracle).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod advisor;
 pub mod costmodel;
 pub mod dynlin;
 pub mod preprocess;
@@ -35,6 +50,7 @@ pub mod problem;
 pub mod savings;
 pub mod solver;
 
+pub use advisor::{AdvisorConfig, AdvisorReport, AdvisorState, DatasetChange};
 pub use costmodel::CostModel;
-pub use problem::{NodeCosts, OptRetProblem, ReconstructionEdge};
+pub use problem::{AdjacencyIndex, NodeCosts, OptRetProblem, ReconstructionEdge};
 pub use solver::{solve, solve_exact, solve_greedy, Solution};

@@ -11,7 +11,7 @@ use crate::costmodel::CostModel;
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::{DataLake, DatasetId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-node inputs of Eq. 3.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,6 +84,11 @@ impl OptRetProblem {
                 cost,
             });
         }
+        // Canonical (parent, child) order: solvers break cost ties by edge
+        // order, so a deterministic layout makes solutions independent of
+        // the graph's internal edge ordering (and lets the incremental
+        // advisor reproduce a from-scratch build bit-for-bit).
+        edges.sort_by_key(|e| (e.parent, e.child));
         Ok(OptRetProblem { nodes, edges })
     }
 
@@ -113,7 +118,7 @@ impl OptRetProblem {
                 },
             );
         }
-        let edges = graph
+        let mut edges: Vec<ReconstructionEdge> = graph
             .edges()
             .into_iter()
             .map(|(parent, child)| ReconstructionEdge {
@@ -122,6 +127,7 @@ impl OptRetProblem {
                 cost: model.reconstruction_cost(size_bytes(parent), size_bytes(child)),
             })
             .collect();
+        edges.sort_by_key(|e| (e.parent, e.child));
         OptRetProblem { nodes, edges }
     }
 
@@ -159,6 +165,82 @@ impl OptRetProblem {
                 .partial_cmp(&b.cost)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
+    }
+
+    /// Build an [`AdjacencyIndex`] over the current edge list.
+    ///
+    /// [`parents_of`](Self::parents_of) / [`children_of`](Self::children_of)
+    /// / [`cheapest_parent`](Self::cheapest_parent) are O(E) linear scans;
+    /// the solvers build this index once per (sub-)problem so their hot
+    /// loops touch only a node's actual neighbourhood.
+    pub fn adjacency(&self) -> AdjacencyIndex {
+        AdjacencyIndex::new(self)
+    }
+}
+
+/// Precomputed adjacency over an [`OptRetProblem`]'s edges.
+///
+/// Lists preserve the problem's edge order (ascending `(parent, child)` for
+/// instances built by [`OptRetProblem::from_graph`] / `synthetic`), so
+/// "first minimum" tie-breaks match the linear-scan accessors exactly.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyIndex {
+    parents: BTreeMap<u64, Vec<(u64, f64)>>,
+    children: BTreeMap<u64, Vec<(u64, f64)>>,
+    pairs: BTreeSet<(u64, u64)>,
+}
+
+impl AdjacencyIndex {
+    /// Index the edges of `problem`.
+    pub fn new(problem: &OptRetProblem) -> Self {
+        let mut index = AdjacencyIndex::default();
+        for e in &problem.edges {
+            index
+                .parents
+                .entry(e.child)
+                .or_default()
+                .push((e.parent, e.cost));
+            index
+                .children
+                .entry(e.parent)
+                .or_default()
+                .push((e.child, e.cost));
+            index.pairs.insert((e.parent, e.child));
+        }
+        index
+    }
+
+    /// Reconstruction options of `child` as `(parent, cost)`, in edge order.
+    pub fn parents_of(&self, child: u64) -> &[(u64, f64)] {
+        self.parents.get(&child).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Outgoing edges of `parent` as `(child, cost)`, in edge order.
+    pub fn children_of(&self, parent: u64) -> &[(u64, f64)] {
+        self.children.get(&parent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `child` has any reconstruction option.
+    pub fn has_parents(&self, child: u64) -> bool {
+        !self.parents_of(child).is_empty()
+    }
+
+    /// The cheapest `(parent, cost)` option of `child` (first minimum in
+    /// edge order, matching [`OptRetProblem::cheapest_parent`]).
+    pub fn cheapest_parent(&self, child: u64) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for &(p, c) in self.parents_of(child) {
+            match best {
+                Some((_, bc)) if bc <= c => {}
+                _ => best = Some((p, c)),
+            }
+        }
+        best
+    }
+
+    /// Whether the edge `parent → child` exists.
+    pub fn has_edge(&self, parent: u64, child: u64) -> bool {
+        self.pairs.contains(&(parent, child))
     }
 }
 
@@ -243,5 +325,59 @@ mod tests {
         assert_eq!(p.node_count(), 4);
         assert_eq!(p.edge_count(), 3);
         assert_eq!(p.nodes[&2].accesses, 2.0);
+    }
+
+    #[test]
+    fn edges_are_canonically_ordered() {
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(3, 1);
+        graph.add_edge(0, 2);
+        graph.add_edge(0, 1);
+        let p = OptRetProblem::synthetic(&graph, &CostModel::default(), |_| 1 << 28, |_| 1.0);
+        let pairs: Vec<(u64, u64)> = p.edges.iter().map(|e| (e.parent, e.child)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn adjacency_index_matches_linear_scans() {
+        use r2d2_graph::random::erdos_renyi_dag;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let mut rng = SmallRng::seed_from_u64(12);
+        for n in [5usize, 12, 20] {
+            let graph = erdos_renyi_dag(n, 0.3, &mut rng);
+            let p = OptRetProblem::synthetic(
+                &graph,
+                &CostModel::default(),
+                |d| ((d % 5) + 1) << 27,
+                |d| (d % 4) as f64,
+            );
+            let index = p.adjacency();
+            for &id in p.nodes.keys() {
+                let scan_parents: Vec<(u64, f64)> = p
+                    .parents_of(id)
+                    .into_iter()
+                    .map(|e| (e.parent, e.cost))
+                    .collect();
+                let scan_children: Vec<(u64, f64)> = p
+                    .children_of(id)
+                    .into_iter()
+                    .map(|e| (e.child, e.cost))
+                    .collect();
+                assert_eq!(index.parents_of(id), scan_parents.as_slice());
+                assert_eq!(index.children_of(id), scan_children.as_slice());
+                assert_eq!(
+                    index.cheapest_parent(id),
+                    p.cheapest_parent(id).map(|e| (e.parent, e.cost)),
+                    "cheapest-parent tie-breaks must match the linear scan"
+                );
+                assert_eq!(index.has_parents(id), !scan_parents.is_empty());
+            }
+            for e in &p.edges {
+                assert!(index.has_edge(e.parent, e.child));
+            }
+            assert!(!index.has_edge(u64::MAX, 0));
+        }
     }
 }

@@ -21,7 +21,7 @@
 //! [`solve`] picks per component: exact when the component is small enough,
 //! greedy otherwise.
 
-use crate::problem::OptRetProblem;
+use crate::problem::{AdjacencyIndex, OptRetProblem};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -74,6 +74,12 @@ impl Solution {
     /// deleted partition the nodes, every deleted node has a retained
     /// reconstruction parent connected by a real edge.
     pub fn is_feasible(&self, problem: &OptRetProblem) -> bool {
+        self.is_feasible_indexed(problem, &problem.adjacency())
+    }
+
+    /// [`Solution::is_feasible`] against a prebuilt adjacency index (one
+    /// O(E) index build instead of one O(E) edge scan per deleted node).
+    pub fn is_feasible_indexed(&self, problem: &OptRetProblem, index: &AdjacencyIndex) -> bool {
         let all: BTreeSet<u64> = problem.nodes.keys().copied().collect();
         let union: BTreeSet<u64> = self.retained.union(&self.deleted).copied().collect();
         if union != all || !self.retained.is_disjoint(&self.deleted) {
@@ -83,14 +89,7 @@ impl Solution {
             match self.reconstruction_parent.get(d) {
                 None => return false,
                 Some(p) => {
-                    if !self.retained.contains(p) {
-                        return false;
-                    }
-                    if !problem
-                        .edges
-                        .iter()
-                        .any(|e| e.parent == *p && e.child == *d)
-                    {
+                    if !self.retained.contains(p) || !index.has_edge(*p, *d) {
                         return false;
                     }
                 }
@@ -102,9 +101,11 @@ impl Solution {
 
 /// Evaluate a retained-set choice: returns `None` if some deleted node has no
 /// retained parent, otherwise the total cost and the chosen reconstruction
-/// parents.
+/// parents. Ties between equally cheap retained parents resolve to the first
+/// one in edge order, matching the linear-scan `min_by` this replaced.
 fn evaluate(
     problem: &OptRetProblem,
+    index: &AdjacencyIndex,
     retained: &BTreeSet<u64>,
 ) -> Option<(f64, BTreeMap<u64, u64>)> {
     let mut cost = 0.0;
@@ -113,25 +114,31 @@ fn evaluate(
         if retained.contains(id) {
             cost += node.retention_cost;
         } else {
-            let best = problem
-                .parents_of(*id)
-                .into_iter()
-                .filter(|e| retained.contains(&e.parent))
-                .min_by(|a, b| {
-                    a.cost
-                        .partial_cmp(&b.cost)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })?;
-            cost += node.accesses * best.cost;
-            recon.insert(*id, best.parent);
+            let mut best: Option<(u64, f64)> = None;
+            for &(p, c) in index.parents_of(*id) {
+                if !retained.contains(&p) {
+                    continue;
+                }
+                match best {
+                    Some((_, bc)) if bc <= c => {}
+                    _ => best = Some((p, c)),
+                }
+            }
+            let (parent, edge_cost) = best?;
+            cost += node.accesses * edge_cost;
+            recon.insert(*id, parent);
         }
     }
     Some((cost, recon))
 }
 
 /// Build a solution from a retained set, if feasible.
-fn solution_from_retained(problem: &OptRetProblem, retained: BTreeSet<u64>) -> Option<Solution> {
-    let (total_cost, reconstruction_parent) = evaluate(problem, &retained)?;
+fn solution_from_retained(
+    problem: &OptRetProblem,
+    index: &AdjacencyIndex,
+    retained: BTreeSet<u64>,
+) -> Option<Solution> {
+    let (total_cost, reconstruction_parent) = evaluate(problem, index, &retained)?;
     let deleted = problem
         .nodes
         .keys()
@@ -147,8 +154,10 @@ fn solution_from_retained(problem: &OptRetProblem, retained: BTreeSet<u64>) -> O
 }
 
 /// Weakly connected components of the problem graph (isolated nodes form
-/// singleton components).
-fn components(problem: &OptRetProblem) -> Vec<Vec<u64>> {
+/// singleton components). Each component's node list is sorted; components
+/// are ordered by their smallest node id. Shared with the incremental
+/// advisor so both paths enumerate (and hence merge) components identically.
+pub(crate) fn components(problem: &OptRetProblem) -> Vec<Vec<u64>> {
     let ids: Vec<u64> = problem.nodes.keys().copied().collect();
     let mut comp: BTreeMap<u64, usize> = BTreeMap::new();
     let mut adjacency: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
@@ -180,8 +189,9 @@ fn components(problem: &OptRetProblem) -> Vec<Vec<u64>> {
     out
 }
 
-/// Restrict a problem to a subset of nodes (edges with both endpoints inside).
-fn sub_problem(problem: &OptRetProblem, nodes: &[u64]) -> OptRetProblem {
+/// Restrict a problem to a subset of nodes (edges with both endpoints
+/// inside, original edge order preserved).
+pub(crate) fn sub_problem(problem: &OptRetProblem, nodes: &[u64]) -> OptRetProblem {
     let set: BTreeSet<u64> = nodes.iter().copied().collect();
     OptRetProblem {
         nodes: problem
@@ -200,29 +210,44 @@ fn sub_problem(problem: &OptRetProblem, nodes: &[u64]) -> OptRetProblem {
 }
 
 /// Exact branch & bound over one (sub-)problem.
+///
+/// All neighbourhood lookups go through a prebuilt [`AdjacencyIndex`]:
+/// the previous implementation called the O(E) `parents_of` /
+/// `cheapest_parent` scans inside the bound loop of every DFS node,
+/// making the search accidentally quadratic in the edge count.
 fn branch_and_bound(problem: &OptRetProblem) -> Solution {
+    let index = problem.adjacency();
     let ids: Vec<u64> = problem.nodes.keys().copied().collect();
-    // Optimistic per-node lower bound: the cheaper of retaining and
-    // reconstructing from the cheapest parent (regardless of its status).
-    let optimistic: BTreeMap<u64, f64> = ids
+    // Optimistic per-node reconstruction cost (cheapest parent regardless of
+    // its status; infinite for roots) and lower bound (the cheaper of
+    // retaining and that optimistic reconstruction). Both are fixed for the
+    // whole search, so they are computed once instead of per DFS node.
+    let opt_recon: BTreeMap<u64, f64> = ids
         .iter()
         .map(|&id| {
             let node = &problem.nodes[&id];
-            let best_parent = problem
+            let best_parent = index
                 .cheapest_parent(id)
-                .map(|e| node.accesses * e.cost)
+                .map(|(_, c)| node.accesses * c)
                 .unwrap_or(f64::INFINITY);
-            (id, node.retention_cost.min(best_parent))
+            (id, best_parent)
         })
+        .collect();
+    let optimistic: BTreeMap<u64, f64> = ids
+        .iter()
+        .map(|&id| (id, problem.nodes[&id].retention_cost.min(opt_recon[&id])))
         .collect();
 
     let mut best = Solution::retain_all(problem);
 
     // DFS over assignments. `retained`/`deleted` hold the partial assignment
     // for ids[0..depth].
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         problem: &OptRetProblem,
+        index: &AdjacencyIndex,
         ids: &[u64],
+        opt_recon: &BTreeMap<u64, f64>,
         optimistic: &BTreeMap<u64, f64>,
         depth: usize,
         retained: &mut BTreeSet<u64>,
@@ -237,12 +262,7 @@ fn branch_and_bound(problem: &OptRetProblem) -> Solution {
             bound += problem.nodes[id].retention_cost;
         }
         for id in deleted.iter() {
-            let node = &problem.nodes[id];
-            let opt_recon = problem
-                .cheapest_parent(*id)
-                .map(|e| node.accesses * e.cost)
-                .unwrap_or(f64::INFINITY);
-            bound += opt_recon;
+            bound += opt_recon[id];
         }
         for id in &ids[depth..] {
             bound += optimistic[id];
@@ -252,7 +272,7 @@ fn branch_and_bound(problem: &OptRetProblem) -> Solution {
         }
 
         if depth == ids.len() {
-            if let Some(sol) = solution_from_retained(problem, retained.clone()) {
+            if let Some(sol) = solution_from_retained(problem, index, retained.clone()) {
                 if sol.total_cost < best.total_cost {
                     *best = sol;
                 }
@@ -263,13 +283,33 @@ fn branch_and_bound(problem: &OptRetProblem) -> Solution {
         let id = ids[depth];
         // Branch 1: retain.
         retained.insert(id);
-        dfs(problem, ids, optimistic, depth + 1, retained, deleted, best);
+        dfs(
+            problem,
+            index,
+            ids,
+            opt_recon,
+            optimistic,
+            depth + 1,
+            retained,
+            deleted,
+            best,
+        );
         retained.remove(&id);
 
         // Branch 2: delete — only worth trying if the node has any parent.
-        if !problem.parents_of(id).is_empty() {
+        if index.has_parents(id) {
             deleted.insert(id);
-            dfs(problem, ids, optimistic, depth + 1, retained, deleted, best);
+            dfs(
+                problem,
+                index,
+                ids,
+                opt_recon,
+                optimistic,
+                depth + 1,
+                retained,
+                deleted,
+                best,
+            );
             deleted.remove(&id);
         }
     }
@@ -278,7 +318,9 @@ fn branch_and_bound(problem: &OptRetProblem) -> Solution {
     let mut deleted = BTreeSet::new();
     dfs(
         problem,
+        &index,
         &ids,
+        &opt_recon,
         &optimistic,
         0,
         &mut retained,
@@ -320,61 +362,106 @@ pub fn solve_exact(problem: &OptRetProblem) -> Solution {
 /// Greedy heuristic: repeatedly delete the dataset with the largest positive
 /// saving while preserving feasibility.
 ///
-/// Implementation note: adjacency lists and per-node "retained parent"
-/// counters are maintained incrementally, so one deletion step costs O(E) in
-/// the worst case and the whole heuristic O(V·E) — this is what keeps the
-/// Fig. 6 sweeps (thousands of nodes, tens of thousands of edges) fast.
+/// The saving of deleting a retained `v` is the **exact** change of the
+/// objective:
+///
+/// ```text
+/// saving(v) = retention_v − A_v·cheapest_retained_parent(v)
+///           − Σ_{deleted c: v is c's cheapest retained parent}
+///                 A_c·(next_cheapest_retained_parent(c) − current(c))
+/// ```
+///
+/// The third term is what an earlier version dropped: already-deleted
+/// children reconstructing *via* `v` get bumped to a strictly more expensive
+/// retained parent when `v` goes, so ignoring it let the heuristic take
+/// net-cost-increasing steps and end worse than retaining everything (see
+/// `greedy_regression_old_saving_loses_money`). Because every accepted step
+/// now has a provably positive exact saving, the greedy result is always
+/// ≤ the retain-all baseline.
+///
+/// Implementation note: each round recomputes, in one O(V+E) sweep over the
+/// adjacency index, every node's cheapest retained parent and its cheapest
+/// retained parent *excluding that one*; at most V rounds keeps the whole
+/// heuristic O(V·(V+E)) ⊆ O(V·E) for the connected instances of the Fig. 6
+/// sweeps.
 pub fn solve_greedy(problem: &OptRetProblem) -> Solution {
+    let index = problem.adjacency();
     let mut retained: BTreeSet<u64> = problem.nodes.keys().copied().collect();
     let mut deleted: BTreeSet<u64> = BTreeSet::new();
 
-    // child → [(parent, cost)] and parent → [children] adjacency.
-    let mut parents: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
-    let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-    for e in &problem.edges {
-        if e.parent == e.child {
-            continue;
-        }
-        parents.entry(e.child).or_default().push((e.parent, e.cost));
-        children.entry(e.parent).or_default().push(e.child);
+    // Per-node support summary for the current retained set.
+    #[derive(Clone, Copy)]
+    struct Support {
+        /// Cheapest retained parent (first minimum in edge order) and cost.
+        best: Option<(u64, f64)>,
+        /// Cheapest retained parent cost among parents ≠ `best.0`.
+        runner_up: f64,
     }
-    // Number of *retained* parents per node (all parents are retained at start).
-    let mut retained_parent_count: BTreeMap<u64, usize> = problem
-        .nodes
-        .keys()
-        .map(|&v| (v, parents.get(&v).map(Vec::len).unwrap_or(0)))
-        .collect();
 
     loop {
-        // For each retained candidate, compute the saving of deleting it now.
+        // Sweep 1: support summary of every node under the current
+        // assignment. `runner_up` excludes the best *parent* (not just the
+        // best edge), so it is exactly what a deleted child would pay if
+        // that parent disappeared.
+        let mut support: BTreeMap<u64, Support> = BTreeMap::new();
+        for &v in problem.nodes.keys() {
+            let mut best: Option<(u64, f64)> = None;
+            for &(p, c) in index.parents_of(v) {
+                if p == v || !retained.contains(&p) {
+                    continue;
+                }
+                match best {
+                    Some((_, bc)) if bc <= c => {}
+                    _ => best = Some((p, c)),
+                }
+            }
+            let mut runner_up = f64::INFINITY;
+            if let Some((bp, _)) = best {
+                for &(p, c) in index.parents_of(v) {
+                    if p == v || p == bp || !retained.contains(&p) {
+                        continue;
+                    }
+                    runner_up = runner_up.min(c);
+                }
+            }
+            support.insert(v, Support { best, runner_up });
+        }
+
+        // Sweep 2: the exact saving of deleting each retained candidate.
         let mut best_choice: Option<(u64, f64)> = None;
-        for &v in &retained {
+        'candidates: for &v in &retained {
             let node = &problem.nodes[&v];
             // v needs at least one retained parent to be deletable.
-            let best_parent_cost = parents
-                .get(&v)
-                .map(|ps| {
-                    ps.iter()
-                        .filter(|(p, _)| retained.contains(p))
-                        .map(|(_, c)| *c)
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .unwrap_or(f64::INFINITY);
-            if !best_parent_cost.is_finite() {
+            let Some((_, best_parent_cost)) = support[&v].best else {
                 continue;
+            };
+            let mut saving = node.retention_cost - node.accesses * best_parent_cost;
+            // Charge the children already deleted that reconstruct via v.
+            // Parallel edges to one child must charge once — tracked with a
+            // set because edge order is only sorted for instances built by
+            // `from_graph`/`synthetic` (the pub fields allow any order).
+            let mut charged: BTreeSet<u64> = BTreeSet::new();
+            for &(c, _) in index.children_of(v) {
+                if c == v || !charged.insert(c) {
+                    continue;
+                }
+                if !deleted.contains(&c) {
+                    continue;
+                }
+                let sup = support[&c];
+                match sup.best {
+                    Some((bp, bc)) if bp == v => {
+                        if !sup.runner_up.is_finite() {
+                            // v is c's sole retained parent: not deletable.
+                            continue 'candidates;
+                        }
+                        saving -= problem.nodes[&c].accesses * (sup.runner_up - bc);
+                    }
+                    // c reconstructs through a different retained parent at
+                    // the same-or-cheaper cost; deleting v changes nothing.
+                    _ => {}
+                }
             }
-            // v must not be the sole retained parent of an already-deleted node.
-            let is_sole_support = children
-                .get(&v)
-                .map(|cs| {
-                    cs.iter()
-                        .any(|c| deleted.contains(c) && retained_parent_count[c] == 1)
-                })
-                .unwrap_or(false);
-            if is_sole_support {
-                continue;
-            }
-            let saving = node.retention_cost - node.accesses * best_parent_cost;
             if saving > 1e-12 {
                 match best_choice {
                     Some((_, s)) if s >= saving => {}
@@ -386,27 +473,42 @@ pub fn solve_greedy(problem: &OptRetProblem) -> Solution {
             Some((v, _)) => {
                 retained.remove(&v);
                 deleted.insert(v);
-                if let Some(cs) = children.get(&v) {
-                    for c in cs {
-                        if let Some(count) = retained_parent_count.get_mut(c) {
-                            *count = count.saturating_sub(1);
-                        }
-                    }
-                }
             }
             None => break,
         }
     }
 
-    solution_from_retained(problem, retained).expect("greedy maintains feasibility by construction")
+    solution_from_retained(problem, &index, retained)
+        .expect("greedy maintains feasibility by construction")
 }
 
 /// Default component-size threshold below which [`solve`] uses the exact
 /// branch & bound.
 pub const EXACT_COMPONENT_LIMIT: usize = 22;
 
-/// Solve the instance: exact branch & bound on components of at most
-/// `EXACT_COMPONENT_LIMIT` nodes, greedy on larger components.
+/// Solve one connected (sub-)problem with the per-component dispatch used by
+/// [`solve_with_limit`] and the incremental advisor: the Dyn-Lin dynamic
+/// program when the component is a directed chain (exact in O(N)), exact
+/// branch & bound up to `exact_limit` nodes, the greedy heuristic above.
+///
+/// The incremental [`crate::advisor::AdvisorState`] calls this on exactly
+/// the components a delta dirtied; routing both the batch and the
+/// incremental path through one dispatch is what makes their solutions
+/// bit-identical.
+pub(crate) fn solve_component(sub: &OptRetProblem, exact_limit: usize) -> Solution {
+    if let Some(sol) = crate::dynlin::solve_line(sub) {
+        return sol;
+    }
+    if sub.node_count() <= exact_limit {
+        branch_and_bound(sub)
+    } else {
+        solve_greedy(sub)
+    }
+}
+
+/// Solve the instance: per weakly connected component, Dyn-Lin on chains,
+/// exact branch & bound on components of at most `EXACT_COMPONENT_LIMIT`
+/// nodes, greedy on larger components.
 pub fn solve(problem: &OptRetProblem) -> Solution {
     solve_with_limit(problem, EXACT_COMPONENT_LIMIT)
 }
@@ -415,14 +517,7 @@ pub fn solve(problem: &OptRetProblem) -> Solution {
 pub fn solve_with_limit(problem: &OptRetProblem, exact_limit: usize) -> Solution {
     let parts = components(problem)
         .iter()
-        .map(|nodes| {
-            let sub = sub_problem(problem, nodes);
-            if nodes.len() <= exact_limit {
-                branch_and_bound(&sub)
-            } else {
-                solve_greedy(&sub)
-            }
-        })
+        .map(|nodes| solve_component(&sub_problem(problem, nodes), exact_limit))
         .collect();
     merge(parts)
 }
@@ -557,8 +652,124 @@ mod tests {
                     greedy.total_cost
                 );
                 assert!(exact.total_cost <= prob.retain_all_cost() + 1e-9);
+                assert!(
+                    greedy.total_cost <= prob.retain_all_cost() + 1e-9,
+                    "greedy ({}) must never lose money vs retain-all ({})",
+                    greedy.total_cost,
+                    prob.retain_all_cost()
+                );
             }
         }
+    }
+
+    /// Regression instance for the greedy saving formula. Layout:
+    ///
+    /// ```text
+    ///   R(0) ──0.5──> v(1)
+    ///   R(0) ──10──>  c(2)
+    ///   v(1) ──0.1──> c(2)
+    /// ```
+    ///
+    /// The profitable first move deletes `c` (saving 5 − 0.1 = 4.9 via `v`).
+    /// The *old* saving formula then valued deleting `v` at
+    /// `retention − A_v·0.5 = +0.5`, ignoring that `c` — already deleted and
+    /// reconstructing via `v` — gets bumped from the 0.1 edge to the 10 edge.
+    /// The true delta is `0.5 − 1·(10 − 0.1) = −9.4`: the old greedy ended at
+    /// cost 110.5, *above* the retain-all baseline of 106.
+    fn regression_problem() -> OptRetProblem {
+        let mut nodes = BTreeMap::new();
+        let mk = |dataset: u64, retention_cost: f64, accesses: f64| NodeCosts {
+            dataset,
+            size_bytes: 1 << 20,
+            retention_cost,
+            accesses,
+        };
+        nodes.insert(0, mk(0, 100.0, 1.0));
+        nodes.insert(1, mk(1, 1.0, 1.0));
+        nodes.insert(2, mk(2, 5.0, 1.0));
+        let edges = vec![
+            ReconstructionEdge {
+                parent: 0,
+                child: 1,
+                cost: 0.5,
+            },
+            ReconstructionEdge {
+                parent: 0,
+                child: 2,
+                cost: 10.0,
+            },
+            ReconstructionEdge {
+                parent: 1,
+                child: 2,
+                cost: 0.1,
+            },
+        ];
+        OptRetProblem { nodes, edges }
+    }
+
+    #[test]
+    fn greedy_regression_old_saving_loses_money() {
+        let p = regression_problem();
+        let retain_all = p.retain_all_cost();
+        assert!((retain_all - 106.0).abs() < 1e-9);
+
+        // The end state of the old greedy (delete c, then delete v because
+        // the per-node saving formula said +0.5) really is worse than doing
+        // nothing — this is the money-losing outcome the fix prevents.
+        let old_end =
+            solution_from_retained(&p, &p.adjacency(), BTreeSet::from([0])).expect("feasible");
+        assert!((old_end.total_cost - 110.5).abs() < 1e-9);
+        assert!(
+            old_end.total_cost > retain_all,
+            "the crafted instance must make the old move sequence lose money"
+        );
+
+        // The fixed greedy charges the true delta, stops after deleting c,
+        // and stays below retain-all.
+        let greedy = solve_greedy(&p);
+        assert!(greedy.is_feasible(&p));
+        assert_eq!(greedy.deleted, BTreeSet::from([2]));
+        assert!((greedy.total_cost - 101.1).abs() < 1e-9);
+        assert!(greedy.total_cost <= retain_all + 1e-9);
+
+        // And it matches the exact optimum here.
+        let exact = solve_exact(&p);
+        assert!((greedy.total_cost - exact.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_respects_sole_support_of_deleted_children() {
+        // v is the ONLY parent of c. After c is deleted, v must never be
+        // deleted even though its own saving looks positive.
+        let mut nodes = BTreeMap::new();
+        let mk = |dataset: u64, retention_cost: f64, accesses: f64| NodeCosts {
+            dataset,
+            size_bytes: 1 << 20,
+            retention_cost,
+            accesses,
+        };
+        nodes.insert(0, mk(0, 100.0, 1.0));
+        nodes.insert(1, mk(1, 2.0, 1.0));
+        nodes.insert(2, mk(2, 5.0, 1.0));
+        let edges = vec![
+            ReconstructionEdge {
+                parent: 0,
+                child: 1,
+                cost: 0.5,
+            },
+            ReconstructionEdge {
+                parent: 1,
+                child: 2,
+                cost: 0.1,
+            },
+        ];
+        let p = OptRetProblem { nodes, edges };
+        let greedy = solve_greedy(&p);
+        assert!(greedy.is_feasible(&p));
+        assert!(
+            !(greedy.deleted.contains(&1) && greedy.deleted.contains(&2)),
+            "deleting both v and its dependent child is infeasible"
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Cost optimization scenario: take a corpus with known lineage, run the
-//! full R2D2 pipeline, pre-process the containment graph for safe deletion
-//! (§5.1), solve Opt-Ret (Eq. 3), and report the Table-7-style summary plus
-//! the Figure-5-style projection of what those savings look like for a large
-//! lake over a year. Also demonstrates the Dyn-Lin fast path on a chain of
-//! derived datasets.
+//! Cost optimization scenario: bootstrap a long-lived [`R2d2Session`] over a
+//! corpus with known lineage, attach the live storage advisor (incremental
+//! Opt-Ret, Eq. 3), report the Table-7-style summary, and show the advice
+//! staying current — re-solving only the dirtied components — as the lake
+//! changes. Closes with the Dyn-Lin fast path on a chain of derived datasets
+//! and the Figure-5-style projection of the savings for a large lake over a
+//! year.
 //!
 //! Run with:
 //!
@@ -11,43 +12,50 @@
 //! cargo run --release --example cost_optimization
 //! ```
 
-use r2d2_core::R2d2Pipeline;
+use r2d2_core::{AdvisorConfig, LakeUpdate, R2d2Session};
 use r2d2_graph::random::line_graph;
+use r2d2_lake::DatasetId;
 use r2d2_opt::costmodel::CostModel;
 use r2d2_opt::dynlin::solve_line;
-use r2d2_opt::preprocess::{preprocess_for_safe_deletion, TransformKnowledge};
-use r2d2_opt::savings::{figure5_series, table7_row};
-use r2d2_opt::{solve, solve_exact, OptRetProblem};
+use r2d2_opt::savings::figure5_series;
+use r2d2_opt::{solve_exact, OptRetProblem};
 use r2d2_synth::corpus::{generate, CorpusSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- Part 1: Opt-Ret on a generated corpus (Table 7 style) ---------
+    // --- Part 1: the live storage advisor on a generated corpus ---------
+    // Bootstrap the session (SGB → MMP → CLP once), then keep an Opt-Ret
+    // solution current instead of re-running `preprocess + solve` by hand.
     let corpus = generate(&CorpusSpec::enterprise_like(0, 256))?;
-    let report = R2d2Pipeline::with_defaults().run(&corpus.lake)?;
-    let mut graph = report.after_clp;
     let model = CostModel::default();
-    let stats = preprocess_for_safe_deletion(
-        &mut graph,
-        &corpus.lake,
-        &model,
-        TransformKnowledge::Required,
-    )?;
+    let mut session = R2d2Session::with_defaults(corpus.lake)?;
+    session.enable_advisor(model, AdvisorConfig::default())?;
+
+    let report = session.advisor_report()?;
     println!(
-        "safe-deletion preprocessing: {} edges kept, {} dropped (no transform), {} dropped (latency)",
-        stats.kept, stats.pruned_unknown_transform, stats.pruned_latency
+        "Opt-Ret advisor: delete {} datasets / retain {} — {:.0} row scans saved per month, cost {:.4} vs {:.4} USD/period",
+        report.table7.deleted_nodes,
+        report.table7.retained_nodes,
+        report.table7.gdpr_row_scans_saved_per_month,
+        report.total_cost,
+        report.retain_all_cost
     );
 
-    let problem = OptRetProblem::from_graph(&graph, &corpus.lake, &model)?;
-    let solution = solve(&problem);
-    let row = table7_row(&solution, &problem, &corpus.lake, 1.0)?;
-    println!(
-        "Opt-Ret: delete {} datasets / retain {} — {:.0} row scans saved per month, cost {:.4} vs {:.4} USD/period",
-        row.deleted_nodes,
-        row.retained_nodes,
-        row.gdpr_row_scans_saved_per_month,
-        solution.total_cost,
-        problem.retain_all_cost()
-    );
+    // The advice stays current as the lake changes: drop one recommended
+    // deletion and the next advise() re-solves only the dirtied components.
+    if let Some(&victim) = report.solution.deleted.iter().next() {
+        session.apply(LakeUpdate::DropDataset {
+            id: DatasetId(victim),
+        })?;
+        let refreshed = session.advisor_report()?;
+        println!(
+            "after dropping ds{victim}: delete {} / retain {} (re-solved {} of {} components, reused {})",
+            refreshed.table7.deleted_nodes,
+            refreshed.table7.retained_nodes,
+            refreshed.stats.components_resolved,
+            refreshed.stats.components_total,
+            refreshed.stats.components_reused
+        );
+    }
 
     // --- Part 2: the Dyn-Lin fast path on a line graph ------------------
     let chain = line_graph(12);

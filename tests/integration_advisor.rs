@@ -1,0 +1,270 @@
+//! Integration tests of the live storage advisor: after ANY sequence of
+//! [`LakeUpdate`]s applied through [`R2d2Session`], the incrementally
+//! maintained Opt-Ret solution must be **identical** — same retained and
+//! deleted sets, same reconstruction parents, same total cost — to a
+//! from-scratch §5.1 preprocess + solve over the mutated lake
+//! ([`r2d2_opt::advisor::from_scratch`] over a fresh batch pipeline run),
+//! at any thread count. Mirrors the graph-equivalence oracle of
+//! `tests/integration_dynamic.rs` one layer up the stack.
+
+use r2d2_core::{AdvisorConfig, PipelineConfig, R2d2Pipeline, R2d2Session};
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, DatasetId, LakeUpdate, Lineage, PartitionSpec,
+    PartitionedTable, Predicate, Schema, Table, Value,
+};
+use r2d2_opt::advisor::from_scratch;
+use r2d2_opt::preprocess::TransformKnowledge;
+use r2d2_opt::{CostModel, Solution};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig::default().with_seed(7).with_threads(threads)
+}
+
+fn advisor_config() -> AdvisorConfig {
+    // AssumeKnown admits every containment edge as a reconstruction option,
+    // so the random lakes below yield non-trivial Opt-Ret instances.
+    AdvisorConfig::default().with_knowledge(TransformKnowledge::AssumeKnown)
+}
+
+/// Shared schema; every column is a function of the id so id-range subsets
+/// are true row-tuple subsets.
+fn table(ids: std::ops::Range<i64>) -> Table {
+    let schema = Schema::flat(&[("id", DataType::Int), ("v", DataType::Float)]).unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids.clone()),
+            Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+        ],
+    )
+    .unwrap()
+}
+
+fn part(t: Table) -> PartitionedTable {
+    PartitionedTable::from_table(
+        t,
+        PartitionSpec::ByRowCount {
+            rows_per_partition: 16,
+        },
+    )
+    .unwrap()
+}
+
+/// Deterministic starting lake (ids 0..4): one root, one subset, one
+/// disjoint table, one overlapping slice — with a non-zero access profile so
+/// reconstruction costs matter.
+fn base_lake() -> DataLake {
+    let access = AccessProfile {
+        accesses_per_period: 0.5,
+        maintenance_per_period: 4.0,
+    };
+    let mut lake = DataLake::new();
+    let add = |lake: &mut DataLake, name: &str, t: Table| {
+        lake.add_dataset(name, part(t), access, None).unwrap()
+    };
+    add(&mut lake, "root", table(0..60));
+    add(&mut lake, "mid", table(10..40));
+    add(&mut lake, "other", table(100..140));
+    add(&mut lake, "slice", table(30..80));
+    lake
+}
+
+/// Random but replayable update sequence over the base lake (same id
+/// tracking as `tests/integration_dynamic.rs`, plus occasional lineage on
+/// added datasets so the `Required` knowledge policy also sees edges).
+fn gen_updates(seed: u64, count: usize) -> Vec<LakeUpdate> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x517C_C1B7).wrapping_add(count as u64));
+    let mut live: Vec<u64> = vec![0, 1, 2, 3];
+    let mut next_id = 4u64;
+    let mut updates = Vec::with_capacity(count);
+    for k in 0..count {
+        let choice = if live.is_empty() {
+            0
+        } else {
+            rng.gen_range(0u8..10)
+        };
+        match choice {
+            0..=2 => {
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(1i64..40);
+                let lineage = if rng.gen_range(0u8..2) == 0 && !live.is_empty() {
+                    Some(Lineage {
+                        parent: DatasetId(live[rng.gen_range(0..live.len())]),
+                        transform: format!("WHERE id BETWEEN {start} AND {}", start + len),
+                    })
+                } else {
+                    None
+                };
+                updates.push(LakeUpdate::AddDataset {
+                    name: format!("adv_{seed}_{k}"),
+                    data: part(table(start..start + len)),
+                    access: AccessProfile {
+                        accesses_per_period: rng.gen_range(0.0..3.0),
+                        maintenance_per_period: 4.0,
+                    },
+                    lineage,
+                });
+                live.push(next_id);
+                next_id += 1;
+            }
+            3..=5 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(0i64..20);
+                updates.push(LakeUpdate::AppendRows {
+                    id: DatasetId(id),
+                    rows: table(start..start + len),
+                });
+            }
+            6..=7 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let lo = rng.gen_range(0i64..80);
+                let hi = lo + rng.gen_range(0i64..40);
+                updates.push(LakeUpdate::DeleteRows {
+                    id: DatasetId(id),
+                    predicate: Predicate::between("id", Value::Int(lo), Value::Int(hi)),
+                });
+            }
+            _ => {
+                let idx = rng.gen_range(0..live.len());
+                updates.push(LakeUpdate::DropDataset {
+                    id: DatasetId(live.remove(idx)),
+                });
+            }
+        }
+    }
+    updates
+}
+
+/// The from-scratch oracle: replay the updates on a fresh copy of the base
+/// lake, run the full batch pipeline, preprocess + solve.
+fn from_scratch_solution(updates: &[LakeUpdate]) -> Solution {
+    let mut lake = base_lake();
+    for update in updates {
+        lake.apply_update(update).unwrap();
+    }
+    let graph = R2d2Pipeline::new(config(1)).run(&lake).unwrap().after_clp;
+    from_scratch(&lake, &graph, &CostModel::default(), &advisor_config()).unwrap()
+}
+
+/// Run the session with the advisor attached; `advise_each` exercises the
+/// dirty-component bookkeeping after every single update rather than once at
+/// the end.
+fn session_advice(updates: &[LakeUpdate], threads: usize, advise_each: bool) -> Solution {
+    let mut session = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+    session
+        .enable_advisor(CostModel::default(), advisor_config())
+        .unwrap();
+    for update in updates {
+        session.apply(update.clone()).unwrap();
+        if advise_each {
+            session.advise().unwrap();
+        }
+    }
+    session.advise().unwrap()
+}
+
+proptest::proptest! {
+    /// The incremental-advisor oracle: for ANY random update sequence the
+    /// session's advice equals the from-scratch preprocess + solve over the
+    /// mutated lake — same retained/deleted sets, reconstruction parents and
+    /// total cost — at threads 1 and 4, whether the advisor re-solves after
+    /// every update or once at the end.
+    #[test]
+    fn random_update_sequences_keep_advice_equal_to_from_scratch(
+        seed in 0u64..1_000_000,
+        count in 1usize..6,
+    ) {
+        let updates = gen_updates(seed, count);
+        let expected = from_scratch_solution(&updates);
+
+        let once1 = session_advice(&updates, 1, false);
+        proptest::prop_assert_eq!(&once1, &expected, "threads=1, advise once");
+        let each1 = session_advice(&updates, 1, true);
+        proptest::prop_assert_eq!(&each1, &expected, "threads=1, advise per update");
+        let each4 = session_advice(&updates, 4, true);
+        proptest::prop_assert_eq!(&each4, &expected, "threads=4, advise per update");
+    }
+}
+
+#[test]
+fn advisor_matches_from_scratch_on_required_knowledge_with_lineage() {
+    // Under the paper's Required policy only lineage-backed edges are
+    // admissible; the oracle must hold there too.
+    let access = AccessProfile {
+        accesses_per_period: 0.1,
+        maintenance_per_period: 4.0,
+    };
+    let mut lake = DataLake::new();
+    let root = lake
+        .add_dataset("root", part(table(0..60)), access, None)
+        .unwrap();
+    lake.add_dataset(
+        "derived",
+        part(table(5..35)),
+        access,
+        Some(Lineage {
+            parent: root,
+            transform: "WHERE id BETWEEN 5 AND 34".into(),
+        }),
+    )
+    .unwrap();
+    let mut session = R2d2Session::bootstrap(lake, config(1)).unwrap();
+    session
+        .enable_advisor(CostModel::default(), AdvisorConfig::default())
+        .unwrap();
+    let initial = session.advise().unwrap();
+    assert!(
+        initial.deleted.contains(&1),
+        "the rarely-accessed lineage-backed subset should be deletable"
+    );
+
+    // Mutate the child, then the parent; the advice keeps matching.
+    for update in [
+        LakeUpdate::AppendRows {
+            id: DatasetId(1),
+            rows: table(35..45),
+        },
+        LakeUpdate::DeleteRows {
+            id: DatasetId(0),
+            predicate: Predicate::between("id", Value::Int(50), Value::Int(59)),
+        },
+    ] {
+        session.apply(update).unwrap();
+        let incremental = session.advise().unwrap();
+        let fresh = from_scratch(
+            session.lake(),
+            session.graph(),
+            &CostModel::default(),
+            &AdvisorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(incremental, fresh);
+    }
+}
+
+#[test]
+fn advisor_solution_is_feasible_and_actionable_on_a_corpus() {
+    use r2d2_bench::experiments::{enterprise_corpora, Scale};
+
+    let corpus = enterprise_corpora(Scale::Smoke)[0].clone();
+    let mut session = R2d2Session::with_defaults(corpus.lake).unwrap();
+    session
+        .enable_advisor(CostModel::default(), AdvisorConfig::default())
+        .unwrap();
+    let report = session.advisor_report().unwrap();
+    let problem = session.advisor_problem().unwrap();
+    assert!(report.solution.is_feasible(&problem));
+    assert!(report.total_cost <= report.retain_all_cost + 1e-9);
+    // Every recommended deletion exists in the lake and has a retained
+    // reconstruction parent with a live containment edge.
+    for d in &report.solution.deleted {
+        assert!(session.lake().contains(DatasetId(*d)));
+        let parent = report.solution.reconstruction_parent[d];
+        assert!(report.solution.retained.contains(&parent));
+        assert!(session.graph().has_edge(parent, *d));
+    }
+}

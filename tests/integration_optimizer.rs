@@ -5,7 +5,7 @@
 
 use r2d2_bench::experiments::{enterprise_corpora, Scale};
 use r2d2_core::R2d2Pipeline;
-use r2d2_graph::random::{erdos_renyi_dag, line_graph};
+use r2d2_graph::random::{erdos_renyi_dag, line_forest, line_graph};
 use r2d2_lake::DatasetId;
 use r2d2_opt::costmodel::CostModel;
 use r2d2_opt::dynlin::solve_line;
@@ -13,7 +13,7 @@ use r2d2_opt::preprocess::{preprocess_for_safe_deletion, TransformKnowledge};
 use r2d2_opt::savings::{gdpr_savings, horizon_projection, HorizonScenario};
 use r2d2_opt::{solve, solve_exact, solve_greedy, OptRetProblem};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn end_to_end_optimization_on_generated_corpus() {
@@ -118,6 +118,84 @@ fn latency_threshold_controls_how_much_can_be_deleted() {
     assert!(edges_loose >= edges_tight);
     assert!(sol_tight.deleted.is_empty());
     assert!(sol_loose.deleted.len() >= sol_tight.deleted.len());
+}
+
+/// Random problem over an arbitrary graph: sizes and access rates drawn from
+/// the seed so ties and degenerate costs show up over the case budget.
+fn random_problem(graph: &r2d2_graph::ContainmentGraph, seed: u64) -> OptRetProblem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.datasets().len().max(1) as u64;
+    let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..60u64) << 26).collect();
+    let accesses: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0)).collect();
+    OptRetProblem::synthetic(
+        graph,
+        &CostModel::default(),
+        |d| sizes[(d % n) as usize],
+        |d| accesses[(d % n) as usize],
+    )
+}
+
+proptest::proptest! {
+    /// Solver cross-validation oracle on random DAGs: every solver is
+    /// feasible, exact ≤ greedy, greedy ≤ retain-all (the fixed greedy can
+    /// never lose money), and the dispatching `solve` matches the exact
+    /// optimum at these component sizes.
+    #[test]
+    fn solvers_cross_validate_on_random_dags(
+        seed in 0u64..1_000_000,
+        n in 4usize..11,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p_edge = rng.gen_range(0.1..0.5);
+        let graph = erdos_renyi_dag(n, p_edge, &mut rng);
+        let problem = random_problem(&graph, seed ^ 0xABCD);
+
+        let exact = solve_exact(&problem);
+        let greedy = solve_greedy(&problem);
+        let auto = solve(&problem);
+        let retain_all = problem.retain_all_cost();
+
+        proptest::prop_assert!(exact.is_feasible(&problem));
+        proptest::prop_assert!(greedy.is_feasible(&problem));
+        proptest::prop_assert!(auto.is_feasible(&problem));
+        proptest::prop_assert!(
+            exact.total_cost <= greedy.total_cost + 1e-9,
+            "exact {} > greedy {}", exact.total_cost, greedy.total_cost
+        );
+        proptest::prop_assert!(
+            greedy.total_cost <= retain_all + 1e-9,
+            "greedy {} lost money vs retain-all {}", greedy.total_cost, retain_all
+        );
+        proptest::prop_assert!(
+            (auto.total_cost - exact.total_cost).abs() < 1e-6,
+            "solve() {} != exact {} below the component limit",
+            auto.total_cost, exact.total_cost
+        );
+    }
+
+    /// Dyn-Lin oracle on random line forests: the dynamic program is
+    /// feasible and matches the exact branch & bound on every chain, and the
+    /// dispatching `solve` (which routes chains through Dyn-Lin) agrees.
+    #[test]
+    fn dynlin_cross_validates_on_random_line_forests(
+        seed in 0u64..1_000_000,
+        chains in proptest::collection::vec(1usize..7, 1..4),
+    ) {
+        let graph = line_forest(&chains);
+        let problem = random_problem(&graph, seed ^ 0x1234);
+
+        let dp = solve_line(&problem).expect("line forest");
+        let exact = solve_exact(&problem);
+        let auto = solve(&problem);
+
+        proptest::prop_assert!(dp.is_feasible(&problem));
+        proptest::prop_assert!(
+            (dp.total_cost - exact.total_cost).abs() < 1e-6,
+            "dp {} != exact {} on a line forest", dp.total_cost, exact.total_cost
+        );
+        proptest::prop_assert!(dp.total_cost <= problem.retain_all_cost() + 1e-9);
+        proptest::prop_assert_eq!(&auto, &dp, "solve() must take the Dyn-Lin fast path");
+    }
 }
 
 #[test]
