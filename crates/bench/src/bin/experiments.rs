@@ -15,7 +15,7 @@
 
 use r2d2_bench::experiments::{
     clp_params, containment, dynamic_throughput, enterprise_corpora, figures, optimization,
-    optimizer_bench, perf, schema_baselines, synthetic_corpora, Scale,
+    optimizer_bench, perf, restart_bench, schema_baselines, synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -191,6 +191,21 @@ fn optimizer_bench_cmd(scale: Scale) {
     }
 }
 
+fn restart_bench_cmd(scale: Scale) {
+    println!("== Restart: warm restore (snapshot + WAL replay) vs cold bootstrap ==");
+    let snapshot = restart_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_restart.json write)");
+    } else {
+        let path = "BENCH_restart.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_restart.json");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -204,6 +219,7 @@ fn main() {
         "bench-pipeline" => bench_pipeline(scale),
         "dynamic-throughput" => dynamic_throughput_cmd(scale),
         "optimizer-bench" => optimizer_bench_cmd(scale),
+        "restart-bench" => restart_bench_cmd(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -230,7 +246,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, dynamic-throughput, optimizer-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, dynamic-throughput, optimizer-bench, restart-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

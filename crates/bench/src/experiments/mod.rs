@@ -7,6 +7,7 @@ pub mod figures;
 pub mod optimization;
 pub mod optimizer_bench;
 pub mod perf;
+pub mod restart_bench;
 pub mod schema_baselines;
 
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};

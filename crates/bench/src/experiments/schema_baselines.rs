@@ -34,7 +34,7 @@ pub struct SchemaBaselineResult {
     pub corpus: String,
     /// Total edges in the ground-truth schema graph.
     pub ground_truth_edges: usize,
-    /// One score per method ([3]-style classifier, KMeans, SGB).
+    /// One score per method (\[3\]-style classifier, KMeans, SGB).
     pub methods: Vec<MethodScore>,
 }
 

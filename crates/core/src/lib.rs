@@ -64,6 +64,7 @@ pub mod config;
 mod dynamic;
 mod fanout;
 pub mod mmp;
+pub mod persist;
 pub mod pipeline;
 pub mod sampling;
 pub mod schema_stats;
@@ -71,6 +72,7 @@ pub mod session;
 pub mod sgb;
 
 pub use config::{ClpSampling, PipelineConfig};
+pub use persist::{PersistenceConfig, SessionSnapshot};
 pub use pipeline::{PipelineReport, R2d2Pipeline, Stage, StageReport};
 pub use r2d2_lake::{AppliedUpdate, LakeUpdate};
 pub use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport};

@@ -1,0 +1,651 @@
+//! Durable session snapshots and write-ahead logging.
+//!
+//! The paper's enterprise lakes persist in ADLS-style storage, but an
+//! [`R2d2Session`](crate::session::R2d2Session) used to be purely in-memory:
+//! every process restart paid a full SGB → MMP → CLP bootstrap plus a
+//! from-scratch Opt-Ret solve. This module makes session state durable with
+//! the classic snapshot + WAL split:
+//!
+//! * a **snapshot** ([`SessionSnapshot`]) serializes the *entire* session —
+//!   lake catalog with partitioned tables (via the `R2D2LAKE` storage
+//!   format), schema interner, containment graph, hash-join cache, meter
+//!   totals, access log, bootstrap report, update log and the advisor's
+//!   [`AdvisorState`] — into one checksummed file;
+//! * a **write-ahead log** (framing in [`r2d2_lake::wal`]) appends each
+//!   update batch and each access-profile refresh *before* it mutates the
+//!   session, so a crash between snapshots loses nothing acknowledged.
+//!
+//! `R2d2Session::restore` loads the newest intact snapshot generation and
+//! replays the WAL tail; torn or corrupt tail records are detected by the
+//! per-record length + checksum framing and cleanly dropped. The restored
+//! session is **bit-identical** to the uninterrupted one — graph, meter
+//! totals, update log and advisor solution — because every piece of state
+//! that influences future behaviour (including the hash-join cache, whose
+//! hits keep metering schedule-independent) round-trips through the
+//! snapshot (`tests/integration_persistence.rs` pins this with a randomized
+//! kill-and-restore oracle).
+//!
+//! ## On-disk layout
+//!
+//! A persistence directory holds numbered *generations*; generation `N` is
+//! `snapshot-00000N.r2d2snap` plus `wal-00000N.r2d2wal` (the updates applied
+//! since that snapshot). Rotation ([`R2d2Session::checkpoint`], or
+//! automatically every
+//! [`PersistenceConfig::snapshot_every_n_updates`] updates) writes
+//! generation `N+1` and prunes generations older than `N`. Snapshots are
+//! written to a temp file and renamed into place, so a crash mid-write never
+//! destroys the previous generation. See `ARCHITECTURE.md` for the
+//! byte-level format specification.
+//!
+//! [`R2d2Session::restore`]: crate::session::R2d2Session::restore
+//! [`R2d2Session::checkpoint`]: crate::session::R2d2Session::checkpoint
+//! [`AdvisorState`]: r2d2_opt::advisor::AdvisorState
+
+use crate::config::{ClpSampling, PipelineConfig};
+use crate::pipeline::{PipelineReport, Stage, StageReport};
+use crate::session::UpdateReport;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use r2d2_graph::diff::EdgeDelta;
+use r2d2_graph::{codec as graph_codec, ContainmentGraph};
+use r2d2_lake::snapshot as wire;
+use r2d2_lake::wal::{self, WalWriter};
+use r2d2_lake::{DataLake, HashJoinCache, LakeError, LakeUpdate, Result, SchemaInterner};
+use r2d2_opt::advisor::AdvisorState;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Leading/trailing magic of a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"R2D2SNAP";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Default compaction policy: snapshot after this many updates.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 512;
+
+/// How a session persists itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Directory holding the snapshot + WAL generations.
+    pub dir: PathBuf,
+    /// Compaction policy: after this many applied updates since the last
+    /// snapshot, the session automatically writes a fresh snapshot and
+    /// rotates the WAL (keeping restart replay short). `0` disables
+    /// automatic rotation — only explicit
+    /// [`checkpoint`](crate::session::R2d2Session::checkpoint) calls
+    /// snapshot.
+    pub snapshot_every_n_updates: usize,
+}
+
+impl PersistenceConfig {
+    /// Persist into `dir` with the default compaction policy (snapshot every
+    /// 512 updates).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig {
+            dir: dir.into(),
+            snapshot_every_n_updates: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// Override the compaction policy (builder style; `0` = manual only).
+    pub fn with_snapshot_every(mut self, n_updates: usize) -> Self {
+        self.snapshot_every_n_updates = n_updates;
+        self
+    }
+}
+
+/// Live persistence state attached to a session.
+#[derive(Debug)]
+pub(crate) struct Persistence {
+    pub(crate) config: PersistenceConfig,
+    /// Current generation number (the snapshot the WAL extends).
+    pub(crate) seq: u64,
+    pub(crate) wal: WalWriter,
+    /// Updates applied since the generation's snapshot was written.
+    pub(crate) updates_since_snapshot: usize,
+}
+
+/// Path of generation `seq`'s snapshot file.
+pub(crate) fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:06}.r2d2snap"))
+}
+
+/// Path of generation `seq`'s write-ahead log.
+pub(crate) fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.r2d2wal"))
+}
+
+/// Snapshot generations present in `dir`, ascending.
+pub(crate) fn list_generations(dir: &Path) -> Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name
+            .strip_prefix("snapshot-")
+            .and_then(|r| r.strip_suffix(".r2d2snap"))
+        {
+            if let Ok(seq) = rest.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Delete every generation older than `keep_from` (both snapshot and WAL).
+/// Best-effort: missing files are ignored.
+pub(crate) fn prune_generations(dir: &Path, keep_from: u64) -> Result<()> {
+    for seq in list_generations(dir)? {
+        if seq < keep_from {
+            std::fs::remove_file(snapshot_path(dir, seq)).ok();
+            std::fs::remove_file(wal_path(dir, seq)).ok();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// WAL record payloads
+// ---------------------------------------------------------------------------
+
+/// One logical write-ahead-log record (the payload inside
+/// [`r2d2_lake::wal`]'s length + checksum framing).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// One `apply_batch` invocation, recorded *before* execution. Replay
+    /// re-runs the whole batch; a batch whose mutation failed mid-way fails
+    /// at the same update again, reproducing the original partial
+    /// application exactly.
+    Batch(Vec<LakeUpdate>),
+    /// One `refresh_access_profiles` drain: the observed per-dataset access
+    /// tallies plus the session's meter totals at the drain — runtime
+    /// read-side traffic that replay cannot regenerate, so the record
+    /// carries it verbatim and replay tops the meter up to the recorded
+    /// totals. Refreshes (and checkpoints) are thus the *sync points* for
+    /// read telemetry; raw traffic served between the last sync and a crash
+    /// is lost (it is telemetry, not session state).
+    AccessRefresh {
+        /// Per-dataset access tallies drained from the lake's access log.
+        counts: BTreeMap<u64, u64>,
+        /// Cumulative meter totals at the drain.
+        meter: r2d2_lake::OpCounts,
+    },
+}
+
+impl WalRecord {
+    pub(crate) fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            WalRecord::Batch(updates) => {
+                buf.put_u8(0);
+                buf.put_u32_le(updates.len() as u32);
+                for u in updates {
+                    wire::put_update(&mut buf, u);
+                }
+            }
+            WalRecord::AccessRefresh { counts, meter } => {
+                buf.put_u8(1);
+                wire::put_count_map(&mut buf, counts);
+                wire::put_op_counts(&mut buf, meter);
+            }
+        }
+        buf.freeze()
+    }
+
+    pub(crate) fn decode(buf: &mut Bytes) -> Result<WalRecord> {
+        Ok(match wire::get_tag(buf, "wal record tag")? {
+            0 => {
+                wire::expect_len(buf, 4, "wal batch length")?;
+                let len = buf.get_u32_le() as usize;
+                let mut updates = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    updates.push(wire::get_update(buf)?);
+                }
+                WalRecord::Batch(updates)
+            }
+            1 => WalRecord::AccessRefresh {
+                counts: wire::get_count_map(buf)?,
+                meter: wire::get_op_counts(buf)?,
+            },
+            other => {
+                return Err(LakeError::Corrupt(format!(
+                    "unknown wal record tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session snapshot codec
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of everything a snapshot must capture. Assembled by
+/// `R2d2Session::snapshot` (the fields are private to the session).
+pub(crate) struct SnapshotParts<'a> {
+    pub config: &'a PipelineConfig,
+    pub snapshot_every_n_updates: usize,
+    pub lake: &'a DataLake,
+    pub graph: &'a ContainmentGraph,
+    pub interner: &'a SchemaInterner,
+    pub cache: &'a HashJoinCache,
+    pub bootstrap: &'a PipelineReport,
+    pub updates_applied: usize,
+    pub log: &'a [UpdateReport],
+    pub advisor: Option<&'a AdvisorState>,
+}
+
+/// Owned result of decoding a snapshot; `R2d2Session::from_snapshot` turns
+/// it back into a live session.
+pub(crate) struct DecodedSnapshot {
+    pub config: PipelineConfig,
+    pub snapshot_every_n_updates: usize,
+    pub lake: DataLake,
+    pub graph: ContainmentGraph,
+    pub interner: SchemaInterner,
+    pub cache: HashJoinCache,
+    pub bootstrap: PipelineReport,
+    pub updates_applied: usize,
+    pub log: Vec<UpdateReport>,
+    pub advisor: Option<AdvisorState>,
+}
+
+fn put_duration(buf: &mut BytesMut, d: &Duration) {
+    buf.put_u64_le(d.as_secs());
+    buf.put_u32_le(d.subsec_nanos());
+}
+
+fn get_duration(buf: &mut Bytes) -> Result<Duration> {
+    wire::expect_len(buf, 12, "duration")?;
+    let secs = buf.get_u64_le();
+    let nanos = buf.get_u32_le();
+    Ok(Duration::new(secs, nanos))
+}
+
+fn put_pipeline_config(buf: &mut BytesMut, c: &PipelineConfig) {
+    wire::put_usize(buf, c.clp_columns);
+    wire::put_usize(buf, c.clp_rows);
+    wire::put_usize(buf, c.clp_rounds);
+    buf.put_u8(match c.clp_sampling {
+        ClpSampling::RandomRows => 0,
+        ClpSampling::PredicateFilter => 1,
+        ClpSampling::BothSides => 2,
+    });
+    buf.put_u64_le(c.seed);
+    wire::put_bool(buf, c.mmp_typed_columns_only);
+    wire::put_usize(buf, c.threads);
+}
+
+fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
+    let clp_columns = wire::get_usize(buf)?;
+    let clp_rows = wire::get_usize(buf)?;
+    let clp_rounds = wire::get_usize(buf)?;
+    let clp_sampling = match wire::get_tag(buf, "clp sampling tag")? {
+        0 => ClpSampling::RandomRows,
+        1 => ClpSampling::PredicateFilter,
+        2 => ClpSampling::BothSides,
+        other => {
+            return Err(LakeError::Corrupt(format!(
+                "unknown clp sampling tag {other}"
+            )))
+        }
+    };
+    let seed = wire::get_u64(buf)?;
+    let mmp_typed_columns_only = wire::get_bool(buf)?;
+    let threads = wire::get_usize(buf)?;
+    Ok(PipelineConfig {
+        clp_columns,
+        clp_rows,
+        clp_rounds,
+        clp_sampling,
+        seed,
+        mmp_typed_columns_only,
+        threads,
+    })
+}
+
+fn put_graph(buf: &mut BytesMut, graph: &ContainmentGraph) {
+    wire::put_bytes(buf, &graph_codec::encode(graph));
+}
+
+fn get_graph(buf: &mut Bytes) -> Result<ContainmentGraph> {
+    let raw = wire::get_bytes(buf)?;
+    let mut cursor = raw.clone();
+    let graph = graph_codec::decode(&mut cursor).map_err(|e| LakeError::Corrupt(e.to_string()))?;
+    if cursor.remaining() != 0 {
+        return Err(LakeError::Corrupt("trailing graph bytes".into()));
+    }
+    Ok(graph)
+}
+
+fn put_pipeline_report(buf: &mut BytesMut, report: &PipelineReport) {
+    put_graph(buf, &report.after_sgb);
+    put_graph(buf, &report.after_mmp);
+    put_graph(buf, &report.after_clp);
+    buf.put_u32_le(report.stages.len() as u32);
+    for stage in &report.stages {
+        buf.put_u8(match stage.stage {
+            Stage::Sgb => 0,
+            Stage::Mmp => 1,
+            Stage::Clp => 2,
+        });
+        put_duration(buf, &stage.duration);
+        wire::put_op_counts(buf, &stage.ops);
+        wire::put_usize(buf, stage.edges_after);
+    }
+    wire::put_usize(buf, report.sgb_clusters);
+    put_duration(buf, &report.total_duration);
+}
+
+fn get_pipeline_report(buf: &mut Bytes) -> Result<PipelineReport> {
+    let after_sgb = get_graph(buf)?;
+    let after_mmp = get_graph(buf)?;
+    let after_clp = get_graph(buf)?;
+    wire::expect_len(buf, 4, "stage count")?;
+    let stage_count = buf.get_u32_le() as usize;
+    let mut stages = Vec::with_capacity(stage_count.min(8));
+    for _ in 0..stage_count {
+        let stage = match wire::get_tag(buf, "stage tag")? {
+            0 => Stage::Sgb,
+            1 => Stage::Mmp,
+            2 => Stage::Clp,
+            other => return Err(LakeError::Corrupt(format!("unknown stage tag {other}"))),
+        };
+        stages.push(StageReport {
+            stage,
+            duration: get_duration(buf)?,
+            ops: wire::get_op_counts(buf)?,
+            edges_after: wire::get_usize(buf)?,
+        });
+    }
+    let sgb_clusters = wire::get_usize(buf)?;
+    let total_duration = get_duration(buf)?;
+    Ok(PipelineReport {
+        after_sgb,
+        after_mmp,
+        after_clp,
+        stages,
+        sgb_clusters,
+        total_duration,
+    })
+}
+
+fn put_update_report(buf: &mut BytesMut, report: &UpdateReport) {
+    wire::put_usize(buf, report.updates_applied);
+    buf.put_u32_le(report.applied.len() as u32);
+    for a in &report.applied {
+        wire::put_applied(buf, a);
+    }
+    wire::put_usize(buf, report.datasets_changed);
+    wire::put_usize(buf, report.candidates_checked);
+    wire::put_usize(buf, report.rows_sampled);
+    buf.put_u32_le(report.delta.added.len() as u32);
+    for &(p, c) in &report.delta.added {
+        buf.put_u64_le(p);
+        buf.put_u64_le(c);
+    }
+    buf.put_u32_le(report.delta.removed.len() as u32);
+    for &(p, c) in &report.delta.removed {
+        buf.put_u64_le(p);
+        buf.put_u64_le(c);
+    }
+    wire::put_op_counts(buf, &report.ops);
+    put_duration(buf, &report.duration);
+}
+
+fn get_edge_list(buf: &mut Bytes) -> Result<Vec<(u64, u64)>> {
+    wire::expect_len(buf, 4, "edge list length")?;
+    let len = buf.get_u32_le() as usize;
+    let mut edges = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        wire::expect_len(buf, 16, "edge pair")?;
+        let p = buf.get_u64_le();
+        let c = buf.get_u64_le();
+        edges.push((p, c));
+    }
+    Ok(edges)
+}
+
+fn get_update_report(buf: &mut Bytes) -> Result<UpdateReport> {
+    let updates_applied = wire::get_usize(buf)?;
+    wire::expect_len(buf, 4, "applied list length")?;
+    let applied_len = buf.get_u32_le() as usize;
+    let mut applied = Vec::with_capacity(applied_len.min(4096));
+    for _ in 0..applied_len {
+        applied.push(wire::get_applied(buf)?);
+    }
+    let datasets_changed = wire::get_usize(buf)?;
+    let candidates_checked = wire::get_usize(buf)?;
+    let rows_sampled = wire::get_usize(buf)?;
+    let delta = EdgeDelta {
+        added: get_edge_list(buf)?,
+        removed: get_edge_list(buf)?,
+    };
+    let ops = wire::get_op_counts(buf)?;
+    let duration = get_duration(buf)?;
+    Ok(UpdateReport {
+        updates_applied,
+        applied,
+        datasets_changed,
+        candidates_checked,
+        rows_sampled,
+        delta,
+        ops,
+        duration,
+    })
+}
+
+pub(crate) fn encode_snapshot(parts: &SnapshotParts<'_>) -> Bytes {
+    let mut body = BytesMut::new();
+    put_pipeline_config(&mut body, parts.config);
+    wire::put_usize(&mut body, parts.snapshot_every_n_updates);
+    wire::put_lake(&mut body, parts.lake);
+    put_graph(&mut body, parts.graph);
+    wire::put_interner(&mut body, parts.interner);
+    wire::put_join_cache(&mut body, parts.cache);
+    put_pipeline_report(&mut body, parts.bootstrap);
+    wire::put_usize(&mut body, parts.updates_applied);
+    body.put_u32_le(parts.log.len() as u32);
+    for report in parts.log {
+        put_update_report(&mut body, report);
+    }
+    match parts.advisor {
+        None => body.put_u8(0),
+        Some(advisor) => {
+            body.put_u8(1);
+            wire::put_bytes(&mut body, &advisor.encode());
+        }
+    }
+    let body = body.freeze();
+
+    let mut file = BytesMut::with_capacity(body.len() + 28);
+    file.put_slice(SNAPSHOT_MAGIC);
+    file.put_u32_le(SNAPSHOT_VERSION);
+    file.put_slice(&body);
+    file.put_u64_le(wal::checksum(&body));
+    file.put_slice(SNAPSHOT_MAGIC);
+    file.freeze()
+}
+
+pub(crate) fn decode_snapshot(bytes: &Bytes) -> Result<DecodedSnapshot> {
+    let overhead = 8 + 4 + 8 + 8; // magic + version + checksum + magic
+    if bytes.len() < overhead {
+        return Err(LakeError::Corrupt("snapshot too small".into()));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(LakeError::Corrupt("bad snapshot magic".into()));
+    }
+    if &bytes[bytes.len() - 8..] != SNAPSHOT_MAGIC {
+        return Err(LakeError::Corrupt("bad trailing snapshot magic".into()));
+    }
+    let mut header = bytes.slice(8..12);
+    let version = header.get_u32_le();
+    if version != SNAPSHOT_VERSION {
+        return Err(LakeError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let body = bytes.slice(12..bytes.len() - 16);
+    let mut tail = bytes.slice(bytes.len() - 16..bytes.len() - 8);
+    let expected = tail.get_u64_le();
+    if wal::checksum(&body) != expected {
+        return Err(LakeError::Corrupt("snapshot checksum mismatch".into()));
+    }
+
+    let mut buf = body;
+    let config = get_pipeline_config(&mut buf)?;
+    let snapshot_every_n_updates = wire::get_usize(&mut buf)?;
+    let lake = wire::get_lake(&mut buf)?;
+    let graph = get_graph(&mut buf)?;
+    let interner = wire::get_interner(&mut buf)?;
+    let cache = wire::get_join_cache(&mut buf)?;
+    let bootstrap = get_pipeline_report(&mut buf)?;
+    let updates_applied = wire::get_usize(&mut buf)?;
+    wire::expect_len(&buf, 4, "update log length")?;
+    let log_len = buf.get_u32_le() as usize;
+    let mut log = Vec::with_capacity(log_len.min(4096));
+    for _ in 0..log_len {
+        log.push(get_update_report(&mut buf)?);
+    }
+    let advisor = match wire::get_tag(&mut buf, "advisor presence tag")? {
+        0 => None,
+        1 => {
+            let raw = wire::get_bytes(&mut buf)?;
+            let mut cursor = raw.clone();
+            let state = AdvisorState::decode(&mut cursor)?;
+            if cursor.remaining() != 0 {
+                return Err(LakeError::Corrupt("trailing advisor bytes".into()));
+            }
+            Some(state)
+        }
+        other => {
+            return Err(LakeError::Corrupt(format!(
+                "unknown advisor presence tag {other}"
+            )))
+        }
+    };
+    if buf.remaining() != 0 {
+        return Err(LakeError::Corrupt("trailing snapshot bytes".into()));
+    }
+    Ok(DecodedSnapshot {
+        config,
+        snapshot_every_n_updates,
+        lake,
+        graph,
+        interner,
+        cache,
+        bootstrap,
+        updates_applied,
+        log,
+        advisor,
+    })
+}
+
+/// Write snapshot bytes atomically: temp file in the same directory, fsync,
+/// rename into place. A crash mid-write leaves the previous generation
+/// untouched.
+pub(crate) fn write_snapshot_file(path: &Path, bytes: &Bytes) -> Result<()> {
+    let tmp = path.with_extension("r2d2snap.tmp");
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// An encoded, self-contained session snapshot (one generation's
+/// `.r2d2snap` file in memory).
+///
+/// Most callers go through the session-level API —
+/// [`enable_persistence`](crate::session::R2d2Session::enable_persistence) /
+/// [`checkpoint`](crate::session::R2d2Session::checkpoint) /
+/// [`restore`](crate::session::R2d2Session::restore) — which also maintain
+/// the WAL. `SessionSnapshot` is the lower-level building block: capture a
+/// point-in-time image, ship it around as bytes, and rebuild a session from
+/// it (without WAL replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    pub(crate) bytes: Bytes,
+}
+
+impl SessionSnapshot {
+    /// The raw snapshot file image (magic, version, body, checksum).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wrap raw bytes read from elsewhere; validated on
+    /// [`SessionSnapshot::restore`].
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
+        SessionSnapshot {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Write the snapshot to `path` (atomically), returning the byte count.
+    pub fn write(&self, path: &Path) -> Result<u64> {
+        write_snapshot_file(path, &self.bytes)?;
+        Ok(self.bytes.len() as u64)
+    }
+
+    /// Read a snapshot file back into memory.
+    pub fn read(path: &Path) -> Result<SessionSnapshot> {
+        let raw = std::fs::read(path)?;
+        Ok(SessionSnapshot {
+            bytes: Bytes::from(raw),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_record_round_trip() {
+        let records = vec![
+            WalRecord::Batch(vec![LakeUpdate::DropDataset {
+                id: r2d2_lake::DatasetId(3),
+            }]),
+            WalRecord::Batch(Vec::new()),
+            WalRecord::AccessRefresh {
+                counts: BTreeMap::from([(1, 5), (4, 0)]),
+                meter: r2d2_lake::OpCounts {
+                    rows_scanned: 11,
+                    ..Default::default()
+                },
+            },
+        ];
+        for record in &records {
+            let bytes = record.encode();
+            let mut cursor = bytes.clone();
+            assert_eq!(&WalRecord::decode(&mut cursor).unwrap(), record);
+            assert_eq!(cursor.remaining(), 0);
+        }
+        let mut bad = Bytes::from(vec![7u8]);
+        assert!(WalRecord::decode(&mut bad).is_err());
+    }
+
+    #[test]
+    fn generation_paths_and_listing() {
+        let dir = std::env::temp_dir().join("r2d2_persist_paths");
+        std::fs::create_dir_all(&dir).unwrap();
+        for stale in list_generations(&dir).unwrap() {
+            std::fs::remove_file(snapshot_path(&dir, stale)).ok();
+        }
+        std::fs::write(snapshot_path(&dir, 3), b"x").unwrap();
+        std::fs::write(snapshot_path(&dir, 12), b"x").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        assert_eq!(list_generations(&dir).unwrap(), vec![3, 12]);
+        prune_generations(&dir, 12).unwrap();
+        assert_eq!(list_generations(&dir).unwrap(), vec![12]);
+        std::fs::remove_file(snapshot_path(&dir, 12)).ok();
+        std::fs::remove_file(dir.join("unrelated.txt")).ok();
+    }
+}

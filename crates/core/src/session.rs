@@ -36,9 +36,12 @@
 
 use crate::config::PipelineConfig;
 use crate::dynamic::{self, Effect};
+use crate::persist::{self, Persistence, PersistenceConfig, SessionSnapshot, WalRecord};
 use crate::pipeline::{PipelineReport, R2d2Pipeline};
+use bytes::Buf;
 use r2d2_graph::diff::EdgeDelta;
 use r2d2_graph::ContainmentGraph;
+use r2d2_lake::wal::{self, WalWriter};
 use r2d2_lake::{
     AppliedUpdate, DataLake, DatasetId, HashJoinCache, InternedSchemaSet, LakeUpdate, Meter,
     OpCounts, Result, SchemaInterner, Table,
@@ -47,6 +50,7 @@ use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport, AdvisorState, DatasetChang
 use r2d2_opt::{CostModel, Solution};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// What one [`R2d2Session::apply_batch`] (or [`R2d2Session::apply`]) did.
@@ -104,6 +108,7 @@ pub struct R2d2Session {
     updates_applied: usize,
     log: Vec<UpdateReport>,
     advisor: Option<AdvisorState>,
+    persist: Option<Persistence>,
 }
 
 impl R2d2Session {
@@ -130,6 +135,7 @@ impl R2d2Session {
             updates_applied: 0,
             log: Vec::new(),
             advisor: None,
+            persist: None,
         })
     }
 
@@ -158,7 +164,28 @@ impl R2d2Session {
     /// is left at its pre-batch state; re-bootstrap via
     /// [`R2d2Session::into_parts`] in that case. Failed batches are not
     /// recorded in the update log.
+    ///
+    /// With [`R2d2Session::enable_persistence`] attached, the whole batch is
+    /// appended to the write-ahead log (and fsynced) *before* any mutation
+    /// runs, so a crash at any point replays to exactly this batch's
+    /// outcome; reaching the configured `snapshot_every_n_updates` threshold
+    /// afterwards rotates to a fresh snapshot generation.
     pub fn apply_batch(&mut self, updates: &[LakeUpdate]) -> Result<UpdateReport> {
+        self.apply_batch_inner(updates, true)
+    }
+
+    /// The batch engine behind [`R2d2Session::apply_batch`]. `durable = false`
+    /// is the WAL-replay path: identical execution, but no write-ahead
+    /// record (the batch came *from* the log) and no auto-checkpoint.
+    fn apply_batch_inner(&mut self, updates: &[LakeUpdate], durable: bool) -> Result<UpdateReport> {
+        if durable {
+            if let Some(p) = &mut self.persist {
+                // Write-ahead: the record is durable before the first
+                // mutation, so the log can only over-describe (a batch that
+                // never ran re-runs on replay), never lose applied work.
+                p.wal.append(&WalRecord::Batch(updates.to_vec()).encode())?;
+            }
+        }
         let start = Instant::now();
         let ops_before = self.meter.snapshot();
 
@@ -286,13 +313,34 @@ impl R2d2Session {
             ops: self.meter.snapshot().since(&ops_before),
             duration: start.elapsed(),
         };
+        if let Some(p) = &mut self.persist {
+            // The applied prefix is live even when a later mutation failed,
+            // so it counts toward the compaction threshold either way.
+            p.updates_since_snapshot += report.updates_applied;
+        }
         match first_err {
             Some(e) => Err(e),
             None => {
                 self.log.push(report.clone());
+                if durable {
+                    self.maybe_auto_checkpoint()?;
+                }
                 Ok(report)
             }
         }
+    }
+
+    /// Rotate to a fresh snapshot generation when the compaction threshold
+    /// has been reached.
+    fn maybe_auto_checkpoint(&mut self) -> Result<()> {
+        let due = self.persist.as_ref().is_some_and(|p| {
+            p.config.snapshot_every_n_updates > 0
+                && p.updates_since_snapshot >= p.config.snapshot_every_n_updates
+        });
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Merge each *adjacent* run of `AppendRows` to one dataset into a
@@ -397,8 +445,15 @@ impl R2d2Session {
     /// lake would produce ([`r2d2_opt::advisor::from_scratch`]), but only
     /// re-solves the weakly-connected components the updates dirtied.
     /// Replaces any previously attached advisor.
+    ///
+    /// With persistence enabled, attaching an advisor immediately writes a
+    /// fresh snapshot generation (advisor attachment is a structural change
+    /// the WAL's update vocabulary cannot express).
     pub fn enable_advisor(&mut self, model: CostModel, config: AdvisorConfig) -> Result<()> {
         self.advisor = Some(AdvisorState::build(&self.lake, &self.graph, model, config)?);
+        if self.persist.is_some() {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -408,6 +463,11 @@ impl R2d2Session {
     }
 
     /// Detach the storage advisor (updates stop paying the sync cost).
+    ///
+    /// Not write-ahead-logged: with persistence enabled the detachment is
+    /// captured by the next [`R2d2Session::checkpoint`] (a restore from an
+    /// older generation resurrects the advisor, which is harmless — its
+    /// advice stays oracle-correct).
     pub fn disable_advisor(&mut self) {
         self.advisor = None;
     }
@@ -460,6 +520,30 @@ impl R2d2Session {
     /// drifted. Returns how many profiles changed.
     pub fn refresh_access_profiles(&mut self) -> Result<usize> {
         let counts = self.lake.drain_access_counts();
+        if let Some(p) = &mut self.persist {
+            // The drained tallies — and the read-side metering accumulated
+            // since the last sync point — are runtime traffic replay cannot
+            // regenerate, so the record carries both verbatim.
+            let record = WalRecord::AccessRefresh {
+                counts: counts.clone(),
+                meter: self.meter.snapshot(),
+            };
+            if let Err(e) = p.wal.append(&record.encode()) {
+                // Put the window back: the drained counts were neither
+                // logged nor applied, so they must not be lost to a
+                // transient append failure (merged — traffic may have
+                // arrived since the drain).
+                self.lake.access_log().merge(&counts);
+                return Err(e);
+            }
+        }
+        self.apply_access_counts(&counts)
+    }
+
+    /// Fold one drained access-tally window into the catalog profiles and
+    /// the advisor — shared by [`R2d2Session::refresh_access_profiles`] and
+    /// WAL replay.
+    fn apply_access_counts(&mut self, counts: &BTreeMap<u64, u64>) -> Result<usize> {
         let mut changed = 0usize;
         // Every catalogued dataset is visited: one that served no queries
         // this window observed 0 accesses — a once-hot dataset must cool
@@ -501,6 +585,299 @@ impl R2d2Session {
     /// Dissolve the session into its lake and graph.
     pub fn into_parts(self) -> (DataLake, ContainmentGraph) {
         (self.lake, self.graph)
+    }
+
+    // -------------------------------------------------------------------
+    // Durability: snapshots, write-ahead log, warm restart
+    // -------------------------------------------------------------------
+
+    /// Make the session durable: write a snapshot generation into
+    /// `config.dir` and start write-ahead logging every subsequent
+    /// [`R2d2Session::apply_batch`] /
+    /// [`R2d2Session::refresh_access_profiles`] before it mutates state.
+    /// From here on, [`R2d2Session::restore`] on that directory rebuilds
+    /// this session bit-identically after a crash or clean shutdown.
+    ///
+    /// If the directory already holds generations (e.g. from an earlier
+    /// process), a fresh generation is started after the newest one; older
+    /// generations beyond the previous are pruned.
+    pub fn enable_persistence(&mut self, config: PersistenceConfig) -> Result<()> {
+        std::fs::create_dir_all(&config.dir)?;
+        let seq = persist::list_generations(&config.dir)?
+            .last()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        self.write_generation(config, seq)
+    }
+
+    /// Whether the session is persisting itself.
+    pub fn persistence_enabled(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Current snapshot generation number, when persistence is enabled.
+    pub fn persistence_generation(&self) -> Option<u64> {
+        self.persist.as_ref().map(|p| p.seq)
+    }
+
+    /// Updates write-ahead-logged since the current generation's snapshot
+    /// (the WAL tail a restore would replay right now).
+    pub fn wal_tail_updates(&self) -> Option<usize> {
+        self.persist.as_ref().map(|p| p.updates_since_snapshot)
+    }
+
+    /// Write a fresh snapshot generation now and rotate the write-ahead log,
+    /// returning the new generation number. Errors when persistence is not
+    /// enabled. Generations older than the previous one are pruned.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let (config, seq) = match &self.persist {
+            Some(p) => (p.config.clone(), p.seq + 1),
+            None => {
+                return Err(r2d2_lake::LakeError::InvalidArgument(
+                    "persistence is not enabled; call enable_persistence first".into(),
+                ))
+            }
+        };
+        self.write_generation(config, seq)?;
+        Ok(seq)
+    }
+
+    /// Write generation `seq` (snapshot + empty WAL) and make it the live
+    /// one. On success the previous generation is kept as a fallback and
+    /// anything older is pruned; on failure the previous persistence state
+    /// stays attached.
+    ///
+    /// Order matters: the WAL is created *before* the snapshot is renamed
+    /// into place. The snapshot file is what makes a generation visible to
+    /// [`R2d2Session::restore`], so a failure in between leaves only a
+    /// stray empty WAL (invisible — restore walks snapshot files) and the
+    /// session keeps appending to its old, fully consistent generation.
+    /// Writing the snapshot first would open a window where a visible
+    /// newer snapshot shadows records still being acknowledged into the
+    /// old WAL.
+    fn write_generation(&mut self, config: PersistenceConfig, seq: u64) -> Result<()> {
+        let snapshot = self.snapshot_with_policy(config.snapshot_every_n_updates);
+        let wal = WalWriter::create(&persist::wal_path(&config.dir, seq))?;
+        persist::write_snapshot_file(&persist::snapshot_path(&config.dir, seq), &snapshot.bytes)?;
+        self.persist = Some(Persistence {
+            config: config.clone(),
+            seq,
+            wal,
+            updates_since_snapshot: 0,
+        });
+        // Pruning is best-effort: the new generation is already durable and
+        // live, so a cleanup failure must not fail the checkpoint.
+        persist::prune_generations(&config.dir, seq.saturating_sub(1)).ok();
+        Ok(())
+    }
+
+    /// Capture a self-contained point-in-time snapshot of the session (the
+    /// same image a persistence generation writes, without touching disk or
+    /// the WAL).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let policy = self
+            .persist
+            .as_ref()
+            .map(|p| p.config.snapshot_every_n_updates)
+            .unwrap_or(persist::DEFAULT_SNAPSHOT_EVERY);
+        self.snapshot_with_policy(policy)
+    }
+
+    fn snapshot_with_policy(&self, snapshot_every_n_updates: usize) -> SessionSnapshot {
+        SessionSnapshot {
+            bytes: persist::encode_snapshot(&persist::SnapshotParts {
+                config: &self.config,
+                snapshot_every_n_updates,
+                lake: &self.lake,
+                graph: &self.graph,
+                interner: &self.interner,
+                cache: &self.cache,
+                bootstrap: &self.bootstrap,
+                updates_applied: self.updates_applied,
+                log: &self.log,
+                advisor: self.advisor.as_ref(),
+            }),
+        }
+    }
+
+    /// Warm restart: load the newest intact snapshot generation in `dir`,
+    /// replay its write-ahead-log tail, and resume persisting into the same
+    /// directory. The result is bit-identical — graph, meter totals, update
+    /// log, caches, advisor — to the session that wrote the files, no
+    /// matter where between snapshots it was killed
+    /// (`tests/integration_persistence.rs` pins this with a randomized
+    /// crash oracle).
+    ///
+    /// Corrupt state degrades gracefully: a torn or checksum-corrupt WAL
+    /// tail is dropped at the first bad record (only unacknowledged work is
+    /// lost, by the write-ahead contract), and a corrupt snapshot falls
+    /// back to the previous generation — whose replay then continues
+    /// through the newer generation's intact WAL, so acknowledged updates
+    /// survive even the loss of the snapshot that followed them.
+    pub fn restore(dir: impl AsRef<Path>) -> Result<R2d2Session> {
+        let dir = dir.as_ref();
+        let generations = persist::list_generations(dir)?;
+
+        // 1. Newest decodable snapshot wins as the replay base.
+        let mut base = None;
+        let mut last_err: Option<r2d2_lake::LakeError> = None;
+        for &seq in generations.iter().rev() {
+            let attempt = SessionSnapshot::read(&persist::snapshot_path(dir, seq))
+                .and_then(|s| persist::decode_snapshot(&s.bytes));
+            match attempt {
+                Ok(decoded) => {
+                    base = Some((seq, decoded));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some((base_seq, decoded)) = base else {
+            return Err(last_err.unwrap_or_else(|| {
+                r2d2_lake::LakeError::InvalidArgument(format!(
+                    "no snapshot generations found in {}",
+                    dir.display()
+                ))
+            }));
+        };
+        let policy = decoded.snapshot_every_n_updates;
+        let mut session = R2d2Session::from_decoded(decoded);
+
+        // 2. Replay WALs from the base generation forward. Generation N's
+        //    WAL holds the updates applied after snapshot N, so when a
+        //    newer snapshot was corrupt (base fell back), replaying the
+        //    base WAL first reproduces exactly the state that newer
+        //    snapshot captured — and the newer WAL then applies cleanly on
+        //    top. Each batch re-executes through the exact apply path the
+        //    live session used (same planner, caches and RNG streams), so
+        //    mutations, metering and update-log entries come out identical
+        //    — including batches that originally failed mid-way, which fail
+        //    at the same update again.
+        let updates_before = session.updates_applied;
+        let fell_back = generations.iter().any(|&s| s > base_seq);
+        let mut dropped_tail = false;
+        for &seq in generations.iter().filter(|&&s| s >= base_seq) {
+            let wal_file = persist::wal_path(dir, seq);
+            if !wal_file.exists() {
+                continue;
+            }
+            let contents = match wal::read_records(&wal_file) {
+                Ok(contents) => contents,
+                // An unreadable newer WAL (destroyed header) ends the
+                // replay: everything behind it is unknowable, like a torn
+                // tail. The base generation's own WAL failing this way is
+                // the same situation with zero tail records.
+                Err(_) => {
+                    dropped_tail = true;
+                    break;
+                }
+            };
+            dropped_tail |= contents.dropped_tail;
+            for raw in contents.records {
+                let mut cursor = bytes::Bytes::from(raw);
+                let record = WalRecord::decode(&mut cursor)?;
+                if cursor.remaining() != 0 {
+                    return Err(r2d2_lake::LakeError::Corrupt(
+                        "trailing wal record bytes".into(),
+                    ));
+                }
+                match record {
+                    WalRecord::Batch(updates) => {
+                        let _ = session.apply_batch_inner(&updates, false);
+                    }
+                    WalRecord::AccessRefresh { counts, meter } => {
+                        session.apply_access_counts(&counts)?;
+                        // Top the meter up to the recorded totals: replay
+                        // reproduces all session-applied work, so any gap is
+                        // exactly the read-side traffic served out-of-band
+                        // before this sync point.
+                        let gap = meter.since(&session.meter.snapshot());
+                        session.meter.add_counts(&gap);
+                    }
+                }
+            }
+            if dropped_tail {
+                break; // nothing behind a torn record can be trusted
+            }
+        }
+        let replayed = session.updates_applied - updates_before;
+
+        // 3. Resume persisting. The clean common case appends to the live
+        //    generation's WAL; any degradation (torn tail, snapshot
+        //    fallback) rotates to a fresh generation so the directory is
+        //    coherent again.
+        let config = PersistenceConfig {
+            dir: dir.to_path_buf(),
+            snapshot_every_n_updates: policy,
+        };
+        let live_seq = generations.last().copied().unwrap_or(base_seq);
+        let live_wal = persist::wal_path(dir, live_seq);
+        if dropped_tail || fell_back {
+            session.write_generation(config, live_seq + 1)?;
+        } else {
+            let wal = if live_wal.exists() {
+                WalWriter::open_append(&live_wal)?
+            } else {
+                WalWriter::create(&live_wal)?
+            };
+            session.persist = Some(Persistence {
+                config,
+                seq: live_seq,
+                wal,
+                updates_since_snapshot: replayed,
+            });
+            session.maybe_auto_checkpoint()?;
+        }
+        Ok(session)
+    }
+
+    /// Assemble a live session from a decoded snapshot. The per-dataset
+    /// interned schema sets are rebuilt from the restored interner (every
+    /// name is already interned, so symbol ids — and hence all downstream
+    /// comparisons — come out identical to the captured session's).
+    pub(crate) fn from_decoded(decoded: persist::DecodedSnapshot) -> R2d2Session {
+        let persist::DecodedSnapshot {
+            config,
+            snapshot_every_n_updates: _,
+            lake,
+            graph,
+            mut interner,
+            cache,
+            bootstrap,
+            updates_applied,
+            log,
+            advisor,
+        } = decoded;
+        let schemas = lake
+            .iter()
+            .map(|e| (e.id.0, interner.intern_set(&e.data.schema().schema_set())))
+            .collect();
+        let meter = lake.meter().clone();
+        R2d2Session {
+            lake,
+            graph,
+            interner,
+            schemas,
+            cache,
+            meter,
+            config,
+            bootstrap,
+            updates_applied,
+            log,
+            advisor,
+            persist: None,
+        }
+    }
+}
+
+impl SessionSnapshot {
+    /// Rebuild a live session from this snapshot image alone (no WAL
+    /// replay, no persistence attached — pair with
+    /// [`R2d2Session::enable_persistence`] to resume durability).
+    pub fn restore(&self) -> Result<R2d2Session> {
+        let decoded = persist::decode_snapshot(&self.bytes)?;
+        Ok(R2d2Session::from_decoded(decoded))
     }
 }
 

@@ -1,0 +1,239 @@
+//! Binary round-trip codec for [`ContainmentGraph`].
+//!
+//! The serde derives in this offline workspace are no-op markers, so durable
+//! session snapshots (`r2d2_core::persist`) serialize the graph through this
+//! hand-written little-endian format instead. The encoding preserves
+//! everything observable about a graph — *including node-id assignment*:
+//! dataset ids are written in insertion order and re-added in that order on
+//! decode, so `node_of`/`dataset_of` mappings, `datasets()` order and edge
+//! annotations all survive, and the decoded graph is `==` to the original.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! node_count u32 | dataset ids u64* (insertion order)
+//! edge_count u32
+//! per edge: parent u64 | child u64 | annotation
+//! annotation: 4 optional fields, each `present u8` then the payload
+//!   (f64 fraction | len-prefixed utf8 transform | f64 cost | f64 latency)
+//! ```
+
+use crate::containment::{ContainmentEdge, ContainmentGraph};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error raised when decoding a corrupt graph blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphCodecError(String);
+
+impl std::fmt::Display for GraphCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt graph encoding: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphCodecError {}
+
+fn corrupt<T>(what: &str) -> Result<T, GraphCodecError> {
+    Err(GraphCodecError(what.to_string()))
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), GraphCodecError> {
+    if buf.remaining() < n {
+        return corrupt(what);
+    }
+    Ok(())
+}
+
+fn put_opt_f64(buf: &mut BytesMut, v: &Option<f64>) {
+    match v {
+        None => buf.put_u8(0),
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_f64_le(*x);
+        }
+    }
+}
+
+fn get_opt_f64(buf: &mut Bytes) -> Result<Option<f64>, GraphCodecError> {
+    need(buf, 1, "optional f64 tag")?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            need(buf, 8, "f64")?;
+            Ok(Some(buf.get_f64_le()))
+        }
+        _ => corrupt("unknown optional f64 tag"),
+    }
+}
+
+fn put_opt_str(buf: &mut BytesMut, v: &Option<String>) {
+    match v {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut Bytes) -> Result<Option<String>, GraphCodecError> {
+    need(buf, 1, "optional string tag")?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            need(buf, 4, "string length")?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len, "string payload")?;
+            let raw = buf.copy_to_bytes(len);
+            match String::from_utf8(raw.to_vec()) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => corrupt("invalid utf8"),
+            }
+        }
+        _ => corrupt("unknown optional string tag"),
+    }
+}
+
+/// Serialize a graph into the binary format described in the module docs.
+pub fn encode(graph: &ContainmentGraph) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(graph.node_count() as u32);
+    for &dataset in graph.datasets() {
+        buf.put_u64_le(dataset);
+    }
+    let edges = graph.edges();
+    buf.put_u32_le(edges.len() as u32);
+    for (parent, child) in edges {
+        buf.put_u64_le(parent);
+        buf.put_u64_le(child);
+        let annotation = graph.edge(parent, child).expect("edge just listed");
+        put_opt_f64(&mut buf, &annotation.containment_fraction);
+        put_opt_str(&mut buf, &annotation.transform);
+        put_opt_f64(&mut buf, &annotation.reconstruction_cost);
+        put_opt_f64(&mut buf, &annotation.reconstruction_latency);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph, reproducing node ids, edges and annotations exactly.
+pub fn decode(buf: &mut Bytes) -> Result<ContainmentGraph, GraphCodecError> {
+    need(buf, 4, "node count")?;
+    let nodes = buf.get_u32_le() as usize;
+    let mut graph = ContainmentGraph::new();
+    for _ in 0..nodes {
+        need(buf, 8, "dataset id")?;
+        graph.add_dataset(buf.get_u64_le());
+    }
+    if graph.node_count() != nodes {
+        return corrupt("duplicate dataset id");
+    }
+    need(buf, 4, "edge count")?;
+    let edges = buf.get_u32_le() as usize;
+    for _ in 0..edges {
+        need(buf, 16, "edge endpoints")?;
+        let parent = buf.get_u64_le();
+        let child = buf.get_u64_le();
+        let annotation = ContainmentEdge {
+            containment_fraction: get_opt_f64(buf)?,
+            transform: get_opt_str(buf)?,
+            reconstruction_cost: get_opt_f64(buf)?,
+            reconstruction_latency: get_opt_f64(buf)?,
+        };
+        if graph.node_of(parent).is_none() || graph.node_of(child).is_none() {
+            return corrupt("edge endpoint not in node list");
+        }
+        if !graph.add_edge_with(parent, child, annotation) {
+            return corrupt("duplicate edge");
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContainmentGraph {
+        // Non-contiguous dataset ids in non-sorted insertion order, so the
+        // round trip must preserve the id ↔ node mapping, not re-derive it.
+        let mut g = ContainmentGraph::with_datasets([7, 2, 40, 11]);
+        g.add_edge(7, 2);
+        g.add_edge_with(
+            40,
+            11,
+            ContainmentEdge {
+                containment_fraction: Some(0.75),
+                transform: Some("WHERE ts < 100".into()),
+                reconstruction_cost: Some(1.25),
+                reconstruction_latency: None,
+            },
+        );
+        g.add_edge(7, 11);
+        g
+    }
+
+    #[test]
+    fn round_trip_is_equal_including_node_ids() {
+        let g = sample();
+        let bytes = encode(&g);
+        let mut cursor = bytes.clone();
+        let back = decode(&mut cursor).unwrap();
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(back, g);
+        assert_eq!(back.datasets(), g.datasets());
+        for &d in g.datasets() {
+            assert_eq!(back.node_of(d), g.node_of(d), "node ids must be stable");
+        }
+        assert_eq!(
+            back.edge(40, 11).unwrap().transform.as_deref(),
+            Some("WHERE ts < 100")
+        );
+        // Canonical: re-encoding the decoded graph is bit-identical.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = ContainmentGraph::new();
+        let mut cursor = encode(&g);
+        assert_eq!(decode(&mut cursor).unwrap(), g);
+    }
+
+    #[test]
+    fn cleared_datasets_keep_their_isolated_nodes() {
+        let mut g = sample();
+        g.clear_dataset(2);
+        let mut cursor = encode(&g);
+        let back = decode(&mut cursor).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.node_count(), 4);
+        assert!(!back.has_edge(7, 2));
+    }
+
+    #[test]
+    fn corrupt_blobs_are_clean_errors() {
+        let bytes = encode(&sample());
+        // Truncations at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            let mut cursor = bytes.slice(0..cut);
+            if cut == 0 {
+                assert!(decode(&mut cursor).is_err());
+            } else {
+                let _ = decode(&mut cursor); // must not panic
+            }
+        }
+        // Edge referencing an unknown node.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u64_le(5);
+        buf.put_u32_le(1);
+        buf.put_u64_le(5);
+        buf.put_u64_le(99); // child never declared
+        buf.put_u8(0);
+        buf.put_u8(0);
+        buf.put_u8(0);
+        buf.put_u8(0);
+        assert!(decode(&mut buf.freeze()).is_err());
+    }
+}

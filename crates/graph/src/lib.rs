@@ -18,11 +18,14 @@
 //!   optimizer scalability study (Fig. 6) and the Dyn-Lin tests.
 //! * [`algo`] — ancillary graph algorithms (cycle detection, topological
 //!   order, reachability, transitive reduction).
+//! * [`codec`] — binary round-trip serialization of containment graphs for
+//!   durable session snapshots.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod algo;
+pub mod codec;
 pub mod containment;
 pub mod diff;
 pub mod digraph;

@@ -130,6 +130,16 @@ impl AccessLog {
     pub fn drain(&self) -> BTreeMap<u64, u64> {
         std::mem::take(&mut *self.counts.lock().expect("access log poisoned"))
     }
+
+    /// Add tallies back into the log (e.g. a drained window whose
+    /// processing failed must not lose its counts). Merges with whatever
+    /// accumulated in the meantime.
+    pub fn merge(&self, counts: &BTreeMap<u64, u64>) {
+        let mut live = self.counts.lock().expect("access log poisoned");
+        for (&id, &n) in counts {
+            *live.entry(id).or_insert(0) += n;
+        }
+    }
 }
 
 /// The data lake catalog: a set of datasets sharing one operation meter.
@@ -272,6 +282,31 @@ impl DataLake {
         Ok(())
     }
 
+    /// The id the next [`DataLake::add_dataset`] will assign. Snapshots
+    /// persist it so ids keep advancing monotonically across restarts even
+    /// when the highest-numbered dataset was dropped.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Restore hook for [`crate::snapshot`]: re-insert a catalog entry under
+    /// its original id without assigning a fresh one.
+    pub(crate) fn restore_entry(&mut self, entry: DatasetEntry) {
+        self.by_name.insert(entry.name.clone(), entry.id);
+        self.datasets.insert(entry.id, entry);
+    }
+
+    /// Restore hook for [`crate::snapshot`]: pin the id counter.
+    pub(crate) fn set_next_id(&mut self, next_id: u64) {
+        self.next_id = next_id;
+    }
+
+    /// Restore hook for [`crate::snapshot`]: seed the access log with saved
+    /// (undrained) tallies.
+    pub(crate) fn restore_access_counts(&self, counts: BTreeMap<u64, u64>) {
+        *self.access_log.counts.lock().expect("access log poisoned") = counts;
+    }
+
     /// Replace the data of an existing dataset (used by the dynamic-update
     /// scenarios of §7.1: rows/columns added or removed in place).
     pub fn replace_data(&mut self, id: DatasetId, data: PartitionedTable) -> Result<()> {
@@ -404,6 +439,15 @@ mod tests {
         assert!(
             lake.access_log().counts().is_empty(),
             "drain resets the log"
+        );
+
+        // A drained window whose processing failed can be merged back,
+        // combining with traffic that arrived in the meantime.
+        lake.record_access(b);
+        lake.access_log().merge(&drained);
+        assert_eq!(
+            lake.access_log().counts(),
+            BTreeMap::from([(a.0, 3), (b.0, 2)])
         );
     }
 

@@ -50,6 +50,19 @@ impl Column {
         })
     }
 
+    /// Assemble a column from values and *already-known* statistics, without
+    /// re-validating types or re-hashing for the distinct count. Reserved
+    /// for the storage layer, whose packed pages are type-pure by
+    /// construction and whose footer carries the exact statistics the
+    /// column was encoded with.
+    pub(crate) fn from_parts(data_type: DataType, values: Vec<Value>, stats: ColumnStats) -> Self {
+        Column {
+            data_type,
+            values,
+            stats,
+        }
+    }
+
     /// Build an integer column.
     pub fn from_ints(values: impl IntoIterator<Item = i64>) -> Self {
         let values: Vec<Value> = values.into_iter().map(Value::Int).collect();

@@ -16,6 +16,10 @@
 //!   Min-Max Pruning (Algorithm 2) reads instead of scanning rows.
 //! * **A binary columnar storage format** ([`storage`]) with a statistics
 //!   footer, standing in for parquet files in ADLS.
+//! * **Durability building blocks** ([`snapshot`], [`wal`]) — canonical
+//!   binary codecs for catalog/update/cache state and a checksummed
+//!   write-ahead-log file format, the substrate of
+//!   `r2d2_core::R2d2Session`'s snapshot + warm-restart persistence.
 //! * **Predicate queries, sampling and anti-joins** ([`query`]) — the
 //!   operations Content-Level Pruning (Algorithm 3) issues
 //!   (`SELECT * FROM A WHERE col = v`, left-anti join against the parent).
@@ -53,11 +57,13 @@ pub mod partition;
 pub mod query;
 pub mod row;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod storage;
 pub mod table;
 pub mod update;
 pub mod value;
+pub mod wal;
 
 pub use builder::TableBuilder;
 pub use catalog::{AccessLog, AccessProfile, DataLake, DatasetEntry, DatasetId, Lineage};

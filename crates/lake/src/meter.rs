@@ -168,6 +168,20 @@ impl Meter {
         }
     }
 
+    /// Add a whole [`OpCounts`] snapshot onto the counters at once. Used by
+    /// snapshot restore to seed a fresh meter with the totals a session had
+    /// accumulated when it was persisted.
+    pub fn add_counts(&self, counts: &OpCounts) {
+        self.add_rows_scanned(counts.rows_scanned);
+        self.add_bytes_scanned(counts.bytes_scanned);
+        self.add_rows_hashed(counts.rows_hashed);
+        self.add_row_comparisons(counts.row_comparisons);
+        self.add_metadata_lookups(counts.metadata_lookups);
+        self.add_partitions_pruned(counts.partitions_pruned);
+        self.add_partitions_scanned(counts.partitions_scanned);
+        self.add_schema_comparisons(counts.schema_comparisons);
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         self.counters.rows_scanned.store(0, Ordering::Relaxed);

@@ -88,6 +88,16 @@ impl PartitionedTable {
         Self::assemble(schema, partitions, PartitionSpec::Explicit)
     }
 
+    /// Restore hook for [`crate::snapshot`]: re-attach the original
+    /// [`PartitionSpec`] to a table whose partitions were read back from
+    /// storage (which only records the row groups, not the policy that
+    /// produced them). Future appends/deletes rebuild under the original
+    /// policy, exactly as the never-persisted table would.
+    pub(crate) fn with_spec(mut self, spec: PartitionSpec) -> PartitionedTable {
+        self.spec = spec;
+        self
+    }
+
     fn assemble(schema: Schema, partitions: Vec<Table>, spec: PartitionSpec) -> Result<Self> {
         let partition_meta: Vec<PartitionMeta> = partitions
             .iter()

@@ -426,6 +426,33 @@ impl HashJoinCache {
         self.len() == 0
     }
 
+    /// Snapshot hook for [`crate::snapshot`]: every *populated* cache entry,
+    /// sorted by key so the encoding is canonical. Slots whose build is
+    /// still in flight (allocated but empty) are skipped — they carry no
+    /// state worth persisting.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn export_entries(&self) -> Vec<((u64, Vec<String>), Arc<HashMap<RowHash, usize>>)> {
+        let slots = self.slots.lock().expect("cache lock poisoned");
+        let mut entries: Vec<_> = slots
+            .iter()
+            .filter_map(|(key, slot)| {
+                let entry = slot.lock().expect("slot lock poisoned");
+                entry.as_ref().map(|m| (key.clone(), Arc::clone(m)))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Restore hook for [`crate::snapshot`]: re-insert one decoded multiset
+    /// under its original `(build dataset, column set)` key.
+    pub(crate) fn restore_entry(&self, key: (u64, Vec<String>), multiset: HashMap<RowHash, usize>) {
+        let mut slots = self.slots.lock().expect("cache lock poisoned");
+        let slot = Arc::clone(slots.entry(key).or_default());
+        drop(slots);
+        *slot.lock().expect("slot lock poisoned") = Some(Arc::new(multiset));
+    }
+
     /// Drop every cached multiset of `build_id`, releasing its memory.
     ///
     /// Sweeps that visit edges grouped by build side (e.g. the ground-truth

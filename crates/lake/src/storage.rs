@@ -12,13 +12,37 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "R2D2LAKE" | version u32
+//! magic "R2D2LAKE" | version u32 (2)
 //! schema: field_count u32, then per field: name_len u32, name bytes, type u8
 //! row_group_count u32
-//! per row group: row_count u64, per column: encoded values
+//! per row group: row_count u64, per column: packed column page
 //! footer: per row group, per column: stats (min/max encoded values, null count)
 //! footer_offset u64 | magic "R2D2LAKE"
 //! ```
+//!
+//! A **column page** (version 2) starts with one layout byte:
+//!
+//! ```text
+//! layout 1 ("packed", the common case — every non-null value has exactly
+//!           the column's declared type):
+//!   presence bitmap: ceil(rows / 8) bytes, bit i set ⇔ row i non-null
+//!   then the non-null values back to back, untagged:
+//!     Bool       1 byte each
+//!     Int        i64 LE each
+//!     Float      f64 LE (bit pattern) each
+//!     Timestamp  i64 LE each
+//!     Utf8       u32 LE length + bytes each
+//! layout 0 ("tagged" fallback — mixed-variant columns, e.g. Int values
+//!           widened into a Float column):
+//!   rows × tagged values (null flag u8, then type tag u8 + payload)
+//! ```
+//!
+//! Version 2 also extends each footer entry with the column's exact
+//! distinct count, so a full read can rebuild every cached [`ColumnStats`]
+//! from the footer instead of re-hashing all values. Together (version 1
+//! stored every value behind a null flag + type tag and recomputed
+//! statistics on read) this makes whole-lake deserialization — the warm
+//! session-restart path — several times faster.
 
 use crate::column::Column;
 use crate::datatype::DataType;
@@ -35,13 +59,13 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"R2D2LAKE";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Value encoding tags inside data pages.
 const VAL_NULL: u8 = 0;
 const VAL_PRESENT: u8 = 1;
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(VAL_NULL),
         other => {
@@ -62,7 +86,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value> {
+pub(crate) fn get_value(buf: &mut Bytes) -> Result<Value> {
     if buf.remaining() < 1 {
         return Err(LakeError::Corrupt("truncated value".into()));
     }
@@ -117,7 +141,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
     })
 }
 
-fn put_opt_value(buf: &mut BytesMut, v: &Option<Value>) {
+pub(crate) fn put_opt_value(buf: &mut BytesMut, v: &Option<Value>) {
     match v {
         None => buf.put_u8(0),
         Some(v) => {
@@ -127,7 +151,7 @@ fn put_opt_value(buf: &mut BytesMut, v: &Option<Value>) {
     }
 }
 
-fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
+pub(crate) fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
     if buf.remaining() < 1 {
         return Err(LakeError::Corrupt("truncated optional value".into()));
     }
@@ -138,8 +162,224 @@ fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
     }
 }
 
-/// Per-column footer entry: `(min, max, null_count)`.
-pub type ColumnFooterStats = (Option<Value>, Option<Value>, u64);
+/// Column page layout bytes.
+const LAYOUT_TAGGED: u8 = 0;
+const LAYOUT_PACKED: u8 = 1;
+
+/// Append one column page: packed when every non-null value carries exactly
+/// the declared type, tagged otherwise (Int values widened into Float /
+/// Timestamp columns must round-trip variant-exactly).
+fn put_column(buf: &mut BytesMut, col: &Column) {
+    let values = col.values();
+    let pure = values
+        .iter()
+        .all(|v| matches!(v, Value::Null) || v.data_type() == col.data_type());
+    if !pure {
+        buf.put_u8(LAYOUT_TAGGED);
+        for v in values {
+            put_value(buf, v);
+        }
+        return;
+    }
+    buf.put_u8(LAYOUT_PACKED);
+    let mut bitmap = vec![0u8; values.len().div_ceil(8)];
+    for (i, v) in values.iter().enumerate() {
+        if !matches!(v, Value::Null) {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.put_slice(&bitmap);
+    for v in values {
+        match v {
+            Value::Null => {}
+            Value::Bool(b) => buf.put_u8(*b as u8),
+            Value::Int(i) | Value::Timestamp(i) => buf.put_i64_le(*i),
+            Value::Float(f) => buf.put_f64_le(*f),
+            Value::Str(s) => {
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Read the presence bitmap of a packed column page, returning it together
+/// with the number of non-null values it declares.
+fn get_presence(buf: &mut Bytes, rows: usize) -> Result<(Bytes, usize)> {
+    let bitmap_len = rows.div_ceil(8);
+    if buf.remaining() < bitmap_len {
+        return Err(LakeError::Corrupt("truncated presence bitmap".into()));
+    }
+    let bitmap = buf.copy_to_bytes(bitmap_len);
+    let mut present = 0usize;
+    for i in 0..rows {
+        present += ((bitmap[i / 8] >> (i % 8)) & 1) as usize;
+    }
+    Ok((bitmap, present))
+}
+
+fn present(bitmap: &[u8], i: usize) -> bool {
+    (bitmap[i / 8] >> (i % 8)) & 1 == 1
+}
+
+/// Decode one column page into a [`Column`]. `stats` is the column's footer
+/// entry, reattached instead of recomputed. Packed fixed-width types are
+/// read from one contiguous region (a single bounds check per page), which
+/// is what makes whole-lake deserialization — the warm-restart path — fast.
+fn get_column(buf: &mut Bytes, dt: DataType, rows: usize, stats: ColumnStats) -> Result<Column> {
+    if buf.remaining() < 1 {
+        return Err(LakeError::Corrupt("truncated column layout".into()));
+    }
+    match buf.get_u8() {
+        LAYOUT_TAGGED => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(get_value(buf)?);
+            }
+            // The fallback layout admits mixed variants, so validate (and
+            // recompute statistics) through the standard constructor.
+            return Column::new(dt, values);
+        }
+        LAYOUT_PACKED => {}
+        other => return Err(LakeError::Corrupt(format!("unknown column layout {other}"))),
+    }
+    let (bitmap, count) = get_presence(buf, rows)?;
+    let mut values = Vec::with_capacity(rows);
+    match dt {
+        DataType::Null => {
+            if count != 0 {
+                return Err(LakeError::Corrupt(
+                    "non-null value in null-typed column".into(),
+                ));
+            }
+            values.resize(rows, Value::Null);
+        }
+        DataType::Bool => {
+            if buf.remaining() < count {
+                return Err(LakeError::Corrupt("truncated bool page".into()));
+            }
+            let raw = buf.copy_to_bytes(count);
+            let mut next = raw.iter();
+            for i in 0..rows {
+                values.push(if present(&bitmap, i) {
+                    Value::Bool(*next.next().expect("sized above") != 0)
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        DataType::Int | DataType::Timestamp => {
+            if buf.remaining() < count * 8 {
+                return Err(LakeError::Corrupt("truncated int page".into()));
+            }
+            let raw = buf.copy_to_bytes(count * 8);
+            let mut chunks = raw.chunks_exact(8);
+            for i in 0..rows {
+                values.push(if present(&bitmap, i) {
+                    let x = i64::from_le_bytes(
+                        chunks.next().expect("sized above").try_into().expect("8"),
+                    );
+                    if dt == DataType::Int {
+                        Value::Int(x)
+                    } else {
+                        Value::Timestamp(x)
+                    }
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        DataType::Float => {
+            if buf.remaining() < count * 8 {
+                return Err(LakeError::Corrupt("truncated float page".into()));
+            }
+            let raw = buf.copy_to_bytes(count * 8);
+            let mut chunks = raw.chunks_exact(8);
+            for i in 0..rows {
+                values.push(if present(&bitmap, i) {
+                    Value::Float(f64::from_le_bytes(
+                        chunks.next().expect("sized above").try_into().expect("8"),
+                    ))
+                } else {
+                    Value::Null
+                });
+            }
+        }
+        DataType::Utf8 => {
+            for i in 0..rows {
+                if present(&bitmap, i) {
+                    if buf.remaining() < 4 {
+                        return Err(LakeError::Corrupt("truncated string length".into()));
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len {
+                        return Err(LakeError::Corrupt("truncated string".into()));
+                    }
+                    let raw = buf.copy_to_bytes(len);
+                    values.push(Value::Str(
+                        String::from_utf8(raw.to_vec())
+                            .map_err(|_| LakeError::Corrupt("invalid utf8".into()))?,
+                    ));
+                } else {
+                    values.push(Value::Null);
+                }
+            }
+        }
+    }
+    // Packed pages are type-pure by construction, so the values need no
+    // re-validation and the footer statistics can be attached verbatim.
+    Ok(Column::from_parts(dt, values, stats))
+}
+
+/// Skip one column page without materialising values (footer-only reads).
+fn skip_column(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<()> {
+    if buf.remaining() < 1 {
+        return Err(LakeError::Corrupt("truncated column layout".into()));
+    }
+    match buf.get_u8() {
+        LAYOUT_TAGGED => {
+            for _ in 0..rows {
+                get_value(buf)?;
+            }
+            return Ok(());
+        }
+        LAYOUT_PACKED => {}
+        other => return Err(LakeError::Corrupt(format!("unknown column layout {other}"))),
+    }
+    let (bitmap, count) = get_presence(buf, rows)?;
+    let fixed = match dt {
+        DataType::Null => Some(0usize),
+        DataType::Bool => Some(1),
+        DataType::Int | DataType::Timestamp | DataType::Float => Some(8),
+        DataType::Utf8 => None,
+    };
+    match fixed {
+        Some(width) => {
+            if buf.remaining() < count * width {
+                return Err(LakeError::Corrupt("truncated column page".into()));
+            }
+            buf.advance(count * width);
+        }
+        None => {
+            for i in 0..rows {
+                if present(&bitmap, i) {
+                    if buf.remaining() < 4 {
+                        return Err(LakeError::Corrupt("truncated string length".into()));
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len {
+                        return Err(LakeError::Corrupt("truncated string".into()));
+                    }
+                    buf.advance(len);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-column footer entry: `(min, max, null_count, distinct_count)`.
+pub type ColumnFooterStats = (Option<Value>, Option<Value>, u64, u64);
 
 /// Per-row-group, per-column statistics that live in the file footer and can
 /// be read without touching data pages.
@@ -171,9 +411,7 @@ pub fn encode(table: &PartitionedTable) -> Bytes {
     for part in table.partitions() {
         buf.put_u64_le(part.num_rows() as u64);
         for col in part.columns() {
-            for v in col.values() {
-                put_value(&mut buf, v);
-            }
+            put_column(&mut buf, col);
         }
     }
 
@@ -187,6 +425,7 @@ pub fn encode(table: &PartitionedTable) -> Bytes {
             put_opt_value(&mut buf, &stats.min);
             put_opt_value(&mut buf, &stats.max);
             buf.put_u64_le(stats.null_count as u64);
+            buf.put_u64_le(stats.distinct_count as u64);
         }
     }
     buf.put_u64_le(footer_offset);
@@ -228,8 +467,51 @@ fn decode_schema(buf: &mut Bytes) -> Result<Schema> {
     Schema::new(fields)
 }
 
+/// Parse the footer region into per-group, per-column entries, in the
+/// schema order they were written.
+fn parse_footer_entries(
+    bytes: &Bytes,
+    schema: &Schema,
+    group_count: usize,
+) -> Result<Vec<Vec<(String, ColumnFooterStats)>>> {
+    let tail_start = bytes.len() - 16;
+    let mut tail = bytes.slice(tail_start..);
+    let footer_offset = tail.get_u64_le() as usize;
+    if footer_offset > tail_start {
+        return Err(LakeError::Corrupt("footer offset out of range".into()));
+    }
+    let mut footer = bytes.slice(footer_offset..tail_start);
+    let mut groups = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let mut cols = Vec::with_capacity(schema.len());
+        for _ in 0..schema.len() {
+            if footer.remaining() < 4 {
+                return Err(LakeError::Corrupt("truncated footer".into()));
+            }
+            let len = footer.get_u32_le() as usize;
+            if footer.remaining() < len {
+                return Err(LakeError::Corrupt("truncated footer name".into()));
+            }
+            let name_bytes = footer.copy_to_bytes(len);
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| LakeError::Corrupt("invalid footer utf8".into()))?;
+            let min = get_opt_value(&mut footer)?;
+            let max = get_opt_value(&mut footer)?;
+            if footer.remaining() < 16 {
+                return Err(LakeError::Corrupt("truncated footer counts".into()));
+            }
+            let nulls = footer.get_u64_le();
+            let distinct = footer.get_u64_le();
+            cols.push((name, (min, max, nulls, distinct)));
+        }
+        groups.push(cols);
+    }
+    Ok(groups)
+}
+
 /// Deserialise a partitioned table (data pages and all). Metered as reading
-/// every byte of the file.
+/// every byte of the file. Column statistics are reattached from the footer
+/// rather than recomputed from the values.
 pub fn decode(bytes: &Bytes, meter: &Meter) -> Result<PartitionedTable> {
     check_magic_and_version(bytes)?;
     meter.add_bytes_scanned(bytes.len() as u64);
@@ -241,20 +523,27 @@ pub fn decode(bytes: &Bytes, meter: &Meter) -> Result<PartitionedTable> {
     }
     let schema = decode_schema(&mut buf)?;
     let group_count = buf.get_u32_le() as usize;
+    let footer = parse_footer_entries(bytes, &schema, group_count)?;
     let mut partitions = Vec::with_capacity(group_count.max(1));
-    for _ in 0..group_count {
+    for group_stats in footer.iter().take(group_count) {
         if buf.remaining() < 8 {
             return Err(LakeError::Corrupt("truncated row group header".into()));
         }
         let rows = buf.get_u64_le() as usize;
         meter.add_rows_scanned(rows as u64);
         let mut columns = Vec::with_capacity(schema.len());
-        for f in schema.fields() {
-            let mut values = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                values.push(get_value(&mut buf)?);
+        for (f, (name, (min, max, nulls, distinct))) in schema.fields().iter().zip(group_stats) {
+            if name != &f.name {
+                return Err(LakeError::Corrupt("footer/schema column mismatch".into()));
             }
-            columns.push(Column::new(f.data_type, values)?);
+            let stats = ColumnStats {
+                min: min.clone(),
+                max: max.clone(),
+                null_count: *nulls as usize,
+                row_count: rows,
+                distinct_count: *distinct as usize,
+            };
+            columns.push(get_column(&mut buf, f.data_type, rows, stats)?);
         }
         partitions.push(Table::new(schema.clone(), columns)?);
     }
@@ -278,62 +567,39 @@ pub fn read_footer(bytes: &Bytes, meter: &Meter) -> Result<FooterStats> {
     let schema = decode_schema(&mut header)?;
     let group_count = header.get_u32_le() as usize;
 
-    // Row counts require peeking at each group header; a production format
-    // would store them in the footer — we accept the small deviation and
-    // account only metadata lookups.
-    let tail_start = bytes.len() - 16;
-    let mut tail = bytes.slice(tail_start..);
-    let footer_offset = tail.get_u64_le() as usize;
-    if footer_offset >= bytes.len() {
-        return Err(LakeError::Corrupt("footer offset out of range".into()));
-    }
-    let mut footer = bytes.slice(footer_offset..tail_start);
+    let entries = parse_footer_entries(bytes, &schema, group_count)?;
     let mut column_stats = Vec::with_capacity(group_count);
-    for _ in 0..group_count {
+    for group in entries {
         let mut per_col = HashMap::with_capacity(schema.len());
-        for _ in 0..schema.len() {
-            if footer.remaining() < 4 {
-                return Err(LakeError::Corrupt("truncated footer".into()));
-            }
-            let len = footer.get_u32_le() as usize;
-            if footer.remaining() < len {
-                return Err(LakeError::Corrupt("truncated footer name".into()));
-            }
-            let name_bytes = footer.copy_to_bytes(len);
-            let name = String::from_utf8(name_bytes.to_vec())
-                .map_err(|_| LakeError::Corrupt("invalid footer utf8".into()))?;
-            let min = get_opt_value(&mut footer)?;
-            let max = get_opt_value(&mut footer)?;
-            if footer.remaining() < 8 {
-                return Err(LakeError::Corrupt("truncated footer null count".into()));
-            }
-            let nulls = footer.get_u64_le();
+        for (name, stats) in group {
             meter.add_metadata_lookups(1);
-            per_col.insert(name, (min, max, nulls));
+            per_col.insert(name, stats);
         }
         column_stats.push(per_col);
     }
 
+    // Row counts require peeking at each group header; a production format
+    // would store them in the footer — we accept the small deviation and
+    // account only metadata lookups.
+
     // Recover row counts from group headers (cheap: fixed-size reads).
     let mut row_counts = Vec::with_capacity(group_count);
     {
-        // Re-walk data region only reading the 8-byte row counts by decoding
-        // values lazily is not possible without value sizes; instead derive
-        // row counts from the footer null counts' companion: store them from
-        // decode of headers below.
+        // Re-walk the data region, skipping each group's column pages via
+        // their presence bitmaps (no value is materialised). This walk is
+        // byte-level only and does not count as a row scan.
         let mut cursor = bytes.clone();
         cursor.advance(8 + 4);
         let _ = decode_schema(&mut cursor)?;
         let gc = cursor.get_u32_le() as usize;
         for _ in 0..gc {
+            if cursor.remaining() < 8 {
+                return Err(LakeError::Corrupt("truncated row group header".into()));
+            }
             let rows = cursor.get_u64_le();
             row_counts.push(rows);
-            // Skip the data pages for this group by decoding values without
-            // materialising strings (we must still walk them to find the next
-            // group). This walk is byte-level only and does not count as a
-            // row scan.
-            for _ in 0..(schema.len() * rows as usize) {
-                let _ = get_value(&mut cursor)?;
+            for f in schema.fields() {
+                skip_column(&mut cursor, f.data_type, rows as usize)?;
             }
         }
     }
@@ -350,13 +616,13 @@ impl FooterStats {
     pub fn table_level(&self) -> HashMap<String, ColumnStats> {
         let mut out: HashMap<String, ColumnStats> = HashMap::new();
         for (group, rows) in self.column_stats.iter().zip(&self.row_counts) {
-            for (name, (min, max, nulls)) in group {
+            for (name, (min, max, nulls, distinct)) in group {
                 let stats = ColumnStats {
                     min: min.clone(),
                     max: max.clone(),
                     null_count: *nulls as usize,
                     row_count: *rows as usize,
-                    distinct_count: 0,
+                    distinct_count: *distinct as usize,
                 };
                 out.entry(name.clone())
                     .and_modify(|s| *s = s.merge(&stats))

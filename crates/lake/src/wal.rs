@@ -1,0 +1,270 @@
+//! Write-ahead log framing: length + checksum framed records on disk.
+//!
+//! The enterprise lakes of the paper persist in ADLS-style storage; a
+//! long-lived containment service must survive a process restart without
+//! paying a full re-bootstrap. The snapshot + WAL design splits durability
+//! into two layers: a *snapshot* captures the whole session state at one
+//! point in time, and a *write-ahead log* records every mutation applied
+//! since, so restart = load snapshot + replay tail. This module provides the
+//! log layer only — a payload-agnostic, append-only record file with
+//! per-record corruption detection. What goes *into* a record (update
+//! batches, access-profile refreshes) is the caller's business
+//! (`r2d2_core`'s session persistence).
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! magic "R2D2WAL\0" | version u32
+//! per record: payload_len u32 | fnv1a64(payload) u64 | payload bytes
+//! ```
+//!
+//! A crash can leave a partially written record at the end of the file;
+//! [`read_records`] detects it (short header, short payload, or checksum
+//! mismatch) and **cleanly drops the tail from the first bad record on**,
+//! returning every intact record before it. A record that was never fully
+//! written was, by the write-ahead contract, never applied — dropping it
+//! loses nothing that was acknowledged.
+
+use crate::error::{LakeError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Leading magic of a WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"R2D2WAL\0";
+
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Per-record header size: `payload_len u32` + `checksum u64`.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// FNV-1a 64-bit hash — the per-record checksum.
+///
+/// Not cryptographic; it only needs to catch torn writes and bit rot in a
+/// record, which a 64-bit FNV does with overwhelming probability.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append handle to one WAL file.
+///
+/// Every [`WalWriter::append`] writes one framed record and flushes it to
+/// the OS, then `fsync`s, so an acknowledged append survives a process
+/// crash. Callers append the record *before* applying the mutation it
+/// describes (write-ahead), which makes the failure mode one-sided: the log
+/// may describe a mutation that never ran (harmless — replay re-runs it),
+/// but never the reverse.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file) and write
+    /// the file header.
+    pub fn create(path: &Path) -> Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(WalWriter { file })
+    }
+
+    /// Open an existing WAL for appending, after validating its header.
+    ///
+    /// The crash-recovery contract is append-only: a torn tail record is
+    /// *not* truncated here — [`read_records`] skips it on every read, and
+    /// the next snapshot rotation retires the file. New records appended
+    /// after a torn tail would be unreachable behind it, so callers restoring
+    /// from a WAL with a detected torn tail should rotate to a fresh log
+    /// (which `r2d2_core`'s restore does) rather than keep appending.
+    pub fn open_append(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let mut header = [0u8; 12];
+        file.read_exact(&mut header)
+            .map_err(|_| LakeError::Corrupt("WAL header too short".into()))?;
+        validate_header(&header)?;
+        Ok(WalWriter { file })
+    }
+
+    /// Append one framed record and make it durable (flush + fsync).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+fn validate_header(header: &[u8]) -> Result<()> {
+    if &header[..8] != WAL_MAGIC {
+        return Err(LakeError::Corrupt("bad WAL magic".into()));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(LakeError::Corrupt(format!(
+            "unsupported WAL version {version}"
+        )));
+    }
+    Ok(())
+}
+
+/// Everything [`read_records`] recovered from one WAL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalContents {
+    /// Intact record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether a torn or corrupt tail was detected and dropped. When true,
+    /// `records` holds exactly the intact prefix.
+    pub dropped_tail: bool,
+}
+
+/// Read every intact record of the WAL at `path`.
+///
+/// A missing length header, a payload shorter than its declared length, or a
+/// checksum mismatch all mark the start of an unrecoverable tail: reading
+/// stops there, the tail is dropped, and `dropped_tail` is set. A corrupt
+/// *file header* is an error — that is not a torn append but a wrong or
+/// destroyed file.
+pub fn read_records(path: &Path) -> Result<WalContents> {
+    let raw = std::fs::read(path)?;
+    if raw.len() < 12 {
+        return Err(LakeError::Corrupt("WAL header too short".into()));
+    }
+    validate_header(&raw[..12])?;
+    let mut records = Vec::new();
+    let mut pos = 12usize;
+    let mut dropped_tail = false;
+    while pos < raw.len() {
+        if raw.len() - pos < RECORD_HEADER {
+            dropped_tail = true; // torn mid-header
+            break;
+        }
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(raw[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let body_start = pos + RECORD_HEADER;
+        if raw.len() - body_start < len {
+            dropped_tail = true; // torn mid-payload
+            break;
+        }
+        let payload = &raw[body_start..body_start + len];
+        if checksum(payload) != sum {
+            dropped_tail = true; // bit rot / torn overwrite
+            break;
+        }
+        records.push(payload.to_vec());
+        pos = body_start + len;
+    }
+    Ok(WalContents {
+        records,
+        dropped_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("r2d2_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_path("round_trip.r2d2wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"").unwrap();
+        wal.append(&[0xAB; 1000]).unwrap();
+        let contents = read_records(&path).unwrap();
+        assert!(!contents.dropped_tail);
+        assert_eq!(
+            contents.records,
+            vec![b"first".to_vec(), Vec::new(), vec![0xAB; 1000]]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = temp_path("reopen.r2d2wal");
+        WalWriter::create(&path).unwrap().append(b"one").unwrap();
+        WalWriter::open_append(&path)
+            .unwrap()
+            .append(b"two")
+            .unwrap();
+        let contents = read_records(&path).unwrap();
+        assert_eq!(contents.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let path = temp_path("truncated.r2d2wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(b"keep me").unwrap();
+        wal.append(b"torn record").unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: chop bytes off the final record.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 4]).unwrap();
+        let contents = read_records(&path).unwrap();
+        assert!(contents.dropped_tail);
+        assert_eq!(contents.records, vec![b"keep me".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_mismatch_drops_the_tail_from_the_bad_record() {
+        let path = temp_path("corrupt.r2d2wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"flipped").unwrap();
+        wal.append(b"unreachable").unwrap();
+        drop(wal);
+        // Flip one payload byte of the middle record.
+        let mut raw = std::fs::read(&path).unwrap();
+        let middle_payload = 12 + (12 + 4) + 12; // header + rec1 + rec2 header
+        raw[middle_payload] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let contents = read_records(&path).unwrap();
+        assert!(contents.dropped_tail);
+        assert_eq!(contents.records, vec![b"good".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_errors() {
+        let path = temp_path("badmagic.r2d2wal");
+        std::fs::write(&path, b"NOTAWAL!\x01\x00\x00\x00").unwrap();
+        assert!(read_records(&path).is_err());
+        assert!(WalWriter::open_append(&path).is_err());
+
+        let mut versioned = WAL_MAGIC.to_vec();
+        versioned.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &versioned).unwrap();
+        assert!(read_records(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_wal_reads_zero_records() {
+        let path = temp_path("empty.r2d2wal");
+        WalWriter::create(&path).unwrap();
+        let contents = read_records(&path).unwrap();
+        assert!(contents.records.is_empty());
+        assert!(!contents.dropped_tail);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -488,6 +488,224 @@ impl AdvisorState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binary serialization (durable session snapshots)
+// ---------------------------------------------------------------------------
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use r2d2_lake::snapshot::{
+    expect_len, get_bool, get_f64, get_tag, get_u64, get_usize, put_bool, put_usize,
+};
+
+fn put_solution(buf: &mut BytesMut, s: &Solution) {
+    buf.put_u32_le(s.retained.len() as u32);
+    for &d in &s.retained {
+        buf.put_u64_le(d);
+    }
+    buf.put_u32_le(s.deleted.len() as u32);
+    for &d in &s.deleted {
+        buf.put_u64_le(d);
+    }
+    buf.put_u32_le(s.reconstruction_parent.len() as u32);
+    for (&child, &parent) in &s.reconstruction_parent {
+        buf.put_u64_le(child);
+        buf.put_u64_le(parent);
+    }
+    buf.put_f64_le(s.total_cost);
+}
+
+fn get_solution(buf: &mut Bytes) -> Result<Solution> {
+    expect_len(buf, 4, "solution retained length")?;
+    let retained_len = buf.get_u32_le() as usize;
+    let mut retained = BTreeSet::new();
+    for _ in 0..retained_len {
+        retained.insert(get_u64(buf)?);
+    }
+    expect_len(buf, 4, "solution deleted length")?;
+    let deleted_len = buf.get_u32_le() as usize;
+    let mut deleted = BTreeSet::new();
+    for _ in 0..deleted_len {
+        deleted.insert(get_u64(buf)?);
+    }
+    expect_len(buf, 4, "solution parent map length")?;
+    let parent_len = buf.get_u32_le() as usize;
+    let mut reconstruction_parent = BTreeMap::new();
+    for _ in 0..parent_len {
+        let child = get_u64(buf)?;
+        let parent = get_u64(buf)?;
+        reconstruction_parent.insert(child, parent);
+    }
+    Ok(Solution {
+        retained,
+        deleted,
+        reconstruction_parent,
+        total_cost: get_f64(buf)?,
+    })
+}
+
+impl AdvisorState {
+    /// Serialize the complete advisor state — cost model, configuration,
+    /// pruned problem, dirty set, per-component solution cache and the last
+    /// merged solution — so a restored session re-advises without re-solving
+    /// clean components. The encoding is canonical: maps are walked in key
+    /// order, so equal states produce equal bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        // Cost model (seven f64 fields).
+        for v in [
+            self.model.storage_per_gb_period,
+            self.model.read_per_gb,
+            self.model.write_per_gb,
+            self.model.maintenance_per_gb_op,
+            self.model.read_latency_per_gb,
+            self.model.write_latency_per_gb,
+            self.model.latency_threshold,
+        ] {
+            buf.put_f64_le(v);
+        }
+        // Config.
+        put_usize(&mut buf, self.config.exact_component_limit);
+        buf.put_u8(match self.config.knowledge {
+            TransformKnowledge::Required => 0,
+            TransformKnowledge::AssumeKnown => 1,
+        });
+        buf.put_f64_le(self.config.scans_per_week);
+        // Nodes.
+        buf.put_u32_le(self.nodes.len() as u32);
+        for node in self.nodes.values() {
+            buf.put_u64_le(node.dataset);
+            buf.put_u64_le(node.size_bytes);
+            buf.put_f64_le(node.retention_cost);
+            buf.put_f64_le(node.accesses);
+        }
+        // Edges.
+        buf.put_u32_le(self.edges.len() as u32);
+        for (&(parent, child), &cost) in &self.edges {
+            buf.put_u64_le(parent);
+            buf.put_u64_le(child);
+            buf.put_f64_le(cost);
+        }
+        // Dirty set + staleness.
+        buf.put_u32_le(self.dirty.len() as u32);
+        for &d in &self.dirty {
+            buf.put_u64_le(d);
+        }
+        put_bool(&mut buf, self.stale);
+        // Component cache.
+        buf.put_u32_le(self.cache.len() as u32);
+        for (&key, component) in &self.cache {
+            buf.put_u64_le(key);
+            buf.put_u32_le(component.nodes.len() as u32);
+            for &n in &component.nodes {
+                buf.put_u64_le(n);
+            }
+            put_solution(&mut buf, &component.solution);
+        }
+        // Merged solution + resolve stats.
+        put_solution(&mut buf, &self.solution);
+        put_usize(&mut buf, self.stats.components_total);
+        put_usize(&mut buf, self.stats.components_reused);
+        put_usize(&mut buf, self.stats.components_resolved);
+        buf.freeze()
+    }
+
+    /// Decode a state produced by [`AdvisorState::encode`], consuming from
+    /// the front of `buf`.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        expect_len(buf, 56, "advisor cost model")?;
+        let model = CostModel {
+            storage_per_gb_period: buf.get_f64_le(),
+            read_per_gb: buf.get_f64_le(),
+            write_per_gb: buf.get_f64_le(),
+            maintenance_per_gb_op: buf.get_f64_le(),
+            read_latency_per_gb: buf.get_f64_le(),
+            write_latency_per_gb: buf.get_f64_le(),
+            latency_threshold: buf.get_f64_le(),
+        };
+        let exact_component_limit = get_usize(buf)?;
+        let knowledge = match get_tag(buf, "advisor knowledge tag")? {
+            0 => TransformKnowledge::Required,
+            1 => TransformKnowledge::AssumeKnown,
+            other => {
+                return Err(r2d2_lake::LakeError::Corrupt(format!(
+                    "unknown knowledge tag {other}"
+                )))
+            }
+        };
+        let config = AdvisorConfig {
+            exact_component_limit,
+            knowledge,
+            scans_per_week: get_f64(buf)?,
+        };
+        expect_len(buf, 4, "advisor node count")?;
+        let node_count = buf.get_u32_le() as usize;
+        let mut nodes = BTreeMap::new();
+        for _ in 0..node_count {
+            expect_len(buf, 32, "advisor node")?;
+            let node = NodeCosts {
+                dataset: buf.get_u64_le(),
+                size_bytes: buf.get_u64_le(),
+                retention_cost: buf.get_f64_le(),
+                accesses: buf.get_f64_le(),
+            };
+            nodes.insert(node.dataset, node);
+        }
+        expect_len(buf, 4, "advisor edge count")?;
+        let edge_count = buf.get_u32_le() as usize;
+        let mut edges = BTreeMap::new();
+        for _ in 0..edge_count {
+            expect_len(buf, 24, "advisor edge")?;
+            let parent = buf.get_u64_le();
+            let child = buf.get_u64_le();
+            edges.insert((parent, child), buf.get_f64_le());
+        }
+        expect_len(buf, 4, "advisor dirty count")?;
+        let dirty_count = buf.get_u32_le() as usize;
+        let mut dirty = BTreeSet::new();
+        for _ in 0..dirty_count {
+            dirty.insert(get_u64(buf)?);
+        }
+        let stale = get_bool(buf)?;
+        expect_len(buf, 4, "advisor cache count")?;
+        let cache_count = buf.get_u32_le() as usize;
+        let mut cache = BTreeMap::new();
+        for _ in 0..cache_count {
+            let key = get_u64(buf)?;
+            expect_len(buf, 4, "advisor component size")?;
+            let members = buf.get_u32_le() as usize;
+            let mut component_nodes = Vec::with_capacity(members.min(4096));
+            for _ in 0..members {
+                component_nodes.push(get_u64(buf)?);
+            }
+            let solution = get_solution(buf)?;
+            cache.insert(
+                key,
+                CachedComponent {
+                    nodes: component_nodes,
+                    solution,
+                },
+            );
+        }
+        let solution = get_solution(buf)?;
+        let stats = ResolveStats {
+            components_total: get_usize(buf)?,
+            components_reused: get_usize(buf)?,
+            components_resolved: get_usize(buf)?,
+        };
+        Ok(AdvisorState {
+            model,
+            config,
+            nodes,
+            edges,
+            dirty,
+            stale,
+            cache,
+            solution,
+            stats,
+        })
+    }
+}
+
 /// The from-scratch oracle the incremental advisor is pinned against: build
 /// a live-dataset copy of `graph` (annotations preserved, nodes and edges of
 /// dropped datasets excluded), run the §5.1 preprocessing, price the
@@ -710,6 +928,60 @@ mod tests {
         assert!(report.total_cost <= report.retain_all_cost + 1e-9);
         assert!((report.savings - (report.retain_all_cost - report.total_cost)).abs() < 1e-9);
         assert_eq!(report.gdpr.datasets_deleted, report.solution.deleted.len());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_full_state() {
+        let (mut lake, graph) = two_chain_lake();
+        let mut state = advisor(&lake, &graph);
+        state.advise();
+        // Leave something dirty so the dirty set / staleness round-trips too.
+        lake.append_rows(DatasetId(3), {
+            let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+            Table::new(schema, vec![Column::from_ints(20_000..20_500)]).unwrap()
+        })
+        .unwrap();
+        state
+            .apply(
+                &lake,
+                &graph,
+                &[(3, DatasetChange::ContentChanged)],
+                &EdgeDelta::default(),
+            )
+            .unwrap();
+
+        let bytes = state.encode();
+        let mut cursor = bytes.clone();
+        let mut back = AdvisorState::decode(&mut cursor).unwrap();
+        assert_eq!(cursor.remaining(), 0, "decode must consume exactly");
+        assert_eq!(back.model(), state.model());
+        assert_eq!(back.config(), state.config());
+        assert_eq!(back.problem(), state.problem());
+        assert_eq!(back.is_dirty(), state.is_dirty());
+        assert_eq!(back.encode(), bytes, "canonical bytes");
+
+        // The restored advisor advises identically — including reusing the
+        // clean components its cache carried across the round trip.
+        let expected = state.advise().clone();
+        assert_eq!(back.advise().clone(), expected);
+        assert_eq!(back.last_resolve_stats(), state.last_resolve_stats());
+        assert!(
+            back.last_resolve_stats().components_reused > 0,
+            "restored cache must spare clean components"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_state() {
+        let (lake, graph) = two_chain_lake();
+        let bytes = advisor(&lake, &graph).encode();
+        for cut in 0..bytes.len() {
+            let mut cursor = bytes.slice(0..cut);
+            assert!(
+                AdvisorState::decode(&mut cursor).is_err(),
+                "truncation at {cut} must error, not panic"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Tiny hand-written demo lakes shared by the `examples/`.
+//!
+//! Every example used to open with the same ~40 lines of corpus-building
+//! boilerplate (an "orders" table, a derived export, an unrelated table —
+//! or an "events" stream and a recent slice). This module is that
+//! boilerplate, written once: [`demo_lake`] builds the canonical
+//! three-dataset orders lake and [`events_table`] the events rows the
+//! dynamic examples mutate. Real experiments should keep using
+//! [`crate::corpus::generate`], which produces full multi-org corpora with
+//! ground truth; these helpers exist so the examples (and their doctests)
+//! stay short and focused on the API under demonstration.
+
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, DatasetId, Lineage, PartitionSpec, PartitionedTable,
+    Result, Schema, Table,
+};
+
+/// Ids of the three datasets [`demo_lake`] registers, in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemoLake {
+    /// The root "orders" fact table (1 000 rows).
+    pub orders: DatasetId,
+    /// An analyst's EMEA export: exactly the `region = 'emea'` rows of
+    /// `orders`, with the transformation recorded as catalog lineage.
+    pub emea_export: DatasetId,
+    /// An unrelated "returns" table sharing the schema but not the content.
+    pub returns: DatasetId,
+}
+
+/// Build the canonical demo lake: `orders` (1 000 rows, partitioned by row
+/// count), its redundant `orders_emea_export` (a true row subset, lineage
+/// recorded — the Opt-Ret optimizer will recommend deleting it), and an
+/// unrelated `returns` table that shares the schema only.
+pub fn demo_lake() -> Result<(DataLake, DemoLake)> {
+    let schema = Schema::flat(&[
+        ("order_id", DataType::Int),
+        ("region", DataType::Utf8),
+        ("amount", DataType::Float),
+    ])?;
+    let orders = Table::new(
+        schema.clone(),
+        vec![
+            Column::from_ints(0..1_000),
+            Column::from_strs((0..1_000).map(|i| if i % 3 == 0 { "emea" } else { "na" })),
+            Column::from_floats((0..1_000).map(|i| i as f64 * 1.5)),
+        ],
+    )?;
+    let emea_rows: Vec<usize> = (0..1_000).filter(|i| i % 3 == 0).collect();
+    let emea_export = orders.take(&emea_rows)?;
+    let returns = Table::new(
+        schema,
+        vec![
+            Column::from_ints(50_000..50_200),
+            Column::from_strs((0..200).map(|_| "apac")),
+            Column::from_floats((0..200).map(|i| i as f64)),
+        ],
+    )?;
+
+    let part = |t: Table| {
+        PartitionedTable::from_table(
+            t,
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 128,
+            },
+        )
+    };
+    let mut lake = DataLake::new();
+    let orders_id = lake.add_dataset("orders", part(orders)?, AccessProfile::default(), None)?;
+    let emea_id = lake.add_dataset(
+        "orders_emea_export",
+        part(emea_export)?,
+        AccessProfile {
+            accesses_per_period: 0.2,
+            maintenance_per_period: 4.0,
+        },
+        Some(Lineage {
+            parent: orders_id,
+            transform: "SELECT * FROM orders WHERE region = 'emea'".to_string(),
+        }),
+    )?;
+    let returns_id = lake.add_dataset("returns", part(returns)?, AccessProfile::default(), None)?;
+    Ok((
+        lake,
+        DemoLake {
+            orders: orders_id,
+            emea_export: emea_id,
+            returns: returns_id,
+        },
+    ))
+}
+
+/// An "events" table over the given id range — the rows the dynamic-update
+/// examples append, delete and re-derive. Every column is a function of the
+/// event id, so an id-range subset is a true row-tuple subset.
+pub fn events_table(ids: std::ops::Range<i64>) -> Table {
+    let schema = Schema::flat(&[
+        ("event_id", DataType::Int),
+        ("kind", DataType::Utf8),
+        ("score", DataType::Float),
+    ])
+    .expect("static schema is valid");
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids.clone()),
+            Column::from_strs(ids.clone().map(|i| format!("k{}", i % 4))),
+            Column::from_floats(ids.map(|i| i as f64 * 0.1)),
+        ],
+    )
+    .expect("columns match the schema by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_lake_has_the_documented_shape() {
+        let (lake, ids) = demo_lake().unwrap();
+        assert_eq!(lake.len(), 3);
+        assert_eq!(lake.dataset(ids.orders).unwrap().num_rows(), 1_000);
+        let export = lake.dataset(ids.emea_export).unwrap();
+        assert_eq!(export.lineage.as_ref().unwrap().parent, ids.orders);
+        assert!(export.num_rows() < 1_000);
+        assert_eq!(lake.dataset(ids.returns).unwrap().num_rows(), 200);
+    }
+
+    #[test]
+    fn events_tables_nest_by_id_range() {
+        let big = events_table(0..100);
+        let small = events_table(40..60);
+        assert_eq!(big.num_rows(), 100);
+        assert_eq!(small.schema(), big.schema());
+    }
+}

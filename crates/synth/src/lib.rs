@@ -22,13 +22,15 @@
 //! (lake + expected containment edges + lineage) whose schema-similarity
 //! profiles can be tuned to mimic the different customer orgs of Fig. 2.
 //! [`access`] draws access/maintenance frequencies from the power-law model
-//! §6.7 uses.
+//! §6.7 uses. [`demo`] holds the tiny hand-written lakes the `examples/`
+//! share, so each example stays focused on the API it demonstrates.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod access;
 pub mod corpus;
+pub mod demo;
 pub mod roots;
 pub mod transforms;
 pub mod zipf;

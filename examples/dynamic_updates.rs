@@ -13,28 +13,8 @@
 //! ```
 
 use r2d2_core::{AppliedUpdate, PipelineConfig, R2d2Pipeline, R2d2Session};
-use r2d2_lake::{
-    AccessProfile, Column, DataLake, DataType, LakeUpdate, PartitionedTable, Predicate, Schema,
-    Table, Value,
-};
-
-fn events_table(ids: std::ops::Range<i64>) -> Table {
-    let schema = Schema::flat(&[
-        ("event_id", DataType::Int),
-        ("kind", DataType::Utf8),
-        ("score", DataType::Float),
-    ])
-    .unwrap();
-    Table::new(
-        schema,
-        vec![
-            Column::from_ints(ids.clone()),
-            Column::from_strs(ids.clone().map(|i| format!("k{}", i % 4))),
-            Column::from_floats(ids.map(|i| i as f64 * 0.1)),
-        ],
-    )
-    .unwrap()
-}
+use r2d2_lake::{AccessProfile, DataLake, LakeUpdate, PartitionedTable, Predicate, Value};
+use r2d2_synth::demo::events_table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Initial lake: one base table and one derived subset.

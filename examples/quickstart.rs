@@ -1,5 +1,9 @@
-//! Quickstart: build a tiny data lake, run the R2D2 pipeline, inspect the
+//! Quickstart: take a tiny data lake, run the R2D2 pipeline, inspect the
 //! containment graph, and ask the optimizer what can be safely deleted.
+//!
+//! The lake comes from [`r2d2_synth::demo::demo_lake`]: an "orders" table, a
+//! derived EMEA export (an analyst's `WHERE region = 'emea'` copy, lineage
+//! recorded) and an unrelated "returns" table.
 //!
 //! Run with:
 //!
@@ -8,66 +12,14 @@
 //! ```
 
 use r2d2_core::R2d2Pipeline;
-use r2d2_lake::{
-    AccessProfile, Column, DataLake, DataType, Lineage, PartitionSpec, PartitionedTable, Schema,
-    Table,
-};
 use r2d2_opt::costmodel::CostModel;
 use r2d2_opt::preprocess::{preprocess_for_safe_deletion, TransformKnowledge};
 use r2d2_opt::{solve, OptRetProblem};
+use r2d2_synth::demo::demo_lake;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Build a small data lake: an "orders" table, a filtered copy of it
-    //    (an analyst's `WHERE region = 'emea'` export) and an unrelated table.
-    let schema = Schema::flat(&[
-        ("order_id", DataType::Int),
-        ("region", DataType::Utf8),
-        ("amount", DataType::Float),
-    ])?;
-    let orders = Table::new(
-        schema.clone(),
-        vec![
-            Column::from_ints(0..1_000),
-            Column::from_strs((0..1_000).map(|i| if i % 3 == 0 { "emea" } else { "na" })),
-            Column::from_floats((0..1_000).map(|i| i as f64 * 1.5)),
-        ],
-    )?;
-    // The derived export: exactly the EMEA rows of `orders`.
-    let emea_rows: Vec<usize> = (0..1_000).filter(|i| i % 3 == 0).collect();
-    let emea_export = orders.take(&emea_rows)?;
-    // An unrelated table with the same schema but different content.
-    let other = Table::new(
-        schema,
-        vec![
-            Column::from_ints(50_000..50_200),
-            Column::from_strs((0..200).map(|_| "apac")),
-            Column::from_floats((0..200).map(|i| i as f64)),
-        ],
-    )?;
-
-    let mut lake = DataLake::new();
-    let part = |t: Table| {
-        PartitionedTable::from_table(
-            t,
-            PartitionSpec::ByRowCount {
-                rows_per_partition: 128,
-            },
-        )
-    };
-    let orders_id = lake.add_dataset("orders", part(orders)?, AccessProfile::default(), None)?;
-    let emea_id = lake.add_dataset(
-        "orders_emea_export",
-        part(emea_export)?,
-        AccessProfile {
-            accesses_per_period: 0.2,
-            maintenance_per_period: 4.0,
-        },
-        Some(Lineage {
-            parent: orders_id,
-            transform: "SELECT * FROM orders WHERE region = 'emea'".to_string(),
-        }),
-    )?;
-    lake.add_dataset("returns", part(other)?, AccessProfile::default(), None)?;
+    // 1. A small data lake with one redundant derived dataset.
+    let (lake, ids) = demo_lake()?;
 
     // 2. Run the R2D2 pipeline (SGB → MMP → CLP).
     let report = R2d2Pipeline::with_defaults().run(&lake)?;
@@ -106,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     assert!(
-        solution.deleted.contains(&emea_id.0),
+        solution.deleted.contains(&ids.emea_export.0),
         "the derived export is redundant"
     );
     Ok(())

@@ -1,0 +1,592 @@
+//! Integration tests of durable sessions: snapshot + write-ahead-log warm
+//! restart must be **bit-identical** to never restarting at all.
+//!
+//! The property-based oracle below drives a random `LakeUpdate` stream into
+//! a persisted session, kills it at a random point (dropping the process
+//! state, keeping the files), restores, and compares graph, meter totals,
+//! update log, caches and advisor advice against an uninterrupted in-memory
+//! session — at threads 1 and 4, both right after the restore and after
+//! feeding the remaining updates to both sessions. The remaining tests pin
+//! the WAL edge cases: torn final record, checksum-corrupt record mid-log,
+//! snapshot-only restore, and restoring a snapshot written at a different
+//! `threads` setting.
+
+use r2d2_core::{PersistenceConfig, PipelineConfig, R2d2Session, UpdateReport};
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, DatasetId, LakeUpdate, OpCounts, PartitionSpec,
+    PartitionedTable, Predicate, Schema, Table, Value,
+};
+use r2d2_opt::advisor::AdvisorConfig;
+use r2d2_opt::preprocess::TransformKnowledge;
+use r2d2_opt::CostModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig::default().with_seed(7).with_threads(threads)
+}
+
+fn advisor_config() -> AdvisorConfig {
+    AdvisorConfig::default().with_knowledge(TransformKnowledge::AssumeKnown)
+}
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("r2d2_integration_persistence")
+        .join(tag);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// All oracle tables share one schema; every column is a function of the id,
+/// so id-range subsets are true row-tuple subsets (same recipe as the
+/// dynamic-updates oracle).
+fn table(ids: std::ops::Range<i64>) -> Table {
+    let schema = Schema::flat(&[
+        ("id", DataType::Int),
+        ("grp", DataType::Utf8),
+        ("v", DataType::Float),
+    ])
+    .unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids.clone()),
+            Column::from_strs(ids.clone().map(|i| format!("g{}", i % 3))),
+            Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+        ],
+    )
+    .unwrap()
+}
+
+fn part(t: Table) -> PartitionedTable {
+    PartitionedTable::from_table(
+        t,
+        PartitionSpec::ByRowCount {
+            rows_per_partition: 16,
+        },
+    )
+    .unwrap()
+}
+
+fn base_lake() -> DataLake {
+    let mut lake = DataLake::new();
+    let add = |lake: &mut DataLake, name: &str, t: Table| {
+        lake.add_dataset(name, part(t), AccessProfile::default(), None)
+            .unwrap()
+    };
+    add(&mut lake, "root", table(0..60));
+    add(&mut lake, "mid", table(10..40));
+    add(&mut lake, "other", table(100..140));
+    add(&mut lake, "slice", table(30..80));
+    lake
+}
+
+/// Random but replayable update sequence over the base lake (ids tracked the
+/// way the catalog assigns them).
+fn gen_updates(seed: u64, count: usize) -> Vec<LakeUpdate> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(count as u64));
+    let mut live: Vec<u64> = vec![0, 1, 2, 3];
+    let mut next_id = 4u64;
+    let mut updates = Vec::with_capacity(count);
+    for k in 0..count {
+        let choice = if live.is_empty() {
+            0
+        } else {
+            rng.gen_range(0u8..10)
+        };
+        match choice {
+            0..=2 => {
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(1i64..40);
+                updates.push(LakeUpdate::AddDataset {
+                    name: format!("gen_{seed}_{k}"),
+                    data: part(table(start..start + len)),
+                    access: AccessProfile::default(),
+                    lineage: None,
+                });
+                live.push(next_id);
+                next_id += 1;
+            }
+            3..=5 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let start = rng.gen_range(0i64..80);
+                let len = rng.gen_range(0i64..20);
+                updates.push(LakeUpdate::AppendRows {
+                    id: DatasetId(id),
+                    rows: table(start..start + len),
+                });
+            }
+            6..=7 => {
+                let id = live[rng.gen_range(0..live.len())];
+                let lo = rng.gen_range(0i64..80);
+                let hi = lo + rng.gen_range(0i64..40);
+                updates.push(LakeUpdate::DeleteRows {
+                    id: DatasetId(id),
+                    predicate: Predicate::between("id", Value::Int(lo), Value::Int(hi)),
+                });
+            }
+            _ => {
+                let idx = rng.gen_range(0..live.len());
+                updates.push(LakeUpdate::DropDataset {
+                    id: DatasetId(live.remove(idx)),
+                });
+            }
+        }
+    }
+    updates
+}
+
+/// The deterministic slice of an `UpdateReport` (everything except wall
+/// clock — replayed batches re-measure their own durations).
+#[derive(Debug, Clone, PartialEq)]
+struct ComparableReport {
+    updates_applied: usize,
+    applied: Vec<r2d2_lake::AppliedUpdate>,
+    datasets_changed: usize,
+    candidates_checked: usize,
+    rows_sampled: usize,
+    delta: r2d2_graph::diff::EdgeDelta,
+    ops: OpCounts,
+}
+
+fn comparable(report: &UpdateReport) -> ComparableReport {
+    ComparableReport {
+        updates_applied: report.updates_applied,
+        applied: report.applied.clone(),
+        datasets_changed: report.datasets_changed,
+        candidates_checked: report.candidates_checked,
+        rows_sampled: report.rows_sampled,
+        delta: report.delta.clone(),
+        ops: report.ops,
+    }
+}
+
+/// Assert two sessions are observably identical (graph with node ids, meter
+/// totals, update log minus durations, catalog contents, cache population,
+/// and — when advisors are attached — advice and pruned problem).
+fn assert_sessions_identical(a: &mut R2d2Session, b: &mut R2d2Session, context: &str) {
+    assert_eq!(a.graph(), b.graph(), "{context}: graph diverged");
+    assert_eq!(a.ops(), b.ops(), "{context}: meter totals diverged");
+    assert_eq!(
+        a.update_log().iter().map(comparable).collect::<Vec<_>>(),
+        b.update_log().iter().map(comparable).collect::<Vec<_>>(),
+        "{context}: update log diverged"
+    );
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.datasets, rb.datasets, "{context}: dataset count");
+    assert_eq!(ra.updates_applied, rb.updates_applied, "{context}: updates");
+    assert_eq!(ra.batches_applied, rb.batches_applied, "{context}: batches");
+    assert_eq!(
+        a.cached_build_sides(),
+        b.cached_build_sides(),
+        "{context}: hash-join cache population diverged"
+    );
+    assert_eq!(a.config(), b.config(), "{context}: config diverged");
+    assert_eq!(a.lake().len(), b.lake().len(), "{context}: catalog size");
+    for (ea, eb) in a.lake().iter().zip(b.lake().iter()) {
+        assert_eq!(ea.id, eb.id, "{context}: dataset ids");
+        assert_eq!(ea.name, eb.name, "{context}: dataset names");
+        assert_eq!(*ea.data, *eb.data, "{context}: dataset {} data", ea.name);
+        assert_eq!(ea.access, eb.access, "{context}: access profile");
+        assert_eq!(ea.lineage, eb.lineage, "{context}: lineage");
+    }
+    assert_eq!(
+        a.advisor_enabled(),
+        b.advisor_enabled(),
+        "{context}: advisor attachment"
+    );
+    if a.advisor_enabled() {
+        assert_eq!(
+            a.advisor_problem().unwrap(),
+            b.advisor_problem().unwrap(),
+            "{context}: advisor problem diverged"
+        );
+        assert_eq!(
+            a.advise().unwrap(),
+            b.advise().unwrap(),
+            "{context}: advice diverged"
+        );
+    }
+}
+
+/// Bootstrap a session with an attached advisor over the base lake.
+fn advised_session(threads: usize) -> R2d2Session {
+    let mut session = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+    session
+        .enable_advisor(CostModel::default(), advisor_config())
+        .unwrap();
+    session
+}
+
+proptest::proptest! {
+    /// The crash-restore oracle: persist a session, kill it after a random
+    /// prefix of a random update stream, restore from disk, and the result
+    /// is bit-identical to the uninterrupted in-memory session — and stays
+    /// identical while both keep applying the remaining updates, at
+    /// threads 1 and 4. `snapshot_every_n_updates = 2` forces mid-stream
+    /// compactions, so restores exercise snapshot + WAL-tail replay in all
+    /// phases.
+    #[test]
+    fn killed_and_restored_session_matches_uninterrupted_run(
+        seed in 0u64..1_000_000,
+        count in 1usize..5,
+        kill in 0usize..5,
+    ) {
+        let updates = gen_updates(seed, count);
+        let kill = kill % (updates.len() + 1);
+        for threads in [1usize, 4] {
+            let dir = scratch_dir(&format!("oracle_{seed}_{count}_{kill}_{threads}"));
+
+            // The durable session: advisor + persistence, killed after
+            // `kill` updates (drop = crash; state survives only on disk).
+            let mut durable = advised_session(threads);
+            durable
+                .enable_persistence(
+                    PersistenceConfig::new(&dir).with_snapshot_every(2),
+                )
+                .unwrap();
+            for update in &updates[..kill] {
+                durable.apply(update.clone()).unwrap();
+            }
+            drop(durable);
+
+            // The uninterrupted session: same stream, never persisted.
+            let mut uninterrupted = advised_session(threads);
+            for update in &updates[..kill] {
+                uninterrupted.apply(update.clone()).unwrap();
+            }
+
+            let mut restored = R2d2Session::restore(&dir).unwrap();
+            proptest::prop_assert!(restored.persistence_enabled());
+            assert_sessions_identical(
+                &mut restored,
+                &mut uninterrupted,
+                &format!("threads={threads} after restore"),
+            );
+
+            // Keep going on both sides: the restored session must stay
+            // bit-identical, not just match at the restore point.
+            for update in &updates[kill..] {
+                restored.apply(update.clone()).unwrap();
+                uninterrupted.apply(update.clone()).unwrap();
+            }
+            assert_sessions_identical(
+                &mut restored,
+                &mut uninterrupted,
+                &format!("threads={threads} after continuing"),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Find generation files in a persistence dir.
+fn wal_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "r2d2wal"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn truncated_final_wal_record_restores_to_the_previous_batch() {
+    let dir = scratch_dir("truncated_tail");
+    let updates = gen_updates(11, 3);
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .unwrap();
+    for update in &updates {
+        durable.apply(update.clone()).unwrap();
+    }
+    drop(durable);
+
+    // Crash mid-append: chop bytes off the live WAL's final record.
+    let wal = wal_files(&dir).pop().unwrap();
+    let raw = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &raw[..raw.len() - 3]).unwrap();
+
+    // Expected state: every batch before the torn one.
+    let mut expected = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    for update in &updates[..2] {
+        expected.apply(update.clone()).unwrap();
+    }
+
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "torn final record");
+    // The torn log was retired: restore rotated to a fresh generation so
+    // new appends are reachable.
+    assert_eq!(restored.persistence_generation(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_mid_log_record_drops_it_and_everything_behind_it() {
+    let dir = scratch_dir("corrupt_mid");
+    let updates = gen_updates(23, 3);
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .unwrap();
+    for update in &updates {
+        durable.apply(update.clone()).unwrap();
+    }
+    drop(durable);
+
+    // Flip one byte inside the SECOND record's payload: records 2 and 3 are
+    // both unrecoverable (nothing after a corrupt record can be trusted),
+    // record 1 survives.
+    let wal = wal_files(&dir).pop().unwrap();
+    let mut raw = std::fs::read(&wal).unwrap();
+    let len1 = u32::from_le_bytes(raw[12..16].try_into().unwrap()) as usize;
+    let second_payload = 12 + (12 + len1) + 12;
+    raw[second_payload] ^= 0xFF;
+    std::fs::write(&wal, &raw).unwrap();
+
+    let mut expected = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    expected.apply(updates[0].clone()).unwrap();
+
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "corrupt mid-log record");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_only_restore_without_wal_records() {
+    let dir = scratch_dir("snapshot_only");
+    let mut durable = advised_session(1);
+    durable.advise().unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir))
+        .unwrap();
+    drop(durable);
+
+    // Empty WAL (header only): restore is pure snapshot decode.
+    let mut expected = advised_session(1);
+    expected.advise().unwrap();
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "empty WAL");
+
+    // Even with the WAL file deleted outright, the snapshot alone restores.
+    let wal = wal_files(&dir).pop().unwrap();
+    std::fs::remove_file(&wal).unwrap();
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "missing WAL");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_written_at_four_threads_restores_against_single_threaded_run() {
+    let dir = scratch_dir("cross_threads");
+    let updates = gen_updates(5, 4);
+
+    // Persisted session runs at threads = 4...
+    let mut durable = advised_session(4);
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(2))
+        .unwrap();
+    for update in &updates {
+        durable.apply(update.clone()).unwrap();
+    }
+    drop(durable);
+
+    // ...the reference runs single-threaded and never persists. Thread
+    // count must change nothing observable, so the restored 4-thread
+    // session matches it bit-for-bit (configs differ by `threads` only).
+    let mut single = advised_session(1);
+    for update in &updates {
+        single.apply(update.clone()).unwrap();
+    }
+
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_eq!(restored.config().threads, 4, "threads setting round-trips");
+    assert_eq!(restored.config(), &config(4));
+    assert_eq!(restored.graph(), single.graph());
+    assert_eq!(restored.ops(), single.ops());
+    assert_eq!(
+        restored
+            .update_log()
+            .iter()
+            .map(comparable)
+            .collect::<Vec<_>>(),
+        single
+            .update_log()
+            .iter()
+            .map(comparable)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(restored.advise().unwrap(), single.advise().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_rotates_generations_and_prunes_old_files() {
+    let dir = scratch_dir("compaction");
+    let updates = gen_updates(31, 4);
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(1))
+        .unwrap();
+    assert_eq!(durable.persistence_generation(), Some(1));
+    for update in &updates {
+        durable.apply(update.clone()).unwrap();
+    }
+    // Every applied update crossed the threshold → one rotation per batch.
+    assert_eq!(durable.persistence_generation(), Some(5));
+    assert_eq!(durable.wal_tail_updates(), Some(0));
+
+    // Only the current and previous generations remain on disk.
+    let mut snapshots: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".r2d2snap"))
+        .collect();
+    snapshots.sort();
+    assert_eq!(
+        snapshots,
+        vec![
+            "snapshot-000004.r2d2snap".to_string(),
+            "snapshot-000005.r2d2snap".to_string()
+        ]
+    );
+
+    let mut expected = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    for update in &updates {
+        expected.apply(update.clone()).unwrap();
+    }
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "after compaction");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_previous_generation() {
+    let dir = scratch_dir("fallback");
+    let updates = gen_updates(47, 3);
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .unwrap();
+    for update in &updates[..2] {
+        durable.apply(update.clone()).unwrap();
+    }
+    durable.checkpoint().unwrap();
+    durable.apply(updates[2].clone()).unwrap();
+    drop(durable);
+
+    // Destroy the newest snapshot (generation 2). Restore must fall back
+    // to generation 1 and replay its WAL (updates 1 and 2 — which lands
+    // exactly on the state snapshot 2 captured), then continue through
+    // generation 2's intact WAL (update 3). Nothing acknowledged is lost.
+    let snap2 = dir.join("snapshot-000002.r2d2snap");
+    let mut raw = std::fs::read(&snap2).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    std::fs::write(&snap2, &raw).unwrap();
+
+    let mut expected = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    for update in &updates {
+        expected.apply(update.clone()).unwrap();
+    }
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "generation fallback");
+    // The degraded directory was rotated to a coherent fresh generation.
+    assert_eq!(restored.persistence_generation(), Some(3));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metered_traffic_and_refresh_survive_the_crash() {
+    let dir = scratch_dir("access_refresh");
+    let mut durable = advised_session(1);
+    durable.advise().unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .unwrap();
+
+    // Serve read traffic through the metered entry point, fold it into the
+    // profiles, and crash WITHOUT a checkpoint. Refreshes are the sync
+    // points for read-side telemetry: the WAL record carries the drained
+    // tallies and the meter totals at the drain, so everything up to the
+    // refresh survives the crash even though no snapshot followed it.
+    for _ in 0..5 {
+        durable
+            .lake()
+            .query_dataset(DatasetId(1), &Predicate::True, Some(4))
+            .unwrap();
+    }
+    assert_eq!(durable.refresh_access_profiles().unwrap(), 1);
+    durable
+        .apply(LakeUpdate::AppendRows {
+            id: DatasetId(1),
+            rows: table(40..45),
+        })
+        .unwrap();
+    drop(durable);
+
+    let mut expected = advised_session(1);
+    expected.advise().unwrap();
+    for _ in 0..5 {
+        expected
+            .lake()
+            .query_dataset(DatasetId(1), &Predicate::True, Some(4))
+            .unwrap();
+    }
+    assert_eq!(expected.refresh_access_profiles().unwrap(), 1);
+    expected
+        .apply(LakeUpdate::AppendRows {
+            id: DatasetId(1),
+            rows: table(40..45),
+        })
+        .unwrap();
+
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_sessions_identical(&mut restored, &mut expected, "metered traffic");
+
+    // Post-restore, identical traffic keeps identical outcomes: the hot
+    // profile cools back down on both sides and the advice agrees.
+    for session in [&mut restored, &mut expected] {
+        session
+            .lake()
+            .query_dataset(DatasetId(0), &Predicate::True, Some(2))
+            .unwrap();
+    }
+    assert_eq!(
+        restored.refresh_access_profiles().unwrap(),
+        expected.refresh_access_profiles().unwrap()
+    );
+    assert_sessions_identical(&mut restored, &mut expected, "post-restore traffic");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn in_memory_snapshot_round_trips_without_disk() {
+    let mut session = advised_session(1);
+    session.advise().unwrap();
+    let snapshot = session.snapshot();
+    let mut restored = snapshot.restore().unwrap();
+    assert!(!restored.persistence_enabled());
+    // The image is canonical: capturing the restored session (before any
+    // further state-moving calls) reproduces the exact same bytes.
+    assert_eq!(restored.snapshot().as_bytes(), snapshot.as_bytes());
+    assert_sessions_identical(&mut restored, &mut session, "in-memory snapshot");
+}
+
+#[test]
+fn restore_of_an_empty_directory_is_a_clean_error() {
+    let dir = scratch_dir("empty_dir");
+    assert!(R2d2Session::restore(&dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
