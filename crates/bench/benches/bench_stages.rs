@@ -3,11 +3,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use r2d2_core::clp::content_level_prune;
-use r2d2_core::mmp::{min_max_prune, min_max_prune_threaded};
+use r2d2_core::mmp::{min_max_prune, min_max_prune_threaded, MmpOptions};
 use r2d2_core::sgb::{build_schema_graph, build_schema_graph_string, build_schema_graph_threaded};
 use r2d2_core::{PipelineConfig, R2d2Pipeline};
 use r2d2_lake::{Meter, SchemaSet};
 use r2d2_synth::corpus::{generate, CorpusSpec};
+
+const GATED: MmpOptions = MmpOptions {
+    typed_columns_only: true,
+    distinct_gate: true,
+};
 
 fn corpus(variant: usize, rows: usize) -> r2d2_synth::corpus::Corpus {
     generate(&CorpusSpec::enterprise_like(variant, rows)).unwrap()
@@ -59,13 +64,13 @@ fn bench_mmp(c: &mut Criterion) {
     group.bench_function("enterprise_org1", |b| {
         b.iter(|| {
             let mut graph = sgb.graph.clone();
-            min_max_prune(&corpus.lake, &mut graph, true, &Meter::new()).unwrap()
+            min_max_prune(&corpus.lake, &mut graph, GATED, &Meter::new()).unwrap()
         })
     });
     group.bench_function("enterprise_org1_threads_all", |b| {
         b.iter(|| {
             let mut graph = sgb.graph.clone();
-            min_max_prune_threaded(&corpus.lake, &mut graph, true, 0, &Meter::new()).unwrap()
+            min_max_prune_threaded(&corpus.lake, &mut graph, GATED, 0, &Meter::new()).unwrap()
         })
     });
     group.finish();
@@ -78,7 +83,7 @@ fn bench_clp(c: &mut Criterion) {
     let meter = Meter::new();
     let sgb = R2d2Pipeline::with_defaults().run_sgb(&corpus.lake, &meter);
     let mut after_mmp = sgb.graph.clone();
-    min_max_prune(&corpus.lake, &mut after_mmp, true, &meter).unwrap();
+    min_max_prune(&corpus.lake, &mut after_mmp, GATED, &meter).unwrap();
     for (s, t) in [(1usize, 5usize), (4, 10), (8, 30)] {
         let config = PipelineConfig::default().with_clp_params(s, t);
         group.bench_with_input(

@@ -8,14 +8,15 @@
 //!
 //! where `<which>` is one of `table1`, `table2`, `table3`, `table4`,
 //! `table5`, `table6`, `table7`, `fig2`, `fig4`, `fig5`, `fig6`, `all`,
-//! `bench-pipeline` (writes `BENCH_pipeline.json`), `dynamic-throughput`
-//! (writes `BENCH_dynamic.json`) or `optimizer-bench` (writes
+//! `bench-pipeline` (writes `BENCH_pipeline.json`), `containment-bench`
+//! (writes `BENCH_containment.json`), `dynamic-throughput` (writes
+//! `BENCH_dynamic.json`) or `optimizer-bench` (writes
 //! `BENCH_optimizer.json`). `--smoke` switches to the small corpora used by
 //! the integration tests.
 
 use r2d2_bench::experiments::{
-    clp_params, containment, dynamic_throughput, enterprise_corpora, figures, optimization,
-    optimizer_bench, perf, restart_bench, schema_baselines, synthetic_corpora, Scale,
+    clp_params, containment, containment_bench, dynamic_throughput, enterprise_corpora, figures,
+    optimization, optimizer_bench, perf, restart_bench, schema_baselines, synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -191,6 +192,21 @@ fn optimizer_bench_cmd(scale: Scale) {
     }
 }
 
+fn containment_bench_cmd(scale: Scale) {
+    println!("== Containment: sketch-gated vs seed-shaped pipeline on a wide corpus ==");
+    let snapshot = containment_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_containment.json write)");
+    } else {
+        let path = "BENCH_containment.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_containment.json");
+        println!("wrote {path}");
+    }
+}
+
 fn restart_bench_cmd(scale: Scale) {
     println!("== Restart: warm restore (snapshot + WAL replay) vs cold bootstrap ==");
     let snapshot = restart_bench::collect(scale == Scale::Smoke);
@@ -217,6 +233,7 @@ fn main() {
 
     match which.as_str() {
         "bench-pipeline" => bench_pipeline(scale),
+        "containment-bench" => containment_bench_cmd(scale),
         "dynamic-throughput" => dynamic_throughput_cmd(scale),
         "optimizer-bench" => optimizer_bench_cmd(scale),
         "restart-bench" => restart_bench_cmd(scale),
@@ -246,7 +263,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, dynamic-throughput, optimizer-bench, restart-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,319 @@
+//! Wide-corpus containment benchmark (`BENCH_containment.json`): the full
+//! SGB → MMP → CLP pipeline with sketch gating on versus the seed-shaped
+//! ungated path, on a corpus that is *wide* (hundreds of datasets) instead
+//! of deep (more rows per dataset).
+//!
+//! The corpus ([`CorpusSpec::wide`]) is adversarial for the ungated
+//! pipeline: most derived datasets are "impostors" — same schema as their
+//! source, float values resampled strictly inside the source's ranges — so
+//! schema and min-max pruning admit them and every rejection used to
+//! require building the parent's full hash multiset. With sketches on, the
+//! MMP distinct-count gate and the CLP bloom gate reject those edges from
+//! metadata and a handful of sampled-value probes.
+//!
+//! Besides wall clock, the snapshot records the evidence the gates leave
+//! behind: SGB candidate-verification counts (sub-quadratic in dataset
+//! count), per-stage row-level operation counts, and the prune counters
+//! (`distinct_prunes`, `sketch_probes`, `sketch_prunes`). It also asserts
+//! the soundness contract en passant: the bloom gate is graph-invisible
+//! (bit-identical final graph with the gate on or off) and every
+//! by-construction containment edge survives the gated pipeline.
+
+use super::{sorted_edges, time_best};
+use crate::report::TextTable;
+use r2d2_core::{PipelineConfig, PipelineReport, R2d2Pipeline};
+use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
+use std::time::Duration;
+
+/// One pipeline stage's measurements in one mode.
+#[derive(Debug, Clone)]
+pub struct StageLine {
+    /// Stage name ("SGB" / "MMP" / "CLP").
+    pub stage: String,
+    /// Wall-clock milliseconds of the stage (from the instrumented run).
+    pub ms: f64,
+    /// Row-level operations (scans + hashes + comparisons) of the stage.
+    pub row_level_ops: u64,
+    /// Edges remaining after the stage.
+    pub edges_after: usize,
+}
+
+fn stage_lines(report: &PipelineReport) -> Vec<StageLine> {
+    report
+        .stages
+        .iter()
+        .map(|s| StageLine {
+            stage: s.stage.name().to_string(),
+            ms: s.duration.as_secs_f64() * 1_000.0,
+            row_level_ops: s.ops.row_level_ops(),
+            edges_after: s.edges_after,
+        })
+        .collect()
+}
+
+/// The full snapshot serialised into `BENCH_containment.json`.
+#[derive(Debug, Clone)]
+pub struct ContainmentBenchSnapshot {
+    /// Corpus name.
+    pub corpus_name: String,
+    /// Datasets in the corpus.
+    pub datasets: usize,
+    /// Total rows in the corpus.
+    pub rows: usize,
+    /// End-to-end wall clock of the seed-shaped (gates off) pipeline.
+    pub seed_total: Duration,
+    /// End-to-end wall clock of the sketch-gated pipeline.
+    pub gated_total: Duration,
+    /// Per-stage breakdown of the seed-shaped run.
+    pub seed_stages: Vec<StageLine>,
+    /// Per-stage breakdown of the gated run.
+    pub gated_stages: Vec<StageLine>,
+    /// Schema-pair verifications SGB performed (identical in both modes).
+    pub sgb_comparisons: u64,
+    /// `n·(n−1)/2` — what an all-pairs candidate generator would compare.
+    pub quadratic_pairs: u64,
+    /// Edges pruned by the MMP distinct-count gate (gated run).
+    pub distinct_prunes: u64,
+    /// Bloom membership probes performed by the CLP gate (gated run).
+    pub sketch_probes: u64,
+    /// Edges pruned by the CLP bloom gate before any parent multiset was
+    /// built (gated run).
+    pub sketch_prunes: u64,
+    /// Rows hashed by the CLP stage without gating (dominated by parent
+    /// multiset builds for impostor edges).
+    pub seed_clp_rows_hashed: u64,
+    /// Rows hashed by the CLP stage with gating.
+    pub gated_clp_rows_hashed: u64,
+    /// Final edges of the seed-shaped run.
+    pub seed_edges: usize,
+    /// Final edges of the gated run.
+    pub gated_edges: usize,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+/// A ratio as a JSON-safe token: `null` when it is not finite (JSON has no
+/// Infinity/NaN literals), the usual `{:.2}` rendering otherwise.
+fn json_ratio(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ContainmentBenchSnapshot {
+    /// `seed / gated` end-to-end speedup (> 1 means gating is faster).
+    pub fn speedup(&self) -> f64 {
+        let gated = self.gated_total.as_secs_f64();
+        if gated == 0.0 {
+            f64::INFINITY
+        } else {
+            self.seed_total.as_secs_f64() / gated
+        }
+    }
+
+    /// Render as a stable, hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        let stages = |lines: &[StageLine]| {
+            let inner: Vec<String> = lines
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{ \"stage\": \"{}\", \"ms\": {:.3}, \"row_level_ops\": {}, \"edges_after\": {} }}",
+                        l.stage, l.ms, l.row_level_ops, l.edges_after
+                    )
+                })
+                .collect();
+            format!("[ {} ]", inner.join(", "))
+        };
+        format!(
+            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- containment-bench\",\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"end_to_end\": {{ \"seed_shaped_ms\": {:.3}, \"sketch_gated_ms\": {:.3}, \"speedup\": {} }},\n  \"sgb\": {{ \"comparisons\": {}, \"quadratic_pairs\": {}, \"sub_quadratic\": {} }},\n  \"gate_counters\": {{ \"distinct_prunes\": {}, \"sketch_probes\": {}, \"sketch_prunes\": {} }},\n  \"clp_rows_hashed\": {{ \"seed_shaped\": {}, \"sketch_gated\": {}, \"reduction\": {} }},\n  \"final_edges\": {{ \"seed_shaped\": {}, \"sketch_gated\": {} }},\n  \"seed_stages\": {},\n  \"gated_stages\": {}\n}}\n",
+            self.corpus_name,
+            self.datasets,
+            self.rows,
+            ms(self.seed_total),
+            ms(self.gated_total),
+            json_ratio(self.speedup()),
+            self.sgb_comparisons,
+            self.quadratic_pairs,
+            self.sgb_comparisons < self.quadratic_pairs,
+            self.distinct_prunes,
+            self.sketch_probes,
+            self.sketch_prunes,
+            self.seed_clp_rows_hashed,
+            self.gated_clp_rows_hashed,
+            json_ratio(if self.gated_clp_rows_hashed == 0 {
+                f64::INFINITY
+            } else {
+                self.seed_clp_rows_hashed as f64 / self.gated_clp_rows_hashed as f64
+            }),
+            self.seed_edges,
+            self.gated_edges,
+            stages(&self.seed_stages),
+            stages(&self.gated_stages),
+        )
+    }
+
+    /// Render as an aligned text table for the console.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "stage",
+            "seed (ms)",
+            "gated (ms)",
+            "seed row-ops",
+            "gated row-ops",
+        ]);
+        for (s, g) in self.seed_stages.iter().zip(&self.gated_stages) {
+            t.add_row([
+                s.stage.clone(),
+                format!("{:.3}", s.ms),
+                format!("{:.3}", g.ms),
+                s.row_level_ops.to_string(),
+                g.row_level_ops.to_string(),
+            ]);
+        }
+        format!(
+            "{}\nend-to-end: seed-shaped {:.3} ms vs sketch-gated {:.3} ms = {:.2}x\nSGB comparisons {} (all-pairs would be {}), distinct prunes {}, sketch probes {}, sketch prunes {}\n",
+            t.render(),
+            ms(self.seed_total),
+            ms(self.gated_total),
+            self.speedup(),
+            self.sgb_comparisons,
+            self.quadratic_pairs,
+            self.distinct_prunes,
+            self.sketch_probes,
+            self.sketch_prunes,
+        )
+    }
+}
+
+/// The wide corpus the benchmark runs on.
+pub fn wide_corpus(smoke: bool) -> Corpus {
+    let spec = if smoke {
+        CorpusSpec::wide(20, 64)
+    } else {
+        CorpusSpec::wide(96, 1024)
+    };
+    generate(&spec).expect("corpus generation cannot fail for valid specs")
+}
+
+/// Run every measurement and assemble the snapshot.
+///
+/// `smoke` shrinks the corpus so integration tests and CI can exercise this
+/// path in seconds; the checked-in `BENCH_containment.json` is generated at
+/// full size (≥ 300 datasets).
+pub fn collect(smoke: bool) -> ContainmentBenchSnapshot {
+    let corpus = wide_corpus(smoke);
+    let reps = if smoke { 1 } else { 3 };
+
+    let gated_cfg = PipelineConfig::default();
+    let seed_cfg = PipelineConfig::default().without_sketch_gates();
+    let bloom_off_cfg = PipelineConfig::default().with_clp_bloom_gate(false);
+
+    // Instrumented runs (fresh meter windows so per-stage ops are clean).
+    corpus.lake.meter().reset();
+    let gated_report = R2d2Pipeline::new(gated_cfg.clone())
+        .run(&corpus.lake)
+        .unwrap();
+    corpus.lake.meter().reset();
+    let seed_report = R2d2Pipeline::new(seed_cfg.clone())
+        .run(&corpus.lake)
+        .unwrap();
+    corpus.lake.meter().reset();
+    let bloom_off_report = R2d2Pipeline::new(bloom_off_cfg).run(&corpus.lake).unwrap();
+
+    // Soundness evidence, asserted on every run (including --smoke in CI):
+    // 1. The bloom gate is graph-invisible — bit-identical final graph.
+    assert_eq!(
+        sorted_edges(gated_report.final_graph()),
+        sorted_edges(bloom_off_report.final_graph()),
+        "CLP bloom gating must not change the final graph"
+    );
+    // 2. Gating only ever removes edges, never adds them.
+    let seed_edges = sorted_edges(seed_report.final_graph());
+    let gated_edges = sorted_edges(gated_report.final_graph());
+    for edge in &gated_edges {
+        assert!(
+            seed_edges.binary_search(edge).is_ok(),
+            "gated graph has an edge the ungated graph lacks: {edge:?}"
+        );
+    }
+    // 3. Recall: every by-construction containment edge survives gating.
+    for (p, c) in corpus.expected.edges() {
+        assert!(
+            gated_report.final_graph().has_edge(p, c),
+            "gating pruned the true containment edge {p} -> {c}"
+        );
+    }
+
+    // Wall clock, best of `reps`.
+    let gated_total = time_best(reps, || {
+        R2d2Pipeline::new(gated_cfg.clone())
+            .run(&corpus.lake)
+            .unwrap();
+    });
+    let seed_total = time_best(reps, || {
+        R2d2Pipeline::new(seed_cfg.clone())
+            .run(&corpus.lake)
+            .unwrap();
+    });
+
+    let n = corpus.dataset_count() as u64;
+    let stage_ops = |report: &PipelineReport, stage: r2d2_core::Stage| {
+        report.stage(stage).expect("stage present").ops
+    };
+    let gated_clp = stage_ops(&gated_report, r2d2_core::Stage::Clp);
+    let gated_mmp = stage_ops(&gated_report, r2d2_core::Stage::Mmp);
+    let gated_sgb = stage_ops(&gated_report, r2d2_core::Stage::Sgb);
+
+    ContainmentBenchSnapshot {
+        corpus_name: corpus.name.clone(),
+        datasets: corpus.dataset_count(),
+        rows: corpus.lake.total_rows(),
+        seed_total,
+        gated_total,
+        seed_stages: stage_lines(&seed_report),
+        gated_stages: stage_lines(&gated_report),
+        sgb_comparisons: gated_sgb.schema_comparisons,
+        quadratic_pairs: n * n.saturating_sub(1) / 2,
+        distinct_prunes: gated_mmp.distinct_prunes,
+        sketch_probes: gated_clp.sketch_probes,
+        sketch_prunes: gated_clp.sketch_prunes,
+        seed_clp_rows_hashed: stage_ops(&seed_report, r2d2_core::Stage::Clp).rows_hashed,
+        gated_clp_rows_hashed: gated_clp.rows_hashed,
+        seed_edges: seed_edges.len(),
+        gated_edges: gated_edges.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_and_upholds_the_gating_contract() {
+        let snap = collect(true);
+        assert!(snap.datasets >= 60, "smoke corpus is still wide");
+        assert!(
+            snap.sgb_comparisons < snap.quadratic_pairs,
+            "SGB candidate generation must be sub-quadratic: {} vs {}",
+            snap.sgb_comparisons,
+            snap.quadratic_pairs
+        );
+        assert!(snap.sketch_prunes > 0, "the corpus must exercise the gate");
+        assert!(
+            snap.gated_clp_rows_hashed < snap.seed_clp_rows_hashed,
+            "gating must reduce exact CLP probes ({} vs {})",
+            snap.gated_clp_rows_hashed,
+            snap.seed_clp_rows_hashed
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"sub_quadratic\": true"));
+        assert!(json.contains("gate_counters"));
+        let rendered = snap.render();
+        assert!(rendered.contains(&format!("= {:.2}x", snap.speedup())));
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod clp_params;
 pub mod containment;
+pub mod containment_bench;
 pub mod dynamic_throughput;
 pub mod figures;
 pub mod optimization;
@@ -11,6 +12,26 @@ pub mod restart_bench;
 pub mod schema_baselines;
 
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
+use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall clock of `f` — the timing policy every `BENCH_*`
+/// emitter shares.
+pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// A graph's edges in canonical (sorted) order, for cross-run comparison.
+pub fn sorted_edges(graph: &r2d2_graph::ContainmentGraph) -> Vec<(u64, u64)> {
+    let mut edges = graph.edges();
+    edges.sort_unstable();
+    edges
+}
 
 /// How large the generated corpora should be.
 ///

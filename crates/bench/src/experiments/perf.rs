@@ -8,6 +8,7 @@
 //! per-probe build hashing) so the speedups stay measurable after the
 //! originals were replaced. They use only public lake APIs.
 
+use super::time_best;
 use crate::report::TextTable;
 use r2d2_core::sgb::{build_schema_graph, build_schema_graph_string};
 use r2d2_core::{PipelineConfig, R2d2Pipeline};
@@ -20,7 +21,7 @@ use r2d2_synth::corpus::{generate, CorpusSpec};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One before/after measurement.
 #[derive(Debug, Clone)]
@@ -57,8 +58,11 @@ pub struct PerfSnapshot {
     /// Total rows in that corpus.
     pub corpus_rows: usize,
     /// Full-pipeline sequential (`threads = 1`) vs parallel
-    /// (`threads = 0`, i.e. all hardware threads) wall clock.
-    pub pipeline: Comparison,
+    /// (`threads = 0`, i.e. all hardware threads) wall clock. `None` on a
+    /// single-hardware-thread machine, where the two configurations run the
+    /// same code and the "speedup" would be noise — the JSON marks the
+    /// comparison as skipped with the reason instead.
+    pub pipeline: Option<Comparison>,
     /// Seed-shaped full pipeline (string SGB + uncached sequential CLP with
     /// legacy sampling) vs the current pipeline at all hardware threads.
     pub pipeline_vs_seed: Comparison,
@@ -96,13 +100,17 @@ impl PerfSnapshot {
                 c.speedup()
             )
         };
+        let seq_vs_par = match &self.pipeline {
+            Some(c) => cmp(c),
+            None => "{ \"skipped\": true, \"reason\": \"hardware_threads == 1: sequential and parallel run the same code, the ratio is noise\" }".to_string(),
+        };
         format!(
             "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- bench-pipeline\",\n  \"hardware_threads\": {},\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"full_pipeline_seq_vs_par\": {},\n  \"full_pipeline_seed_vs_current\": {},\n  \"pipeline_row_level_ops\": {},\n  \"sgb_string_vs_interned\": {},\n  \"sgb_schema_comparisons\": {},\n  \"scan_fold_concat_vs_presized\": {},\n  \"random_rows_shuffle_vs_index_sample\": {},\n  \"anti_join_uncached_vs_cached\": {}\n}}\n",
             self.hardware_threads,
             self.corpus_name,
             self.corpus_datasets,
             self.corpus_rows,
-            cmp(&self.pipeline),
+            seq_vs_par,
             cmp(&self.pipeline_vs_seed),
             self.pipeline_row_level_ops,
             cmp(&self.sgb),
@@ -116,14 +124,25 @@ impl PerfSnapshot {
     /// Render as an aligned text table for the console.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(["measurement", "before (ms)", "after (ms)", "speedup"]);
+        if self.pipeline.is_none() {
+            t.add_row([
+                "full pipeline threads=1 vs par".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "skipped (1 hw thread)".to_string(),
+            ]);
+        }
         for c in [
-            &self.pipeline,
-            &self.pipeline_vs_seed,
-            &self.sgb,
-            &self.scan,
-            &self.random_rows,
-            &self.anti_join,
-        ] {
+            self.pipeline.as_ref(),
+            Some(&self.pipeline_vs_seed),
+            Some(&self.sgb),
+            Some(&self.scan),
+            Some(&self.random_rows),
+            Some(&self.anti_join),
+        ]
+        .into_iter()
+        .flatten()
+        {
             t.add_row([
                 c.name.clone(),
                 fmt_ms(c.before),
@@ -133,17 +152,6 @@ impl PerfSnapshot {
         }
         t.render()
     }
-}
-
-/// Best-of-`reps` wall clock of `f`.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
-    let mut best = Duration::MAX;
-    for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed());
-    }
-    best
 }
 
 // ---------------------------------------------------------------------------
@@ -314,7 +322,16 @@ fn legacy_full_pipeline(lake: &r2d2_lake::DataLake, config: &PipelineConfig) -> 
     let schemas: Vec<(u64, SchemaSet)> = R2d2Pipeline::schema_sets(lake);
     let sgb = build_schema_graph_string(&schemas, &meter);
     let mut graph = sgb.graph;
-    r2d2_core::mmp::min_max_prune(lake, &mut graph, config.mmp_typed_columns_only, &meter)?;
+    r2d2_core::mmp::min_max_prune(
+        lake,
+        &mut graph,
+        r2d2_core::mmp::MmpOptions {
+            typed_columns_only: config.mmp_typed_columns_only,
+            // Seed-shaped baseline: no distinct-count gate.
+            distinct_gate: false,
+        },
+        &meter,
+    )?;
     legacy_clp(lake, &mut graph, config, &meter)
 }
 
@@ -357,11 +374,17 @@ pub fn collect(smoke: bool) -> PerfSnapshot {
     let corpus = generate(&spec).unwrap();
     let seq_pipeline = R2d2Pipeline::new(PipelineConfig::default().with_threads(1));
     let par_pipeline = R2d2Pipeline::new(PipelineConfig::default().with_threads(0));
-    let seq_time = time_best(reps, || {
-        seq_pipeline.run(&corpus.lake).unwrap();
-    });
     let par_time = time_best(reps, || {
         par_pipeline.run(&corpus.lake).unwrap();
+    });
+    // On one hardware thread "sequential vs parallel" compares a run
+    // against itself; skip it instead of publishing a meaningless ratio.
+    let seq_vs_par = (hardware_threads > 1).then(|| Comparison {
+        name: format!("full pipeline threads=1 vs threads={hardware_threads}"),
+        before: time_best(reps, || {
+            seq_pipeline.run(&corpus.lake).unwrap();
+        }),
+        after: par_time,
     });
     corpus.lake.meter().reset();
     let report = seq_pipeline.run(&corpus.lake).unwrap();
@@ -433,11 +456,7 @@ pub fn collect(smoke: bool) -> PerfSnapshot {
         corpus_name: corpus.name.clone(),
         corpus_datasets: corpus.dataset_count(),
         corpus_rows: corpus.lake.total_rows(),
-        pipeline: Comparison {
-            name: format!("full pipeline threads=1 vs threads={hardware_threads}"),
-            before: seq_time,
-            after: par_time,
-        },
+        pipeline: seq_vs_par,
         pipeline_vs_seed: Comparison {
             name: "full pipeline seed-shaped vs current".to_string(),
             before: seed_time,

@@ -8,11 +8,22 @@
 //! sampling uses predicate queries, a partitioned / indexed lake only needs
 //! to touch the partitions admitted by the filter, which is where the
 //! order-of-magnitude savings of Table 3's CLP row come from.
+//!
+//! With [`PipelineConfig::clp_bloom_gate`] set (the default), every sampled
+//! value is probed against the parent's per-column bloom sketches *before*
+//! the parent's hash multiset is built: a sketch miss proves the sampled
+//! row is absent from the parent (sketches have no false negatives), so the
+//! edge is pruned without scanning or hashing a single parent row. Sketch
+//! hits — including false positives — fall through to the exact anti-join,
+//! which is why the final graph is bit-identical with the gate on or off:
+//! the gate prunes exactly when the exact check on the same sample would
+//! have pruned.
 
 use crate::config::{ClpSampling, PipelineConfig};
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::query::{left_anti_join, left_anti_join_cached, random_rows, scan, Predicate};
-use r2d2_lake::{DataLake, DatasetId, HashJoinCache, Meter, Result, Table};
+use r2d2_lake::row::hash_values;
+use r2d2_lake::{DataLake, DatasetId, HashJoinCache, Meter, PartitionedTable, Result, Table};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,6 +36,10 @@ pub struct ClpStats {
     pub edges_examined: usize,
     /// Edges removed because a sampled child row was missing from the parent.
     pub edges_pruned: usize,
+    /// Edges removed by the bloom-sketch gate (a subset of `edges_pruned`):
+    /// a sampled value was provably absent from the parent, so the edge was
+    /// dropped before the parent's hash multiset was built or probed.
+    pub edges_pruned_by_sketch: usize,
     /// Total child rows sampled across all edges.
     pub rows_sampled: usize,
 }
@@ -126,7 +141,41 @@ fn edge_seed(seed: u64, parent_id: u64, child_id: u64) -> u64 {
 /// Outcome of checking one edge, merged deterministically afterwards.
 struct EdgeOutcome {
     prune: bool,
+    sketch_pruned: bool,
     rows_sampled: usize,
+}
+
+/// Probe every non-null sampled value against the parent's per-column bloom
+/// sketches. Returns `true` when some value is provably absent from the
+/// parent — the sampled row containing it cannot exist in the parent, so
+/// containment is disproved without touching parent rows. Columns are
+/// visited in the (deterministic) `common` order, values in row order, so
+/// the probe count is identical at any thread count.
+fn sketch_disproves(
+    parent: &PartitionedTable,
+    sample: &Table,
+    common: &[String],
+    meter: &Meter,
+) -> bool {
+    for col in common {
+        let Some(sketch) = parent.column_sketch(col) else {
+            continue;
+        };
+        let Ok(column) = sample.column(col) else {
+            continue;
+        };
+        for value in column.values() {
+            if value.is_null() {
+                continue;
+            }
+            meter.add_sketch_probes(1);
+            if !sketch.contains(hash_values(&[value])) {
+                meter.add_sketch_prunes(1);
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Check a single `parent → child` edge by sampling and anti-joining.
@@ -150,6 +199,7 @@ fn check_edge(
         // dynamic updates can surface it.
         return Ok(EdgeOutcome {
             prune: true,
+            sketch_pruned: false,
             rows_sampled: 0,
         });
     }
@@ -162,6 +212,18 @@ fn check_edge(
         rows_sampled += sample.num_rows();
         if sample.is_empty() {
             continue;
+        }
+        // Bloom gate: a sampled value absent from the parent's sketch
+        // proves the sampled row absent from the parent — prune before
+        // building or probing the (expensive) parent hash multiset. The
+        // exact check below would prune on the same sample, so the final
+        // graph is identical with the gate on or off.
+        if config.clp_bloom_gate && sketch_disproves(&parent.data, &sample, &common, meter) {
+            return Ok(EdgeOutcome {
+                prune: true,
+                sketch_pruned: true,
+                rows_sampled,
+            });
         }
         let missing = match (config.clp_sampling, &filter) {
             (ClpSampling::BothSides, Some(f)) => {
@@ -179,12 +241,14 @@ fn check_edge(
         if !missing.is_empty() {
             return Ok(EdgeOutcome {
                 prune: true,
+                sketch_pruned: false,
                 rows_sampled,
             });
         }
     }
     Ok(EdgeOutcome {
         prune: false,
+        sketch_pruned: false,
         rows_sampled,
     })
 }
@@ -252,6 +316,7 @@ pub fn content_level_prune(
     for (&(parent_id, child_id), outcome) in edges.iter().zip(outcomes) {
         stats.edges_examined += 1;
         stats.rows_sampled += outcome.rows_sampled;
+        stats.edges_pruned_by_sketch += outcome.sketch_pruned as usize;
         if outcome.prune {
             graph.remove_edge(parent_id, child_id);
             stats.edges_pruned += 1;
@@ -520,6 +585,98 @@ mod tests {
             );
             assert!(!par_graph.has_edge(p, c_bad));
             assert!(par_graph.has_edge(p, c_ok));
+        }
+    }
+
+    #[test]
+    fn bloom_gate_prunes_disjoint_edge_without_touching_parent_rows() {
+        let mut lake = DataLake::new();
+        let p = add(&mut lake, "p", base_table(50));
+        let schema = base_table(1).schema().clone();
+        let child_t = Table::new(
+            schema,
+            vec![
+                Column::from_ints(9000..9020),
+                Column::from_strs((0..20).map(|i| format!("zz{i}"))),
+                Column::from_floats((0..20).map(|i| i as f64 + 0.125)),
+            ],
+        )
+        .unwrap();
+        let c = add(&mut lake, "c", child_t);
+        let mut g = ContainmentGraph::new();
+        g.add_edge(p, c);
+        let meter = Meter::new();
+        let stats = content_level_prune(&lake, &mut g, &config(), &meter).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+        assert_eq!(
+            stats.edges_pruned_by_sketch, 1,
+            "gate fires before the join"
+        );
+        let snap = meter.snapshot();
+        assert!(snap.sketch_probes > 0);
+        assert_eq!(snap.sketch_prunes, 1);
+        assert_eq!(
+            snap.rows_hashed, 0,
+            "no parent multiset was built: the edge died at the sketch"
+        );
+    }
+
+    #[test]
+    fn gated_and_ungated_produce_identical_graphs_and_samples() {
+        for sampling in [
+            ClpSampling::PredicateFilter,
+            ClpSampling::RandomRows,
+            ClpSampling::BothSides,
+        ] {
+            let mut lake = DataLake::new();
+            let parent_t = base_table(80);
+            let p = add(&mut lake, "p", parent_t.clone());
+            let c_ok = add(
+                &mut lake,
+                "c_ok",
+                parent_t.take(&(5..45).collect::<Vec<_>>()).unwrap(),
+            );
+            let schema = parent_t.schema().clone();
+            let c_bad = add(
+                &mut lake,
+                "c_bad",
+                Table::new(
+                    schema,
+                    vec![
+                        Column::from_ints(7000..7030),
+                        Column::from_strs((0..30).map(|i| format!("e{}", i % 5))),
+                        Column::from_floats((0..30).map(|i| i as f64)),
+                    ],
+                )
+                .unwrap(),
+            );
+            let build = || {
+                let mut g = ContainmentGraph::new();
+                g.add_edge(p, c_ok);
+                g.add_edge(p, c_bad);
+                g
+            };
+            let mut gated_graph = build();
+            let gated_cfg = config().with_sampling(sampling);
+            let gated =
+                content_level_prune(&lake, &mut gated_graph, &gated_cfg, &Meter::new()).unwrap();
+
+            let mut ungated_graph = build();
+            let ungated_cfg = config().with_sampling(sampling).with_clp_bloom_gate(false);
+            let ungated =
+                content_level_prune(&lake, &mut ungated_graph, &ungated_cfg, &Meter::new())
+                    .unwrap();
+
+            assert_eq!(
+                gated_graph, ungated_graph,
+                "{sampling:?}: bloom gating must be graph-invisible"
+            );
+            assert_eq!(gated.edges_pruned, ungated.edges_pruned);
+            assert_eq!(
+                gated.rows_sampled, ungated.rows_sampled,
+                "{sampling:?}: identical RNG streams draw identical samples"
+            );
+            assert_eq!(ungated.edges_pruned_by_sketch, 0);
         }
     }
 

@@ -46,6 +46,23 @@ pub struct PipelineConfig {
     /// min/max statistics (numeric, timestamp, string); if false it uses
     /// every common column that happens to have statistics.
     pub mmp_typed_columns_only: bool,
+    /// Enable the MMP **distinct-count gate**: on any common column, a sound
+    /// metadata-only lower bound on the child's distinct count exceeding the
+    /// parent's (upper-bounded) distinct count disproves containment, so the
+    /// edge is pruned without reading a row. Like the min/max check itself
+    /// this only ever removes provably-false edges (it can improve precision
+    /// over a run without the gate, never recall).
+    pub mmp_distinct_gate: bool,
+    /// Enable the CLP **bloom-sketch gate**: after drawing each child
+    /// sample and *before* building or probing the parent's hash multiset,
+    /// probe every sampled value against the parent's per-column bloom
+    /// sketches. A missing value proves the sampled row is absent from the
+    /// parent (sketches have no false negatives), so the edge is pruned
+    /// without touching a parent row; sketch hits fall through to the exact
+    /// anti-join. Because the gate can only prune edges the exact check
+    /// would have pruned on the very same sample, the final graph is
+    /// **bit-identical** with this gate on or off.
+    pub clp_bloom_gate: bool,
     /// Number of worker threads for the data-parallel stages (SGB step 6
     /// pair checks, MMP per-edge metadata checks, CLP per-edge sampling and
     /// anti-joins). `1` (the default) runs every stage inline on the calling
@@ -64,6 +81,8 @@ impl Default for PipelineConfig {
             clp_sampling: ClpSampling::PredicateFilter,
             seed: 0x5eed,
             mmp_typed_columns_only: true,
+            mmp_distinct_gate: true,
+            clp_bloom_gate: true,
             threads: 1,
         }
     }
@@ -106,6 +125,25 @@ impl PipelineConfig {
         self
     }
 
+    /// Enable or disable the MMP distinct-count gate.
+    pub fn with_mmp_distinct_gate(mut self, enabled: bool) -> Self {
+        self.mmp_distinct_gate = enabled;
+        self
+    }
+
+    /// Enable or disable the CLP bloom-sketch gate.
+    pub fn with_clp_bloom_gate(mut self, enabled: bool) -> Self {
+        self.clp_bloom_gate = enabled;
+        self
+    }
+
+    /// Disable every sketch-backed gate (the pre-sketch, "seed-shaped"
+    /// pruning behaviour benchmarks compare against).
+    pub fn without_sketch_gates(self) -> Self {
+        self.with_mmp_distinct_gate(false)
+            .with_clp_bloom_gate(false)
+    }
+
     /// Override the worker thread count (`1` = sequential, `0` = all
     /// hardware threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -124,7 +162,21 @@ mod tests {
         assert_eq!(c.clp_columns, 4);
         assert_eq!(c.clp_rows, 10);
         assert_eq!(c.clp_sampling, ClpSampling::PredicateFilter);
+        assert!(c.mmp_distinct_gate, "sketch gates default on");
+        assert!(c.clp_bloom_gate, "sketch gates default on");
         assert_eq!(PipelineConfig::paper_defaults(), c);
+    }
+
+    #[test]
+    fn sketch_gates_can_be_disabled() {
+        let c = PipelineConfig::default().without_sketch_gates();
+        assert!(!c.mmp_distinct_gate);
+        assert!(!c.clp_bloom_gate);
+        let partial = PipelineConfig::default()
+            .with_mmp_distinct_gate(false)
+            .with_clp_bloom_gate(true);
+        assert!(!partial.mmp_distinct_gate);
+        assert!(partial.clp_bloom_gate);
     }
 
     #[test]

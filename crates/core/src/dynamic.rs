@@ -194,7 +194,13 @@ fn verify_pair(
             rows_sampled: 0,
         });
     }
-    if !mmp::edge_passes(lake, parent, child, config.mmp_typed_columns_only, meter)? {
+    if !mmp::edge_passes(
+        lake,
+        parent,
+        child,
+        mmp::MmpOptions::from_config(config),
+        meter,
+    )? {
         return Ok(VerifyOutcome {
             pass: false,
             rows_sampled: 0,

@@ -7,10 +7,42 @@
 //! from partition-level metadata (the lake keeps them per partition and
 //! merged per table), so this stage never reads a row — a property the unit
 //! tests assert via the meter.
+//!
+//! The **distinct-count gate** extends the same metadata-only reasoning to
+//! cardinalities: if a sound lower bound on `distinct(child.c)` (largest
+//! exact per-partition count, or the table sketch's popcount bound — see
+//! [`r2d2_lake::PartitionedTable::column_distinct_lower_bound`]) exceeds an
+//! upper bound on `distinct(parent.c)` (the table-level count, exact for
+//! catalog-built tables), the child provably holds a value the parent
+//! lacks, so containment is impossible and the edge is pruned — again
+//! without reading a row. Gate prunes are counted separately (both in
+//! [`MmpStats`] and on the meter's `distinct_prunes` counter).
 
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::{DataLake, DatasetId, LakeError, Meter, Result};
 use serde::{Deserialize, Serialize};
+
+/// Which metadata checks an MMP run applies. Named fields instead of two
+/// adjacent positional bools, so call sites cannot silently transpose the
+/// flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmpOptions {
+    /// Restrict the min/max check to columns whose declared type supports
+    /// min/max statistics (numbers, timestamps, strings).
+    pub typed_columns_only: bool,
+    /// Apply the distinct-count gate (see the module docs).
+    pub distinct_gate: bool,
+}
+
+impl MmpOptions {
+    /// The options a [`crate::config::PipelineConfig`] asks for.
+    pub fn from_config(config: &crate::config::PipelineConfig) -> Self {
+        MmpOptions {
+            typed_columns_only: config.mmp_typed_columns_only,
+            distinct_gate: config.mmp_distinct_gate,
+        }
+    }
+}
 
 /// Statistics of one MMP run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -19,6 +51,10 @@ pub struct MmpStats {
     pub edges_examined: usize,
     /// Edges removed because a column range was not nested.
     pub edges_pruned: usize,
+    /// Edges removed by the distinct-count gate (a subset of
+    /// `edges_pruned`): the child provably has more distinct values than
+    /// the parent on some common column.
+    pub edges_pruned_by_distinct: usize,
     /// Column min/max metadata lookups performed.
     pub columns_checked: usize,
 }
@@ -26,15 +62,17 @@ pub struct MmpStats {
 /// Outcome of checking one edge, merged deterministically afterwards.
 struct EdgeCheck {
     prune: bool,
+    distinct_prune: bool,
     columns_checked: usize,
 }
 
-/// Check a single `parent → child` edge against column min/max metadata.
+/// Check a single `parent → child` edge against column min/max metadata and
+/// (when `options.distinct_gate` is set) the distinct-count bounds.
 fn check_edge(
     lake: &DataLake,
     parent_id: u64,
     child_id: u64,
-    typed_columns_only: bool,
+    options: MmpOptions,
     meter: &Meter,
 ) -> Result<EdgeCheck> {
     let parent = lake.dataset(DatasetId(parent_id))?;
@@ -48,34 +86,47 @@ fn check_edge(
 
     let mut columns_checked = 0usize;
     let mut prune = false;
+    let mut distinct_prune = false;
     for col in &common {
-        if typed_columns_only {
-            let dt = child_schema.data_type(col)?;
-            if !dt.supports_min_max() {
-                continue;
+        let range_eligible =
+            !options.typed_columns_only || child_schema.data_type(col)?.supports_min_max();
+        if range_eligible {
+            columns_checked += 1;
+            let (cmin, cmax) = child.data.column_min_max(col, meter)?;
+            let (pmin, pmax) = parent.data.column_min_max(col, meter)?;
+            let violates = match (cmin, cmax, pmin, pmax) {
+                (Some(cmin), Some(cmax), Some(pmin), Some(pmax)) => {
+                    cmin.total_cmp(&pmin) == std::cmp::Ordering::Less
+                        || cmax.total_cmp(&pmax) == std::cmp::Ordering::Greater
+                }
+                // Child has values in a column where the parent has none:
+                // containment is impossible.
+                (Some(_), Some(_), None, None) => true,
+                // Child column all-null (or empty): cannot disprove.
+                _ => false,
+            };
+            if violates {
+                prune = true;
+                break;
             }
         }
-        columns_checked += 1;
-        let (cmin, cmax) = child.data.column_min_max(col, meter)?;
-        let (pmin, pmax) = parent.data.column_min_max(col, meter)?;
-        let violates = match (cmin, cmax, pmin, pmax) {
-            (Some(cmin), Some(cmax), Some(pmin), Some(pmax)) => {
-                cmin.total_cmp(&pmin) == std::cmp::Ordering::Less
-                    || cmax.total_cmp(&pmax) == std::cmp::Ordering::Greater
-            }
-            // Child has values in a column where the parent has none:
-            // containment is impossible.
-            (Some(_), Some(_), None, None) => true,
-            // Child column all-null (or empty): cannot disprove.
-            _ => false,
-        };
-        if violates {
+        // Distinct-count gate: child_lower > parent_upper means the child
+        // provably holds a value the parent lacks in this column, so some
+        // child row cannot be in the parent. Applies to every common column
+        // (distinct counts exist regardless of min/max support).
+        if options.distinct_gate
+            && child.data.column_distinct_lower_bound(col, meter)
+                > parent.data.column_distinct_upper_bound(col, meter)
+        {
             prune = true;
+            distinct_prune = true;
+            meter.add_distinct_prunes(1);
             break;
         }
     }
     Ok(EdgeCheck {
         prune,
+        distinct_prune,
         columns_checked,
     })
 }
@@ -88,10 +139,10 @@ pub(crate) fn edge_passes(
     lake: &DataLake,
     parent_id: u64,
     child_id: u64,
-    typed_columns_only: bool,
+    options: MmpOptions,
     meter: &Meter,
 ) -> Result<bool> {
-    Ok(!check_edge(lake, parent_id, child_id, typed_columns_only, meter)?.prune)
+    Ok(!check_edge(lake, parent_id, child_id, options, meter)?.prune)
 }
 
 /// Run Min-Max Pruning over `graph`, mutating it in place, single-threaded.
@@ -99,19 +150,20 @@ pub(crate) fn edge_passes(
 pub fn min_max_prune(
     lake: &DataLake,
     graph: &mut ContainmentGraph,
-    typed_columns_only: bool,
+    options: MmpOptions,
     meter: &Meter,
 ) -> Result<MmpStats> {
-    min_max_prune_threaded(lake, graph, typed_columns_only, 1, meter)
+    min_max_prune_threaded(lake, graph, options, 1, meter)
 }
 
 /// Run Min-Max Pruning over `graph` on up to `threads` workers (`0` = all
 /// hardware threads), mutating the graph in place.
 ///
-/// `typed_columns_only` restricts the check to columns whose declared type
-/// supports min/max semantics (numbers, timestamps, strings), matching the
-/// paper's focus on numerical columns while still exploiting what parquet
-/// metadata provides for byte arrays.
+/// `options.typed_columns_only` restricts the min/max check to columns
+/// whose declared type supports min/max semantics (numbers, timestamps,
+/// strings), matching the paper's focus on numerical columns while still
+/// exploiting what parquet metadata provides for byte arrays;
+/// `options.distinct_gate` adds the distinct-count gate.
 ///
 /// Each edge's check only reads the (immutable) lake and the shared atomic
 /// meter, so edges fan out freely; prune decisions are applied to the graph
@@ -120,20 +172,21 @@ pub fn min_max_prune(
 pub fn min_max_prune_threaded(
     lake: &DataLake,
     graph: &mut ContainmentGraph,
-    typed_columns_only: bool,
+    options: MmpOptions,
     threads: usize,
     meter: &Meter,
 ) -> Result<MmpStats> {
     let edges = graph.edges();
     let checks: Vec<EdgeCheck> =
         crate::fanout::try_parallel_map(threads, &edges, |&(parent_id, child_id)| {
-            check_edge(lake, parent_id, child_id, typed_columns_only, meter)
+            check_edge(lake, parent_id, child_id, options, meter)
         })?;
 
     let mut stats = MmpStats::default();
     for (&(parent_id, child_id), check) in edges.iter().zip(checks) {
         stats.edges_examined += 1;
         stats.columns_checked += check.columns_checked;
+        stats.edges_pruned_by_distinct += check.distinct_prune as usize;
         if check.prune {
             graph
                 .remove_edge(parent_id, child_id)
@@ -148,6 +201,15 @@ pub fn min_max_prune_threaded(
 mod tests {
     use super::*;
     use r2d2_lake::{AccessProfile, Column, DataLake, DataType, PartitionedTable, Schema, Table};
+
+    const GATED: MmpOptions = MmpOptions {
+        typed_columns_only: true,
+        distinct_gate: true,
+    };
+    const UNGATED: MmpOptions = MmpOptions {
+        typed_columns_only: true,
+        distinct_gate: false,
+    };
 
     fn add_table(lake: &mut DataLake, name: &str, ids: Vec<i64>, amounts: Vec<f64>) -> u64 {
         let schema = Schema::flat(&[("id", DataType::Int), ("amount", DataType::Float)]).unwrap();
@@ -183,7 +245,7 @@ mod tests {
         graph.add_edge(parent, child_bad);
 
         let meter = Meter::new();
-        let stats = min_max_prune(&lake, &mut graph, true, &meter).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &meter).unwrap();
         assert_eq!(stats.edges_examined, 2);
         assert_eq!(stats.edges_pruned, 1);
         assert!(graph.has_edge(parent, child_ok));
@@ -208,7 +270,7 @@ mod tests {
         let mut graph = ContainmentGraph::new();
         graph.add_edge(parent, child);
         let meter = Meter::new();
-        min_max_prune(&lake, &mut graph, true, &meter).unwrap();
+        min_max_prune(&lake, &mut graph, GATED, &meter).unwrap();
         let s = meter.snapshot();
         assert_eq!(s.rows_scanned, 0, "MMP must be metadata-only");
         assert!(s.metadata_lookups > 0);
@@ -227,7 +289,7 @@ mod tests {
         let child = add_table(&mut lake, "c", vec![1, 9], vec![0.1, 0.9]);
         let mut graph = ContainmentGraph::new();
         graph.add_edge(parent, child);
-        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 0);
         assert!(graph.has_edge(parent, child));
     }
@@ -240,7 +302,7 @@ mod tests {
         let child = add_table(&mut lake, "c", vec![5, 20], vec![1.0, 2.0]);
         let mut graph = ContainmentGraph::new();
         graph.add_edge(parent, child);
-        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 1);
     }
 
@@ -274,7 +336,7 @@ mod tests {
             .0;
         let mut graph = ContainmentGraph::new();
         graph.add_edge(p, c);
-        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 0);
     }
 
@@ -312,8 +374,59 @@ mod tests {
             .0;
         let mut graph = ContainmentGraph::new();
         graph.add_edge(p, c);
-        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
         assert_eq!(stats.edges_pruned, 1);
+    }
+
+    #[test]
+    fn distinct_gate_prunes_wider_child_within_nested_ranges() {
+        let mut lake = DataLake::new();
+        // Parent: 2 distinct ids spanning [0, 10]; child: 3 distinct ids
+        // inside that range. Min/max cannot disprove, cardinality can.
+        let parent = add_table(&mut lake, "p", vec![0, 10], vec![1.0, 2.0]);
+        let child = add_table(&mut lake, "c", vec![0, 5, 10], vec![1.0, 1.5, 2.0]);
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child);
+        let meter = Meter::new();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &meter).unwrap();
+        assert_eq!(stats.edges_pruned, 1);
+        assert_eq!(stats.edges_pruned_by_distinct, 1);
+        assert!(!graph.has_edge(parent, child));
+        let snap = meter.snapshot();
+        assert_eq!(snap.distinct_prunes, 1, "gate prunes hit their counter");
+        assert_eq!(snap.rows_scanned, 0, "the gate is metadata-only");
+
+        // With the gate disabled the edge survives MMP (ranges nest).
+        let mut ungated = ContainmentGraph::new();
+        ungated.add_edge(parent, child);
+        let stats = min_max_prune(&lake, &mut ungated, UNGATED, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert_eq!(stats.edges_pruned_by_distinct, 0);
+        assert!(ungated.has_edge(parent, child));
+    }
+
+    #[test]
+    fn distinct_gate_never_prunes_a_true_containment_edge() {
+        // Child is a literal subset of the parent rows: every sound bound
+        // must keep the edge.
+        let mut lake = DataLake::new();
+        let parent = add_table(
+            &mut lake,
+            "p",
+            (0..200).collect(),
+            (0..200).map(|i| i as f64).collect(),
+        );
+        let child = add_table(
+            &mut lake,
+            "c",
+            (20..180).collect(),
+            (20..180).map(|i| i as f64).collect(),
+        );
+        let mut graph = ContainmentGraph::new();
+        graph.add_edge(parent, child);
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
+        assert_eq!(stats.edges_pruned, 0);
+        assert!(graph.has_edge(parent, child));
     }
 
     #[test]
@@ -343,11 +456,11 @@ mod tests {
         };
         let seq_meter = Meter::new();
         let mut seq_graph = build();
-        let seq = min_max_prune(&lake, &mut seq_graph, true, &seq_meter).unwrap();
+        let seq = min_max_prune(&lake, &mut seq_graph, GATED, &seq_meter).unwrap();
 
         let par_meter = Meter::new();
         let mut par_graph = build();
-        let par = min_max_prune_threaded(&lake, &mut par_graph, true, 4, &par_meter).unwrap();
+        let par = min_max_prune_threaded(&lake, &mut par_graph, GATED, 4, &par_meter).unwrap();
 
         assert_eq!(seq_graph, par_graph);
         assert_eq!(seq, par);
@@ -360,7 +473,7 @@ mod tests {
         let lake = DataLake::new();
         let mut graph = ContainmentGraph::new();
         graph.add_edge(0, 1);
-        assert!(min_max_prune(&lake, &mut graph, true, &Meter::new()).is_err());
+        assert!(min_max_prune(&lake, &mut graph, GATED, &Meter::new()).is_err());
     }
 
     #[test]
@@ -370,7 +483,7 @@ mod tests {
         let c = add_table(&mut lake, "c", vec![1], vec![1.0]);
         let mut graph = ContainmentGraph::new();
         graph.add_edge(p, c);
-        let stats = min_max_prune(&lake, &mut graph, true, &Meter::new()).unwrap();
+        let stats = min_max_prune(&lake, &mut graph, GATED, &Meter::new()).unwrap();
         assert_eq!(stats.columns_checked, 2, "id and amount both checked");
     }
 }

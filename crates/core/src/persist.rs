@@ -58,8 +58,11 @@ use std::time::Duration;
 /// Leading/trailing magic of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"R2D2SNAP";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 carries the sketch-gate
+/// configuration flags and the extended meter counters (and, transitively,
+/// `R2D2LAKE` v3 tables with bloom sketches); version-1 snapshots fail with
+/// an explicit "unsupported snapshot version" error.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Default compaction policy: snapshot after this many updates.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 512;
@@ -276,6 +279,8 @@ fn put_pipeline_config(buf: &mut BytesMut, c: &PipelineConfig) {
     });
     buf.put_u64_le(c.seed);
     wire::put_bool(buf, c.mmp_typed_columns_only);
+    wire::put_bool(buf, c.mmp_distinct_gate);
+    wire::put_bool(buf, c.clp_bloom_gate);
     wire::put_usize(buf, c.threads);
 }
 
@@ -295,6 +300,8 @@ fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
     };
     let seed = wire::get_u64(buf)?;
     let mmp_typed_columns_only = wire::get_bool(buf)?;
+    let mmp_distinct_gate = wire::get_bool(buf)?;
+    let clp_bloom_gate = wire::get_bool(buf)?;
     let threads = wire::get_usize(buf)?;
     Ok(PipelineConfig {
         clp_columns,
@@ -303,6 +310,8 @@ fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
         clp_sampling,
         seed,
         mmp_typed_columns_only,
+        mmp_distinct_gate,
+        clp_bloom_gate,
         threads,
     })
 }

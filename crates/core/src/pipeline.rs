@@ -7,7 +7,7 @@
 
 use crate::clp::content_level_prune;
 use crate::config::PipelineConfig;
-use crate::mmp::min_max_prune_threaded;
+use crate::mmp::{min_max_prune_threaded, MmpOptions};
 use crate::sgb::{build_schema_graph_threaded, SgbResult};
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::{DataLake, Meter, OpCounts, Result, SchemaSet};
@@ -149,7 +149,7 @@ impl R2d2Pipeline {
         min_max_prune_threaded(
             lake,
             &mut graph,
-            self.config.mmp_typed_columns_only,
+            MmpOptions::from_config(&self.config),
             self.config.threads,
             &meter,
         )?;

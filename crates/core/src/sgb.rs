@@ -9,16 +9,29 @@
 //! 2. sweeps the sorted list, maintaining a set of *cluster centers*: a
 //!    schema contained in no existing center becomes a new center, otherwise
 //!    it joins (as a member) every cluster whose center contains it,
-//! 3. finally adds an edge for every containment-ordered pair of members
-//!    within each cluster (centers included).
+//! 3. finally adds an edge `B → A` for every pair with `A.schema ⊆ B.schema`.
 //!
-//! For `K` clusters the work is `O(N log N) + O(K(N−K))` center checks plus
-//! the intra-cluster pair checks — the complexity row reported for SGB in
-//! Table 3.
+//! Both the center sweep (step 2) and the edge generation (step 3) are
+//! **candidate-driven** rather than pairwise: a parent of schema `A` must
+//! contain *every* column of `A`, so it suffices to probe an inverted
+//! `column → schemas` index with `A`'s rarest column (the length-1 prefix
+//! of the frequency-ordered column list) and verify only the schemas on
+//! that posting list. Posting lists are kept in non-increasing-cardinality
+//! order, so the scan stops at the first candidate smaller than `A`. This
+//! makes candidate generation *output-sensitive*: disjoint or weakly
+//! overlapping corpora do `O(N)` total verifications instead of the
+//! `O(K(N−K)) + Σ cluster²` pairwise checks of the previous
+//! implementation, while dense clusters still verify exactly the schemas
+//! that can possibly contain `A`. Completeness is unchanged (Theorem 4.1):
+//! any true parent shares the child's rarest column, so it is always on the
+//! probed posting list — the proptest oracle below keeps pinning SGB
+//! against the brute-force graph.
 
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::{InternedSchemaSet, Meter, SchemaInterner, SchemaSet};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
 
 /// One schema cluster produced by SGB: a center plus its members
 /// (the center itself is also a member, as in the paper).
@@ -37,8 +50,9 @@ pub struct SgbResult {
     pub graph: ContainmentGraph,
     /// The overlapping clusters built during the sweep.
     pub clusters: Vec<SchemaCluster>,
-    /// Number of schema-pair containment checks performed (center checks
-    /// plus intra-cluster pair checks) — the SGB row of Table 3.
+    /// Number of schema-pair containment checks performed (center-candidate
+    /// verifications during the sweep plus edge-candidate verifications from
+    /// the inverted column index) — the SGB row of Table 3.
     pub schema_comparisons: u64,
 }
 
@@ -49,26 +63,39 @@ impl SgbResult {
     }
 }
 
-/// A set that supports the two operations SGB needs: cardinality and subset
-/// testing. Implemented by both the interned (fast) and the string (legacy /
+/// A set that supports the operations SGB needs: cardinality, subset
+/// testing and element enumeration (for the inverted column index).
+/// Implemented by both the interned (fast) and the string (legacy /
 /// baseline) schema-set representations so the two code paths share one
 /// algorithm and produce identical graphs and comparison counts.
 trait ContainmentSet: Sync {
+    /// The element (column) representation the inverted index is keyed by.
+    type Elem: Hash + Eq + Sync;
+
     fn card(&self) -> usize;
     fn subset_of(&self, other: &Self) -> bool;
+    fn elements(&self) -> Vec<Self::Elem>;
 }
 
 impl ContainmentSet for SchemaSet {
+    type Elem = String;
+
     fn card(&self) -> usize {
         self.len()
     }
 
     fn subset_of(&self, other: &Self) -> bool {
         self.is_contained_in(other)
+    }
+
+    fn elements(&self) -> Vec<String> {
+        self.iter().map(str::to_string).collect()
     }
 }
 
 impl ContainmentSet for InternedSchemaSet {
+    type Elem = u32;
+
     fn card(&self) -> usize {
         self.len()
     }
@@ -76,15 +103,40 @@ impl ContainmentSet for InternedSchemaSet {
     fn subset_of(&self, other: &Self) -> bool {
         self.is_contained_in(other)
     }
+
+    fn elements(&self) -> Vec<u32> {
+        self.ids().to_vec()
+    }
+}
+
+/// The shortest posting list among `elems`' postings — the best (rarest)
+/// candidate prefix for a subset probe. Ties are broken by comparing the
+/// lists themselves (they hold dataset *indices*, so the choice — and hence
+/// the comparison count — is identical for the string and interned
+/// representations). Returns `None` when some element has no postings at
+/// all, which proves no indexed set can be a superset.
+fn rarest_postings<'a, E: Hash + Eq>(
+    postings: &'a HashMap<&E, Vec<usize>>,
+    elems: &[E],
+) -> Option<&'a [usize]> {
+    let mut best: Option<&[usize]> = None;
+    for e in elems {
+        let list = postings.get(e)?.as_slice();
+        best = Some(match best {
+            Some(b) if (list.len(), list) >= (b.len(), b) => b,
+            _ => list,
+        });
+    }
+    best
 }
 
 /// The SGB algorithm over any [`ContainmentSet`] representation.
 ///
-/// `ids[i]` and `sets[i]` describe dataset `i`. Step 6 (intra-cluster pair
-/// checks, the dominant cost) fans out over clusters on up to `threads`
-/// workers; per-cluster edge lists are merged back in cluster order, so the
-/// resulting graph and comparison count are identical for every thread
-/// count.
+/// `ids[i]` and `sets[i]` describe dataset `i`. Step 6 (edge-candidate
+/// verification, the dominant cost) fans out over children on up to
+/// `threads` workers; per-child edge lists are merged back in child order,
+/// so the resulting graph and comparison count are identical for every
+/// thread count.
 fn sgb_core<S: ContainmentSet>(ids: &[u64], sets: &[S], threads: usize) -> SgbResult {
     // Step 2: sort by non-increasing schema-set cardinality. Ties are broken
     // by dataset id for determinism.
@@ -101,66 +153,102 @@ fn sgb_core<S: ContainmentSet>(ids: &[u64], sets: &[S], threads: usize) -> SgbRe
         graph.add_dataset(id);
     }
 
-    // Steps 3–5: sweep, maintaining clusters; indices into `ids` / `sets`.
-    // The sweep is inherently sequential (the center list evolves), but it
-    // only performs O(K·N) of the comparisons; the quadratic part is step 6.
+    let elements: Vec<Vec<S::Elem>> = sets.iter().map(ContainmentSet::elements).collect();
+
+    // Steps 3–5: sweep in cardinality order, maintaining clusters. A schema
+    // is contained in a center only if the center holds *all* of its
+    // columns, so candidate centers come from an incrementally maintained
+    // inverted `column → centers` index (probed with the schema's rarest
+    // column) instead of scanning every cluster — only the candidates are
+    // verified and counted.
     struct Cluster {
         center: usize,
         members: Vec<usize>,
     }
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut comparisons: u64 = 0;
+    let mut center_postings: HashMap<&S::Elem, Vec<usize>> = HashMap::new();
 
     for &si in &order {
-        let schema = &sets[si];
         let mut contained_in_some_center = false;
-        for cluster in clusters.iter_mut() {
-            let center_schema = &sets[cluster.center];
-            comparisons += 1;
-            if schema.card() <= center_schema.card() && schema.subset_of(center_schema) {
+        if elements[si].is_empty() {
+            // The empty schema is contained in every center.
+            contained_in_some_center = !clusters.is_empty();
+            for cluster in clusters.iter_mut() {
                 cluster.members.push(si);
-                contained_in_some_center = true;
+            }
+        } else if let Some(candidates) = rarest_postings(&center_postings, &elements[si]) {
+            // Candidates are cluster indices in creation order; membership
+            // pushes happen in sweep order either way, so the resulting
+            // clusters are identical to the exhaustive scan's.
+            let candidates: Vec<usize> = candidates.to_vec();
+            for ci in candidates {
+                comparisons += 1;
+                if sets[si].subset_of(&sets[clusters[ci].center]) {
+                    clusters[ci].members.push(si);
+                    contained_in_some_center = true;
+                }
             }
         }
         if !contained_in_some_center {
+            let ci = clusters.len();
             clusters.push(Cluster {
                 center: si,
                 members: vec![si],
             });
+            for e in &elements[si] {
+                center_postings.entry(e).or_default().push(ci);
+            }
         }
     }
+    drop(center_postings);
 
-    // Step 6: add edges between every containment-ordered pair of cluster
-    // members (the center is a member). Each cluster is independent, so the
-    // pair checks fan out per cluster; results carry their edges in pair
-    // order and are merged in cluster order.
-    let per_cluster: Vec<(Vec<(u64, u64)>, u64)> =
-        rayon::parallel_map(threads, &clusters, |cluster| {
-            let members = &cluster.members;
-            let mut edges = Vec::new();
-            let mut local_comparisons = 0u64;
-            for i in 0..members.len() {
-                for j in (i + 1)..members.len() {
-                    let (id_i, schema_i) = (ids[members[i]], &sets[members[i]]);
-                    let (id_j, schema_j) = (ids[members[j]], &sets[members[j]]);
-                    if id_i == id_j {
-                        continue;
-                    }
-                    local_comparisons += 1;
-                    // WLOG the larger schema is the potential parent; check
-                    // both directions so equal-size (identical) schemas get
-                    // both edges.
-                    if schema_j.subset_of(schema_i) {
-                        edges.push((id_i, id_j));
-                    }
-                    if schema_i.subset_of(schema_j) {
-                        edges.push((id_j, id_i));
-                    }
+    // Step 6: emit an edge for every containment-ordered pair. Candidate
+    // parents of a schema come from a global inverted `column → datasets`
+    // index whose posting lists are kept in non-increasing-cardinality
+    // order: probe with the child's rarest column and stop at the first
+    // candidate smaller than the child. Children are independent, so the
+    // verifications fan out per child and merge back in child order —
+    // identical graphs and comparison counts at every thread count.
+    let mut postings: HashMap<&S::Elem, Vec<usize>> = HashMap::new();
+    for &si in &order {
+        for e in &elements[si] {
+            postings.entry(e).or_default().push(si);
+        }
+    }
+    let children: Vec<usize> = (0..ids.len()).collect();
+    let per_child: Vec<(Vec<(u64, u64)>, u64)> = rayon::parallel_map(threads, &children, |&si| {
+        let mut edges = Vec::new();
+        let mut local_comparisons = 0u64;
+        if elements[si].is_empty() {
+            // The empty schema is contained in every other dataset (the
+            // brute-force graph has those edges too); no subset check is
+            // needed to prove it.
+            for (oj, &other_id) in ids.iter().enumerate() {
+                if oj != si && other_id != ids[si] {
+                    edges.push((other_id, ids[si]));
                 }
             }
-            (edges, local_comparisons)
-        });
-    for (edges, local_comparisons) in per_cluster {
+        } else {
+            let candidates = rarest_postings(&postings, &elements[si])
+                .expect("every element of an indexed set has postings");
+            let my_card = sets[si].card();
+            for &cj in candidates {
+                if sets[cj].card() < my_card {
+                    break; // posting lists are cardinality-sorted
+                }
+                if cj == si || ids[cj] == ids[si] {
+                    continue;
+                }
+                local_comparisons += 1;
+                if sets[si].subset_of(&sets[cj]) {
+                    edges.push((ids[cj], ids[si]));
+                }
+            }
+        }
+        (edges, local_comparisons)
+    });
+    for (edges, local_comparisons) in per_child {
         comparisons += local_comparisons;
         for (parent, child) in edges {
             graph.add_edge(parent, child);

@@ -57,6 +57,7 @@ pub mod partition;
 pub mod query;
 pub mod row;
 pub mod schema;
+pub mod sketch;
 pub mod snapshot;
 pub mod stats;
 pub mod storage;
@@ -75,6 +76,7 @@ pub use partition::{PartitionSpec, PartitionedTable};
 pub use query::{ContainmentCheck, HashJoinCache, Predicate};
 pub use row::{Row, RowHash};
 pub use schema::{Field, InternedSchemaSet, Schema, SchemaInterner, SchemaNode, SchemaSet};
+pub use sketch::ColumnSketch;
 pub use stats::ColumnStats;
 pub use table::Table;
 pub use update::{AppliedUpdate, LakeUpdate};

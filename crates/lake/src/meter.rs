@@ -33,6 +33,13 @@ pub struct OpCounts {
     pub partitions_scanned: u64,
     /// Schema-set comparisons (pairs of schemas checked for containment).
     pub schema_comparisons: u64,
+    /// Edges pruned by the MMP distinct-count gate (metadata only).
+    pub distinct_prunes: u64,
+    /// Bloom-sketch membership probes performed by CLP gating.
+    pub sketch_probes: u64,
+    /// Edges pruned by the CLP bloom-sketch gate (before any parent
+    /// multiset was built).
+    pub sketch_prunes: u64,
 }
 
 impl OpCounts {
@@ -62,6 +69,9 @@ impl OpCounts {
             schema_comparisons: self
                 .schema_comparisons
                 .saturating_sub(earlier.schema_comparisons),
+            distinct_prunes: self.distinct_prunes.saturating_sub(earlier.distinct_prunes),
+            sketch_probes: self.sketch_probes.saturating_sub(earlier.sketch_probes),
+            sketch_prunes: self.sketch_prunes.saturating_sub(earlier.sketch_prunes),
         }
     }
 
@@ -76,6 +86,9 @@ impl OpCounts {
             partitions_pruned: self.partitions_pruned + other.partitions_pruned,
             partitions_scanned: self.partitions_scanned + other.partitions_scanned,
             schema_comparisons: self.schema_comparisons + other.schema_comparisons,
+            distinct_prunes: self.distinct_prunes + other.distinct_prunes,
+            sketch_probes: self.sketch_probes + other.sketch_probes,
+            sketch_prunes: self.sketch_prunes + other.sketch_prunes,
         }
     }
 }
@@ -90,6 +103,9 @@ struct Counters {
     partitions_pruned: AtomicU64,
     partitions_scanned: AtomicU64,
     schema_comparisons: AtomicU64,
+    distinct_prunes: AtomicU64,
+    sketch_probes: AtomicU64,
+    sketch_prunes: AtomicU64,
 }
 
 /// A shared, thread-safe operation meter.
@@ -154,6 +170,23 @@ impl Meter {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` edges pruned by the MMP distinct-count gate.
+    pub fn add_distinct_prunes(&self, n: u64) {
+        self.counters
+            .distinct_prunes
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` bloom-sketch membership probes.
+    pub fn add_sketch_probes(&self, n: u64) {
+        self.counters.sketch_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` edges pruned by the CLP bloom-sketch gate.
+    pub fn add_sketch_prunes(&self, n: u64) {
+        self.counters.sketch_prunes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Take a snapshot of the counters.
     pub fn snapshot(&self) -> OpCounts {
         OpCounts {
@@ -165,6 +198,9 @@ impl Meter {
             partitions_pruned: self.counters.partitions_pruned.load(Ordering::Relaxed),
             partitions_scanned: self.counters.partitions_scanned.load(Ordering::Relaxed),
             schema_comparisons: self.counters.schema_comparisons.load(Ordering::Relaxed),
+            distinct_prunes: self.counters.distinct_prunes.load(Ordering::Relaxed),
+            sketch_probes: self.counters.sketch_probes.load(Ordering::Relaxed),
+            sketch_prunes: self.counters.sketch_prunes.load(Ordering::Relaxed),
         }
     }
 
@@ -180,6 +216,9 @@ impl Meter {
         self.add_partitions_pruned(counts.partitions_pruned);
         self.add_partitions_scanned(counts.partitions_scanned);
         self.add_schema_comparisons(counts.schema_comparisons);
+        self.add_distinct_prunes(counts.distinct_prunes);
+        self.add_sketch_probes(counts.sketch_probes);
+        self.add_sketch_prunes(counts.sketch_prunes);
     }
 
     /// Reset every counter to zero.
@@ -192,6 +231,9 @@ impl Meter {
         self.counters.partitions_pruned.store(0, Ordering::Relaxed);
         self.counters.partitions_scanned.store(0, Ordering::Relaxed);
         self.counters.schema_comparisons.store(0, Ordering::Relaxed);
+        self.counters.distinct_prunes.store(0, Ordering::Relaxed);
+        self.counters.sketch_probes.store(0, Ordering::Relaxed);
+        self.counters.sketch_prunes.store(0, Ordering::Relaxed);
     }
 }
 

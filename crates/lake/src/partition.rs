@@ -61,6 +61,10 @@ pub struct PartitionedTable {
     partitions: Vec<Table>,
     partition_meta: Vec<PartitionMeta>,
     table_stats: HashMap<String, ColumnStats>,
+    /// Whether `table_stats`' distinct counts are exact (tables built from a
+    /// whole [`Table`], or decoded from a footer written by one) rather than
+    /// per-partition sums (upper bounds).
+    table_distinct_exact: bool,
     num_rows: usize,
     spec: PartitionSpec,
 }
@@ -123,13 +127,36 @@ impl PartitionedTable {
             partitions,
             partition_meta,
             table_stats,
+            table_distinct_exact: false,
             num_rows,
             spec,
         })
     }
 
+    /// Restore hook for the storage layer: reattach the table-level
+    /// statistics the table was encoded with (exact distinct counts and
+    /// value sketches from the `R2D2LAKE` v3 footer) instead of the merged
+    /// per-partition upper bounds [`Self::assemble`] derives.
+    pub(crate) fn with_table_stats(
+        mut self,
+        table_stats: HashMap<String, ColumnStats>,
+        distinct_exact: bool,
+    ) -> PartitionedTable {
+        self.table_stats = table_stats;
+        self.table_distinct_exact = distinct_exact;
+        self
+    }
+
     /// Partition a table according to `spec`.
+    ///
+    /// The table-level statistics are taken from the source table's columns
+    /// verbatim, so the table-level `distinct_count` is **exact** (the
+    /// merged per-partition figure is only an upper bound) — the tighter
+    /// parent bound the distinct-count containment gate relies on. The
+    /// table-level sketch is identical either way (the OR of the partition
+    /// sketches is the sketch of the union).
     pub fn from_table(table: Table, spec: PartitionSpec) -> Result<Self> {
+        let exact_stats = table.column_stats();
         let schema = table.schema().clone();
         let partitions: Vec<Table> = match &spec {
             PartitionSpec::Single | PartitionSpec::Explicit => vec![table],
@@ -180,7 +207,7 @@ impl PartitionedTable {
             }
         };
 
-        Self::assemble(schema, partitions, spec)
+        Ok(Self::assemble(schema, partitions, spec)?.with_table_stats(exact_stats, true))
     }
 
     /// The schema shared by every partition.
@@ -247,6 +274,65 @@ impl PartitionedTable {
                 }
             }
         }
+    }
+
+    /// A sound **lower bound** on the number of distinct non-null values of
+    /// a column, served purely from metadata (one metered lookup, no row
+    /// reads): the best of (a) the largest exact per-partition distinct
+    /// count (the table holds at least every value one partition holds) and
+    /// (b) the table sketch's popcount bound
+    /// ([`crate::sketch::ColumnSketch::min_distinct`]). Returns `0` for a
+    /// missing or all-null column (no evidence, no prune).
+    pub fn column_distinct_lower_bound(&self, column: &str, meter: &Meter) -> usize {
+        meter.add_metadata_lookups(1);
+        if self.table_distinct_exact {
+            // The exact figure is its own (tight) lower bound — O(1).
+            return self
+                .table_stats
+                .get(column)
+                .map(|s| s.distinct_count)
+                .unwrap_or(0);
+        }
+        let from_partitions = self
+            .partition_meta
+            .iter()
+            .filter_map(|m| m.column_stats.get(column))
+            .map(|s| s.distinct_count)
+            .max()
+            .unwrap_or(0);
+        let from_sketch = self
+            .table_stats
+            .get(column)
+            .map(|s| s.sketch.min_distinct())
+            .unwrap_or(0);
+        from_partitions.max(from_sketch)
+    }
+
+    /// An **upper bound** on the number of distinct non-null values of a
+    /// column, served purely from metadata (one metered lookup): the
+    /// table-level `distinct_count`, which is exact for tables built through
+    /// [`PartitionedTable::from_table`] and a per-partition sum otherwise.
+    /// Returns `usize::MAX` when the column has no statistics (no evidence,
+    /// no prune).
+    pub fn column_distinct_upper_bound(&self, column: &str, meter: &Meter) -> usize {
+        meter.add_metadata_lookups(1);
+        self.table_stats
+            .get(column)
+            .map(|s| s.distinct_count)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Whether the table-level distinct counts are exact (rather than
+    /// per-partition sums).
+    pub fn table_distinct_exact(&self) -> bool {
+        self.table_distinct_exact
+    }
+
+    /// The table-level value sketch of a column (the OR of every
+    /// partition's sketch — it contains every non-null value of the column,
+    /// with no false negatives), or `None` for a column without statistics.
+    pub fn column_sketch(&self, column: &str) -> Option<&crate::sketch::ColumnSketch> {
+        self.table_stats.get(column).map(|s| &s.sketch)
     }
 
     /// Concatenate all partitions back into a single [`Table`]. This is a
@@ -399,6 +485,51 @@ mod tests {
         let meter = Meter::new();
         let (min, max) = pt.column_min_max("x", &meter).unwrap();
         assert!(min.is_none() && max.is_none());
+    }
+
+    #[test]
+    fn table_level_distinct_is_exact_and_bounds_are_sound() {
+        // 10 rows, 10 distinct ids, split over 3 partitions: the merged
+        // per-partition distinct would be 10 anyway for unique ids — use the
+        // grp column (3 distinct values smeared over partitions) where the
+        // per-partition sum (9) overstates the truth (3).
+        let pt = PartitionedTable::from_table(
+            table(10),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 3,
+            },
+        )
+        .unwrap();
+        let meter = Meter::new();
+        assert_eq!(pt.table_stats()["grp"].distinct_count, 3, "exact, not 9");
+        let lower = pt.column_distinct_lower_bound("grp", &meter);
+        let upper = pt.column_distinct_upper_bound("grp", &meter);
+        assert!((1..=3).contains(&lower), "sound lower bound, got {lower}");
+        assert_eq!(upper, 3);
+        assert_eq!(meter.snapshot().rows_scanned, 0, "metadata only");
+        assert!(meter.snapshot().metadata_lookups >= 2);
+        // Missing columns give no evidence.
+        assert_eq!(pt.column_distinct_lower_bound("nope", &meter), 0);
+        assert_eq!(pt.column_distinct_upper_bound("nope", &meter), usize::MAX);
+        assert!(pt.column_sketch("nope").is_none());
+    }
+
+    #[test]
+    fn table_sketch_covers_every_value() {
+        let pt = PartitionedTable::from_table(
+            table(20),
+            PartitionSpec::ByRowCount {
+                rows_per_partition: 6,
+            },
+        )
+        .unwrap();
+        let sketch = pt.column_sketch("id").unwrap();
+        for i in 0..20i64 {
+            assert!(
+                sketch.contains(crate::row::hash_values(&[&Value::Int(i)])),
+                "value {i} must be in the table sketch"
+            );
+        }
     }
 
     #[test]

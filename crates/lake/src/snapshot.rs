@@ -128,7 +128,7 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value> {
 // Lake-owned composite codecs
 // ---------------------------------------------------------------------------
 
-/// Append an [`OpCounts`] snapshot (eight `u64` counters).
+/// Append an [`OpCounts`] snapshot (eleven `u64` counters).
 pub fn put_op_counts(buf: &mut BytesMut, c: &OpCounts) {
     buf.put_u64_le(c.rows_scanned);
     buf.put_u64_le(c.bytes_scanned);
@@ -138,11 +138,14 @@ pub fn put_op_counts(buf: &mut BytesMut, c: &OpCounts) {
     buf.put_u64_le(c.partitions_pruned);
     buf.put_u64_le(c.partitions_scanned);
     buf.put_u64_le(c.schema_comparisons);
+    buf.put_u64_le(c.distinct_prunes);
+    buf.put_u64_le(c.sketch_probes);
+    buf.put_u64_le(c.sketch_prunes);
 }
 
 /// Read an [`OpCounts`] snapshot.
 pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
-    expect_len(buf, 64, "op counts")?;
+    expect_len(buf, 88, "op counts")?;
     Ok(OpCounts {
         rows_scanned: buf.get_u64_le(),
         bytes_scanned: buf.get_u64_le(),
@@ -152,6 +155,9 @@ pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
         partitions_pruned: buf.get_u64_le(),
         partitions_scanned: buf.get_u64_le(),
         schema_comparisons: buf.get_u64_le(),
+        distinct_prunes: buf.get_u64_le(),
+        sketch_probes: buf.get_u64_le(),
+        sketch_prunes: buf.get_u64_le(),
     })
 }
 
@@ -742,6 +748,9 @@ mod tests {
             partitions_pruned: 6,
             partitions_scanned: 7,
             schema_comparisons: 8,
+            distinct_prunes: 9,
+            sketch_probes: 10,
+            sketch_prunes: 11,
         };
         let mut buf = BytesMut::new();
         for a in &applied {

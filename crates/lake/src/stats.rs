@@ -8,6 +8,7 @@
 //! metadata without touching rows — the meter in [`crate::meter`] verifies
 //! that pruning stages really only read metadata.
 
+use crate::sketch::ColumnSketch;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,9 @@ pub struct ColumnStats {
     /// Exact number of distinct non-null values (the substrate is in-memory,
     /// so exact counting is affordable; a real lake would store an estimate).
     pub distinct_count: usize,
+    /// Bloom sketch over the hashes of the non-null values (no false
+    /// negatives), built in the same pass that counts distinct values.
+    pub sketch: ColumnSketch,
 }
 
 impl ColumnStats {
@@ -34,12 +38,15 @@ impl ColumnStats {
         let mut max: Option<Value> = None;
         let mut null_count = 0usize;
         let mut distinct = std::collections::HashSet::new();
+        let mut sketch = ColumnSketch::new();
         for v in values {
             if v.is_null() {
                 null_count += 1;
                 continue;
             }
-            distinct.insert(crate::row::hash_values(&[v]));
+            let hash = crate::row::hash_values(&[v]);
+            distinct.insert(hash);
+            sketch.insert(hash);
             min = Some(match min.take() {
                 None => v.clone(),
                 Some(m) => {
@@ -67,6 +74,7 @@ impl ColumnStats {
             null_count,
             row_count: values.len(),
             distinct_count: distinct.len(),
+            sketch,
         }
     }
 
@@ -89,6 +97,8 @@ impl ColumnStats {
                 y.clone()
             }),
         };
+        let mut sketch = self.sketch.clone();
+        sketch.union_with(&other.sketch);
         ColumnStats {
             min: pick_min(&self.min, &other.min),
             max: pick_max(&self.max, &other.max),
@@ -96,8 +106,11 @@ impl ColumnStats {
             row_count: self.row_count + other.row_count,
             // Distinct counts are not mergeable exactly without the values;
             // the merged figure is an upper bound, which is what metadata
-            // stores in real systems too.
+            // stores in real systems too. (The sketch, by contrast, merges
+            // exactly: the OR of two bloom filters is the bloom filter of
+            // the union.)
             distinct_count: self.distinct_count + other.distinct_count,
+            sketch,
         }
     }
 
@@ -209,6 +222,30 @@ mod tests {
         assert_eq!(s.min, None);
         assert_eq!(s.max, None);
         assert_eq!(s.null_count, 2);
+    }
+
+    #[test]
+    fn compute_builds_the_value_sketch() {
+        let s = ColumnStats::compute(&ints(&[1, 2, 3]));
+        for v in [1i64, 2, 3] {
+            assert!(s
+                .sketch
+                .contains(crate::row::hash_values(&[&Value::Int(v)])));
+        }
+        assert!(s.sketch.min_distinct() >= 1);
+        assert!(s.sketch.min_distinct() <= 3, "lower bound stays sound");
+        // Nulls are not inserted.
+        let empty = ColumnStats::compute(&[Value::Null, Value::Null]);
+        assert!(empty.sketch.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_sketches() {
+        let a = ColumnStats::compute(&ints(&[1, 2]));
+        let b = ColumnStats::compute(&ints(&[3]));
+        let m = a.merge(&b);
+        let full = ColumnStats::compute(&ints(&[1, 2, 3]));
+        assert_eq!(m.sketch, full.sketch, "merged sketch == single-pass sketch");
     }
 
     #[test]

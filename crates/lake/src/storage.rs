@@ -12,11 +12,15 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "R2D2LAKE" | version u32 (2)
+//! magic "R2D2LAKE" | version u32 (3)
 //! schema: field_count u32, then per field: name_len u32, name bytes, type u8
 //! row_group_count u32
 //! per row group: row_count u64, per column: packed column page
-//! footer: per row group, per column: stats (min/max encoded values, null count)
+//! footer: per row group, per column:
+//!     name_len u32, name bytes, min, max, null_count u64, distinct u64,
+//!     bloom sketch (32 × u64)
+//! footer: table-level section, per column in schema order:
+//!     min, max, null_count u64, exact distinct u64, bloom sketch (32 × u64)
 //! footer_offset u64 | magic "R2D2LAKE"
 //! ```
 //!
@@ -37,12 +41,20 @@
 //!   rows × tagged values (null flag u8, then type tag u8 + payload)
 //! ```
 //!
-//! Version 2 also extends each footer entry with the column's exact
-//! distinct count, so a full read can rebuild every cached [`ColumnStats`]
-//! from the footer instead of re-hashing all values. Together (version 1
-//! stored every value behind a null flag + type tag and recomputed
-//! statistics on read) this makes whole-lake deserialization — the warm
-//! session-restart path — several times faster.
+//! Version 2 extended each footer entry with the column's exact distinct
+//! count, so a full read can rebuild every cached [`ColumnStats`] from the
+//! footer instead of re-hashing all values. Together (version 1 stored
+//! every value behind a null flag + type tag and recomputed statistics on
+//! read) this makes whole-lake deserialization — the warm session-restart
+//! path — several times faster.
+//!
+//! Version 3 adds the per-column **bloom sketches**
+//! ([`crate::sketch::ColumnSketch`]) to every footer entry and a
+//! **table-level statistics section** (exact distinct counts + merged
+//! sketches), so a decoded table reproduces the sketch-gated pruning
+//! decisions of the live table bit-for-bit without re-hashing a single
+//! value. Version bumps are explicit: reading a v1/v2 file fails with an
+//! "unsupported version" error instead of silently dropping sketches.
 
 use crate::column::Column;
 use crate::datatype::DataType;
@@ -50,6 +62,7 @@ use crate::error::{LakeError, Result};
 use crate::meter::Meter;
 use crate::partition::PartitionedTable;
 use crate::schema::{Field, Schema};
+use crate::sketch::ColumnSketch;
 use crate::stats::ColumnStats;
 use crate::table::Table;
 use crate::value::Value;
@@ -59,7 +72,7 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"R2D2LAKE";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Value encoding tags inside data pages.
 const VAL_NULL: u8 = 0;
@@ -378,8 +391,54 @@ fn skip_column(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<()> {
     Ok(())
 }
 
-/// Per-column footer entry: `(min, max, null_count, distinct_count)`.
-pub type ColumnFooterStats = (Option<Value>, Option<Value>, u64, u64);
+/// Per-column footer entry: min/max, null and distinct counts, and the
+/// column's bloom sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnFooterStats {
+    /// Minimum non-null value.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Number of NULL cells.
+    pub null_count: u64,
+    /// Distinct non-null values (exact per row group and at table level).
+    pub distinct_count: u64,
+    /// Bloom sketch over the value hashes.
+    pub sketch: ColumnSketch,
+}
+
+impl ColumnFooterStats {
+    fn from_stats(stats: &ColumnStats) -> Self {
+        ColumnFooterStats {
+            min: stats.min.clone(),
+            max: stats.max.clone(),
+            null_count: stats.null_count as u64,
+            distinct_count: stats.distinct_count as u64,
+            sketch: stats.sketch.clone(),
+        }
+    }
+
+    fn into_stats(self, row_count: usize) -> ColumnStats {
+        ColumnStats {
+            min: self.min,
+            max: self.max,
+            null_count: self.null_count as usize,
+            row_count,
+            distinct_count: self.distinct_count as usize,
+            sketch: self.sketch,
+        }
+    }
+}
+
+/// The footer's table-level section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableFooterStats {
+    /// Whether the table-level distinct counts are exact (see
+    /// [`PartitionedTable::table_distinct_exact`]).
+    pub distinct_exact: bool,
+    /// Per-column statistics in schema order.
+    pub table_stats: Vec<(String, ColumnFooterStats)>,
+}
 
 /// Per-row-group, per-column statistics that live in the file footer and can
 /// be read without touching data pages.
@@ -387,8 +446,42 @@ pub type ColumnFooterStats = (Option<Value>, Option<Value>, u64, u64);
 pub struct FooterStats {
     /// Row count of each row group.
     pub row_counts: Vec<u64>,
-    /// Per row group: column name → (min, max, null_count).
+    /// Per row group: column name → footer entry.
     pub column_stats: Vec<HashMap<String, ColumnFooterStats>>,
+    /// The table-level section: exact-or-summed distinct counts and the
+    /// merged (whole-table) sketches.
+    pub table_section: TableFooterStats,
+}
+
+fn put_footer_stats(buf: &mut BytesMut, stats: &ColumnFooterStats) {
+    put_opt_value(buf, &stats.min);
+    put_opt_value(buf, &stats.max);
+    buf.put_u64_le(stats.null_count);
+    buf.put_u64_le(stats.distinct_count);
+    for &w in stats.sketch.words() {
+        buf.put_u64_le(w);
+    }
+}
+
+fn get_footer_stats(buf: &mut Bytes) -> Result<ColumnFooterStats> {
+    let min = get_opt_value(buf)?;
+    let max = get_opt_value(buf)?;
+    if buf.remaining() < 16 + ColumnSketch::WORD_COUNT * 8 {
+        return Err(LakeError::Corrupt("truncated footer stats".into()));
+    }
+    let null_count = buf.get_u64_le();
+    let distinct_count = buf.get_u64_le();
+    let mut words = [0u64; ColumnSketch::WORD_COUNT];
+    for w in words.iter_mut() {
+        *w = buf.get_u64_le();
+    }
+    Ok(ColumnFooterStats {
+        min,
+        max,
+        null_count,
+        distinct_count,
+        sketch: ColumnSketch::from_words(words),
+    })
 }
 
 /// Serialise a partitioned table into the binary format.
@@ -415,17 +508,26 @@ pub fn encode(table: &PartitionedTable) -> Bytes {
         }
     }
 
-    // Footer: stats per row group per column.
+    // Footer: stats per row group per column, then the table-level section
+    // (exact distinct counts + merged sketches) in schema order.
     let footer_offset = buf.len() as u64;
     for part in table.partitions() {
         for (f, col) in schema.fields().iter().zip(part.columns()) {
-            let stats = col.stats();
             buf.put_u32_le(f.name.len() as u32);
             buf.put_slice(f.name.as_bytes());
-            put_opt_value(&mut buf, &stats.min);
-            put_opt_value(&mut buf, &stats.max);
-            buf.put_u64_le(stats.null_count as u64);
-            buf.put_u64_le(stats.distinct_count as u64);
+            put_footer_stats(&mut buf, &ColumnFooterStats::from_stats(col.stats()));
+        }
+    }
+    buf.put_u8(table.table_distinct_exact() as u8);
+    for f in schema.fields() {
+        match table.table_stats().get(&f.name) {
+            Some(stats) => {
+                buf.put_u8(1);
+                put_footer_stats(&mut buf, &ColumnFooterStats::from_stats(stats));
+            }
+            // A column can lack table-level stats only in degenerate
+            // hand-assembled tables; record the absence explicitly.
+            None => buf.put_u8(0),
         }
     }
     buf.put_u64_le(footer_offset);
@@ -467,13 +569,14 @@ fn decode_schema(buf: &mut Bytes) -> Result<Schema> {
     Schema::new(fields)
 }
 
-/// Parse the footer region into per-group, per-column entries, in the
-/// schema order they were written.
+/// Parse the footer region into per-group, per-column entries (in the
+/// schema order they were written) plus the table-level section.
+#[allow(clippy::type_complexity)]
 fn parse_footer_entries(
     bytes: &Bytes,
     schema: &Schema,
     group_count: usize,
-) -> Result<Vec<Vec<(String, ColumnFooterStats)>>> {
+) -> Result<(Vec<Vec<(String, ColumnFooterStats)>>, TableFooterStats)> {
     let tail_start = bytes.len() - 16;
     let mut tail = bytes.slice(tail_start..);
     let footer_offset = tail.get_u64_le() as usize;
@@ -495,18 +598,30 @@ fn parse_footer_entries(
             let name_bytes = footer.copy_to_bytes(len);
             let name = String::from_utf8(name_bytes.to_vec())
                 .map_err(|_| LakeError::Corrupt("invalid footer utf8".into()))?;
-            let min = get_opt_value(&mut footer)?;
-            let max = get_opt_value(&mut footer)?;
-            if footer.remaining() < 16 {
-                return Err(LakeError::Corrupt("truncated footer counts".into()));
-            }
-            let nulls = footer.get_u64_le();
-            let distinct = footer.get_u64_le();
-            cols.push((name, (min, max, nulls, distinct)));
+            cols.push((name, get_footer_stats(&mut footer)?));
         }
         groups.push(cols);
     }
-    Ok(groups)
+    if footer.remaining() < 1 {
+        return Err(LakeError::Corrupt("truncated table-level footer".into()));
+    }
+    let distinct_exact = footer.get_u8() == 1;
+    let mut table_stats = Vec::with_capacity(schema.len());
+    for f in schema.fields() {
+        if footer.remaining() < 1 {
+            return Err(LakeError::Corrupt("truncated table-level footer".into()));
+        }
+        if footer.get_u8() == 1 {
+            table_stats.push((f.name.clone(), get_footer_stats(&mut footer)?));
+        }
+    }
+    Ok((
+        groups,
+        TableFooterStats {
+            distinct_exact,
+            table_stats,
+        },
+    ))
 }
 
 /// Deserialise a partitioned table (data pages and all). Metered as reading
@@ -519,11 +634,15 @@ pub fn decode(bytes: &Bytes, meter: &Meter) -> Result<PartitionedTable> {
     buf.advance(8);
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(LakeError::Corrupt(format!("unsupported version {version}")));
+        return Err(LakeError::Corrupt(format!(
+            "unsupported R2D2LAKE version {version} (this build reads v{VERSION}; \
+             older files must be re-encoded)"
+        )));
     }
     let schema = decode_schema(&mut buf)?;
     let group_count = buf.get_u32_le() as usize;
-    let footer = parse_footer_entries(bytes, &schema, group_count)?;
+    let (footer, table_section) = parse_footer_entries(bytes, &schema, group_count)?;
+    let distinct_exact = table_section.distinct_exact;
     let mut partitions = Vec::with_capacity(group_count.max(1));
     for group_stats in footer.iter().take(group_count) {
         if buf.remaining() < 8 {
@@ -532,17 +651,11 @@ pub fn decode(bytes: &Bytes, meter: &Meter) -> Result<PartitionedTable> {
         let rows = buf.get_u64_le() as usize;
         meter.add_rows_scanned(rows as u64);
         let mut columns = Vec::with_capacity(schema.len());
-        for (f, (name, (min, max, nulls, distinct))) in schema.fields().iter().zip(group_stats) {
+        for (f, (name, entry)) in schema.fields().iter().zip(group_stats) {
             if name != &f.name {
                 return Err(LakeError::Corrupt("footer/schema column mismatch".into()));
             }
-            let stats = ColumnStats {
-                min: min.clone(),
-                max: max.clone(),
-                null_count: *nulls as usize,
-                row_count: rows,
-                distinct_count: *distinct as usize,
-            };
+            let stats = entry.clone().into_stats(rows);
             columns.push(get_column(&mut buf, f.data_type, rows, stats)?);
         }
         partitions.push(Table::new(schema.clone(), columns)?);
@@ -550,7 +663,17 @@ pub fn decode(bytes: &Bytes, meter: &Meter) -> Result<PartitionedTable> {
     if partitions.is_empty() {
         partitions.push(Table::empty(schema));
     }
-    PartitionedTable::from_partition_tables(partitions)
+    let num_rows: usize = partitions.iter().map(Table::num_rows).sum();
+    // Reattach the table-level section (exact distinct counts + merged
+    // sketches) instead of keeping the merged per-partition upper bounds, so
+    // the decoded table reproduces the live table's gating decisions.
+    let table_stats: HashMap<String, ColumnStats> = table_section
+        .table_stats
+        .into_iter()
+        .map(|(name, entry)| (name, entry.into_stats(num_rows)))
+        .collect();
+    Ok(PartitionedTable::from_partition_tables(partitions)?
+        .with_table_stats(table_stats, distinct_exact))
 }
 
 /// Read only the footer statistics of an encoded file — the cheap metadata
@@ -562,12 +685,15 @@ pub fn read_footer(bytes: &Bytes, meter: &Meter) -> Result<FooterStats> {
     header.advance(8);
     let version = header.get_u32_le();
     if version != VERSION {
-        return Err(LakeError::Corrupt(format!("unsupported version {version}")));
+        return Err(LakeError::Corrupt(format!(
+            "unsupported R2D2LAKE version {version} (this build reads v{VERSION}; \
+             older files must be re-encoded)"
+        )));
     }
     let schema = decode_schema(&mut header)?;
     let group_count = header.get_u32_le() as usize;
 
-    let entries = parse_footer_entries(bytes, &schema, group_count)?;
+    let (entries, table_section) = parse_footer_entries(bytes, &schema, group_count)?;
     let mut column_stats = Vec::with_capacity(group_count);
     for group in entries {
         let mut per_col = HashMap::with_capacity(schema.len());
@@ -577,6 +703,7 @@ pub fn read_footer(bytes: &Bytes, meter: &Meter) -> Result<FooterStats> {
         }
         column_stats.push(per_col);
     }
+    meter.add_metadata_lookups(table_section.table_stats.len() as u64);
 
     // Row counts require peeking at each group header; a production format
     // would store them in the footer — we accept the small deviation and
@@ -607,29 +734,22 @@ pub fn read_footer(bytes: &Bytes, meter: &Meter) -> Result<FooterStats> {
     Ok(FooterStats {
         row_counts,
         column_stats,
+        table_section,
     })
 }
 
 impl FooterStats {
-    /// Merge per-row-group stats into table-level [`ColumnStats`] (min/max
-    /// across groups), analogous to what the catalog keeps in memory.
+    /// Table-level [`ColumnStats`] as stored in the footer's table-level
+    /// section: min/max/null counts match a merge of the row groups, the
+    /// distinct counts are the exact figures the table was encoded with,
+    /// and the sketches are the whole-table merges.
     pub fn table_level(&self) -> HashMap<String, ColumnStats> {
-        let mut out: HashMap<String, ColumnStats> = HashMap::new();
-        for (group, rows) in self.column_stats.iter().zip(&self.row_counts) {
-            for (name, (min, max, nulls, distinct)) in group {
-                let stats = ColumnStats {
-                    min: min.clone(),
-                    max: max.clone(),
-                    null_count: *nulls as usize,
-                    row_count: *rows as usize,
-                    distinct_count: *distinct as usize,
-                };
-                out.entry(name.clone())
-                    .and_modify(|s| *s = s.merge(&stats))
-                    .or_insert(stats);
-            }
-        }
-        out
+        let total_rows: usize = self.row_counts.iter().map(|&r| r as usize).sum();
+        self.table_section
+            .table_stats
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.clone().into_stats(total_rows)))
+            .collect()
     }
 }
 

@@ -33,8 +33,12 @@ use std::path::Path;
 /// Leading magic of a WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"R2D2WAL\0";
 
-/// Current WAL format version.
-pub const WAL_VERSION: u32 = 1;
+/// Current WAL format version. Version 2 marks the record-payload changes
+/// that rode along with the sketch work (`OpCounts` grew gate counters,
+/// tables inside update records are `R2D2LAKE` v3), so a log written by an
+/// older build fails with this explicit version error instead of a
+/// misleading payload-decode error.
+pub const WAL_VERSION: u32 = 2;
 
 /// Per-record header size: `payload_len u32` + `checksum u64`.
 const RECORD_HEADER: usize = 4 + 8;

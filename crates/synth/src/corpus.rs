@@ -47,6 +47,13 @@ pub struct OrgProfile {
     /// (noise) rather than a containment-preserving one. Higher values give
     /// sparser true-containment graphs.
     pub breaking_probability: f64,
+    /// When `true`, containment-breaking derivations use
+    /// [`Transform::ResampleInRange`] — fresh float values strictly inside
+    /// the source's ranges — instead of additive noise. Such "impostors"
+    /// keep the source schema **and** pass min-max pruning, so only
+    /// content-level checks can reject them: the adversarial profile the
+    /// wide containment benchmark uses to stress CLP.
+    pub in_range_noise: bool,
 }
 
 /// Serializable stand-in for [`RootDomain`] (which lives in `roots`).
@@ -134,6 +141,7 @@ impl CorpusSpec {
                 derived_per_root: derived,
                 domains,
                 chain_probability: chain,
+                in_range_noise: false,
                 breaking_probability: breaking,
             },
             rows_per_partition: (scale / 8).max(32),
@@ -153,6 +161,7 @@ impl CorpusSpec {
                 derived_per_root: 6,
                 domains: vec![DomainTag::OpenData, DomainTag::Transactions],
                 chain_probability: 0.3,
+                in_range_noise: false,
                 breaking_probability: 0.35,
             },
             rows_per_partition: (rows_per_root / 4).max(16),
@@ -172,11 +181,41 @@ impl CorpusSpec {
                 derived_per_root: 8,
                 domains: vec![DomainTag::KaggleNumeric],
                 chain_probability: 0.4,
+                in_range_noise: false,
                 breaking_probability: 0.4,
             },
             rows_per_partition: (rows_per_root / 4).max(16),
             access_alpha: 1.3,
             seed: 0x4a66,
+        }
+    }
+
+    /// A **wide** corpus: many small dataset families instead of more rows.
+    ///
+    /// `families` independent Kaggle-style roots (whose feature columns are
+    /// family-tagged, so schema containment never crosses a family and the
+    /// true schema graph stays sparse even at hundreds of datasets), each
+    /// with a handful of derived datasets. Containment-breaking derivations
+    /// use in-range float resampling, producing "impostors" that pass both
+    /// schema and min-max pruning and are only rejected at content level —
+    /// the workload where candidate generation being quadratic and every
+    /// content check building a parent hash multiset actually hurt. Used by
+    /// the `containment-bench` experiment.
+    pub fn wide(families: usize, rows_per_root: usize) -> Self {
+        CorpusSpec {
+            name: "wide".to_string(),
+            profile: OrgProfile {
+                roots: families,
+                rows_per_root,
+                derived_per_root: 4,
+                domains: vec![DomainTag::KaggleNumeric],
+                chain_probability: 0.15,
+                in_range_noise: true,
+                breaking_probability: 0.95,
+            },
+            rows_per_partition: (rows_per_root / 32).max(16),
+            access_alpha: 1.2,
+            seed: 0x31DE,
         }
     }
 
@@ -245,10 +284,16 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
         Transform::SortByColumn,
         Transform::DropColumns { count: 1 },
     ];
-    let breaking = [
-        Transform::AddNoise { magnitude: 100.0 },
-        Transform::AddNoise { magnitude: 10.0 },
-    ];
+    let breaking: &[Transform] = if spec.profile.in_range_noise {
+        // Impostors: same schema, nested ranges, disjoint content — only
+        // content-level checks can reject them.
+        &[Transform::ResampleInRange]
+    } else {
+        &[
+            Transform::AddNoise { magnitude: 100.0 },
+            Transform::AddNoise { magnitude: 10.0 },
+        ]
+    };
 
     for root_idx in 0..spec.profile.roots {
         let domain: RootDomain = spec.profile.domains[root_idx % spec.profile.domains.len()].into();
@@ -279,7 +324,7 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
 
             // Choose the transform.
             let use_breaking = rng.gen_bool(spec.profile.breaking_probability);
-            let pool: &[Transform] = if use_breaking { &breaking } else { &preserving };
+            let pool: &[Transform] = if use_breaking { breaking } else { &preserving };
             let mut outcome = None;
             for attempt in 0..pool.len() {
                 let t = &pool[(rng.gen_range(0..pool.len()) + attempt) % pool.len()];
@@ -363,6 +408,7 @@ mod tests {
                 derived_per_root: 4,
                 domains: vec![DomainTag::Transactions, DomainTag::Clickstream],
                 chain_probability: 0.4,
+                in_range_noise: false,
                 breaking_probability: 0.3,
             },
             rows_per_partition: 16,
@@ -455,6 +501,41 @@ mod tests {
         assert_eq!(tu.profile.roots, 10);
         let kg = CorpusSpec::kaggle_like(5, 64);
         assert_eq!(kg.profile.domains, vec![DomainTag::KaggleNumeric]);
+    }
+
+    #[test]
+    fn wide_corpus_is_wide_and_family_local() {
+        let spec = CorpusSpec::wide(24, 48);
+        assert!(spec.dataset_count() >= 96, "many datasets, not many rows");
+        let corpus = generate(&spec).unwrap();
+        assert_eq!(corpus.dataset_count(), spec.dataset_count());
+        // Expected (true) edges never cross a family: family-tagged feature
+        // columns make cross-family schema containment impossible.
+        let family_of = |id: u64| {
+            let name = &corpus.lake.dataset(DatasetId(id)).unwrap().name;
+            name.split("/root")
+                .nth(1)
+                .unwrap()
+                .split('_')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        for (p, c) in corpus.expected.edges() {
+            assert_eq!(family_of(p), family_of(c), "edge {p}->{c} crosses families");
+        }
+        // The adversarial profile produces plenty of impostors: datasets
+        // derived via in-range resampling, recorded in lineage.
+        let impostors = corpus
+            .lake
+            .iter()
+            .filter(|e| {
+                e.lineage
+                    .as_ref()
+                    .is_some_and(|l| l.transform.starts_with("RESAMPLE"))
+            })
+            .count();
+        assert!(impostors > 24, "expected many impostors, got {impostors}");
     }
 
     #[test]

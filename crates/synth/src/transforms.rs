@@ -61,6 +61,13 @@ pub enum Transform {
         /// Maximum absolute perturbation added to each value.
         magnitude: f64,
     },
+    /// Replace every float column's values with fresh uniform draws strictly
+    /// inside the column's existing `[min, max)` range, keeping all other
+    /// columns verbatim. Containment is broken (the new rows almost surely
+    /// exist nowhere else) but the schema and every min/max range still
+    /// nest inside the source's — the "impostor" datasets that survive
+    /// schema and min-max pruning and can only be rejected at content level.
+    ResampleInRange,
     /// Sort by one column (chosen at random). Spark does not preserve row
     /// order, so this is containment-equivalent to the source.
     SortByColumn,
@@ -280,6 +287,77 @@ impl Transform {
                     effect: ContainmentEffect::None,
                 })
             }
+            Transform::ResampleInRange => {
+                let float_cols: Vec<String> = source
+                    .schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| f.data_type == DataType::Float)
+                    .map(|f| f.name.clone())
+                    .collect();
+                if source.is_empty() {
+                    return Err(LakeError::InvalidArgument(
+                        "cannot resample an empty table".to_string(),
+                    ));
+                }
+                // Every float column needs a non-degenerate range, otherwise
+                // the draw below could not stay strictly inside it.
+                let resampleable: Vec<&String> = float_cols
+                    .iter()
+                    .filter(|name| {
+                        let stats = source.column(name).map(Column::stats);
+                        matches!(
+                            stats.map(|s| (s.min.clone(), s.max.clone())),
+                            Ok((Some(min), Some(max)))
+                                if matches!((min.as_f64(), max.as_f64()),
+                                    (Some(lo), Some(hi)) if lo < hi)
+                        )
+                    })
+                    .collect();
+                if resampleable.is_empty() {
+                    return Err(LakeError::InvalidArgument(
+                        "no float column with a non-degenerate range to resample".to_string(),
+                    ));
+                }
+                let mut columns = Vec::with_capacity(source.num_columns());
+                for (field, col) in source.schema().fields().iter().zip(source.columns()) {
+                    if resampleable.iter().any(|n| **n == field.name) {
+                        let (lo, hi) = {
+                            let s = col.stats();
+                            (
+                                s.min.as_ref().and_then(Value::as_f64).expect("checked"),
+                                s.max.as_ref().and_then(Value::as_f64).expect("checked"),
+                            )
+                        };
+                        let values: Vec<Value> = col
+                            .values()
+                            .iter()
+                            .map(|v| {
+                                if v.is_null() {
+                                    Value::Null
+                                } else {
+                                    // [lo, hi) keeps the derived range nested
+                                    // inside the source's, so min-max pruning
+                                    // cannot reject the derived dataset.
+                                    Value::Float(rng.gen_range(lo..hi))
+                                }
+                            })
+                            .collect();
+                        columns.push(Column::new(DataType::Float, values)?);
+                    } else {
+                        columns.push(col.clone());
+                    }
+                }
+                let table = Table::new(source.schema().clone(), columns)?;
+                Ok(TransformOutcome {
+                    table,
+                    description: format!(
+                        "RESAMPLE {} float columns WITHIN RANGE",
+                        resampleable.len()
+                    ),
+                    effect: ContainmentEffect::None,
+                })
+            }
             Transform::SortByColumn => {
                 if source.num_columns() == 0 {
                     return Err(LakeError::InvalidArgument(
@@ -408,6 +486,41 @@ mod tests {
             .unwrap();
         assert_eq!(out.effect, ContainmentEffect::None);
         assert!(!check(&out.table, &src), "noisy rows must not be contained");
+    }
+
+    #[test]
+    fn resample_in_range_breaks_containment_but_keeps_ranges_nested() {
+        let src = source();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let out = Transform::ResampleInRange.apply(&src, &mut rng).unwrap();
+        assert_eq!(out.effect, ContainmentEffect::None);
+        assert_eq!(out.table.schema(), src.schema(), "schema is preserved");
+        assert_eq!(out.table.num_rows(), src.num_rows());
+        assert!(
+            !check(&out.table, &src),
+            "resampled rows must not be contained"
+        );
+        // Min-max pruning cannot reject the impostor: every float range
+        // nests strictly inside the source's.
+        for f in src.schema().fields() {
+            if f.data_type != DataType::Float {
+                // Non-float columns are untouched.
+                assert_eq!(
+                    out.table.column(&f.name).unwrap().values(),
+                    src.column(&f.name).unwrap().values()
+                );
+                continue;
+            }
+            let s = src.column(&f.name).unwrap().stats();
+            let d = out.table.column(&f.name).unwrap().stats();
+            let (smin, smax) = (s.min.clone().unwrap(), s.max.clone().unwrap());
+            let (dmin, dmax) = (d.min.clone().unwrap(), d.max.clone().unwrap());
+            assert!(dmin.total_cmp(&smin) != std::cmp::Ordering::Less);
+            assert!(dmax.total_cmp(&smax) != std::cmp::Ordering::Greater);
+        }
+        // Degenerate inputs fail cleanly.
+        let empty = src.take(&[]).unwrap();
+        assert!(Transform::ResampleInRange.apply(&empty, &mut rng).is_err());
     }
 
     #[test]
