@@ -61,7 +61,7 @@ pub fn content_ground_truth(lake: &DataLake, meter: &Meter) -> Result<GroundTrut
         previous_parent = Some(parent);
         let p = lake.dataset(DatasetId(parent))?;
         let c = lake.dataset(DatasetId(child))?;
-        let chk = containment_check_cached(&c.data, parent, &p.data, meter, &cache)?;
+        let chk = containment_check_cached(&c.data, parent, p.generation, &p.data, meter, &cache)?;
         if chk.is_exact() {
             containment_graph.add_edge_with(
                 parent,

@@ -15,9 +15,9 @@
 //! adaptation that votes across columns — so the experiment harness can show
 //! both the cost of index construction and the accuracy gap.
 
-use r2d2_lake::{DataLake, Meter, Result, RowHash};
+use r2d2_lake::{DataLake, Meter, Result, RowHash, RowHashMap};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Identifier of a column in the index: (dataset id, flattened column name).
 pub type ColumnId = (u64, String);
@@ -26,7 +26,7 @@ pub type ColumnId = (u64, String);
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     /// value hash → column ids containing the value.
-    postings: HashMap<RowHash, Vec<usize>>,
+    postings: RowHashMap<Vec<usize>>,
     /// Interned column ids.
     columns: Vec<ColumnId>,
     /// Distinct-value count per column (the set cardinality JOSIE ranks by).

@@ -114,11 +114,44 @@ fn bench_clp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_clp_multiset_dict_vs_plain(c: &mut Criterion) {
+    // CLP's build side in isolation: hashing a string key column into the
+    // row-hash multiset. The per-column memo hashes each *distinct* string
+    // once, so a dictionary-friendly column (few distinct values, the kind
+    // the v4 LAYOUT_DICT page targets) costs ~#distinct hash computations
+    // while a plain all-unique column still pays one per row.
+    use r2d2_lake::{Column, DataType, Schema, Table};
+    let mut group = c.benchmark_group("stages/clp_multiset");
+    let rows = 4096usize;
+    let schema = Schema::flat(&[("s", DataType::Utf8)]).unwrap();
+    let dict = Table::new(
+        schema.clone(),
+        vec![Column::from_strs(
+            (0..rows).map(|i| format!("service-{:04}", i % 16)),
+        )],
+    )
+    .unwrap();
+    let plain = Table::new(
+        schema,
+        vec![Column::from_strs(
+            (0..rows).map(|i| format!("service-{i:04}")),
+        )],
+    )
+    .unwrap();
+    for (name, table) in [("dict_16_distinct", &dict), ("plain_all_unique", &plain)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), table, |b, table| {
+            b.iter(|| table.row_hash_multiset(&["s"], &Meter::new()).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sgb,
     bench_sgb_interned_vs_string,
     bench_mmp,
-    bench_clp
+    bench_clp,
+    bench_clp_multiset_dict_vs_plain
 );
 criterion_main!(benches);

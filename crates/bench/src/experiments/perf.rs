@@ -447,7 +447,7 @@ pub fn collect(smoke: bool) -> PerfSnapshot {
     let anti_cached_time = time_best(reps, || {
         let cache = HashJoinCache::new();
         for p in &probes {
-            left_anti_join_cached(p, 1, &scan_table, &cols, &Meter::new(), &cache).unwrap();
+            left_anti_join_cached(p, 1, 0, &scan_table, &cols, &Meter::new(), &cache).unwrap();
         }
     });
 

@@ -22,7 +22,7 @@
 use crate::config::{ClpSampling, PipelineConfig};
 use r2d2_graph::ContainmentGraph;
 use r2d2_lake::query::{left_anti_join, left_anti_join_cached, random_rows, scan, Predicate};
-use r2d2_lake::row::hash_values;
+use r2d2_lake::row::hash_single;
 use r2d2_lake::{DataLake, DatasetId, HashJoinCache, Meter, PartitionedTable, Result, Table};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -169,7 +169,11 @@ fn sketch_disproves(
                 continue;
             }
             meter.add_sketch_probes(1);
-            if !sketch.contains(hash_values(&[value])) {
+            if matches!(value, r2d2_lake::Value::Str(_)) {
+                meter.add_string_hash_ops(1);
+                meter.add_string_cells_hashed(1);
+            }
+            if !sketch.contains(hash_single(value)) {
                 meter.add_sketch_prunes(1);
                 return true;
             }
@@ -236,7 +240,15 @@ fn check_edge(
             }
             // Unfiltered probes share the parent's hash multiset across all
             // edges (and rounds) with the same parent and column set.
-            _ => left_anti_join_cached(&sample, parent_id, &parent.data, &join_cols, meter, cache)?,
+            _ => left_anti_join_cached(
+                &sample,
+                parent_id,
+                parent.generation,
+                &parent.data,
+                &join_cols,
+                meter,
+                cache,
+            )?,
         };
         if !missing.is_empty() {
             return Ok(EdgeOutcome {

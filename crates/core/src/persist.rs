@@ -58,11 +58,13 @@ use std::time::Duration;
 /// Leading/trailing magic of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"R2D2SNAP";
 
-/// Current snapshot format version. Version 2 carries the sketch-gate
-/// configuration flags and the extended meter counters (and, transitively,
-/// `R2D2LAKE` v3 tables with bloom sketches); version-1 snapshots fail with
-/// an explicit "unsupported snapshot version" error.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Current snapshot format version. Version 3 embeds `R2D2LAKE` v4 tables
+/// (dictionary-coded string pages, decoded lazily on restore), carries a
+/// content generation per lake entry, keys the join-cache entries by
+/// `(dataset, generation)`, and persists the 15-counter meter with the
+/// process-local page counters masked to zero. Version-1/2 snapshots fail
+/// with an explicit "unsupported snapshot version" error.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Default compaction policy: snapshot after this many updates.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 512;

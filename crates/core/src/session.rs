@@ -219,10 +219,13 @@ impl R2d2Session {
             }
         }
 
-        // Phase 2: invalidate per-dataset derived state (stale build-side
-        // hash multisets, interned schema sets) for everything that changed.
+        // Phase 2: refresh per-dataset derived state for everything that
+        // changed. Build-side hash multisets need no per-mutation eviction —
+        // the cache is keyed by `(dataset, generation)` and every mutation
+        // bumps the catalog generation, so stale entries simply stop being
+        // addressable. Pruning them (and entries of dropped datasets) is a
+        // single sweep against the catalog's live generation set.
         for (&d, &e) in &effects {
-            self.cache.evict_dataset(d);
             if e.dropped {
                 self.schemas.remove(&d);
             } else if let Ok(entry) = self.lake.dataset(DatasetId(d)) {
@@ -231,6 +234,14 @@ impl R2d2Session {
                     self.interner.intern_set(&entry.data.schema().schema_set()),
                 );
             }
+        }
+        if !effects.is_empty() {
+            let live: std::collections::HashSet<(u64, u64)> = self
+                .lake
+                .iter()
+                .map(|entry| (entry.id.0, entry.generation))
+                .collect();
+            self.cache.retain_generations(&live);
         }
 
         // Phase 3: plan and run one verification sweep. The plan reads the

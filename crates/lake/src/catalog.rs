@@ -75,6 +75,12 @@ pub struct DatasetEntry {
     pub name: String,
     /// The data, partitioned with per-partition statistics.
     pub data: Arc<PartitionedTable>,
+    /// Content generation: 0 when the dataset is added, bumped on every
+    /// [`DataLake::replace_data`]. Content-addressed caches (the CLP
+    /// [`crate::query::HashJoinCache`]) key by `(id, generation)`, so a
+    /// mutation invalidates naturally while restored or untouched entries
+    /// stay hot.
+    pub generation: u64,
     /// Expected access behaviour for the cost model.
     pub access: AccessProfile,
     /// Known derivation lineage, if any.
@@ -208,6 +214,7 @@ impl DataLake {
                 id,
                 name,
                 data: Arc::new(data),
+                generation: 0,
                 access,
                 lineage,
             },
@@ -315,6 +322,7 @@ impl DataLake {
             .get_mut(&id)
             .ok_or_else(|| LakeError::DatasetNotFound(id.to_string()))?;
         entry.data = Arc::new(data);
+        entry.generation += 1;
         Ok(())
     }
 }
@@ -409,8 +417,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(lake.dataset(id).unwrap().access.accesses_per_period, 3.0);
+        assert_eq!(lake.dataset(id).unwrap().generation, 0);
         lake.replace_data(id, tiny_table(20)).unwrap();
         assert_eq!(lake.dataset(id).unwrap().num_rows(), 20);
+        assert_eq!(
+            lake.dataset(id).unwrap().generation,
+            1,
+            "replacing data must bump the content generation"
+        );
         assert!(lake
             .set_access_profile(DatasetId(5), AccessProfile::default())
             .is_err());

@@ -1,24 +1,92 @@
-//! Columns: typed, in-memory value vectors with cached statistics.
+//! Columns: typed value vectors with cached statistics, either in memory or
+//! as an undecoded storage page that materializes on first touch.
 //!
 //! The substrate stores tables column-major, like parquet / Spark's columnar
 //! cache, so that statistics can be maintained per column and predicate
-//! evaluation touches only the referenced columns.
+//! evaluation touches only the referenced columns. Since R2D2LAKE v4 a
+//! column read back from storage stays *lazy*: the encoded page bytes are
+//! retained verbatim and only decoded when some caller actually needs the
+//! values (statistics, sketches and sizes are served from the footer without
+//! touching the page). A materialization is metered as `pages_decoded`; the
+//! decode that skipped the page charged `pages_skipped`.
 
 use crate::datatype::DataType;
 use crate::error::{LakeError, Result};
+use crate::meter::Meter;
 use crate::stats::ColumnStats;
 use crate::value::Value;
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A single column of a table: a name-less typed vector of values.
 ///
 /// The name lives in the table's [`crate::schema::Schema`]; a `Column` is
 /// purely the data plus cached [`ColumnStats`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Column {
     data_type: DataType,
-    values: Vec<Value>,
+    repr: ColumnRepr,
     stats: ColumnStats,
+}
+
+/// How the column's values are held.
+#[derive(Debug, Clone)]
+enum ColumnRepr {
+    /// Values decoded in memory.
+    Eager(Vec<Value>),
+    /// An undecoded storage page; decoded into the cell on first touch.
+    Lazy(LazyColumn),
+}
+
+/// An undecoded column page plus everything needed to serve metadata
+/// queries (row count, byte size) without decoding it.
+#[derive(Debug)]
+struct LazyColumn {
+    /// The encoded page, exactly as stored (layout tag + payload). Retained
+    /// even after materialization so re-encoding reproduces the original
+    /// bytes bit-for-bit.
+    page: Bytes,
+    /// Number of rows in the page.
+    rows: usize,
+    /// In-memory byte size of the decoded values (from the footer).
+    byte_size: usize,
+    /// Meter charged with `pages_decoded` when the page materializes.
+    meter: Meter,
+    /// Decoded values, filled by the first successful materialization.
+    cell: OnceLock<Vec<Value>>,
+}
+
+impl Clone for LazyColumn {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(values) = self.cell.get() {
+            let _ = cell.set(values.clone());
+        }
+        LazyColumn {
+            page: self.page.clone(),
+            rows: self.rows,
+            byte_size: self.byte_size,
+            meter: self.meter.clone(),
+            cell,
+        }
+    }
+}
+
+impl LazyColumn {
+    /// Decode the page if it has not been decoded yet. Only the thread that
+    /// wins the race charges `pages_decoded`; a decode error leaves the cell
+    /// empty (the same error is returned deterministically on every retry).
+    fn materialize(&self, data_type: DataType) -> Result<&[Value]> {
+        if let Some(values) = self.cell.get() {
+            return Ok(values);
+        }
+        let values = crate::storage::decode_page(&self.page, data_type, self.rows)?;
+        if self.cell.set(values).is_ok() {
+            self.meter.add_pages_decoded(1);
+        }
+        Ok(self.cell.get().expect("cell was just filled"))
+    }
 }
 
 impl Column {
@@ -45,20 +113,31 @@ impl Column {
         let stats = ColumnStats::compute(&values);
         Ok(Column {
             data_type,
-            values,
+            repr: ColumnRepr::Eager(values),
             stats,
         })
     }
 
-    /// Assemble a column from values and *already-known* statistics, without
-    /// re-validating types or re-hashing for the distinct count. Reserved
-    /// for the storage layer, whose packed pages are type-pure by
-    /// construction and whose footer carries the exact statistics the
-    /// column was encoded with.
-    pub(crate) fn from_parts(data_type: DataType, values: Vec<Value>, stats: ColumnStats) -> Self {
+    /// Assemble a lazy column over an undecoded storage page. `byte_size`
+    /// and `stats` come from the file footer; the page only decodes when
+    /// the values are first touched, charging `pages_decoded` on `meter`.
+    pub(crate) fn from_lazy_page(
+        data_type: DataType,
+        page: Bytes,
+        rows: usize,
+        byte_size: usize,
+        stats: ColumnStats,
+        meter: &Meter,
+    ) -> Self {
         Column {
             data_type,
-            values,
+            repr: ColumnRepr::Lazy(LazyColumn {
+                page,
+                rows,
+                byte_size,
+                meter: meter.clone(),
+                cell: OnceLock::new(),
+            }),
             stats,
         }
     }
@@ -92,38 +171,82 @@ impl Column {
         self.data_type
     }
 
-    /// Number of rows.
+    /// Number of rows (metadata-only; never decodes a lazy page).
     pub fn len(&self) -> usize {
-        self.values.len()
+        match &self.repr {
+            ColumnRepr::Eager(values) => values.len(),
+            ColumnRepr::Lazy(lazy) => lazy.rows,
+        }
     }
 
     /// Whether the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
     }
 
-    /// The values.
+    /// The values, materializing a lazy page on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is lazy and its page fails to decode. Read
+    /// paths that can encounter corrupt storage go through
+    /// [`Column::try_values`] instead; this accessor serves the many
+    /// call sites working on columns that were validated at construction.
     pub fn values(&self) -> &[Value] {
-        &self.values
+        self.try_values().expect("column page corrupt")
     }
 
-    /// Value at row `i`.
+    /// The values, materializing a lazy page on first touch. Returns a
+    /// [`LakeError::Corrupt`] if the page bytes fail to decode (and will
+    /// keep returning the same error on every retry — a failed decode is
+    /// never cached as data).
+    pub fn try_values(&self) -> Result<&[Value]> {
+        match &self.repr {
+            ColumnRepr::Eager(values) => Ok(values),
+            ColumnRepr::Lazy(lazy) => lazy.materialize(self.data_type),
+        }
+    }
+
+    /// Value at row `i`, or `None` when out of range *or* when a lazy page
+    /// fails to decode (point reads surface corruption as a missing value;
+    /// bulk readers use [`Column::try_values`] for the precise error).
     pub fn get(&self, i: usize) -> Option<&Value> {
-        self.values.get(i)
+        self.try_values().ok()?.get(i)
     }
 
-    /// Cached statistics (computed at construction time).
+    /// Cached statistics (computed at construction time, or reattached from
+    /// the file footer for lazy columns — never requires decoding).
     pub fn stats(&self) -> &ColumnStats {
         &self.stats
     }
 
+    /// The encoded page bytes backing a lazy column, if any. The storage
+    /// encoder re-emits these verbatim so a decode → encode round trip is
+    /// bit-identical without materializing anything.
+    pub(crate) fn lazy_page(&self) -> Option<&Bytes> {
+        match &self.repr {
+            ColumnRepr::Lazy(lazy) => Some(&lazy.page),
+            ColumnRepr::Eager(_) => None,
+        }
+    }
+
+    /// Whether the column's values are currently decoded in memory (always
+    /// true for eagerly built columns).
+    pub fn is_materialized(&self) -> bool {
+        match &self.repr {
+            ColumnRepr::Eager(_) => true,
+            ColumnRepr::Lazy(lazy) => lazy.cell.get().is_some(),
+        }
+    }
+
     /// Take the rows at the given indices, producing a new column.
     pub fn take(&self, indices: &[usize]) -> Column {
-        let values: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
+        let values = self.values();
+        let values: Vec<Value> = indices.iter().map(|&i| values[i].clone()).collect();
         let stats = ColumnStats::compute(&values);
         Column {
             data_type: self.data_type,
-            values,
+            repr: ColumnRepr::Eager(values),
             stats,
         }
     }
@@ -140,14 +263,35 @@ impl Column {
                 actual: other.data_type,
             });
         }
-        let mut values = self.values.clone();
-        values.extend(other.values.iter().cloned());
+        let mut values = self.try_values()?.to_vec();
+        values.extend(other.try_values()?.iter().cloned());
         Column::new(self.data_type, values)
     }
 
-    /// Approximate byte size of the column data.
+    /// Approximate byte size of the column data (metadata-only for lazy
+    /// columns: the footer records the decoded size, so the answer is
+    /// identical whether or not the page has materialized).
     pub fn byte_size(&self) -> usize {
-        self.values.iter().map(Value::byte_size).sum()
+        match &self.repr {
+            ColumnRepr::Eager(values) => values.iter().map(Value::byte_size).sum(),
+            ColumnRepr::Lazy(lazy) => lazy.byte_size,
+        }
+    }
+}
+
+impl PartialEq for Column {
+    /// Content equality: same type, same values. A lazy column equals the
+    /// eager column it decodes to (statistics are a pure function of the
+    /// values, so they are not compared separately); a column whose page
+    /// fails to decode equals nothing.
+    fn eq(&self, other: &Self) -> bool {
+        if self.data_type != other.data_type {
+            return false;
+        }
+        match (self.try_values(), other.try_values()) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        }
     }
 }
 
@@ -215,5 +359,13 @@ mod tests {
     fn byte_size_sums_values() {
         let c = Column::from_ints([1, 2, 3]);
         assert_eq!(c.byte_size(), 24);
+    }
+
+    #[test]
+    fn eager_columns_are_materialized_and_pageless() {
+        let c = Column::from_ints([1, 2]);
+        assert!(c.is_materialized());
+        assert!(c.lazy_page().is_none());
+        assert_eq!(c.try_values().unwrap().len(), 2);
     }
 }

@@ -74,7 +74,7 @@ pub use error::{LakeError, Result};
 pub use meter::{Meter, OpCounts};
 pub use partition::{PartitionSpec, PartitionedTable};
 pub use query::{ContainmentCheck, HashJoinCache, Predicate};
-pub use row::{Row, RowHash};
+pub use row::{Row, RowHash, RowHashMap, RowHashMapHasher};
 pub use schema::{Field, InternedSchemaSet, Schema, SchemaInterner, SchemaNode, SchemaSet};
 pub use sketch::ColumnSketch;
 pub use stats::ColumnStats;

@@ -40,6 +40,20 @@ pub struct OpCounts {
     /// Edges pruned by the CLP bloom-sketch gate (before any parent
     /// multiset was built).
     pub sketch_prunes: u64,
+    /// Lazy column pages materialized from their encoded bytes (first touch
+    /// of a column decoded with `storage::decode`).
+    pub pages_decoded: u64,
+    /// Column pages left as undecoded byte ranges by `storage::decode`
+    /// (footer-backed lazy tables). `pages_skipped - pages_decoded` is the
+    /// number of pages never touched.
+    pub pages_skipped: u64,
+    /// Distinct string values hashed (one per distinct value per hashing
+    /// call, not one per cell — dictionary-style dedup makes repeated
+    /// strings hash once).
+    pub string_hash_ops: u64,
+    /// String cells covered by row hashing (what `string_hash_ops` would be
+    /// without per-distinct-value dedup; the ratio is the savings).
+    pub string_cells_hashed: u64,
 }
 
 impl OpCounts {
@@ -72,6 +86,12 @@ impl OpCounts {
             distinct_prunes: self.distinct_prunes.saturating_sub(earlier.distinct_prunes),
             sketch_probes: self.sketch_probes.saturating_sub(earlier.sketch_probes),
             sketch_prunes: self.sketch_prunes.saturating_sub(earlier.sketch_prunes),
+            pages_decoded: self.pages_decoded.saturating_sub(earlier.pages_decoded),
+            pages_skipped: self.pages_skipped.saturating_sub(earlier.pages_skipped),
+            string_hash_ops: self.string_hash_ops.saturating_sub(earlier.string_hash_ops),
+            string_cells_hashed: self
+                .string_cells_hashed
+                .saturating_sub(earlier.string_cells_hashed),
         }
     }
 
@@ -89,6 +109,24 @@ impl OpCounts {
             distinct_prunes: self.distinct_prunes + other.distinct_prunes,
             sketch_probes: self.sketch_probes + other.sketch_probes,
             sketch_prunes: self.sketch_prunes + other.sketch_prunes,
+            pages_decoded: self.pages_decoded + other.pages_decoded,
+            pages_skipped: self.pages_skipped + other.pages_skipped,
+            string_hash_ops: self.string_hash_ops + other.string_hash_ops,
+            string_cells_hashed: self.string_cells_hashed + other.string_cells_hashed,
+        }
+    }
+
+    /// This snapshot with the lazy-page counters (`pages_decoded`,
+    /// `pages_skipped`) zeroed. Page materialization is an artifact of *how*
+    /// a table entered memory (eager construction, lazy decode, snapshot
+    /// restore), not of what logical work was done on it, so equivalence
+    /// oracles — restored-vs-live sessions, lazy-vs-eager decode — compare
+    /// meters modulo these two counters.
+    pub fn without_page_counters(&self) -> OpCounts {
+        OpCounts {
+            pages_decoded: 0,
+            pages_skipped: 0,
+            ..*self
         }
     }
 }
@@ -106,6 +144,10 @@ struct Counters {
     distinct_prunes: AtomicU64,
     sketch_probes: AtomicU64,
     sketch_prunes: AtomicU64,
+    pages_decoded: AtomicU64,
+    pages_skipped: AtomicU64,
+    string_hash_ops: AtomicU64,
+    string_cells_hashed: AtomicU64,
 }
 
 /// A shared, thread-safe operation meter.
@@ -187,6 +229,30 @@ impl Meter {
         self.counters.sketch_prunes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` lazy column pages materialized.
+    pub fn add_pages_decoded(&self, n: u64) {
+        self.counters.pages_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` column pages left undecoded by a lazy decode.
+    pub fn add_pages_skipped(&self, n: u64) {
+        self.counters.pages_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` distinct string values hashed.
+    pub fn add_string_hash_ops(&self, n: u64) {
+        self.counters
+            .string_hash_ops
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` string cells covered by row hashing.
+    pub fn add_string_cells_hashed(&self, n: u64) {
+        self.counters
+            .string_cells_hashed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Take a snapshot of the counters.
     pub fn snapshot(&self) -> OpCounts {
         OpCounts {
@@ -201,6 +267,10 @@ impl Meter {
             distinct_prunes: self.counters.distinct_prunes.load(Ordering::Relaxed),
             sketch_probes: self.counters.sketch_probes.load(Ordering::Relaxed),
             sketch_prunes: self.counters.sketch_prunes.load(Ordering::Relaxed),
+            pages_decoded: self.counters.pages_decoded.load(Ordering::Relaxed),
+            pages_skipped: self.counters.pages_skipped.load(Ordering::Relaxed),
+            string_hash_ops: self.counters.string_hash_ops.load(Ordering::Relaxed),
+            string_cells_hashed: self.counters.string_cells_hashed.load(Ordering::Relaxed),
         }
     }
 
@@ -219,6 +289,10 @@ impl Meter {
         self.add_distinct_prunes(counts.distinct_prunes);
         self.add_sketch_probes(counts.sketch_probes);
         self.add_sketch_prunes(counts.sketch_prunes);
+        self.add_pages_decoded(counts.pages_decoded);
+        self.add_pages_skipped(counts.pages_skipped);
+        self.add_string_hash_ops(counts.string_hash_ops);
+        self.add_string_cells_hashed(counts.string_cells_hashed);
     }
 
     /// Reset every counter to zero.
@@ -234,6 +308,12 @@ impl Meter {
         self.counters.distinct_prunes.store(0, Ordering::Relaxed);
         self.counters.sketch_probes.store(0, Ordering::Relaxed);
         self.counters.sketch_prunes.store(0, Ordering::Relaxed);
+        self.counters.pages_decoded.store(0, Ordering::Relaxed);
+        self.counters.pages_skipped.store(0, Ordering::Relaxed);
+        self.counters.string_hash_ops.store(0, Ordering::Relaxed);
+        self.counters
+            .string_cells_hashed
+            .store(0, Ordering::Relaxed);
     }
 }
 
@@ -298,6 +378,29 @@ mod tests {
         m.add_partitions_pruned(2);
         m.reset();
         assert_eq!(m.snapshot(), OpCounts::default());
+    }
+
+    #[test]
+    fn page_and_string_counters_accumulate_and_mask() {
+        let m = Meter::new();
+        m.add_pages_skipped(10);
+        m.add_pages_decoded(3);
+        m.add_string_hash_ops(4);
+        m.add_string_cells_hashed(40);
+        let s = m.snapshot();
+        assert_eq!(s.pages_decoded, 3);
+        assert_eq!(s.pages_skipped, 10);
+        assert_eq!(s.string_hash_ops, 4);
+        assert_eq!(s.string_cells_hashed, 40);
+        let masked = s.without_page_counters();
+        assert_eq!(masked.pages_decoded, 0);
+        assert_eq!(masked.pages_skipped, 0);
+        assert_eq!(masked.string_hash_ops, 4, "only page counters are masked");
+        let m2 = Meter::new();
+        m2.add_counts(&s);
+        assert_eq!(m2.snapshot(), s, "add_counts covers every counter");
+        m2.reset();
+        assert_eq!(m2.snapshot(), OpCounts::default());
     }
 
     #[test]

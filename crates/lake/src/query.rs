@@ -12,7 +12,7 @@ use crate::catalog::{DataLake, DatasetId};
 use crate::error::{LakeError, Result};
 use crate::meter::Meter;
 use crate::partition::{PartitionMeta, PartitionedTable};
-use crate::row::RowHash;
+use crate::row::RowHashMap;
 use crate::table::Table;
 use crate::value::Value;
 use rand::Rng;
@@ -241,7 +241,7 @@ fn gather_rows(
                 let col_values = table.partitions()[*pi]
                     .column_at(ci)
                     .expect("column index in range")
-                    .values();
+                    .try_values()?;
                 values.extend(keep.iter().map(|&i| col_values[i].clone()));
             }
             crate::column::Column::new(schema.fields()[ci].data_type, values)
@@ -350,7 +350,7 @@ pub fn left_anti_join(
 /// Probe-side half of the anti-join, against an already-built hash multiset.
 fn anti_join_against(
     probe: &Table,
-    build_hashes: &HashMap<RowHash, usize>,
+    build_hashes: &RowHashMap<usize>,
     on: &[&str],
     meter: &Meter,
 ) -> Result<Table> {
@@ -366,14 +366,20 @@ fn anti_join_against(
 }
 
 /// A shared, thread-safe cache of build-side hash multisets, keyed by
-/// `(build dataset id, canonicalised column set)`.
+/// `(build dataset id, content generation, canonicalised column set)`.
 ///
 /// CLP probes many child samples against the *same* parent: without a cache
 /// every [`left_anti_join`] re-materialises and re-hashes the full parent
 /// table per edge. With the cache, the parent is scanned and hashed exactly
-/// **once per (dataset, column set) key** — under any thread count — and
-/// the meter records exactly that one materialisation, which keeps parallel
-/// and sequential op counts identical.
+/// **once per (dataset, generation, column set) key** — under any thread
+/// count — and the meter records exactly that one materialisation, which
+/// keeps parallel and sequential op counts identical.
+///
+/// Keying by the catalog's content generation (bumped on every
+/// [`crate::DataLake::replace_data`]) means a mutation invalidates stale
+/// multisets *naturally* — the new generation simply misses — while
+/// untouched datasets, including everything a snapshot restore brought
+/// back, keep serving the multisets that were already paid for.
 ///
 /// Concurrency: a global map hands out one slot per key; the slot's own lock
 /// is held across the (expensive) build, so two threads asking for the same
@@ -382,8 +388,10 @@ fn anti_join_against(
 #[derive(Debug, Default)]
 pub struct HashJoinCache {
     #[allow(clippy::type_complexity)]
-    slots: Mutex<HashMap<(u64, Vec<String>), Arc<Mutex<Option<Arc<HashMap<RowHash, usize>>>>>>>,
+    slots: Mutex<CacheSlots>,
 }
+
+type CacheSlots = HashMap<(u64, u64, Vec<String>), Arc<Mutex<Option<Arc<RowHashMap<usize>>>>>>;
 
 impl HashJoinCache {
     /// An empty cache.
@@ -392,19 +400,20 @@ impl HashJoinCache {
     }
 
     /// The hash multiset of `build` projected onto `on`, computed (and
-    /// metered) at most once per `(build_id, on)` key.
+    /// metered) at most once per `(build_id, generation, on)` key.
     pub fn multiset(
         &self,
         build_id: u64,
+        generation: u64,
         build: &PartitionedTable,
         on: &[&str],
         meter: &Meter,
-    ) -> Result<Arc<HashMap<RowHash, usize>>> {
+    ) -> Result<Arc<RowHashMap<usize>>> {
         let mut key_cols: Vec<String> = on.iter().map(|s| (*s).to_string()).collect();
         key_cols.sort_unstable();
         let slot = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
-            Arc::clone(slots.entry((build_id, key_cols)).or_default())
+            Arc::clone(slots.entry((build_id, generation, key_cols)).or_default())
         };
         let mut entry = slot.lock().expect("slot lock poisoned");
         if let Some(cached) = entry.as_ref() {
@@ -431,7 +440,7 @@ impl HashJoinCache {
     /// still in flight (allocated but empty) are skipped — they carry no
     /// state worth persisting.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn export_entries(&self) -> Vec<((u64, Vec<String>), Arc<HashMap<RowHash, usize>>)> {
+    pub(crate) fn export_entries(&self) -> Vec<((u64, u64, Vec<String>), Arc<RowHashMap<usize>>)> {
         let slots = self.slots.lock().expect("cache lock poisoned");
         let mut entries: Vec<_> = slots
             .iter()
@@ -445,8 +454,8 @@ impl HashJoinCache {
     }
 
     /// Restore hook for [`crate::snapshot`]: re-insert one decoded multiset
-    /// under its original `(build dataset, column set)` key.
-    pub(crate) fn restore_entry(&self, key: (u64, Vec<String>), multiset: HashMap<RowHash, usize>) {
+    /// under its original `(build dataset, generation, column set)` key.
+    pub(crate) fn restore_entry(&self, key: (u64, u64, Vec<String>), multiset: RowHashMap<usize>) {
         let mut slots = self.slots.lock().expect("cache lock poisoned");
         let slot = Arc::clone(slots.entry(key).or_default());
         drop(slots);
@@ -468,7 +477,19 @@ impl HashJoinCache {
         self.slots
             .lock()
             .expect("cache lock poisoned")
-            .retain(|(id, _), _| *id != build_id);
+            .retain(|(id, _, _), _| *id != build_id);
+    }
+
+    /// Drop every entry whose `(dataset, generation)` is not in `live` —
+    /// the set of keys the catalog currently exposes. Sessions call this
+    /// after applying updates so multisets of dropped datasets and
+    /// superseded generations release their memory, while current-generation
+    /// entries (including everything a restore brought back) stay hot.
+    pub fn retain_generations(&self, live: &std::collections::HashSet<(u64, u64)>) {
+        self.slots
+            .lock()
+            .expect("cache lock poisoned")
+            .retain(|(id, generation, _), _| live.contains(&(*id, *generation)));
     }
 }
 
@@ -478,12 +499,13 @@ impl HashJoinCache {
 pub fn left_anti_join_cached(
     probe: &Table,
     build_id: u64,
+    build_generation: u64,
     build: &PartitionedTable,
     on: &[&str],
     meter: &Meter,
     cache: &HashJoinCache,
 ) -> Result<Table> {
-    let build_hashes = cache.multiset(build_id, build, on, meter)?;
+    let build_hashes = cache.multiset(build_id, build_generation, build, on, meter)?;
     anti_join_against(probe, &build_hashes, on, meter)
 }
 
@@ -539,13 +561,14 @@ pub fn containment_check(
 pub fn containment_check_cached(
     child: &PartitionedTable,
     parent_id: u64,
+    parent_generation: u64,
     parent: &PartitionedTable,
     meter: &Meter,
     cache: &HashJoinCache,
 ) -> Result<ContainmentCheck> {
     let child_cols = validated_child_columns(child, parent)?;
     let child_cols: Vec<&str> = child_cols.iter().map(String::as_str).collect();
-    let parent_hashes = cache.multiset(parent_id, parent, &child_cols, meter)?;
+    let parent_hashes = cache.multiset(parent_id, parent_generation, parent, &child_cols, meter)?;
     containment_against(child, &parent_hashes, &child_cols, meter)
 }
 
@@ -573,14 +596,15 @@ fn validated_child_columns(
 /// count)`, which leaves the (possibly shared) parent map untouched.
 fn containment_against(
     child: &PartitionedTable,
-    parent_hashes: &HashMap<RowHash, usize>,
+    parent_hashes: &RowHashMap<usize>,
     child_cols: &[&str],
     meter: &Meter,
 ) -> Result<ContainmentCheck> {
     let child_table = child.to_table(meter)?;
     let child_hashes = child_table.row_hashes(child_cols, meter)?;
     meter.add_row_comparisons(child_hashes.len() as u64);
-    let mut child_counts: HashMap<RowHash, usize> = HashMap::with_capacity(child_hashes.len());
+    let mut child_counts: RowHashMap<usize> =
+        RowHashMap::with_capacity_and_hasher(child_hashes.len(), Default::default());
     for h in &child_hashes {
         *child_counts.entry(*h).or_insert(0) += 1;
     }
@@ -897,7 +921,7 @@ mod tests {
         let cached: Vec<usize> = probes
             .iter()
             .map(|p| {
-                left_anti_join_cached(p, 7, &parent, &cols, &cached_meter, &cache)
+                left_anti_join_cached(p, 7, 0, &parent, &cols, &cached_meter, &cache)
                     .unwrap()
                     .num_rows()
             })
@@ -919,16 +943,16 @@ mod tests {
         let parent = partitioned(20, 5);
         let meter = Meter::new();
         let cache = HashJoinCache::new();
-        cache.multiset(1, &parent, &["id"], &meter).unwrap();
-        cache.multiset(1, &parent, &["id"], &meter).unwrap(); // hit
+        cache.multiset(1, 0, &parent, &["id"], &meter).unwrap();
+        cache.multiset(1, 0, &parent, &["id"], &meter).unwrap(); // hit
         cache
-            .multiset(1, &parent, &["id", "region"], &meter)
+            .multiset(1, 0, &parent, &["id", "region"], &meter)
             .unwrap(); // new column set
-        cache.multiset(2, &parent, &["id"], &meter).unwrap(); // new dataset id
+        cache.multiset(2, 0, &parent, &["id"], &meter).unwrap(); // new dataset id
         assert_eq!(cache.len(), 3);
         // Column order is canonicalised, so this is a hit, not a new entry.
         cache
-            .multiset(1, &parent, &["region", "id"], &meter)
+            .multiset(1, 0, &parent, &["region", "id"], &meter)
             .unwrap();
         assert_eq!(cache.len(), 3);
     }
@@ -938,20 +962,20 @@ mod tests {
         let parent = partitioned(20, 5);
         let meter = Meter::new();
         let cache = HashJoinCache::new();
-        cache.multiset(1, &parent, &["id"], &meter).unwrap();
+        cache.multiset(1, 0, &parent, &["id"], &meter).unwrap();
         cache
-            .multiset(1, &parent, &["id", "region"], &meter)
+            .multiset(1, 0, &parent, &["id", "region"], &meter)
             .unwrap();
-        cache.multiset(2, &parent, &["id"], &meter).unwrap();
+        cache.multiset(2, 0, &parent, &["id"], &meter).unwrap();
         assert_eq!(cache.len(), 3);
         cache.evict_dataset(1);
         assert_eq!(cache.len(), 1, "both column sets of dataset 1 evicted");
         // Dataset 2 is untouched: asking again is a hit (no extra hashing).
         let hashed_before = meter.snapshot().rows_hashed;
-        cache.multiset(2, &parent, &["id"], &meter).unwrap();
+        cache.multiset(2, 0, &parent, &["id"], &meter).unwrap();
         assert_eq!(meter.snapshot().rows_hashed, hashed_before);
         // An evicted key is rebuilt (and re-metered) on demand.
-        cache.multiset(1, &parent, &["id"], &meter).unwrap();
+        cache.multiset(1, 0, &parent, &["id"], &meter).unwrap();
         assert_eq!(meter.snapshot().rows_hashed, hashed_before + 20);
     }
 
@@ -966,7 +990,7 @@ mod tests {
         for child in &children {
             let plain = containment_check(child, &parent, &Meter::new()).unwrap();
             let cached =
-                containment_check_cached(child, 9, &parent, &Meter::new(), &cache).unwrap();
+                containment_check_cached(child, 9, 0, &parent, &Meter::new(), &cache).unwrap();
             assert_eq!(plain, cached);
         }
     }
@@ -982,7 +1006,7 @@ mod tests {
                 let cache = std::sync::Arc::clone(&cache);
                 let meter = meter.clone();
                 scope.spawn(move || {
-                    cache.multiset(1, &parent, &["id"], &meter).unwrap();
+                    cache.multiset(1, 0, &parent, &["id"], &meter).unwrap();
                 });
             }
         });

@@ -71,6 +71,46 @@ impl From<Vec<Value>> for Row {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RowHash(pub u128);
 
+/// Map hasher for [`RowHash`] keys: the key *is already* a uniform 128-bit
+/// content hash, so re-scrambling it through SipHash on every map operation
+/// (the `std` default) is pure overhead — and it shows up on hot paths that
+/// insert or probe millions of hashes (multiset builds, CLP anti-joins,
+/// join-cache restore). Folding the two halves with one multiply keeps both
+/// the low bits (bucket index) and high bits (hashbrown control byte)
+/// well-mixed at a fraction of the cost.
+///
+/// Only sound for keys that are themselves hashes; the generic `write` path
+/// exists to satisfy the trait but nothing in this crate routes other key
+/// types through it.
+#[derive(Debug, Default, Clone)]
+pub struct RowHashMapHasher(u64);
+
+impl Hasher for RowHashMapHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(MULT);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        let folded = (v as u64) ^ ((v >> 64) as u64).rotate_left(31);
+        let mixed = folded.wrapping_mul(SEED0);
+        self.0 = mixed ^ (mixed >> 29);
+    }
+}
+
+/// A `HashMap` keyed by [`RowHash`] with the cheap fold-the-key hasher.
+///
+/// Iteration order still depends on the map, so canonical encodings (e.g.
+/// [`crate::snapshot`]'s join-cache section) must keep sorting entries
+/// before writing — they already do.
+pub type RowHashMap<V> =
+    std::collections::HashMap<RowHash, V, std::hash::BuildHasherDefault<RowHashMapHasher>>;
+
 /// A simple, fast, deterministic 128-bit hasher (two independent FxHash-style
 /// 64-bit lanes seeded differently). Deterministic across runs and platforms
 /// so that stored fingerprints remain valid.
@@ -136,15 +176,51 @@ impl Hasher for RowHasher {
     }
 }
 
-/// Hash a tuple of values (in the given order) into a [`RowHash`].
-pub fn hash_values(values: &[&Value]) -> RowHash {
+/// Hash a single value into a [`RowHash`].
+///
+/// This is the canonical per-cell hash: bloom sketches are built from it
+/// (`ColumnStats::compute`), CLP probes against those sketches with it, and
+/// [`combine_hashes`] folds per-cell hashes into row-tuple hashes. Hashing a
+/// value once and combining is exactly equivalent to hashing the whole tuple
+/// — which is what lets dictionary-style dedup hash each distinct string
+/// once per column instead of once per row.
+pub fn hash_single(value: &Value) -> RowHash {
     let mut h = RowHasher::new();
-    for v in values {
-        v.hash(&mut h);
-        // Separator between cells so that ("ab", "c") != ("a", "bc").
-        h.write_u8(0x1f);
-    }
+    value.hash(&mut h);
+    // Terminator after the cell so that ("ab", "c") != ("a", "bc") once
+    // hashes are combined (each cell's bytes end at a fixed boundary).
+    h.write_u8(0x1f);
     h.finish128()
+}
+
+/// Fold per-cell hashes (in tuple order) into one row hash.
+///
+/// Order-sensitive: `combine([a, b]) != combine([b, a])`. A single hash
+/// combines to itself, so a one-column row tuple hashes identically to
+/// [`hash_single`] of its cell — the invariant that keeps sketch builds and
+/// sketch probes interchangeable between the tuple and single-value APIs.
+pub fn combine_hashes<I: IntoIterator<Item = RowHash>>(hashes: I) -> RowHash {
+    let mut iter = hashes.into_iter();
+    let Some(first) = iter.next() else {
+        return RowHasher::new().finish128();
+    };
+    let mut acc = first;
+    for h in iter {
+        let mut mixer = RowHasher::new();
+        mixer.write(&acc.0.to_le_bytes());
+        mixer.write(&h.0.to_le_bytes());
+        acc = mixer.finish128();
+    }
+    acc
+}
+
+/// Hash a tuple of values (in the given order) into a [`RowHash`].
+///
+/// Defined as [`combine_hashes`] over [`hash_single`] of each cell, so
+/// callers may precompute (and reuse) per-cell hashes and combine them
+/// without changing the result.
+pub fn hash_values(values: &[&Value]) -> RowHash {
+    combine_hashes(values.iter().map(|v| hash_single(v)))
 }
 
 /// Hash an owned row (all of its cells, in order).
@@ -207,5 +283,35 @@ mod tests {
     #[test]
     fn empty_tuple_hash_is_stable() {
         assert_eq!(hash_values(&[]), hash_values(&[]));
+    }
+
+    #[test]
+    fn single_value_tuple_equals_hash_single() {
+        for v in [
+            Value::Int(42),
+            Value::Str("abc".into()),
+            Value::Null,
+            Value::Float(1.5),
+        ] {
+            assert_eq!(hash_values(&[&v]), hash_single(&v));
+        }
+    }
+
+    #[test]
+    fn combining_precomputed_hashes_matches_hash_values() {
+        let vals = [
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Null,
+            Value::Float(2.5),
+        ];
+        let refs: Vec<&Value> = vals.iter().collect();
+        let combined = combine_hashes(vals.iter().map(hash_single));
+        assert_eq!(combined, hash_values(&refs));
+        let swapped = combine_hashes([hash_single(&vals[1]), hash_single(&vals[0])]);
+        assert_ne!(
+            swapped,
+            combine_hashes([hash_single(&vals[0]), hash_single(&vals[1])])
+        );
     }
 }

@@ -26,14 +26,14 @@ use crate::error::{LakeError, Result};
 use crate::meter::{Meter, OpCounts};
 use crate::partition::{PartitionSpec, PartitionedTable};
 use crate::query::{HashJoinCache, Predicate};
-use crate::row::RowHash;
+use crate::row::{RowHash, RowHashMap};
 use crate::schema::SchemaInterner;
 use crate::storage;
 use crate::table::Table;
 use crate::update::{AppliedUpdate, LakeUpdate};
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -128,8 +128,18 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value> {
 // Lake-owned composite codecs
 // ---------------------------------------------------------------------------
 
-/// Append an [`OpCounts`] snapshot (eleven `u64` counters).
+/// Append an [`OpCounts`] snapshot (fifteen `u64` counters).
+///
+/// The page counters (`pages_decoded` / `pages_skipped`) are **not**
+/// persisted — they are zeroed on the wire. They describe how lazy *this
+/// process* has been (a restore re-skips every page the snapshot's own
+/// lifetime already skipped), so carrying them across a restart would both
+/// double-count and break the canonical-bytes property (decoding a snapshot
+/// charges `pages_skipped`, so a re-encode that persisted them could never
+/// be bit-identical). The string-hashing counters are logical work and do
+/// persist.
 pub fn put_op_counts(buf: &mut BytesMut, c: &OpCounts) {
+    let c = &c.without_page_counters();
     buf.put_u64_le(c.rows_scanned);
     buf.put_u64_le(c.bytes_scanned);
     buf.put_u64_le(c.rows_hashed);
@@ -141,11 +151,15 @@ pub fn put_op_counts(buf: &mut BytesMut, c: &OpCounts) {
     buf.put_u64_le(c.distinct_prunes);
     buf.put_u64_le(c.sketch_probes);
     buf.put_u64_le(c.sketch_prunes);
+    buf.put_u64_le(c.pages_decoded);
+    buf.put_u64_le(c.pages_skipped);
+    buf.put_u64_le(c.string_hash_ops);
+    buf.put_u64_le(c.string_cells_hashed);
 }
 
 /// Read an [`OpCounts`] snapshot.
 pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
-    expect_len(buf, 88, "op counts")?;
+    expect_len(buf, 120, "op counts")?;
     Ok(OpCounts {
         rows_scanned: buf.get_u64_le(),
         bytes_scanned: buf.get_u64_le(),
@@ -158,6 +172,10 @@ pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
         distinct_prunes: buf.get_u64_le(),
         sketch_probes: buf.get_u64_le(),
         sketch_prunes: buf.get_u64_le(),
+        pages_decoded: buf.get_u64_le(),
+        pages_skipped: buf.get_u64_le(),
+        string_hash_ops: buf.get_u64_le(),
+        string_cells_hashed: buf.get_u64_le(),
     })
 }
 
@@ -249,9 +267,22 @@ pub fn put_partitioned(buf: &mut BytesMut, table: &PartitionedTable) {
 /// Decoding is *not* metered (it is recovery I/O, not query work) — pass-through
 /// costs were already accounted when the live session did the work.
 pub fn get_partitioned(buf: &mut Bytes) -> Result<PartitionedTable> {
+    get_partitioned_with(buf, &Meter::new())
+}
+
+/// [`get_partitioned`] with an explicit meter for the lazy pages: the file
+/// bytes themselves stay unmetered (recovery I/O), but `lazy_meter` records
+/// the pages left undecoded now (`pages_skipped`) and any later
+/// materialization (`pages_decoded`). [`get_lake`] passes the restored
+/// lake's own meter so restart benches can prove which pages a restore
+/// actually touched.
+pub(crate) fn get_partitioned_with(
+    buf: &mut Bytes,
+    lazy_meter: &Meter,
+) -> Result<PartitionedTable> {
     let spec = get_spec(buf)?;
     let raw = get_bytes(buf)?;
-    Ok(storage::decode(&raw, &Meter::new())?.with_spec(spec))
+    Ok(storage::decode_with(&raw, &Meter::new(), lazy_meter)?.with_spec(spec))
 }
 
 /// Append a plain [`Table`] (as a single-partition storage blob).
@@ -480,8 +511,9 @@ pub fn get_interner(buf: &mut Bytes) -> Result<SchemaInterner> {
 pub fn put_join_cache(buf: &mut BytesMut, cache: &HashJoinCache) {
     let entries = cache.export_entries();
     buf.put_u32_le(entries.len() as u32);
-    for ((build_id, cols), multiset) in entries {
+    for ((build_id, generation, cols), multiset) in entries {
         buf.put_u64_le(build_id);
+        buf.put_u64_le(generation);
         buf.put_u32_le(cols.len() as u32);
         for c in &cols {
             put_str(buf, c);
@@ -504,6 +536,7 @@ pub fn get_join_cache(buf: &mut Bytes) -> Result<HashJoinCache> {
     let cache = HashJoinCache::new();
     for _ in 0..len {
         let build_id = get_u64(buf)?;
+        let generation = get_u64(buf)?;
         expect_len(buf, 4, "join cache column count")?;
         let col_count = buf.get_u32_le() as usize;
         let mut cols = Vec::with_capacity(col_count.min(1024));
@@ -511,7 +544,7 @@ pub fn get_join_cache(buf: &mut Bytes) -> Result<HashJoinCache> {
             cols.push(get_str(buf)?);
         }
         let rows = get_u64(buf)? as usize;
-        let mut multiset = HashMap::with_capacity(rows);
+        let mut multiset = RowHashMap::with_capacity_and_hasher(rows, Default::default());
         for _ in 0..rows {
             expect_len(buf, 24, "join cache multiset entry")?;
             let lo = buf.get_u64_le() as u128;
@@ -519,7 +552,7 @@ pub fn get_join_cache(buf: &mut Bytes) -> Result<HashJoinCache> {
             let n = buf.get_u64_le() as usize;
             multiset.insert(RowHash(lo | (hi << 64)), n);
         }
-        cache.restore_entry((build_id, cols), multiset);
+        cache.restore_entry((build_id, generation, cols), multiset);
     }
     Ok(cache)
 }
@@ -533,6 +566,7 @@ pub fn put_lake(buf: &mut BytesMut, lake: &DataLake) {
         buf.put_u64_le(entry.id.0);
         put_str(buf, &entry.name);
         put_partitioned(buf, &entry.data);
+        buf.put_u64_le(entry.generation);
         put_access_profile(buf, &entry.access);
         put_lineage(buf, &entry.lineage);
     }
@@ -550,13 +584,18 @@ pub fn get_lake(buf: &mut Bytes) -> Result<DataLake> {
     for _ in 0..len {
         let id = DatasetId(get_u64(buf)?);
         let name = get_str(buf)?;
-        let data = get_partitioned(buf)?;
+        // Restored pages stay lazy; the lake's own meter records skips and
+        // any later materialization so benches can prove what a restore
+        // actually touched.
+        let data = get_partitioned_with(buf, lake.meter())?;
+        let generation = get_u64(buf)?;
         let access = get_access_profile(buf)?;
         let lineage = get_lineage(buf)?;
         lake.restore_entry(DatasetEntry {
             id,
             name,
             data: Arc::new(data),
+            generation,
             access,
             lineage,
         });
@@ -643,15 +682,26 @@ mod tests {
         let back = get_lake(&mut cursor).unwrap();
         assert_eq!(cursor.remaining(), 0);
 
+        // Straight after the restore, every page is still lazy (the data
+        // comparisons below will materialize them).
+        assert!(back.meter().snapshot().pages_skipped > 0);
+        assert_eq!(back.meter().snapshot().pages_decoded, 0);
+
         assert_eq!(back.len(), lake.len());
         for (a, b) in lake.iter().zip(back.iter()) {
             assert_eq!(a.id, b.id);
             assert_eq!(a.name, b.name);
             assert_eq!(*a.data, *b.data, "partitions, stats and spec round-trip");
+            assert_eq!(a.generation, b.generation);
             assert_eq!(a.access, b.access);
             assert_eq!(a.lineage, b.lineage);
         }
-        assert_eq!(back.meter().snapshot(), lake.meter().snapshot());
+        // Identical modulo the process-local page counters: the restored
+        // lake re-skipped every page during its lazy decode.
+        assert_eq!(
+            back.meter().snapshot().without_page_counters(),
+            lake.meter().snapshot().without_page_counters()
+        );
         assert_eq!(back.access_log().counts(), lake.access_log().counts());
 
         // The id counter survives: the next add gets a fresh id, not a
@@ -751,6 +801,10 @@ mod tests {
             distinct_prunes: 9,
             sketch_probes: 10,
             sketch_prunes: 11,
+            pages_decoded: 12,
+            pages_skipped: 13,
+            string_hash_ops: 14,
+            string_cells_hashed: 15,
         };
         let mut buf = BytesMut::new();
         for a in &applied {
@@ -761,7 +815,11 @@ mod tests {
         for a in &applied {
             assert_eq!(&get_applied(&mut cursor).unwrap(), a);
         }
-        assert_eq!(get_op_counts(&mut cursor).unwrap(), counts);
+        // Page counters are process-local telemetry and don't persist.
+        assert_eq!(
+            get_op_counts(&mut cursor).unwrap(),
+            counts.without_page_counters()
+        );
     }
 
     #[test]
@@ -787,7 +845,7 @@ mod tests {
         let meter = Meter::new();
         let entry = lake.dataset(DatasetId(0)).unwrap();
         let original = cache
-            .multiset(0, &entry.data, &["id", "v"], &meter)
+            .multiset(0, entry.generation, &entry.data, &["id", "v"], &meter)
             .unwrap();
 
         let mut buf = BytesMut::new();
@@ -799,7 +857,7 @@ mod tests {
         // multiset without re-hashing (scratch meter stays untouched).
         let scratch = Meter::new();
         let served = back
-            .multiset(0, &entry.data, &["id", "v"], &scratch)
+            .multiset(0, entry.generation, &entry.data, &["id", "v"], &scratch)
             .unwrap();
         assert_eq!(*served, *original);
         assert_eq!(scratch.snapshot(), OpCounts::default());

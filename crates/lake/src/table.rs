@@ -8,7 +8,7 @@
 use crate::column::Column;
 use crate::error::{LakeError, Result};
 use crate::meter::Meter;
-use crate::row::{hash_values, Row, RowHash};
+use crate::row::{combine_hashes, hash_single, Row, RowHash, RowHashMap};
 use crate::schema::Schema;
 use crate::stats::ColumnStats;
 use crate::value::Value;
@@ -214,7 +214,7 @@ impl Table {
             .map(|ci| {
                 let mut values = Vec::with_capacity(total);
                 for chunk in chunks.clone() {
-                    values.extend_from_slice(chunk.columns[ci].values());
+                    values.extend_from_slice(chunk.columns[ci].try_values()?);
                 }
                 Column::new(schema.fields()[ci].data_type, values)
             })
@@ -269,6 +269,14 @@ impl Table {
     /// projection is canonicalised to lexicographic column order so that the
     /// same logical tuple hashes identically in different tables).
     ///
+    /// Column-major: each column contributes a vector of per-cell hashes
+    /// that [`crate::row::combine_hashes`] folds into row hashes — by
+    /// construction identical to hashing each row tuple directly. String
+    /// columns dedup through a per-column map so each *distinct* string is
+    /// hashed once (`string_hash_ops`) no matter how many cells repeat it
+    /// (`string_cells_hashed`); dictionary-compressed pages make such
+    /// repetition the common case.
+    ///
     /// Scanning and hashing are metered.
     pub fn row_hashes(&self, columns: &[&str], meter: &Meter) -> Result<Vec<RowHash>> {
         let mut names: Vec<&str> = columns.to_vec();
@@ -280,25 +288,44 @@ impl Table {
         meter.add_rows_scanned(self.num_rows as u64);
         meter.add_rows_hashed(self.num_rows as u64);
         meter.add_bytes_scanned(col_refs.iter().map(|c| c.byte_size() as u64).sum::<u64>());
+
+        let mut per_column: Vec<Vec<RowHash>> = Vec::with_capacity(col_refs.len());
+        for col in &col_refs {
+            let values = col.try_values()?;
+            let mut hashes = Vec::with_capacity(values.len());
+            if col.data_type() == crate::datatype::DataType::Utf8 {
+                let mut memo: HashMap<&str, RowHash> = HashMap::new();
+                let mut cells = 0u64;
+                for v in values {
+                    hashes.push(match v {
+                        Value::Str(s) => {
+                            cells += 1;
+                            *memo.entry(s.as_str()).or_insert_with(|| hash_single(v))
+                        }
+                        other => hash_single(other),
+                    });
+                }
+                meter.add_string_hash_ops(memo.len() as u64);
+                meter.add_string_cells_hashed(cells);
+            } else {
+                for v in values {
+                    hashes.push(hash_single(v));
+                }
+            }
+            per_column.push(hashes);
+        }
+
         let mut out = Vec::with_capacity(self.num_rows);
         for i in 0..self.num_rows {
-            let vals: Vec<&Value> = col_refs
-                .iter()
-                .map(|c| c.get(i).expect("row index in range"))
-                .collect();
-            out.push(hash_values(&vals));
+            out.push(combine_hashes(per_column.iter().map(|h| h[i])));
         }
         Ok(out)
     }
 
     /// Multiset of row hashes (hash → multiplicity) over the given columns.
-    pub fn row_hash_multiset(
-        &self,
-        columns: &[&str],
-        meter: &Meter,
-    ) -> Result<HashMap<RowHash, usize>> {
+    pub fn row_hash_multiset(&self, columns: &[&str], meter: &Meter) -> Result<RowHashMap<usize>> {
         let hashes = self.row_hashes(columns, meter)?;
-        let mut map = HashMap::with_capacity(hashes.len());
+        let mut map = RowHashMap::with_capacity_and_hasher(hashes.len(), Default::default());
         for h in hashes {
             *map.entry(h).or_insert(0) += 1;
         }

@@ -8,10 +8,13 @@
 //! [`AppliedUpdate`]. Content mutations rebuild the dataset's
 //! [`PartitionedTable`] under its original [`PartitionSpec`], so partition
 //! and table-level min/max statistics are re-derived from the new rows —
-//! stale statistics never survive a mutation. Callers that hold derived
-//! state keyed by dataset id (e.g. a `HashJoinCache` of build-side hash
-//! multisets) must invalidate it themselves; `r2d2_core`'s session does so
-//! for every dataset an update touches.
+//! stale statistics never survive a mutation. Every content mutation also
+//! bumps the entry's `generation` counter, so derived state keyed by
+//! `(dataset, generation)` — e.g. a `HashJoinCache` of build-side hash
+//! multisets — is invalidated by construction: stale entries stop being
+//! addressable and only need an occasional prune
+//! (`HashJoinCache::retain_generations`), which `r2d2_core`'s session runs
+//! after each update batch.
 //!
 //! [`PartitionSpec`]: crate::partition::PartitionSpec
 

@@ -11,7 +11,13 @@ use std::sync::Arc;
 /// zero-copy slicing.
 #[derive(Debug, Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting a `Vec` into an
+    // `Arc<[u8]>` re-allocates and copies the whole buffer (the Arc header
+    // must precede the data), while `Arc::new(vec)` just moves the Vec's
+    // 24-byte header. That makes `BytesMut::freeze` and `Bytes::from(Vec)`
+    // O(1) — snapshot restore wraps multi-megabyte files this way on its
+    // hot path. The price is one extra pointer hop per access.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -78,7 +84,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end: len,
         }
