@@ -10,13 +10,15 @@
 //! `table5`, `table6`, `table7`, `fig2`, `fig4`, `fig5`, `fig6`, `all`,
 //! `bench-pipeline` (writes `BENCH_pipeline.json`), `containment-bench`
 //! (writes `BENCH_containment.json`), `dynamic-throughput` (writes
-//! `BENCH_dynamic.json`) or `optimizer-bench` (writes
-//! `BENCH_optimizer.json`). `--smoke` switches to the small corpora used by
-//! the integration tests.
+//! `BENCH_dynamic.json`), `optimizer-bench` (writes
+//! `BENCH_optimizer.json`), `restart-bench` (writes `BENCH_restart.json`)
+//! or `serve-bench` (writes `BENCH_serve.json`). `--smoke` switches to the
+//! small corpora used by the integration tests.
 
 use r2d2_bench::experiments::{
     clp_params, containment, containment_bench, dynamic_throughput, enterprise_corpora, figures,
-    optimization, optimizer_bench, perf, restart_bench, schema_baselines, synthetic_corpora, Scale,
+    optimization, optimizer_bench, perf, restart_bench, schema_baselines, serve_bench,
+    synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -222,6 +224,21 @@ fn restart_bench_cmd(scale: Scale) {
     }
 }
 
+fn serve_bench_cmd(scale: Scale) {
+    println!("== Serve layer: snapshot readers vs a group-committing writer ==");
+    let snapshot = serve_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_serve.json write)");
+    } else {
+        let path = "BENCH_serve.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_serve.json");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -237,6 +254,7 @@ fn main() {
         "dynamic-throughput" => dynamic_throughput_cmd(scale),
         "optimizer-bench" => optimizer_bench_cmd(scale),
         "restart-bench" => restart_bench_cmd(scale),
+        "serve-bench" => serve_bench_cmd(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -263,7 +281,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, serve-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

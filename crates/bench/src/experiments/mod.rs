@@ -10,6 +10,7 @@ pub mod optimizer_bench;
 pub mod perf;
 pub mod restart_bench;
 pub mod schema_baselines;
+pub mod serve_bench;
 
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
 use std::time::{Duration, Instant};

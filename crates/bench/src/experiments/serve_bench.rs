@@ -1,0 +1,450 @@
+//! Serve-layer concurrency (`BENCH_serve.json`): zipf-skewed snapshot
+//! readers against a group-committing writer. Measures read throughput and
+//! tail latency at 1/4/8 reader threads while an update stream commits
+//! through the [`r2d2_serve::R2d2Server`] queue, plus the write-ahead-log
+//! fsync amortization a coalesced group commit buys over per-batch commits.
+//!
+//! Before any timing, the snapshot-isolation oracle runs: every commit's
+//! exact update concat is recorded, replayed on a fresh single-threaded
+//! session, and the final epoch must match the replay bit for bit (edges
+//! and logical operation counts) — the same invariant
+//! `tests/integration_serve.rs` pins under proptest.
+
+use crate::experiments::dynamic_throughput::make_updates;
+use crate::report::TextTable;
+use r2d2_core::{PersistenceConfig, PipelineConfig, R2d2Session};
+use r2d2_lake::wal::WalStats;
+use r2d2_lake::{DataLake, DatasetId, LakeUpdate, Predicate};
+use r2d2_serve::{R2d2Server, ServeConfig};
+use r2d2_synth::corpus::{generate, CorpusSpec};
+use r2d2_synth::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Zipf exponent for the read workload (§6.1.1: enterprise queries follow a
+/// skewed Zipfian over datasets).
+const READ_SKEW: f64 = 1.1;
+
+/// One reader-concurrency leg: `reader_threads` snapshot readers issuing
+/// zipf-skewed queries while a writer stream commits through the queue.
+#[derive(Debug, Clone)]
+pub struct ServeLeg {
+    /// Concurrent reader threads.
+    pub reader_threads: usize,
+    /// Total queries served across all readers.
+    pub queries: usize,
+    /// Slowest reader's wall clock (the leg's read window).
+    pub read_total: Duration,
+    /// Median per-query latency across all readers.
+    pub p50: Duration,
+    /// 99th-percentile per-query latency across all readers.
+    pub p99: Duration,
+    /// Update batches submitted by the concurrent writer stream.
+    pub write_batches: usize,
+    /// Lake updates inside those batches.
+    pub write_updates: usize,
+    /// Writer stream wall clock (submit-all then wait-all).
+    pub write_total: Duration,
+    /// Group commits the writer executed (final epoch generation); fewer
+    /// commits than batches means the queue coalesced.
+    pub write_commits: u64,
+}
+
+impl ServeLeg {
+    /// Queries per second across all readers.
+    pub fn reads_per_sec(&self) -> f64 {
+        per_sec(self.queries, self.read_total)
+    }
+
+    /// Updates per second through the commit queue.
+    pub fn writes_per_sec(&self) -> f64 {
+        per_sec(self.write_updates, self.write_total)
+    }
+}
+
+/// Write-ahead-log cost of committing the same batches one way or another.
+#[derive(Debug, Clone, Copy)]
+pub struct WalCost {
+    /// Batches committed.
+    pub batches: usize,
+    /// WAL records appended.
+    pub records: u64,
+    /// fsyncs issued (WAL creation + one per record).
+    pub fsyncs: u64,
+}
+
+/// Result of the serve-layer measurement.
+#[derive(Debug, Clone)]
+pub struct ServeBenchSnapshot {
+    /// Corpus the readers and writer ran against.
+    pub corpus_name: String,
+    /// Datasets in the corpus before any update.
+    pub datasets: usize,
+    /// Total rows in the corpus before any update.
+    pub rows: usize,
+    /// Hardware threads on the machine the numbers were taken on.
+    pub hardware_threads: usize,
+    /// One leg per reader-thread count (1, 4, 8).
+    pub legs: Vec<ServeLeg>,
+    /// WAL cost when the whole update stream commits as one group.
+    pub grouped: WalCost,
+    /// WAL cost when every batch commits (and fsyncs) on its own.
+    pub per_batch: WalCost,
+}
+
+impl ServeBenchSnapshot {
+    /// How many fsyncs per-batch commits spend for each fsync the grouped
+    /// commit spends on the same stream.
+    pub fn fsync_amortization(&self) -> f64 {
+        if self.grouped.fsyncs == 0 {
+            f64::INFINITY
+        } else {
+            self.per_batch.fsyncs as f64 / self.grouped.fsyncs as f64
+        }
+    }
+
+    /// Read throughput at 4 readers over 1 reader, when the machine can
+    /// actually run them in parallel; `None` on a single-hardware-thread
+    /// box, where the ratio only measures scheduler noise.
+    pub fn read_scaling_4(&self) -> Option<f64> {
+        if self.hardware_threads < 4 {
+            return None;
+        }
+        let one = self.legs.iter().find(|l| l.reader_threads == 1)?;
+        let four = self.legs.iter().find(|l| l.reader_threads == 4)?;
+        if one.reads_per_sec() == 0.0 {
+            None
+        } else {
+            Some(four.reads_per_sec() / one.reads_per_sec())
+        }
+    }
+
+    /// Render as a stable, hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        let legs: Vec<String> = self
+            .legs
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{ \"reader_threads\": {}, \"queries\": {}, \"reads_per_sec\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"write_batches\": {}, \"write_updates\": {}, \"writes_per_sec\": {:.2}, \"write_commits\": {} }}",
+                    l.reader_threads,
+                    l.queries,
+                    l.reads_per_sec(),
+                    l.p50.as_secs_f64() * 1e6,
+                    l.p99.as_secs_f64() * 1e6,
+                    l.write_batches,
+                    l.write_updates,
+                    l.writes_per_sec(),
+                    l.write_commits,
+                )
+            })
+            .collect();
+        let scaling = match self.read_scaling_4() {
+            Some(x) => format!("{x:.2}"),
+            None => "{ \"skipped\": true, \"reason\": \"hardware_threads < 4: concurrent readers time-slice one core, the ratio is noise\" }".to_string(),
+        };
+        format!(
+            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- serve-bench\",\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"hardware_threads\": {},\n  \"legs\": [\n{}\n  ],\n  \"read_scaling_4_readers\": {},\n  \"wal\": {{\n    \"grouped\": {{ \"batches\": {}, \"records\": {}, \"fsyncs\": {} }},\n    \"per_batch\": {{ \"batches\": {}, \"records\": {}, \"fsyncs\": {} }},\n    \"fsync_amortization\": {:.2}\n  }}\n}}\n",
+            self.corpus_name,
+            self.datasets,
+            self.rows,
+            self.hardware_threads,
+            legs.join(",\n"),
+            scaling,
+            self.grouped.batches,
+            self.grouped.records,
+            self.grouped.fsyncs,
+            self.per_batch.batches,
+            self.per_batch.records,
+            self.per_batch.fsyncs,
+            self.fsync_amortization(),
+        )
+    }
+
+    /// Render as an aligned text table for the console.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "readers",
+            "queries",
+            "reads/sec",
+            "p50 (us)",
+            "p99 (us)",
+            "writes/sec",
+            "commits",
+        ]);
+        for l in &self.legs {
+            t.add_row([
+                l.reader_threads.to_string(),
+                l.queries.to_string(),
+                format!("{:.2}", l.reads_per_sec()),
+                format!("{:.1}", l.p50.as_secs_f64() * 1e6),
+                format!("{:.1}", l.p99.as_secs_f64() * 1e6),
+                format!("{:.2}", l.writes_per_sec()),
+                format!("{}/{}", l.write_commits, l.write_batches),
+            ]);
+        }
+        let scaling = match self.read_scaling_4() {
+            Some(x) => format!("{x:.2}x"),
+            None => format!("skipped ({} hw thread)", self.hardware_threads),
+        };
+        format!(
+            "{}\nread scaling 1 -> 4 readers: {}\nWAL fsyncs for {} batches: grouped {} vs per-batch {} ({:.2}x amortization)\n",
+            t.render(),
+            scaling,
+            self.grouped.batches,
+            self.grouped.fsyncs,
+            self.per_batch.fsyncs,
+            self.fsync_amortization(),
+        )
+    }
+}
+
+fn per_sec(count: usize, total: Duration) -> f64 {
+    let secs = total.as_secs_f64();
+    if secs == 0.0 {
+        f64::INFINITY
+    } else {
+        count as f64 / secs
+    }
+}
+
+fn boot(lake: DataLake) -> R2d2Session {
+    let config = PipelineConfig {
+        seed: 7,
+        threads: 1,
+        ..PipelineConfig::default()
+    };
+    R2d2Session::bootstrap(lake, config).expect("bootstrap")
+}
+
+/// Chunk a `make_updates` stream into commit batches.
+fn write_stream(lake: &DataLake, batches: usize, batch_size: usize) -> Vec<Vec<LakeUpdate>> {
+    make_updates(lake, batches * batch_size)
+        .chunks(batch_size)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Run the snapshot-isolation oracle once before taking any numbers: commit
+/// the stream through the server with the commit transcript recorded, then
+/// replay the transcript on a fresh single-threaded session and demand the
+/// final epoch match it exactly.
+fn assert_oracle(spec: &CorpusSpec, batches: &[Vec<LakeUpdate>]) {
+    let corpus = generate(spec).expect("corpus generation");
+    let server = R2d2Server::start(
+        boot(corpus.lake),
+        ServeConfig::default()
+            .with_queue_capacity(batches.len().max(1))
+            .with_group_commit_max(4)
+            .with_record_commits(true),
+    );
+    let handle = server.handle();
+    let tickets: Vec<_> = batches.iter().map(|b| server.submit(b.clone())).collect();
+    for t in tickets {
+        t.wait().expect("oracle commit");
+    }
+    let epoch = handle.epoch();
+    let transcript = server.commit_log();
+    drop(server);
+
+    let mut replay = boot(generate(spec).expect("corpus generation").lake);
+    for commit in &transcript {
+        replay.apply_batch(commit).expect("oracle replay");
+    }
+    let mut served = epoch.graph().edges();
+    let mut replayed = replay.graph().edges();
+    served.sort();
+    replayed.sort();
+    assert_eq!(served, replayed, "epoch graph must match transcript replay");
+    assert_eq!(
+        epoch.ops().without_page_counters(),
+        replay.ops().without_page_counters(),
+        "epoch operation counts must match transcript replay"
+    );
+    assert_eq!(epoch.updates_applied(), replay.report().updates_applied);
+}
+
+/// One reader-concurrency leg: spawn the writer stream and `threads` zipf
+/// readers together, measure each side over its own active window.
+fn run_leg(
+    spec: &CorpusSpec,
+    threads: usize,
+    queries_per_thread: usize,
+    batches: &[Vec<LakeUpdate>],
+) -> ServeLeg {
+    let corpus = generate(spec).expect("corpus generation");
+    let ids: Vec<DatasetId> = corpus.lake.ids();
+    let server = R2d2Server::start(
+        boot(corpus.lake),
+        ServeConfig::default()
+            .with_queue_capacity(batches.len().max(1))
+            .with_group_commit_max(16),
+    );
+    let zipf = Zipf::new(ids.len(), READ_SKEW);
+    let write_updates: usize = batches.iter().map(Vec::len).sum();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(threads * queries_per_thread);
+    let mut read_total = Duration::ZERO;
+    let mut write_total = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let t0 = Instant::now();
+            let tickets: Vec<_> = batches.iter().map(|b| server.submit(b.clone())).collect();
+            for t in tickets {
+                t.wait().expect("leg commit");
+            }
+            t0.elapsed()
+        });
+        let readers: Vec<_> = (0..threads)
+            .map(|r| {
+                let handle = server.handle();
+                let zipf = &zipf;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ r as u64);
+                    let mut lat = Vec::with_capacity(queries_per_thread);
+                    let t0 = Instant::now();
+                    for _ in 0..queries_per_thread {
+                        let id = ids[zipf.sample(&mut rng)];
+                        let q0 = Instant::now();
+                        let epoch = handle.epoch();
+                        epoch
+                            .query_dataset(id, &Predicate::True, Some(8))
+                            .expect("snapshot read");
+                        lat.push(q0.elapsed());
+                    }
+                    (t0.elapsed(), lat)
+                })
+            })
+            .collect();
+        for r in readers {
+            let (elapsed, lat) = r.join().expect("reader thread");
+            read_total = read_total.max(elapsed);
+            latencies.extend(lat);
+        }
+        write_total = writer.join().expect("writer thread");
+    });
+    let stats = server.stats();
+    drop(server);
+
+    latencies.sort();
+    let p50 = latencies[latencies.len() / 2];
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    ServeLeg {
+        reader_threads: threads,
+        queries: latencies.len(),
+        read_total,
+        p50,
+        p99,
+        write_batches: batches.len(),
+        write_updates,
+        write_total,
+        write_commits: stats.commits,
+    }
+}
+
+/// Commit `batches` with persistence attached, either as one coalesced group
+/// or one batch at a time, and return the WAL cost.
+fn wal_cost(spec: &CorpusSpec, batches: &[Vec<LakeUpdate>], grouped: bool) -> WalCost {
+    let dir = std::env::temp_dir().join(format!(
+        "r2d2_serve_bench_wal_{}",
+        if grouped { "grouped" } else { "per_batch" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut session = boot(generate(spec).expect("corpus generation").lake);
+    session
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .expect("enable persistence");
+    if grouped {
+        let outcome = session.apply_group(batches);
+        for r in &outcome.results {
+            r.as_ref().expect("grouped commit");
+        }
+    } else {
+        for b in batches {
+            session.apply_batch(b).expect("per-batch commit");
+        }
+    }
+    let WalStats { records, fsyncs } = session.wal_stats().expect("wal stats");
+    let _ = std::fs::remove_dir_all(&dir);
+    WalCost {
+        batches: batches.len(),
+        records,
+        fsyncs,
+    }
+}
+
+/// Run the serve-layer measurement. `smoke` shrinks the corpus, query and
+/// batch counts so CI can exercise the path (and the isolation oracle) in
+/// seconds; the checked-in `BENCH_serve.json` is generated at full size.
+pub fn collect(smoke: bool) -> ServeBenchSnapshot {
+    let (rows_per_root, queries_per_thread, n_batches, batch_size) = if smoke {
+        (96, 32, 6, 2)
+    } else {
+        (400, 320, 48, 3)
+    };
+    let spec = CorpusSpec::enterprise_like(0, rows_per_root);
+
+    let corpus = generate(&spec).expect("corpus generation");
+    let corpus_name = corpus.name.clone();
+    let datasets = corpus.lake.len();
+    let rows = corpus.lake.total_rows();
+    let batches = write_stream(&corpus.lake, n_batches, batch_size);
+    drop(corpus);
+
+    // Correctness before speed: the oracle must hold on this exact stream.
+    assert_oracle(&spec, &batches);
+
+    let legs: Vec<ServeLeg> = [1usize, 4, 8]
+        .iter()
+        .map(|&threads| run_leg(&spec, threads, queries_per_thread, &batches))
+        .collect();
+
+    let grouped = wal_cost(&spec, &batches, true);
+    let per_batch = wal_cost(&spec, &batches, false);
+
+    ServeBenchSnapshot {
+        corpus_name,
+        datasets,
+        rows,
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        legs,
+        grouped,
+        per_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_snapshot_measures_and_renders() {
+        let snap = collect(true);
+        assert_eq!(snap.legs.len(), 3);
+        assert_eq!(snap.legs[0].reader_threads, 1);
+        assert_eq!(snap.legs[1].reader_threads, 4);
+        for leg in &snap.legs {
+            assert!(leg.queries > 0);
+            assert!(leg.reads_per_sec() > 0.0);
+            assert!(leg.write_commits as usize <= leg.write_batches);
+            assert!(leg.write_commits >= 1);
+            assert!(leg.p99 >= leg.p50);
+        }
+        // The whole stream as one group writes one WAL record; per-batch
+        // writes one per batch — the amortization the serve queue buys.
+        assert_eq!(snap.grouped.records, 1);
+        assert_eq!(snap.per_batch.records as usize, snap.per_batch.batches);
+        assert!(snap.grouped.fsyncs < snap.per_batch.fsyncs);
+        assert!(snap.fsync_amortization() > 1.0);
+        let json = snap.to_json();
+        assert!(json.contains("\"fsync_amortization\""));
+        assert!(json.contains("\"read_scaling_4_readers\""));
+        let table = snap.render();
+        assert!(table.contains("reads/sec"));
+        assert!(table.contains("amortization"));
+    }
+}

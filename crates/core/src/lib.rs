@@ -70,11 +70,13 @@ pub mod sampling;
 pub mod schema_stats;
 pub mod session;
 pub mod sgb;
+pub mod view;
 
 pub use config::{ClpSampling, PipelineConfig};
 pub use persist::{PersistenceConfig, SessionSnapshot};
 pub use pipeline::{PipelineReport, R2d2Pipeline, Stage, StageReport};
 pub use r2d2_lake::{AppliedUpdate, LakeUpdate};
 pub use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport};
-pub use session::{R2d2Session, SessionReport, UpdateReport};
+pub use session::{GroupCommit, GroupOutcome, R2d2Session, SessionReport, UpdateReport};
 pub use sgb::{SchemaCluster, SgbResult};
+pub use view::SessionView;

@@ -38,13 +38,14 @@ use crate::config::PipelineConfig;
 use crate::dynamic::{self, Effect};
 use crate::persist::{self, Persistence, PersistenceConfig, SessionSnapshot, WalRecord};
 use crate::pipeline::{PipelineReport, R2d2Pipeline};
+use crate::view::SessionView;
 use bytes::Buf;
 use r2d2_graph::diff::EdgeDelta;
 use r2d2_graph::ContainmentGraph;
-use r2d2_lake::wal::{self, WalWriter};
+use r2d2_lake::wal::{self, WalStats, WalWriter};
 use r2d2_lake::{
-    AppliedUpdate, DataLake, DatasetId, HashJoinCache, InternedSchemaSet, LakeUpdate, Meter,
-    OpCounts, Result, SchemaInterner, Table,
+    AppliedUpdate, DataLake, DatasetId, HashJoinCache, InternedSchemaSet, LakeError, LakeUpdate,
+    Meter, OpCounts, Result, SchemaInterner, Table,
 };
 use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport, AdvisorState, DatasetChange};
 use r2d2_opt::{CostModel, Solution};
@@ -94,6 +95,47 @@ pub struct SessionReport {
     pub ops: OpCounts,
 }
 
+/// One executed commit of an [`R2d2Session::apply_group`] call: the exact
+/// update concatenation that ran as a single `apply_batch`-equivalent
+/// execution (and, with persistence enabled, as a single write-ahead record
+/// and fsync).
+#[derive(Debug, Clone)]
+pub struct GroupCommit {
+    /// The concatenated updates this commit executed — replaying these
+    /// through [`R2d2Session::apply_batch`] reproduces the commit exactly,
+    /// including a mid-commit mutation failure.
+    pub updates: Vec<LakeUpdate>,
+    /// What the execution did (the applied prefix, when `error` is set).
+    pub report: UpdateReport,
+    /// The mutation error that cut the commit short, if any (rendered — the
+    /// typed error goes to the failing batch's slot in
+    /// [`GroupOutcome::results`]).
+    pub error: Option<String>,
+}
+
+/// What one [`R2d2Session::apply_group`] call did with its queued batches.
+#[derive(Debug)]
+pub struct GroupOutcome {
+    /// Executed commits, in order. Fewer commits than input batches is the
+    /// point: a fully successful group is **one** commit.
+    pub commits: Vec<GroupCommit>,
+    /// Per input batch, in input order: `Ok(i)` — every update of that batch
+    /// was applied by `commits[i]`; `Err(e)` — the batch failed (its updates
+    /// at and after the failure point are not applied).
+    pub results: Vec<std::result::Result<usize, LakeError>>,
+    /// A durability error *after* all commits succeeded (auto-checkpoint
+    /// rotation): the commits stand and every submitter already has its
+    /// result, but the session could not rotate its snapshot generation.
+    pub persist_error: Option<LakeError>,
+}
+
+impl GroupOutcome {
+    /// Updates applied across all commits of the group.
+    pub fn updates_applied(&self) -> usize {
+        self.commits.iter().map(|c| c.report.updates_applied).sum()
+    }
+}
+
 /// A long-lived containment-detection service over one data lake.
 #[derive(Debug)]
 pub struct R2d2Session {
@@ -109,6 +151,10 @@ pub struct R2d2Session {
     log: Vec<UpdateReport>,
     advisor: Option<AdvisorState>,
     persist: Option<Persistence>,
+    /// Durability counters of WAL generations already rotated away (the live
+    /// generation's counters live in `persist`; see
+    /// [`R2d2Session::wal_stats`]).
+    wal_retired: WalStats,
 }
 
 impl R2d2Session {
@@ -136,6 +182,7 @@ impl R2d2Session {
             log: Vec::new(),
             advisor: None,
             persist: None,
+            wal_retired: WalStats::default(),
         })
     }
 
@@ -186,6 +233,33 @@ impl R2d2Session {
                 p.wal.append(&WalRecord::Batch(updates.to_vec()).encode())?;
             }
         }
+        let (first_err, report) = self.apply_batch_core(updates)?;
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                self.log.push(report.clone());
+                if durable {
+                    self.maybe_auto_checkpoint()?;
+                }
+                Ok(report)
+            }
+        }
+    }
+
+    /// Execute one batch against the catalog and graph — phases 1–5 of the
+    /// batch engine, shared by [`R2d2Session::apply_batch`] and
+    /// [`R2d2Session::apply_group`]. Performs **no** durability work (no WAL
+    /// record, no update-log entry, no checkpoint); callers own those.
+    ///
+    /// The outer `Result` is the sweep/advisor path: `Err` means the
+    /// mutations stand but the graph is at its pre-batch state (re-bootstrap
+    /// territory). On `Ok`, the inner `Option<LakeError>` is a mid-batch
+    /// *mutation* failure: exactly the updates before it are applied and the
+    /// graph has been re-verified over that applied prefix.
+    fn apply_batch_core(
+        &mut self,
+        updates: &[LakeUpdate],
+    ) -> Result<(Option<LakeError>, UpdateReport)> {
         let start = Instant::now();
         let ops_before = self.meter.snapshot();
 
@@ -329,16 +403,155 @@ impl R2d2Session {
             // so it counts toward the compaction threshold either way.
             p.updates_since_snapshot += report.updates_applied;
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => {
-                self.log.push(report.clone());
-                if durable {
-                    self.maybe_auto_checkpoint()?;
+        Ok((first_err, report))
+    }
+
+    /// Group commit: execute a queue of independent batches as few
+    /// `apply_batch`-equivalent commits as possible. The whole group is
+    /// concatenated into **one** execution — one write-ahead record, one
+    /// fsync, one verification sweep — and each submitter still gets its own
+    /// per-batch result.
+    ///
+    /// Failure isolation: when a mutation fails mid-group, the commit's
+    /// applied prefix stands (verified, exactly like a mid-batch failure of
+    /// [`R2d2Session::apply_batch`]), the batches fully inside that prefix
+    /// report success, the batch containing the failing update gets the
+    /// error, and the *tail* batches are retried as a fresh commit — one bad
+    /// batch never poisons the batches queued behind it. WAL fidelity holds
+    /// because each executed concatenation is logged as a single `Batch`
+    /// record: replay re-runs the same concatenations and fails at the same
+    /// update again.
+    ///
+    /// A *sweep* failure (a lake read error inside verification — cannot
+    /// arise from session-managed state) aborts the group: the current
+    /// commit's mutations stand but the graph is at its pre-commit state, so
+    /// all not-yet-committed batches fail and the session should be
+    /// re-bootstrapped, exactly as documented on [`R2d2Session::apply_batch`].
+    /// A WAL append failure likewise fails the remaining batches without
+    /// executing them.
+    pub fn apply_group(&mut self, batches: &[Vec<LakeUpdate>]) -> GroupOutcome {
+        let mut outcome = GroupOutcome {
+            commits: Vec::new(),
+            results: Vec::with_capacity(batches.len()),
+            persist_error: None,
+        };
+        let mut start = 0;
+        while start < batches.len() {
+            let group = &batches[start..];
+            let concat: Vec<LakeUpdate> = group.iter().flatten().cloned().collect();
+            if let Some(p) = &mut self.persist {
+                if let Err(e) = p.wal.append(&WalRecord::Batch(concat.clone()).encode()) {
+                    // Nothing of this group executed; every remaining batch
+                    // reports the append failure (the typed error goes to
+                    // the first, the rest get a rendered copy — LakeError
+                    // holds io::Error and is not Clone).
+                    let rendered = Self::derived_group_error(&e);
+                    outcome.results.push(Err(e));
+                    for _ in start + 1..batches.len() {
+                        outcome.results.push(Err(rendered()));
+                    }
+                    return outcome;
                 }
-                Ok(report)
+            }
+            let applied_before = self.updates_applied;
+            match self.apply_batch_core(&concat) {
+                Err(e) => {
+                    // Sweep/advisor failure: graph at pre-commit state,
+                    // session inconsistent. Fail everything still queued.
+                    let rendered = Self::derived_group_error(&e);
+                    outcome.results.push(Err(e));
+                    for _ in start + 1..batches.len() {
+                        outcome.results.push(Err(rendered()));
+                    }
+                    return outcome;
+                }
+                Ok((None, report)) => {
+                    // The whole remaining group committed as one execution.
+                    self.log.push(report.clone());
+                    outcome.commits.push(GroupCommit {
+                        updates: concat,
+                        report,
+                        error: None,
+                    });
+                    let commit = outcome.commits.len() - 1;
+                    for _ in start..batches.len() {
+                        outcome.results.push(Ok(commit));
+                    }
+                    break;
+                }
+                Ok((Some(e), report)) => {
+                    // Mid-commit mutation failure. The failing source update
+                    // is at concat index `applied` (0-based): attribute it to
+                    // the batch whose cumulative length first exceeds it.
+                    let applied = self.updates_applied - applied_before;
+                    let mut cumulative = 0usize;
+                    let mut failing = group.len() - 1;
+                    for (i, batch) in group.iter().enumerate() {
+                        cumulative += batch.len();
+                        if applied < cumulative {
+                            failing = i;
+                            break;
+                        }
+                    }
+                    outcome.commits.push(GroupCommit {
+                        updates: concat,
+                        report,
+                        error: Some(e.to_string()),
+                    });
+                    let commit = outcome.commits.len() - 1;
+                    for _ in 0..failing {
+                        outcome.results.push(Ok(commit));
+                    }
+                    outcome.results.push(Err(e));
+                    // Batches behind the failure retry as a fresh commit.
+                    start += failing + 1;
+                }
             }
         }
+        // One rotation check per group, after every submitter has its
+        // result: a checkpoint failure must not fail committed batches.
+        if let Err(e) = self.maybe_auto_checkpoint() {
+            outcome.persist_error = Some(e);
+        }
+        outcome
+    }
+
+    /// A factory of rendered copies of `e` for the group members that share
+    /// a failure ([`LakeError`] is not `Clone` — it can hold an `io::Error`).
+    fn derived_group_error(e: &LakeError) -> impl Fn() -> LakeError {
+        let msg = format!("failed alongside a grouped batch: {e}");
+        move || LakeError::InvalidArgument(msg.clone())
+    }
+
+    /// Capture an immutable [`SessionView`] of the session as of now: shared
+    /// `Arc`'d tables and access log, a detached read-side meter, the graph,
+    /// the advisor's current advice (re-solving dirty components if one is
+    /// attached) and the writer meter totals. The serve layer publishes one
+    /// of these per commit epoch.
+    pub fn view(&mut self) -> SessionView {
+        let advice = self
+            .advisor
+            .as_mut()
+            .map(|a| std::sync::Arc::new(a.advise().clone()));
+        SessionView::new(
+            self.lake.reader_view(),
+            std::sync::Arc::new(self.graph.clone()),
+            advice,
+            self.meter.snapshot(),
+            self.updates_applied,
+            self.log.len(),
+        )
+    }
+
+    /// Durability-cost counters since persistence was enabled — write-ahead
+    /// records appended and fsyncs issued, summed across WAL generation
+    /// rotations. `None` when persistence is not enabled. `fsyncs / records`
+    /// ≈ 1 under per-batch commits; group commit drives records (and hence
+    /// fsyncs) *below* the number of submitted batches.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.persist
+            .as_ref()
+            .map(|p| self.wal_retired.plus(&p.wal.stats()))
     }
 
     /// Rotate to a fresh snapshot generation when the compaction threshold
@@ -671,6 +884,11 @@ impl R2d2Session {
         let snapshot = self.snapshot_with_policy(config.snapshot_every_n_updates);
         let wal = WalWriter::create(&persist::wal_path(&config.dir, seq))?;
         persist::write_snapshot_file(&persist::snapshot_path(&config.dir, seq), &snapshot.bytes)?;
+        if let Some(old) = &self.persist {
+            // Fold the rotated-away generation's durability counters into
+            // the retired total so `wal_stats` spans rotations.
+            self.wal_retired = self.wal_retired.plus(&old.wal.stats());
+        }
         self.persist = Some(Persistence {
             config: config.clone(),
             seq,
@@ -878,6 +1096,7 @@ impl R2d2Session {
             log,
             advisor,
             persist: None,
+            wal_retired: WalStats::default(),
         }
     }
 }
@@ -1325,6 +1544,224 @@ mod tests {
         let session = R2d2Session::with_defaults(DataLake::new()).unwrap();
         assert_eq!(session.config(), &PipelineConfig::default());
         assert_eq!(session.report().datasets, 0);
+    }
+
+    #[test]
+    fn apply_group_commits_queued_batches_as_one_execution() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let batches = vec![
+            vec![LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(30..40),
+            }],
+            vec![add_update("extra", table(5..25))],
+            vec![LakeUpdate::AppendRows {
+                id: DatasetId(0),
+                rows: table(50..60),
+            }],
+        ];
+        let outcome = session.apply_group(&batches);
+        assert_eq!(outcome.commits.len(), 1, "the whole group is one commit");
+        assert!(outcome.commits[0].error.is_none());
+        assert_eq!(outcome.updates_applied(), 3);
+        let commits: Vec<usize> = outcome
+            .results
+            .iter()
+            .map(|r| *r.as_ref().unwrap())
+            .collect();
+        assert_eq!(commits, vec![0, 0, 0]);
+        assert!(outcome.persist_error.is_none());
+        assert_eq!(session.report().updates_applied, 3);
+        assert_eq!(session.update_log().len(), 1, "one commit, one log entry");
+        // Captured before fresh_edges below — the oracle pipeline run meters
+        // into the session's shared meter.
+        let session_ops = session.ops();
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+
+        // The commit's recorded updates replay bit-identically through the
+        // plain batch path (the serve layer's oracle contract).
+        let mut replay = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        replay.apply_batch(&outcome.commits[0].updates).unwrap();
+        assert_eq!(session_edges(&replay), session_edges(&session));
+        assert_eq!(replay.ops(), session_ops);
+    }
+
+    #[test]
+    fn apply_group_isolates_a_failing_batch_and_retries_the_tail() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let batches = vec![
+            vec![LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(30..35),
+            }],
+            vec![
+                LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(35..40),
+                },
+                LakeUpdate::DropDataset { id: DatasetId(99) },
+            ],
+            vec![LakeUpdate::AppendRows {
+                id: DatasetId(0),
+                rows: table(50..60),
+            }],
+        ];
+        let outcome = session.apply_group(&batches);
+        // Commit 0 executed the full concat and failed at the drop; the tail
+        // batch retried as commit 1.
+        assert_eq!(outcome.commits.len(), 2);
+        assert!(outcome.commits[0].error.is_some());
+        assert!(outcome.commits[1].error.is_none());
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(*outcome.results[0].as_ref().unwrap(), 0);
+        assert!(matches!(
+            outcome.results[1],
+            Err(r2d2_lake::LakeError::DatasetNotFound(_))
+        ));
+        assert_eq!(*outcome.results[2].as_ref().unwrap(), 1);
+        // Exactly the updates before the failure, plus the retried tail, are
+        // live: sub has both appends (they precede the bad drop), base grew.
+        assert_eq!(session.lake().dataset(DatasetId(1)).unwrap().num_rows(), 30);
+        assert_eq!(session.lake().dataset(DatasetId(0)).unwrap().num_rows(), 60);
+        assert_eq!(session.report().updates_applied, 3);
+        assert_eq!(
+            session.update_log().len(),
+            1,
+            "failed commits are not logged"
+        );
+        let session_ops = session.ops();
+        assert_eq!(session_edges(&session), fresh_edges(&session));
+
+        // Replaying the recorded commits through the plain batch path lands
+        // on the identical session (mid-commit failure included).
+        let mut replay = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        for commit in &outcome.commits {
+            let _ = replay.apply_batch(&commit.updates);
+        }
+        assert_eq!(session_edges(&replay), session_edges(&session));
+        assert_eq!(replay.ops(), session_ops);
+        // Log entries match up to wall clock (UpdateReport carries a
+        // duration).
+        assert_eq!(replay.update_log().len(), session.update_log().len());
+        for (a, b) in replay.update_log().iter().zip(session.update_log()) {
+            assert_eq!(a.applied, b.applied);
+            assert_eq!(a.delta, b.delta);
+            assert_eq!(a.ops, b.ops);
+        }
+    }
+
+    #[test]
+    fn apply_group_amortizes_wal_records_and_fsyncs() {
+        let dir = std::env::temp_dir().join("r2d2_session_group_wal");
+        std::fs::remove_dir_all(&dir).ok();
+        let batches: Vec<Vec<LakeUpdate>> = (0..4)
+            .map(|i| {
+                vec![LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(30 + i * 5..35 + i * 5),
+                }]
+            })
+            .collect();
+
+        let mut grouped = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
+        grouped
+            .enable_persistence(PersistenceConfig {
+                dir: dir.join("grouped"),
+                snapshot_every_n_updates: 0,
+            })
+            .unwrap();
+        assert_eq!(grouped.wal_stats().unwrap().records, 0);
+        let outcome = grouped.apply_group(&batches);
+        assert_eq!(outcome.commits.len(), 1);
+        let grouped_stats = grouped.wal_stats().unwrap();
+        assert_eq!(grouped_stats.records, 1, "4 batches, one WAL record");
+
+        let mut per_batch = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
+        per_batch
+            .enable_persistence(PersistenceConfig {
+                dir: dir.join("per_batch"),
+                snapshot_every_n_updates: 0,
+            })
+            .unwrap();
+        for batch in &batches {
+            per_batch.apply_batch(batch).unwrap();
+        }
+        let per_batch_stats = per_batch.wal_stats().unwrap();
+        assert_eq!(per_batch_stats.records, 4);
+        assert!(grouped_stats.fsyncs < per_batch_stats.fsyncs);
+
+        // Both WAL shapes restore to the identical session state.
+        assert_eq!(session_edges(&grouped), session_edges(&per_batch));
+        let restored = R2d2Session::restore(dir.join("grouped")).unwrap();
+        assert_eq!(session_edges(&restored), session_edges(&grouped));
+        // Page counters depend on what was already decoded in memory, so a
+        // restore reproduces everything but them (same mask the restart
+        // oracle uses).
+        assert_eq!(
+            restored.ops().without_page_counters(),
+            grouped.ops().without_page_counters()
+        );
+        // Checkpointing folds the rotated WAL's counters into the total.
+        grouped.checkpoint().unwrap();
+        let after = grouped.wal_stats().unwrap();
+        assert_eq!(after.records, grouped_stats.records);
+        assert!(after.fsyncs > grouped_stats.fsyncs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn view_is_an_immutable_snapshot_of_the_session() {
+        let mut session = session_with(&[("base", table(0..50)), ("sub", table(10..30))]);
+        let view = session.view();
+        assert_eq!(view.datasets(), 2);
+        assert_eq!(view.edges(), 1);
+        assert_eq!(view.updates_applied(), 0);
+        assert_eq!(view.batches_applied(), 0);
+        assert_eq!(view.ops(), session.ops());
+        assert!(view.advice().is_none(), "no advisor attached");
+
+        // Later session mutations are invisible to the captured view.
+        session
+            .apply(LakeUpdate::AppendRows {
+                id: DatasetId(1),
+                rows: table(60..90),
+            })
+            .unwrap();
+        assert!(!session.graph().has_edge(0, 1));
+        assert!(view.graph().has_edge(0, 1), "view keeps the old graph");
+        assert_eq!(
+            view.lake().dataset(DatasetId(1)).unwrap().num_rows(),
+            20,
+            "view keeps the old table"
+        );
+
+        // Reads through the view meter into the view, not the session...
+        let ops_before = session.ops();
+        let rows = view
+            .query_dataset(DatasetId(1), &Predicate::True, None)
+            .unwrap();
+        assert_eq!(rows.num_rows(), 20);
+        assert_eq!(session.ops(), ops_before);
+        assert!(view.read_ops().rows_scanned > 0);
+        // ...but their access tallies land on the shared log, so reader
+        // traffic still feeds the session's access profiles.
+        assert_eq!(session.refresh_access_profiles().unwrap(), 1);
+        assert_eq!(
+            session
+                .lake()
+                .dataset(DatasetId(1))
+                .unwrap()
+                .access
+                .accesses_per_period,
+            1.0
+        );
+
+        // A session with an advisor exposes its advice through the view.
+        let view = session.view();
+        assert_eq!(view.updates_applied(), 1);
+        assert!(view.advice().is_none());
+        session.advise().unwrap();
+        assert!(session.view().advice().is_some());
     }
 
     use r2d2_opt::advisor::{self, AdvisorConfig};

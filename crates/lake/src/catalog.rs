@@ -15,7 +15,8 @@ use crate::meter::Meter;
 use crate::partition::PartitionedTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Opaque identifier of a dataset within a [`DataLake`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -110,9 +111,19 @@ impl DatasetEntry {
 /// `r2d2_core::R2d2Session::refresh_access_profiles` drains it to refresh
 /// [`AccessProfile::accesses_per_period`] and trigger re-advice when the
 /// observed traffic drifts from the recorded profile.
+///
+/// Tallies are atomic counters behind a read-write lock: the hot path
+/// ([`AccessLog::record`] on a dataset that has been seen before) takes the
+/// shared read lock and does one `fetch_add`, so any number of concurrent
+/// readers tally in parallel without serializing on an exclusive lock. Only
+/// the first access of a previously unseen dataset — and the window
+/// operations [`AccessLog::drain`] / [`AccessLog::merge`] — take the lock
+/// exclusively. The drain is lossless under concurrent recording: it swaps
+/// the whole window out under the exclusive lock, so every tally lands in
+/// exactly one window, never between two.
 #[derive(Debug, Clone, Default)]
 pub struct AccessLog {
-    counts: Arc<Mutex<BTreeMap<u64, u64>>>,
+    counts: Arc<RwLock<BTreeMap<u64, AtomicU64>>>,
 }
 
 impl AccessLog {
@@ -121,30 +132,83 @@ impl AccessLog {
         Self::default()
     }
 
-    /// Tally one access of `id`.
+    /// Tally one access of `id`. Concurrent calls on known datasets proceed
+    /// in parallel (shared lock + atomic increment).
     pub fn record(&self, id: DatasetId) {
-        let mut counts = self.counts.lock().expect("access log poisoned");
-        *counts.entry(id.0).or_insert(0) += 1;
+        {
+            let counts = self.counts.read().expect("access log poisoned");
+            if let Some(tally) = counts.get(&id.0) {
+                tally.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // First sighting of this dataset: take the exclusive lock to insert
+        // its counter. Another recorder may have won the race in between, so
+        // increment through the entry either way.
+        let mut counts = self.counts.write().expect("access log poisoned");
+        counts
+            .entry(id.0)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot the per-dataset tallies without clearing them.
+    /// Snapshot the per-dataset tallies without clearing them. Datasets
+    /// whose counter is currently zero (drained, nothing since) are omitted.
     pub fn counts(&self) -> BTreeMap<u64, u64> {
-        self.counts.lock().expect("access log poisoned").clone()
+        self.counts
+            .read()
+            .expect("access log poisoned")
+            .iter()
+            .filter_map(|(&id, tally)| {
+                let n = tally.load(Ordering::Relaxed);
+                (n > 0).then_some((id, n))
+            })
+            .collect()
     }
 
     /// Take the tallies, resetting the log (one observation window ends).
+    ///
+    /// Lossless under concurrent [`AccessLog::record`] calls: the swap
+    /// happens under the exclusive lock, so a concurrent tally either
+    /// landed before it (drained now) or lands after it (next window) —
+    /// never in neither.
     pub fn drain(&self) -> BTreeMap<u64, u64> {
-        std::mem::take(&mut *self.counts.lock().expect("access log poisoned"))
+        let mut counts = self.counts.write().expect("access log poisoned");
+        std::mem::take(&mut *counts)
+            .into_iter()
+            .filter_map(|(id, tally)| {
+                let n = tally.into_inner();
+                (n > 0).then_some((id, n))
+            })
+            .collect()
     }
 
     /// Add tallies back into the log (e.g. a drained window whose
     /// processing failed must not lose its counts). Merges with whatever
     /// accumulated in the meantime.
     pub fn merge(&self, counts: &BTreeMap<u64, u64>) {
-        let mut live = self.counts.lock().expect("access log poisoned");
-        for (&id, &n) in counts {
-            *live.entry(id).or_insert(0) += n;
+        let live = self.counts.read().expect("access log poisoned");
+        if counts.keys().all(|id| live.contains_key(id)) {
+            for (id, &n) in counts {
+                live[id].fetch_add(n, Ordering::Relaxed);
+            }
+            return;
         }
+        drop(live);
+        let mut live = self.counts.write().expect("access log poisoned");
+        for (&id, &n) in counts {
+            live.entry(id)
+                .or_insert_with(|| AtomicU64::new(0))
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Replace the whole window (snapshot-restore hook).
+    pub(crate) fn replace(&self, counts: BTreeMap<u64, u64>) {
+        *self.counts.write().expect("access log poisoned") = counts
+            .into_iter()
+            .map(|(id, n)| (id, AtomicU64::new(n)))
+            .collect();
     }
 }
 
@@ -311,7 +375,28 @@ impl DataLake {
     /// Restore hook for [`crate::snapshot`]: seed the access log with saved
     /// (undrained) tallies.
     pub(crate) fn restore_access_counts(&self, counts: BTreeMap<u64, u64>) {
-        *self.access_log.counts.lock().expect("access log poisoned") = counts;
+        self.access_log.replace(counts);
+    }
+
+    /// A read-only shareable view of the catalog at this instant: every
+    /// dataset entry (sharing the `Arc`'d tables — no data is copied) and
+    /// the live [`AccessLog`], but a **detached, fresh [`Meter`]**.
+    ///
+    /// This is the snapshot handed to concurrent readers by the serve
+    /// layer: queries through the view still tally into the shared access
+    /// log (so observed traffic keeps feeding the Eq. 3 access profiles),
+    /// but their row/byte scans land on the view's own meter instead of
+    /// perturbing the owning session's deterministic, replayable op counts.
+    /// Later catalog mutations on `self` are invisible to the view
+    /// ([`DataLake::replace_data`] installs a fresh `Arc`).
+    pub fn reader_view(&self) -> DataLake {
+        DataLake {
+            datasets: self.datasets.clone(),
+            by_name: self.by_name.clone(),
+            next_id: self.next_id,
+            meter: Meter::new(),
+            access_log: self.access_log.clone(),
+        }
     }
 
     /// Replace the data of an existing dataset (used by the dynamic-update
@@ -463,6 +548,77 @@ mod tests {
             lake.access_log().counts(),
             BTreeMap::from([(a.0, 3), (b.0, 2)])
         );
+    }
+
+    #[test]
+    fn access_log_is_lossless_under_concurrent_records_and_drains() {
+        let log = AccessLog::new();
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let drained = std::sync::Arc::new(std::sync::Mutex::new(BTreeMap::<u64, u64>::new()));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        log.record(DatasetId(t % 2));
+                        if i % 64 == 0 {
+                            // Interleave snapshots with records to shake the
+                            // shared-lock fast path.
+                            let _ = log.counts();
+                        }
+                    }
+                });
+            }
+            // A concurrent drainer takes windows while recorders run.
+            let log2 = log.clone();
+            let drained2 = drained.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let window = log2.drain();
+                    let mut total = drained2.lock().unwrap();
+                    for (id, n) in window {
+                        *total.entry(id).or_insert(0) += n;
+                    }
+                }
+            });
+        });
+        let mut total = drained.lock().unwrap().clone();
+        for (id, n) in log.drain() {
+            *total.entry(id).or_insert(0) += n;
+        }
+        let expected = threads * per_thread / 2;
+        assert_eq!(
+            total,
+            BTreeMap::from([(0, expected), (1, expected)]),
+            "every tally must land in exactly one drained window"
+        );
+    }
+
+    #[test]
+    fn reader_view_shares_tables_and_access_log_but_not_the_meter() {
+        use crate::query::Predicate;
+
+        let mut lake = DataLake::new();
+        let id = lake
+            .add_dataset("a", tiny_table(10), AccessProfile::default(), None)
+            .unwrap();
+        let view = lake.reader_view();
+        // Shared table storage: both catalogs point at the same Arc.
+        assert!(std::sync::Arc::ptr_eq(
+            &lake.dataset(id).unwrap().data,
+            &view.dataset(id).unwrap().data
+        ));
+        // Queries through the view meter into the VIEW's meter only...
+        view.query_dataset(id, &Predicate::True, Some(2)).unwrap();
+        assert_eq!(lake.meter().snapshot().rows_scanned, 0);
+        assert!(view.meter().snapshot().rows_scanned > 0);
+        // ...but tally into the SHARED access log.
+        assert_eq!(lake.access_log().counts(), BTreeMap::from([(id.0, 1)]));
+        // Later mutations of the owning lake are invisible to the view.
+        lake.replace_data(id, tiny_table(20)).unwrap();
+        assert_eq!(view.dataset(id).unwrap().num_rows(), 10);
+        assert_eq!(lake.dataset(id).unwrap().num_rows(), 20);
     }
 
     #[test]

@@ -93,6 +93,31 @@ pub fn checksum(payload: &[u8]) -> u64 {
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
+    stats: WalStats,
+}
+
+/// Durability-cost counters of one [`WalWriter`] (and, summed across
+/// rotations, of a whole session — `r2d2_core`'s session accumulates them
+/// over WAL generations). `fsyncs / records` is the group-commit
+/// amortization ratio the `serve-bench` experiment reports: one-fsync-per-
+/// batch writes one record per batch, while a group commit folds many
+/// queued batches into one record and one fsync.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended ([`WalWriter::append`] calls).
+    pub records: u64,
+    /// `fsync` system calls issued (one per append, plus one at creation).
+    pub fsyncs: u64,
+}
+
+impl WalStats {
+    /// Element-wise sum.
+    pub fn plus(&self, other: &WalStats) -> WalStats {
+        WalStats {
+            records: self.records + other.records,
+            fsyncs: self.fsyncs + other.fsyncs,
+        }
+    }
 }
 
 impl WalWriter {
@@ -103,7 +128,13 @@ impl WalWriter {
         file.write_all(WAL_MAGIC)?;
         file.write_all(&WAL_VERSION.to_le_bytes())?;
         file.sync_all()?;
-        Ok(WalWriter { file })
+        Ok(WalWriter {
+            file,
+            stats: WalStats {
+                records: 0,
+                fsyncs: 1,
+            },
+        })
     }
 
     /// Open an existing WAL for appending, after validating its header.
@@ -120,7 +151,10 @@ impl WalWriter {
         file.read_exact(&mut header)
             .map_err(|_| LakeError::Corrupt("WAL header too short".into()))?;
         validate_header(&header)?;
-        Ok(WalWriter { file })
+        Ok(WalWriter {
+            file,
+            stats: WalStats::default(),
+        })
     }
 
     /// Append one framed record and make it durable (flush + fsync).
@@ -131,7 +165,15 @@ impl WalWriter {
         frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.stats.records += 1;
+        self.stats.fsyncs += 1;
         Ok(())
+    }
+
+    /// Durability-cost counters accumulated by this writer since it was
+    /// opened.
+    pub fn stats(&self) -> WalStats {
+        self.stats
     }
 }
 
@@ -285,6 +327,45 @@ mod tests {
         versioned.extend_from_slice(&99u32.to_le_bytes());
         std::fs::write(&path, &versioned).unwrap();
         assert!(read_records(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_count_records_and_fsyncs() {
+        let path = temp_path("stats.r2d2wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        assert_eq!(
+            wal.stats(),
+            WalStats {
+                records: 0,
+                fsyncs: 1
+            }
+        );
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(
+            wal.stats(),
+            WalStats {
+                records: 2,
+                fsyncs: 3
+            }
+        );
+        drop(wal);
+        let mut reopened = WalWriter::open_append(&path).unwrap();
+        assert_eq!(reopened.stats(), WalStats::default());
+        reopened.append(b"c").unwrap();
+        let total = WalStats {
+            records: 2,
+            fsyncs: 3,
+        }
+        .plus(&reopened.stats());
+        assert_eq!(
+            total,
+            WalStats {
+                records: 3,
+                fsyncs: 4
+            }
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -8,4 +8,5 @@ pub use r2d2_core as core;
 pub use r2d2_graph as graph;
 pub use r2d2_lake as lake;
 pub use r2d2_opt as opt;
+pub use r2d2_serve as serve;
 pub use r2d2_synth as synth;

@@ -1,0 +1,395 @@
+//! Integration tests of the concurrent serve layer: **snapshot isolation
+//! as bit-identical replay**. N reader threads race one group-committing
+//! writer over random update streams, and every epoch any reader ever
+//! observes must be *exactly* the state of a fresh single-threaded session
+//! replayed through the committed transcript up to that epoch's generation
+//! — graph, advisor advice, meter totals, update counts. No torn reads, no
+//! lost updates, no reader-induced writer nondeterminism.
+
+use r2d2_core::{PipelineConfig, R2d2Session};
+use r2d2_lake::{
+    AccessProfile, Column, DataLake, DataType, DatasetId, LakeError, LakeUpdate, OpCounts,
+    PartitionSpec, PartitionedTable, Predicate, Schema, Table, Value,
+};
+use r2d2_opt::advisor::AdvisorConfig;
+use r2d2_opt::preprocess::TransformKnowledge;
+use r2d2_opt::CostModel;
+use r2d2_serve::{Epoch, R2d2Server, ServeConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn config() -> PipelineConfig {
+    PipelineConfig::default().with_seed(7).with_threads(1)
+}
+
+fn advisor_config() -> AdvisorConfig {
+    AdvisorConfig::default().with_knowledge(TransformKnowledge::AssumeKnown)
+}
+
+/// Same recipe as the dynamic-updates oracle: one shared schema, every
+/// column a function of the id, so id-range subsets are true row subsets.
+fn table(ids: std::ops::Range<i64>) -> Table {
+    let schema = Schema::flat(&[
+        ("id", DataType::Int),
+        ("grp", DataType::Utf8),
+        ("v", DataType::Float),
+    ])
+    .unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(ids.clone()),
+            Column::from_strs(ids.clone().map(|i| format!("g{}", i % 3))),
+            Column::from_floats(ids.map(|i| i as f64 * 0.5)),
+        ],
+    )
+    .unwrap()
+}
+
+fn part(t: Table) -> PartitionedTable {
+    PartitionedTable::from_table(
+        t,
+        PartitionSpec::ByRowCount {
+            rows_per_partition: 16,
+        },
+    )
+    .unwrap()
+}
+
+fn base_lake() -> DataLake {
+    let mut lake = DataLake::new();
+    let add = |lake: &mut DataLake, name: &str, t: Table| {
+        lake.add_dataset(name, part(t), AccessProfile::default(), None)
+            .unwrap()
+    };
+    add(&mut lake, "root", table(0..60));
+    add(&mut lake, "mid", table(10..40));
+    add(&mut lake, "other", table(100..140));
+    add(&mut lake, "slice", table(30..80));
+    lake
+}
+
+fn boot_session() -> R2d2Session {
+    let mut session = R2d2Session::bootstrap(base_lake(), config()).unwrap();
+    session
+        .enable_advisor(CostModel::default(), advisor_config())
+        .unwrap();
+    session
+}
+
+/// Random replayable update batches (ids tracked like the catalog assigns
+/// them; only live datasets are targeted, so every batch applies cleanly).
+fn gen_batches(seed: u64, count: usize) -> Vec<Vec<LakeUpdate>> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(count as u64));
+    let mut live: Vec<u64> = vec![0, 1, 2, 3];
+    let mut next_id = 4u64;
+    let mut batches = Vec::with_capacity(count);
+    for k in 0..count {
+        let len = rng.gen_range(1usize..4);
+        let mut batch = Vec::with_capacity(len);
+        for j in 0..len {
+            let choice = if live.is_empty() {
+                0
+            } else {
+                rng.gen_range(0u8..10)
+            };
+            match choice {
+                0..=2 => {
+                    let start = rng.gen_range(0i64..80);
+                    let n = rng.gen_range(1i64..40);
+                    batch.push(LakeUpdate::AddDataset {
+                        name: format!("gen_{seed}_{k}_{j}"),
+                        data: part(table(start..start + n)),
+                        access: AccessProfile::default(),
+                        lineage: None,
+                    });
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                3..=5 => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    let start = rng.gen_range(0i64..80);
+                    let n = rng.gen_range(0i64..20);
+                    batch.push(LakeUpdate::AppendRows {
+                        id: DatasetId(id),
+                        rows: table(start..start + n),
+                    });
+                }
+                6..=7 => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    let lo = rng.gen_range(0i64..80);
+                    let hi = lo + rng.gen_range(0i64..40);
+                    batch.push(LakeUpdate::DeleteRows {
+                        id: DatasetId(id),
+                        predicate: Predicate::between("id", Value::Int(lo), Value::Int(hi)),
+                    });
+                }
+                _ => {
+                    let idx = rng.gen_range(0..live.len());
+                    batch.push(LakeUpdate::DropDataset {
+                        id: DatasetId(live.remove(idx)),
+                    });
+                }
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+fn sorted_edges(graph: &r2d2_graph::ContainmentGraph) -> Vec<(u64, u64)> {
+    let mut edges = graph.edges();
+    edges.sort_unstable();
+    edges
+}
+
+/// Page counters depend on what happens to be decoded in memory, never on
+/// the logical update stream; everything else must be bit-identical.
+fn masked(ops: OpCounts) -> OpCounts {
+    ops.without_page_counters()
+}
+
+/// Replay the committed transcript's first `generation` entries through a
+/// fresh single-threaded session — the ground truth for that epoch.
+fn replay_to(transcript: &[Vec<LakeUpdate>], generation: u64) -> R2d2Session {
+    let mut session = boot_session();
+    for commit in &transcript[..generation as usize] {
+        // Commits that originally failed mid-way fail identically here.
+        let _ = session.apply_batch(commit);
+    }
+    session
+}
+
+/// Assert one observed epoch is exactly the replayed session's state.
+fn assert_epoch_matches_replay(epoch: &Epoch, transcript: &[Vec<LakeUpdate>]) {
+    let mut replayed = replay_to(transcript, epoch.generation());
+    assert_eq!(
+        sorted_edges(epoch.graph()),
+        sorted_edges(replayed.graph()),
+        "epoch {} graph != replayed graph",
+        epoch.generation()
+    );
+    assert_eq!(
+        masked(epoch.ops()),
+        masked(replayed.ops()),
+        "epoch {} writer meter != replayed meter",
+        epoch.generation()
+    );
+    assert_eq!(epoch.updates_applied(), replayed.report().updates_applied);
+    assert_eq!(epoch.batches_applied(), replayed.update_log().len());
+    assert_eq!(epoch.datasets(), replayed.lake().len());
+    let advice = epoch.advice().expect("advisor enabled").clone();
+    assert_eq!(
+        advice,
+        replayed.advise().unwrap(),
+        "epoch {} advice != replayed advice",
+        epoch.generation()
+    );
+}
+
+/// One full oracle run: `reader_threads` readers continuously observe (and
+/// query through) epochs while the main thread streams `batches` at the
+/// server; afterwards every distinct observed epoch is checked against the
+/// replayed transcript.
+fn run_oracle(batches: &[Vec<LakeUpdate>], reader_threads: usize) {
+    let server = R2d2Server::start(
+        boot_session(),
+        ServeConfig::default()
+            .with_queue_capacity(4)
+            .with_group_commit_max(4)
+            .with_record_commits(true),
+    );
+    let done = AtomicBool::new(false);
+    let mut observed: Vec<Vec<Arc<Epoch>>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..reader_threads {
+            let handle = server.handle();
+            let done = &done;
+            readers.push(scope.spawn(move || {
+                let mut seen: Vec<Arc<Epoch>> = Vec::new();
+                loop {
+                    let epoch = handle.epoch();
+                    if seen
+                        .last()
+                        .map(|e| e.generation() != epoch.generation())
+                        .unwrap_or(true)
+                    {
+                        // Serve a query through the snapshot: meters into
+                        // the epoch's detached meter, tallies on the shared
+                        // access log — and must not perturb the writer.
+                        if let Some(id) = epoch.lake().ids().first().copied() {
+                            let _ = epoch.query_dataset(id, &Predicate::True, Some(4));
+                        }
+                        seen.push(epoch);
+                    }
+                    if done.load(Ordering::Acquire) {
+                        return seen;
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+
+        // Submit everything before waiting, so the writer actually finds
+        // multi-batch groups to coalesce (the bounded queue backpressures
+        // the submission loop once 4 batches are pending).
+        let tickets: Vec<_> = batches
+            .iter()
+            .map(|batch| server.submit(batch.clone()))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("generated batches apply cleanly");
+        }
+        done.store(true, Ordering::Release);
+        for reader in readers {
+            observed.push(reader.join().expect("reader panicked"));
+        }
+    });
+
+    let transcript = server.commit_log();
+    let final_epoch = server.handle().epoch();
+    let stats = server.stats();
+    let session = server.shutdown();
+
+    assert_eq!(stats.batches_committed, batches.len() as u64);
+    assert_eq!(stats.batches_failed, 0);
+    assert_eq!(final_epoch.generation(), transcript.len() as u64);
+    assert!(
+        stats.commits <= stats.batches_committed,
+        "group commit must never execute more commits than batches"
+    );
+
+    // The final epoch is the shut-down session, and both match full replay.
+    assert_eq!(
+        sorted_edges(final_epoch.graph()),
+        sorted_edges(session.graph())
+    );
+    assert_epoch_matches_replay(&final_epoch, &transcript);
+
+    // Every epoch every reader observed is a committed prefix's exact state.
+    let mut checked = std::collections::BTreeSet::new();
+    checked.insert(final_epoch.generation());
+    for seen in &observed {
+        for (i, epoch) in seen.iter().enumerate() {
+            if i > 0 {
+                assert!(
+                    seen[i - 1].generation() < epoch.generation(),
+                    "a reader saw generations go backwards"
+                );
+            }
+            if checked.insert(epoch.generation()) {
+                assert_epoch_matches_replay(epoch, &transcript);
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    /// The snapshot-isolation oracle, at 1 and 4 reader threads: every
+    /// observed epoch — under concurrent reads racing the group-committing
+    /// writer — is bit-identical to a fresh session replayed through the
+    /// committed transcript to that generation.
+    #[test]
+    fn observed_epochs_replay_bit_identically(
+        seed in 0u64..1_000_000,
+        count in 1usize..5,
+    ) {
+        let batches = gen_batches(seed, count);
+        run_oracle(&batches, 1);
+        run_oracle(&batches, 4);
+    }
+}
+
+#[test]
+fn failing_batches_do_not_poison_concurrent_submitters() {
+    let server = R2d2Server::start(
+        boot_session(),
+        ServeConfig::default().with_record_commits(true),
+    );
+    // Interleave good and bad batches; the bad ones must fail alone.
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            if i % 2 == 1 {
+                server.submit(vec![LakeUpdate::DropDataset {
+                    id: DatasetId(1000 + i),
+                }])
+            } else {
+                server.submit(vec![LakeUpdate::AppendRows {
+                    id: DatasetId(1),
+                    rows: table(40 + i as i64 * 5..45 + i as i64 * 5),
+                }])
+            }
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait();
+        if i % 2 == 1 {
+            assert!(
+                matches!(result, Err(LakeError::DatasetNotFound(_))),
+                "bad batch {i} must fail with its own error"
+            );
+        } else {
+            result.unwrap_or_else(|e| panic!("good batch {i} failed: {e}"));
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.batches_committed, 3);
+    assert_eq!(stats.batches_failed, 3);
+
+    // Readers only ever saw committed prefixes, and the transcript —
+    // including the failing commits — replays to the served state.
+    let transcript = server.commit_log();
+    let epoch = server.handle().epoch();
+    let session = server.shutdown();
+    assert_eq!(epoch.lake().dataset(DatasetId(1)).unwrap().num_rows(), 45);
+    assert_eq!(sorted_edges(epoch.graph()), sorted_edges(session.graph()));
+    let mut replayed = boot_session();
+    for commit in &transcript {
+        let _ = replayed.apply_batch(commit);
+    }
+    assert_eq!(sorted_edges(replayed.graph()), sorted_edges(epoch.graph()));
+    assert_eq!(masked(replayed.ops()), masked(epoch.ops()));
+}
+
+#[test]
+fn reader_traffic_feeds_access_profiles_without_perturbing_the_writer() {
+    let server = R2d2Server::start(boot_session(), ServeConfig::default());
+    let handle = server.handle();
+    let epoch = handle.epoch();
+    let writer_ops = epoch.ops();
+
+    // Hammer one dataset through pinned epochs from several threads.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let epoch = handle.epoch();
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    epoch
+                        .query_dataset(DatasetId(1), &Predicate::True, Some(4))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    // The writer's meter never moved...
+    assert_eq!(handle.epoch().ops(), writer_ops);
+    // ...but the access log saw every one of the 100 queries: folding it
+    // into the profiles sees the reader traffic.
+    let mut session = server.shutdown();
+    assert_eq!(session.refresh_access_profiles().unwrap(), 1);
+    assert_eq!(
+        session
+            .lake()
+            .dataset(DatasetId(1))
+            .unwrap()
+            .access
+            .accesses_per_period,
+        100.0
+    );
+}
