@@ -9,97 +9,29 @@
 //! show the trade-off. Signatures are built over row-tuple hashes projected
 //! onto the child schema (the same canonical row identity the rest of the
 //! system uses).
+//!
+//! The signature type itself lives in the lake crate
+//! ([`r2d2_lake::MinHashSignature`], re-exported here), where the pipeline's
+//! approximate candidate tier ([§6]'s shootout subject) builds it
+//! incrementally from per-column statistics instead of the full scans this
+//! baseline pays — same estimator, different construction cost.
+//!
+//! [§6]: https://doi.org/10.1145/3588710
 
-use r2d2_lake::{Meter, PartitionedTable, Result, RowHash};
-use serde::{Deserialize, Serialize};
+pub use r2d2_lake::{LshIndex, MinHashSignature, SIGNATURE_K};
 
-/// A MinHash signature: the minimum hash value under `k` independent hash
-/// functions (implemented as xor-multiply-shift permutations of the 128-bit
-/// row hash folded to 64 bits).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MinHashSignature {
-    mins: Vec<u64>,
-    /// Number of distinct elements the signature was built from.
-    pub cardinality: usize,
-}
-
-fn permute(hash: u64, i: u64) -> u64 {
-    // Distinct odd multipliers per permutation index (splitmix-derived).
-    let mut x = hash ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-impl MinHashSignature {
-    /// Build a signature with `k` permutations from an iterator of row hashes.
-    pub fn build<I: IntoIterator<Item = RowHash>>(hashes: I, k: usize) -> Self {
-        assert!(k > 0, "need at least one permutation");
-        let mut mins = vec![u64::MAX; k];
-        let mut seen = std::collections::HashSet::new();
-        for h in hashes {
-            let folded = (h.0 as u64) ^ ((h.0 >> 64) as u64);
-            seen.insert(folded);
-            for (i, slot) in mins.iter_mut().enumerate() {
-                let p = permute(folded, i as u64);
-                if p < *slot {
-                    *slot = p;
-                }
-            }
-        }
-        MinHashSignature {
-            mins,
-            cardinality: seen.len(),
-        }
-    }
-
-    /// Number of permutations.
-    pub fn len(&self) -> usize {
-        self.mins.len()
-    }
-
-    /// Whether the signature is empty (zero elements hashed).
-    pub fn is_empty(&self) -> bool {
-        self.cardinality == 0
-    }
-
-    /// Estimated Jaccard similarity with another signature (fraction of
-    /// matching minima).
-    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
-        assert_eq!(self.len(), other.len(), "signatures must use the same k");
-        if self.is_empty() && other.is_empty() {
-            return 1.0;
-        }
-        let matches = self
-            .mins
-            .iter()
-            .zip(&other.mins)
-            .filter(|(a, b)| a == b)
-            .count();
-        matches as f64 / self.len() as f64
-    }
-
-    /// Estimated containment of `self`'s set in `other`'s set, via the
-    /// Jaccard-to-containment conversion LSH-Ensemble uses:
-    /// `C ≈ J·(|A| + |B|) / (|A|·(1 + J))`.
-    pub fn containment_in(&self, other: &MinHashSignature) -> f64 {
-        if self.cardinality == 0 {
-            return 1.0;
-        }
-        let j = self.jaccard(other);
-        let a = self.cardinality as f64;
-        let b = other.cardinality as f64;
-        (j * (a + b) / (a * (1.0 + j))).clamp(0.0, 1.0)
-    }
-}
+use r2d2_lake::{Meter, PartitionedTable, Result};
 
 /// Estimate the containment of `child` in `parent` via MinHash signatures
 /// over row hashes projected onto the child's schema. Both tables are fully
 /// scanned to build the signatures (metered), which is exactly the cost the
 /// paper says makes this family of approaches unattractive at TB scale.
-pub fn estimate_containment(
+///
+/// Named `minhash_containment` to keep it distinct from the pipeline's
+/// §7.2.2 sampling estimator [`r2d2_core::approx::estimate_containment`]:
+/// this one approximates with sketches over full scans, that one with exact
+/// anti-joins over samples.
+pub fn minhash_containment(
     child: &PartitionedTable,
     parent: &PartitionedTable,
     k: usize,
@@ -122,7 +54,7 @@ pub fn estimate_containment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use r2d2_lake::{Column, DataType, Schema, Table};
+    use r2d2_lake::{Column, DataType, RowHash, Schema, Table};
 
     fn table(ids: std::ops::Range<i64>) -> PartitionedTable {
         let schema = Schema::flat(&[("id", DataType::Int)]).unwrap();
@@ -132,7 +64,7 @@ mod tests {
     #[test]
     fn identical_sets_estimate_full_containment() {
         let a = table(0..200);
-        let est = estimate_containment(&a, &a, 64, &Meter::new()).unwrap();
+        let est = minhash_containment(&a, &a, 64, &Meter::new()).unwrap();
         assert!(est > 0.95, "estimate {est}");
     }
 
@@ -140,7 +72,7 @@ mod tests {
     fn subset_estimates_high_containment() {
         let child = table(0..100);
         let parent = table(0..400);
-        let est = estimate_containment(&child, &parent, 128, &Meter::new()).unwrap();
+        let est = minhash_containment(&child, &parent, 128, &Meter::new()).unwrap();
         assert!(est > 0.7, "true containment is 1.0, estimate {est}");
     }
 
@@ -148,7 +80,7 @@ mod tests {
     fn disjoint_sets_estimate_low_containment() {
         let child = table(0..100);
         let parent = table(10_000..10_400);
-        let est = estimate_containment(&child, &parent, 128, &Meter::new()).unwrap();
+        let est = minhash_containment(&child, &parent, 128, &Meter::new()).unwrap();
         assert!(est < 0.3, "true containment is 0.0, estimate {est}");
     }
 
@@ -156,7 +88,7 @@ mod tests {
     fn partial_overlap_estimate_in_between() {
         let child = table(0..100); // half inside parent
         let parent = table(50..450);
-        let est = estimate_containment(&child, &parent, 256, &Meter::new()).unwrap();
+        let est = minhash_containment(&child, &parent, 256, &Meter::new()).unwrap();
         assert!(
             est > 0.2 && est < 0.85,
             "true containment 0.5, estimate {est}"
@@ -197,7 +129,7 @@ mod tests {
         let child = table(0..50);
         let parent = table(0..500);
         let meter = Meter::new();
-        estimate_containment(&child, &parent, 32, &meter).unwrap();
+        minhash_containment(&child, &parent, 32, &meter).unwrap();
         assert!(
             meter.snapshot().rows_scanned >= 550,
             "minhash must scan both tables fully"

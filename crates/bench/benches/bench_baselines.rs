@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use r2d2_baselines::ground_truth::{content_ground_truth, schema_ground_truth};
 use r2d2_baselines::kmeans::kmeans_schema_graph;
-use r2d2_baselines::minhash::estimate_containment;
+use r2d2_baselines::minhash::minhash_containment;
 use r2d2_baselines::schema_classifier::evaluate_classifier;
 use r2d2_core::sgb::brute_force_schema_graph;
 use r2d2_core::R2d2Pipeline;
@@ -50,8 +50,8 @@ fn bench_minhash(c: &mut Criterion) {
     let entries: Vec<_> = corpus.lake.iter().collect();
     let parent: &PartitionedTable = &entries[0].data;
     let child: &PartitionedTable = &entries[1].data;
-    group.bench_function("estimate_containment_k128", |b| {
-        b.iter(|| estimate_containment(child, parent, 128, &Meter::new()))
+    group.bench_function("minhash_containment_k128", |b| {
+        b.iter(|| minhash_containment(child, parent, 128, &Meter::new()))
     });
     group.finish();
 }

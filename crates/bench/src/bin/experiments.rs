@@ -11,14 +11,15 @@
 //! `bench-pipeline` (writes `BENCH_pipeline.json`), `containment-bench`
 //! (writes `BENCH_containment.json`), `dynamic-throughput` (writes
 //! `BENCH_dynamic.json`), `optimizer-bench` (writes
-//! `BENCH_optimizer.json`), `restart-bench` (writes `BENCH_restart.json`)
-//! or `serve-bench` (writes `BENCH_serve.json`). `--smoke` switches to the
-//! small corpora used by the integration tests.
+//! `BENCH_optimizer.json`), `restart-bench` (writes `BENCH_restart.json`),
+//! `serve-bench` (writes `BENCH_serve.json`) or `shootout-bench` (writes
+//! `BENCH_shootout.json`). `--smoke` switches to the small corpora used by
+//! the integration tests.
 
 use r2d2_bench::experiments::{
     clp_params, containment, containment_bench, dynamic_throughput, enterprise_corpora, figures,
     optimization, optimizer_bench, perf, restart_bench, schema_baselines, serve_bench,
-    synthetic_corpora, Scale,
+    shootout_bench, synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -239,6 +240,21 @@ fn serve_bench_cmd(scale: Scale) {
     }
 }
 
+fn shootout_bench_cmd(scale: Scale) {
+    println!("== Shootout: baseline precision/recall/runtime vs ground truth, exact vs approx ==");
+    let snapshot = shootout_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_shootout.json write)");
+    } else {
+        let path = "BENCH_shootout.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_shootout.json");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -255,6 +271,7 @@ fn main() {
         "optimizer-bench" => optimizer_bench_cmd(scale),
         "restart-bench" => restart_bench_cmd(scale),
         "serve-bench" => serve_bench_cmd(scale),
+        "shootout-bench" => shootout_bench_cmd(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -281,7 +298,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, serve-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, serve-bench, shootout-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

@@ -11,6 +11,7 @@ pub mod perf;
 pub mod restart_bench;
 pub mod schema_baselines;
 pub mod serve_bench;
+pub mod shootout_bench;
 
 use r2d2_synth::corpus::{generate, Corpus, CorpusSpec};
 use std::time::{Duration, Instant};

@@ -42,7 +42,7 @@
 //! [`AdvisorState`]: r2d2_opt::advisor::AdvisorState
 
 use crate::config::{ClpSampling, PipelineConfig};
-use crate::pipeline::{PipelineReport, Stage, StageReport};
+use crate::pipeline::{ApproxEdgeReport, PipelineReport, Stage, StageReport};
 use crate::session::UpdateReport;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use r2d2_graph::diff::EdgeDelta;
@@ -58,13 +58,15 @@ use std::time::Duration;
 /// Leading/trailing magic of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"R2D2SNAP";
 
-/// Current snapshot format version. Version 3 embeds `R2D2LAKE` v4 tables
-/// (dictionary-coded string pages, decoded lazily on restore), carries a
-/// content generation per lake entry, keys the join-cache entries by
-/// `(dataset, generation)`, and persists the 15-counter meter with the
-/// process-local page counters masked to zero. Version-1/2 snapshots fail
-/// with an explicit "unsupported snapshot version" error.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// Current snapshot format version. Version 4 embeds `R2D2LAKE` v5 tables
+/// (per-column MinHash signatures in the stats footer, so a restored
+/// session's approximate candidate tier gates bit-identically without
+/// re-hashing), persists the optional [`crate::config::ApproxConfig`] inside
+/// the pipeline config, appends the §7.2.2 per-edge estimate report to the
+/// bootstrap report, and carries the 17-counter meter (the two
+/// `approx_probes`/`approx_prunes` counters are new). Version-1/2/3
+/// snapshots fail with an explicit "unsupported snapshot version" error.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Default compaction policy: snapshot after this many updates.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 512;
@@ -284,6 +286,18 @@ fn put_pipeline_config(buf: &mut BytesMut, c: &PipelineConfig) {
     wire::put_bool(buf, c.mmp_distinct_gate);
     wire::put_bool(buf, c.clp_bloom_gate);
     wire::put_usize(buf, c.threads);
+    match &c.approx {
+        None => buf.put_u8(0),
+        Some(a) => {
+            buf.put_u8(1);
+            wire::put_usize(buf, a.signature_k);
+            wire::put_usize(buf, a.lsh_bands);
+            wire::put_usize(buf, a.lsh_rows);
+            buf.put_f64_le(a.threshold);
+            wire::put_usize(buf, a.report_samples);
+            buf.put_f64_le(a.report_confidence);
+        }
+    }
 }
 
 fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
@@ -305,6 +319,22 @@ fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
     let mmp_distinct_gate = wire::get_bool(buf)?;
     let clp_bloom_gate = wire::get_bool(buf)?;
     let threads = wire::get_usize(buf)?;
+    let approx = match wire::get_tag(buf, "approx config tag")? {
+        0 => None,
+        1 => Some(crate::config::ApproxConfig {
+            signature_k: wire::get_usize(buf)?,
+            lsh_bands: wire::get_usize(buf)?,
+            lsh_rows: wire::get_usize(buf)?,
+            threshold: wire::get_f64(buf)?,
+            report_samples: wire::get_usize(buf)?,
+            report_confidence: wire::get_f64(buf)?,
+        }),
+        other => {
+            return Err(LakeError::Corrupt(format!(
+                "unknown approx config tag {other}"
+            )))
+        }
+    };
     Ok(PipelineConfig {
         clp_columns,
         clp_rows,
@@ -315,6 +345,7 @@ fn get_pipeline_config(buf: &mut Bytes) -> Result<PipelineConfig> {
         mmp_distinct_gate,
         clp_bloom_gate,
         threads,
+        approx,
     })
 }
 
@@ -349,6 +380,16 @@ fn put_pipeline_report(buf: &mut BytesMut, report: &PipelineReport) {
     }
     wire::put_usize(buf, report.sgb_clusters);
     put_duration(buf, &report.total_duration);
+    buf.put_u32_le(report.approx_edges.len() as u32);
+    for edge in &report.approx_edges {
+        buf.put_u64_le(edge.parent);
+        buf.put_u64_le(edge.child);
+        buf.put_f64_le(edge.estimate.estimate);
+        buf.put_f64_le(edge.estimate.lower);
+        buf.put_f64_le(edge.estimate.upper);
+        wire::put_usize(buf, edge.estimate.samples);
+        buf.put_f64_le(edge.estimate.confidence);
+    }
 }
 
 fn get_pipeline_report(buf: &mut Bytes) -> Result<PipelineReport> {
@@ -374,6 +415,26 @@ fn get_pipeline_report(buf: &mut Bytes) -> Result<PipelineReport> {
     }
     let sgb_clusters = wire::get_usize(buf)?;
     let total_duration = get_duration(buf)?;
+    wire::expect_len(buf, 4, "approx edge count")?;
+    let approx_count = buf.get_u32_le() as usize;
+    let mut approx_edges = Vec::with_capacity(approx_count.min(4096));
+    for _ in 0..approx_count {
+        wire::expect_len(buf, 16, "approx edge endpoints")?;
+        let parent = buf.get_u64_le();
+        let child = buf.get_u64_le();
+        let estimate = crate::approx::ContainmentEstimate {
+            estimate: wire::get_f64(buf)?,
+            lower: wire::get_f64(buf)?,
+            upper: wire::get_f64(buf)?,
+            samples: wire::get_usize(buf)?,
+            confidence: wire::get_f64(buf)?,
+        };
+        approx_edges.push(ApproxEdgeReport {
+            parent,
+            child,
+            estimate,
+        });
+    }
     Ok(PipelineReport {
         after_sgb,
         after_mmp,
@@ -381,6 +442,7 @@ fn get_pipeline_report(buf: &mut Bytes) -> Result<PipelineReport> {
         stages,
         sgb_clusters,
         total_duration,
+        approx_edges,
     })
 }
 

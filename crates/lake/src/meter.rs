@@ -54,6 +54,12 @@ pub struct OpCounts {
     /// String cells covered by row hashing (what `string_hash_ops` would be
     /// without per-distinct-value dedup; the ratio is the savings).
     pub string_cells_hashed: u64,
+    /// Candidate pairs probed by the approximate (MinHash) candidate tier.
+    pub approx_probes: u64,
+    /// Candidate pairs pruned by the approximate tier before exact
+    /// verification (`approx_probes - approx_prunes` pairs went on to the
+    /// exact subset check).
+    pub approx_prunes: u64,
 }
 
 impl OpCounts {
@@ -92,6 +98,8 @@ impl OpCounts {
             string_cells_hashed: self
                 .string_cells_hashed
                 .saturating_sub(earlier.string_cells_hashed),
+            approx_probes: self.approx_probes.saturating_sub(earlier.approx_probes),
+            approx_prunes: self.approx_prunes.saturating_sub(earlier.approx_prunes),
         }
     }
 
@@ -113,6 +121,8 @@ impl OpCounts {
             pages_skipped: self.pages_skipped + other.pages_skipped,
             string_hash_ops: self.string_hash_ops + other.string_hash_ops,
             string_cells_hashed: self.string_cells_hashed + other.string_cells_hashed,
+            approx_probes: self.approx_probes + other.approx_probes,
+            approx_prunes: self.approx_prunes + other.approx_prunes,
         }
     }
 
@@ -148,6 +158,8 @@ struct Counters {
     pages_skipped: AtomicU64,
     string_hash_ops: AtomicU64,
     string_cells_hashed: AtomicU64,
+    approx_probes: AtomicU64,
+    approx_prunes: AtomicU64,
 }
 
 /// A shared, thread-safe operation meter.
@@ -253,6 +265,16 @@ impl Meter {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` candidate pairs probed by the approximate candidate tier.
+    pub fn add_approx_probes(&self, n: u64) {
+        self.counters.approx_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` candidate pairs pruned by the approximate candidate tier.
+    pub fn add_approx_prunes(&self, n: u64) {
+        self.counters.approx_prunes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Take a snapshot of the counters.
     pub fn snapshot(&self) -> OpCounts {
         OpCounts {
@@ -271,6 +293,8 @@ impl Meter {
             pages_skipped: self.counters.pages_skipped.load(Ordering::Relaxed),
             string_hash_ops: self.counters.string_hash_ops.load(Ordering::Relaxed),
             string_cells_hashed: self.counters.string_cells_hashed.load(Ordering::Relaxed),
+            approx_probes: self.counters.approx_probes.load(Ordering::Relaxed),
+            approx_prunes: self.counters.approx_prunes.load(Ordering::Relaxed),
         }
     }
 
@@ -293,6 +317,8 @@ impl Meter {
         self.add_pages_skipped(counts.pages_skipped);
         self.add_string_hash_ops(counts.string_hash_ops);
         self.add_string_cells_hashed(counts.string_cells_hashed);
+        self.add_approx_probes(counts.approx_probes);
+        self.add_approx_prunes(counts.approx_prunes);
     }
 
     /// Reset every counter to zero.
@@ -314,6 +340,8 @@ impl Meter {
         self.counters
             .string_cells_hashed
             .store(0, Ordering::Relaxed);
+        self.counters.approx_probes.store(0, Ordering::Relaxed);
+        self.counters.approx_prunes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -387,7 +415,11 @@ mod tests {
         m.add_pages_decoded(3);
         m.add_string_hash_ops(4);
         m.add_string_cells_hashed(40);
+        m.add_approx_probes(6);
+        m.add_approx_prunes(2);
         let s = m.snapshot();
+        assert_eq!(s.approx_probes, 6);
+        assert_eq!(s.approx_prunes, 2);
         assert_eq!(s.pages_decoded, 3);
         assert_eq!(s.pages_skipped, 10);
         assert_eq!(s.string_hash_ops, 4);

@@ -128,7 +128,7 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value> {
 // Lake-owned composite codecs
 // ---------------------------------------------------------------------------
 
-/// Append an [`OpCounts`] snapshot (fifteen `u64` counters).
+/// Append an [`OpCounts`] snapshot (seventeen `u64` counters).
 ///
 /// The page counters (`pages_decoded` / `pages_skipped`) are **not**
 /// persisted — they are zeroed on the wire. They describe how lazy *this
@@ -155,11 +155,13 @@ pub fn put_op_counts(buf: &mut BytesMut, c: &OpCounts) {
     buf.put_u64_le(c.pages_skipped);
     buf.put_u64_le(c.string_hash_ops);
     buf.put_u64_le(c.string_cells_hashed);
+    buf.put_u64_le(c.approx_probes);
+    buf.put_u64_le(c.approx_prunes);
 }
 
 /// Read an [`OpCounts`] snapshot.
 pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
-    expect_len(buf, 120, "op counts")?;
+    expect_len(buf, 136, "op counts")?;
     Ok(OpCounts {
         rows_scanned: buf.get_u64_le(),
         bytes_scanned: buf.get_u64_le(),
@@ -176,6 +178,8 @@ pub fn get_op_counts(buf: &mut Bytes) -> Result<OpCounts> {
         pages_skipped: buf.get_u64_le(),
         string_hash_ops: buf.get_u64_le(),
         string_cells_hashed: buf.get_u64_le(),
+        approx_probes: buf.get_u64_le(),
+        approx_prunes: buf.get_u64_le(),
     })
 }
 
@@ -805,6 +809,8 @@ mod tests {
             pages_skipped: 13,
             string_hash_ops: 14,
             string_cells_hashed: 15,
+            approx_probes: 16,
+            approx_prunes: 17,
         };
         let mut buf = BytesMut::new();
         for a in &applied {

@@ -33,13 +33,16 @@ use std::path::Path;
 /// Leading magic of a WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"R2D2WAL\0";
 
-/// Current WAL format version. Version 3 marks the record-payload changes
-/// that rode along with the lazy-storage work (tables inside update records
-/// are `R2D2LAKE` v4, `OpCounts` grew page/string counters) and the switch
-/// to the 4-lane word-parallel checksum below, so a log written by an older
-/// build fails with this explicit version error instead of a misleading
-/// payload-decode error.
-pub const WAL_VERSION: u32 = 3;
+/// Current WAL format version. Version bumps track record-payload changes
+/// so a log written by an older build fails with an explicit version error
+/// instead of a misleading payload-decode error: version 3 rode along with
+/// the lazy-storage work (tables inside update records became `R2D2LAKE`
+/// v4, `OpCounts` grew page/string counters, and the 4-lane word-parallel
+/// checksum below replaced byte-wise FNV-1a); version 4 follows the
+/// approximate-tier work (tables are `R2D2LAKE` v5 with footer MinHash
+/// signatures, `OpCounts` grew the `approx_probes`/`approx_prunes`
+/// counters).
+pub const WAL_VERSION: u32 = 4;
 
 /// Per-record header size: `payload_len u32` + `checksum u64`.
 const RECORD_HEADER: usize = 4 + 8;

@@ -4,11 +4,11 @@
 
 use r2d2_baselines::ground_truth::content_ground_truth;
 use r2d2_baselines::lcjoin::{columns_as_sets_graph, rows_as_sets_graph};
-use r2d2_baselines::minhash::estimate_containment;
+use r2d2_baselines::minhash::{minhash_containment, LshIndex, MinHashSignature};
 use r2d2_bench::experiments::{enterprise_corpora, schema_baselines, Scale};
 use r2d2_core::R2d2Pipeline;
 use r2d2_graph::diff::diff;
-use r2d2_lake::{DatasetId, Meter};
+use r2d2_lake::{DatasetId, Meter, RowHash};
 
 #[test]
 fn table4_sgb_has_perfect_recall_and_baselines_do_not_beat_it() {
@@ -101,9 +101,97 @@ fn minhash_estimates_track_true_containment_direction() {
     let parent_data = &corpus.lake.dataset(DatasetId(parent)).unwrap().data;
     let child_data = &corpus.lake.dataset(DatasetId(child)).unwrap().data;
     let true_edge_estimate =
-        estimate_containment(child_data, parent_data, 128, &Meter::new()).unwrap();
+        minhash_containment(child_data, parent_data, 128, &Meter::new()).unwrap();
     assert!(
         true_edge_estimate > 0.4,
         "true containment should get a high estimate, got {true_edge_estimate}"
     );
+}
+
+/// Integer sets as row hashes: `offset..offset + len`.
+fn hash_range(offset: u64, len: u64) -> Vec<RowHash> {
+    (offset..offset + len).map(|v| RowHash(v as u128)).collect()
+}
+
+/// Exact Jaccard of two integer intervals of length `len` at the given
+/// offsets.
+fn interval_jaccard(a: u64, b: u64, len: u64) -> f64 {
+    let overlap = len.saturating_sub(a.abs_diff(b));
+    overlap as f64 / (2 * len - overlap) as f64
+}
+
+proptest::proptest! {
+    /// Concentration of the MinHash estimators: each coordinate of the
+    /// signature matches with probability exactly J, so the Jaccard
+    /// estimate is a mean of k near-independent Bernoulli draws and must
+    /// land inside a Hoeffding-style envelope `sqrt(ln(2/δ) / (2k))` that
+    /// shrinks as k grows. The containment conversion inherits the same
+    /// envelope (its derivative in J is bounded by 2 on [0, 1]) and for a
+    /// true subset pair the exact-J conversion equals 1.0.
+    #[test]
+    fn minhash_estimates_concentrate_as_k_grows(
+        shared in 20u64..200,
+        extra_parent in 0u64..200,
+    ) {
+        let child = hash_range(0, shared);
+        let parent = hash_range(0, shared + extra_parent);
+        let true_j = shared as f64 / (shared + extra_parent) as f64;
+        // δ = 1e-3 per check; the shim's RNG is deterministic, so a pass is
+        // stable run-to-run.
+        let delta: f64 = 1e-3;
+        for k in [16usize, 64, 256] {
+            let cs = MinHashSignature::build(child.clone(), k);
+            let ps = MinHashSignature::build(parent.clone(), k);
+            let bound = ((2.0 / delta).ln() / (2.0 * k as f64)).sqrt();
+            let err = (cs.jaccard(&ps) - true_j).abs();
+            proptest::prop_assert!(
+                err <= bound,
+                "jaccard error {} above the k={} envelope {}", err, k, bound
+            );
+            let containment = cs.containment_in(&ps);
+            proptest::prop_assert!(
+                containment >= 1.0 - 2.0 * bound,
+                "true-subset containment {} below 1 - 2*{} at k={}", containment, bound, k
+            );
+        }
+    }
+
+    /// The LSH index's analytic recall bound: a pair with Jaccard J
+    /// collides in at least one band with probability 1 − (1 − J^rows)^bands.
+    /// With 16 bands of 2 rows, any pair above J = 0.7 is missed with
+    /// probability at most (1 − 0.49)^16 ≈ 2·10⁻⁵ — far below one expected
+    /// miss across every case this test generates — so the index must never
+    /// drop an above-threshold pair.
+    #[test]
+    fn lsh_index_never_drops_pairs_above_the_scheme_threshold(
+        offsets in proptest::collection::vec(0u64..150, 4usize..12),
+    ) {
+        const LEN: u64 = 100;
+        const K: usize = 32;
+        let signatures: Vec<MinHashSignature> = offsets
+            .iter()
+            .map(|&o| MinHashSignature::build(hash_range(o, LEN), K))
+            .collect();
+        let mut index = LshIndex::new(16, 2);
+        for (i, sig) in signatures.iter().enumerate() {
+            index.insert(i as u64, sig);
+        }
+        for i in 0..offsets.len() {
+            let candidates = index.candidates(&signatures[i]);
+            proptest::prop_assert!(
+                candidates.binary_search(&(i as u64)).is_ok(),
+                "a set must be its own candidate"
+            );
+            for j in 0..offsets.len() {
+                if i == j || interval_jaccard(offsets[i], offsets[j], LEN) < 0.7 {
+                    continue;
+                }
+                proptest::prop_assert!(
+                    candidates.binary_search(&(j as u64)).is_ok(),
+                    "pair ({}, {}) with J = {} dropped by the index",
+                    i, j, interval_jaccard(offsets[i], offsets[j], LEN)
+                );
+            }
+        }
+    }
 }

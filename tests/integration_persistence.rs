@@ -11,10 +11,13 @@
 //! snapshot-only restore, and restoring a snapshot written at a different
 //! `threads` setting.
 
-use r2d2_core::{PersistenceConfig, PipelineConfig, R2d2Session, UpdateReport};
+use r2d2_core::{
+    ApproxCandidates, ApproxConfig, CandidateSource, PersistenceConfig, PipelineConfig,
+    R2d2Session, SessionSnapshot, UpdateReport,
+};
 use r2d2_lake::{
-    AccessProfile, Column, DataLake, DataType, DatasetId, LakeUpdate, OpCounts, PartitionSpec,
-    PartitionedTable, Predicate, Schema, Table, Value,
+    AccessProfile, Column, DataLake, DataType, DatasetId, LakeUpdate, Meter, OpCounts,
+    PartitionSpec, PartitionedTable, Predicate, Schema, Table, Value,
 };
 use r2d2_opt::advisor::AdvisorConfig;
 use r2d2_opt::preprocess::TransformKnowledge;
@@ -222,12 +225,17 @@ fn assert_sessions_identical(a: &mut R2d2Session, b: &mut R2d2Session, context: 
 }
 
 /// Bootstrap a session with an attached advisor over the base lake.
-fn advised_session(threads: usize) -> R2d2Session {
-    let mut session = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+fn advised_session_with(cfg: PipelineConfig) -> R2d2Session {
+    let mut session = R2d2Session::bootstrap(base_lake(), cfg).unwrap();
     session
         .enable_advisor(CostModel::default(), advisor_config())
         .unwrap();
     session
+}
+
+/// Bootstrap a session with an attached advisor over the base lake.
+fn advised_session(threads: usize) -> R2d2Session {
+    advised_session_with(config(threads))
 }
 
 proptest::proptest! {
@@ -243,15 +251,21 @@ proptest::proptest! {
         seed in 0u64..1_000_000,
         count in 1usize..5,
         kill in 0usize..5,
+        approx in 0u8..2,
     ) {
         let updates = gen_updates(seed, count);
         let kill = kill % (updates.len() + 1);
         for threads in [1usize, 4] {
-            let dir = scratch_dir(&format!("oracle_{seed}_{count}_{kill}_{threads}"));
+            let dir = scratch_dir(&format!("oracle_{seed}_{count}_{kill}_{threads}_{approx}"));
+            let cfg = if approx == 1 {
+                config(threads).with_approx(ApproxConfig::default())
+            } else {
+                config(threads)
+            };
 
             // The durable session: advisor + persistence, killed after
             // `kill` updates (drop = crash; state survives only on disk).
-            let mut durable = advised_session(threads);
+            let mut durable = advised_session_with(cfg.clone());
             durable
                 .enable_persistence(
                     PersistenceConfig::new(&dir).with_snapshot_every(2),
@@ -263,7 +277,7 @@ proptest::proptest! {
             drop(durable);
 
             // The uninterrupted session: same stream, never persisted.
-            let mut uninterrupted = advised_session(threads);
+            let mut uninterrupted = advised_session_with(cfg);
             for update in &updates[..kill] {
                 uninterrupted.apply(update.clone()).unwrap();
             }
@@ -579,6 +593,101 @@ fn metered_traffic_and_refresh_survive_the_crash() {
     );
     assert_sessions_identical(&mut restored, &mut expected, "post-restore traffic");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn approx_session_restores_with_identical_signatures_and_gating() {
+    let dir = scratch_dir("approx_restore");
+    let updates = gen_updates(61, 4);
+    let approx_cfg = || config(1).with_approx(ApproxConfig::default());
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), approx_cfg()).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(2))
+        .unwrap();
+    for update in &updates[..2] {
+        durable.apply(update.clone()).unwrap();
+    }
+    drop(durable);
+
+    let mut uninterrupted = R2d2Session::bootstrap(base_lake(), approx_cfg()).unwrap();
+    for update in &updates[..2] {
+        uninterrupted.apply(update.clone()).unwrap();
+    }
+
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    assert_eq!(
+        restored.config().approx,
+        Some(ApproxConfig::default()),
+        "approx config round-trips through the snapshot"
+    );
+    assert_sessions_identical(&mut restored, &mut uninterrupted, "approx restore");
+
+    // The candidate tier reattaches bit-for-bit from the persisted footer
+    // signatures: per-dataset signatures, every pairwise gating decision,
+    // and the probe/prune counters the gate meters all agree — no row was
+    // re-hashed to get there.
+    let approx = restored.config().approx.unwrap();
+    let (restored_meter, live_meter) = (Meter::new(), Meter::new());
+    let restored_source = ApproxCandidates::build(restored.lake(), &approx, &restored_meter);
+    let live_source = ApproxCandidates::build(uninterrupted.lake(), &approx, &live_meter);
+    assert_eq!(restored_source.len(), live_source.len());
+    let ids: Vec<u64> = restored.lake().iter().map(|e| e.id.0).collect();
+    for &id in &ids {
+        let a = restored_source.signature(id).expect("signature present");
+        let b = live_source.signature(id).expect("signature present");
+        assert_eq!(a.mins(), b.mins(), "signature minima diverged for ds{id}");
+        assert_eq!(
+            a.cardinality, b.cardinality,
+            "cardinality diverged for ds{id}"
+        );
+    }
+    for &p in &ids {
+        for &c in &ids {
+            if p != c {
+                assert_eq!(
+                    restored_source.admit(p, c),
+                    live_source.admit(p, c),
+                    "gating decision diverged for ({p}, {c})"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        restored_meter.snapshot(),
+        live_meter.snapshot(),
+        "gate metering diverged"
+    );
+
+    // And the restored session keeps gating identically under further
+    // updates.
+    for update in &updates[2..] {
+        restored.apply(update.clone()).unwrap();
+        uninterrupted.apply(update.clone()).unwrap();
+    }
+    assert_sessions_identical(&mut restored, &mut uninterrupted, "approx continue");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_snapshot_versions_fail_with_an_explicit_error() {
+    let session = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    let snapshot = session.snapshot();
+    let mut raw = snapshot.as_bytes().to_vec();
+    // Patch only the version field (bytes 8..12, after the magic): the
+    // reader must refuse v1–v3 by version, before it even reaches the
+    // checksum, rather than misparse the old layout.
+    for old in [1u32, 2, 3] {
+        raw[8..12].copy_from_slice(&old.to_le_bytes());
+        let err = SessionSnapshot::from_bytes(raw.clone())
+            .restore()
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains(&format!("unsupported snapshot version {old}")),
+            "wrong error for snapshot v{old}: {err}"
+        );
+    }
 }
 
 #[test]
