@@ -10,11 +10,12 @@
 
 use crate::experiments::dynamic_throughput::make_updates;
 use crate::report::TextTable;
-use r2d2_core::{AdvisorConfig, PersistenceConfig, PipelineConfig, R2d2Session};
-use r2d2_lake::{DatasetId, Predicate};
+use r2d2_core::{AdvisorConfig, LakeUpdate, PersistenceConfig, PipelineConfig, R2d2Session};
+use r2d2_lake::{DataLake, DatasetId, Predicate};
 use r2d2_opt::preprocess::TransformKnowledge;
 use r2d2_opt::CostModel;
 use r2d2_synth::corpus::{generate, CorpusSpec};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// The cold-heavy restart variant: restore from a clean checkpoint (empty
@@ -36,6 +37,152 @@ pub struct ColdHeavySnapshot {
     pub touched_datasets: usize,
     /// Pages decoded by those queries alone.
     pub pages_decoded_touched: u64,
+}
+
+/// One checkpoint in the [`CheckpointTrajectory`] sweep.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    /// Persistence generation this checkpoint wrote.
+    pub generation: u64,
+    /// `"full"` or `"delta"`, read back from the v5 snapshot header on disk.
+    pub kind: &'static str,
+    /// Bytes of the snapshot file on disk.
+    pub bytes: u64,
+    /// Wall clock of the `checkpoint()` call (encode + fsync + rename +
+    /// prune).
+    pub encode: Duration,
+}
+
+/// Per-checkpoint bytes and encode latency over the same single-dataset
+/// update stream, run twice: a full-only arm (`with_rebase_every(0)`, every
+/// checkpoint re-encodes the whole session) and a delta arm where each
+/// checkpoint encodes only what the update dirtied, rebasing to a full
+/// snapshot every `rebase_every` deltas.
+#[derive(Debug, Clone)]
+pub struct CheckpointTrajectory {
+    /// Updates applied per arm; one checkpoint after each.
+    pub updates: usize,
+    /// Rebase interval of the delta arm (`with_rebase_every`).
+    pub rebase_every: usize,
+    /// Full-only arm, one point per checkpoint.
+    pub full: Vec<TrajectoryPoint>,
+    /// Delta arm, one point per checkpoint (mix of `"delta"` points and the
+    /// periodic `"full"` rebases).
+    pub delta: Vec<TrajectoryPoint>,
+}
+
+impl CheckpointTrajectory {
+    /// Median bytes of the delta-kind checkpoints in the delta arm divided
+    /// by the median full-only checkpoint. This is the headline number: how
+    /// much of a full snapshot a single-dataset update actually pays.
+    pub fn delta_full_bytes_ratio(&self) -> f64 {
+        let deltas: Vec<u64> = self
+            .delta
+            .iter()
+            .filter(|p| p.kind == "delta")
+            .map(|p| p.bytes)
+            .collect();
+        let fulls: Vec<u64> = self.full.iter().map(|p| p.bytes).collect();
+        let (Some(d), Some(f)) = (median(&deltas), median(&fulls)) else {
+            return 1.0;
+        };
+        if f == 0.0 {
+            1.0
+        } else {
+            d / f
+        }
+    }
+}
+
+fn median(values: &[u64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    Some(if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) as f64 / 2.0
+    } else {
+        sorted[mid] as f64
+    })
+}
+
+/// Read the snapshot kind tag out of the v5 framing on disk:
+/// `magic(8) | version u32 | kind u8 | ...`.
+fn snapshot_kind_on_disk(path: &Path) -> &'static str {
+    use std::io::Read as _;
+    let mut header = [0u8; 13];
+    let mut file = std::fs::File::open(path).expect("open snapshot");
+    file.read_exact(&mut header).expect("snapshot header");
+    if header[12] == 1 {
+        "delta"
+    } else {
+        "full"
+    }
+}
+
+/// Run one trajectory arm: bootstrap + advisor over `lake`, enable
+/// persistence with the given rebase interval, then apply each update and
+/// checkpoint immediately, recording on-disk bytes and checkpoint wall
+/// clock per generation.
+fn trajectory_arm(
+    lake: DataLake,
+    updates: &[LakeUpdate],
+    dir: &Path,
+    rebase_every: usize,
+) -> (R2d2Session, Vec<TrajectoryPoint>) {
+    std::fs::remove_dir_all(dir).ok();
+    let mut session =
+        R2d2Session::bootstrap(lake, PipelineConfig::default()).expect("trajectory bootstrap");
+    session
+        .enable_advisor(
+            CostModel::default(),
+            AdvisorConfig::default().with_knowledge(TransformKnowledge::AssumeKnown),
+        )
+        .expect("trajectory advisor");
+    session
+        .enable_persistence(
+            PersistenceConfig::new(dir)
+                .with_snapshot_every(0)
+                .with_rebase_every(rebase_every),
+        )
+        .expect("trajectory persistence");
+    let mut points = Vec::with_capacity(updates.len());
+    for update in updates {
+        session.apply(update.clone()).expect("trajectory apply");
+        let t0 = Instant::now();
+        session.checkpoint().expect("trajectory checkpoint");
+        let encode = t0.elapsed();
+        let generation = session
+            .persistence_generation()
+            .expect("trajectory generation");
+        let path = dir.join(format!("snapshot-{generation:06}.r2d2snap"));
+        let bytes = std::fs::metadata(&path).expect("snapshot metadata").len();
+        points.push(TrajectoryPoint {
+            generation,
+            kind: snapshot_kind_on_disk(&path),
+            bytes,
+            encode,
+        });
+    }
+    (session, points)
+}
+
+fn points_json(points: &[TrajectoryPoint]) -> String {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"gen\": {}, \"kind\": \"{}\", \"bytes\": {}, \"encode_ms\": {:.3} }}",
+                p.generation,
+                p.kind,
+                p.bytes,
+                p.encode.as_secs_f64() * 1_000.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
 }
 
 /// Result of one warm-vs-cold restart measurement.
@@ -60,6 +207,9 @@ pub struct RestartBenchSnapshot {
     pub cold_bootstrap: Duration,
     /// The cold-heavy variant: metadata-only restore plus a sparse touch.
     pub cold_heavy: ColdHeavySnapshot,
+    /// Per-checkpoint bytes/latency over 30 single-dataset updates, full
+    /// snapshots vs delta chain.
+    pub trajectory: CheckpointTrajectory,
 }
 
 impl RestartBenchSnapshot {
@@ -87,7 +237,7 @@ impl RestartBenchSnapshot {
     /// Render as a stable, hand-rolled JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- restart-bench\",\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"updates_before_restart\": {},\n  \"wal_tail_updates\": {},\n  \"snapshot_bytes\": {},\n  \"warm_restore_ms\": {:.3},\n  \"cold_bootstrap_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"cold_heavy\": {{\n    \"metadata_restore_ms\": {:.3},\n    \"speedup_vs_cold\": {:.2},\n    \"pages_skipped\": {},\n    \"pages_decoded_untouched\": {},\n    \"touched_datasets\": {},\n    \"pages_decoded_touched\": {}\n  }}\n}}\n",
+            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- restart-bench\",\n  \"corpus\": {{ \"name\": \"{}\", \"datasets\": {}, \"rows\": {} }},\n  \"updates_before_restart\": {},\n  \"wal_tail_updates\": {},\n  \"snapshot_bytes\": {},\n  \"warm_restore_ms\": {:.3},\n  \"cold_bootstrap_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"cold_heavy\": {{\n    \"metadata_restore_ms\": {:.3},\n    \"speedup_vs_cold\": {:.2},\n    \"pages_skipped\": {},\n    \"pages_decoded_untouched\": {},\n    \"touched_datasets\": {},\n    \"pages_decoded_touched\": {}\n  }},\n  \"checkpoint_trajectory\": {{\n    \"updates\": {},\n    \"rebase_every_k_deltas\": {},\n    \"delta_full_bytes_ratio\": {:.4},\n    \"full\": [\n{}\n    ],\n    \"delta\": [\n{}\n    ]\n  }}\n}}\n",
             self.corpus_name,
             self.datasets,
             self.rows,
@@ -103,6 +253,11 @@ impl RestartBenchSnapshot {
             self.cold_heavy.pages_decoded_untouched,
             self.cold_heavy.touched_datasets,
             self.cold_heavy.pages_decoded_touched,
+            self.trajectory.updates,
+            self.trajectory.rebase_every,
+            self.trajectory.delta_full_bytes_ratio(),
+            points_json(&self.trajectory.full),
+            points_json(&self.trajectory.delta),
         )
     }
 
@@ -124,8 +279,16 @@ impl RestartBenchSnapshot {
                 self.cold_heavy.metadata_restore.as_secs_f64() * 1_000.0
             ),
         ]);
+        let delta_medians: Vec<u64> = self
+            .trajectory
+            .delta
+            .iter()
+            .filter(|p| p.kind == "delta")
+            .map(|p| p.bytes)
+            .collect();
+        let full_medians: Vec<u64> = self.trajectory.full.iter().map(|p| p.bytes).collect();
         format!(
-            "{}\nwarm restore vs cold bootstrap: {:.2}x ({} datasets, {} updates, {} in WAL tail, snapshot {} KiB)\nmetadata-only restore vs cold bootstrap: {:.2}x ({} pages skipped, {} decoded untouched, {} decoded after touching {} datasets)\n",
+            "{}\nwarm restore vs cold bootstrap: {:.2}x ({} datasets, {} updates, {} in WAL tail, snapshot {} KiB)\nmetadata-only restore vs cold bootstrap: {:.2}x ({} pages skipped, {} decoded untouched, {} decoded after touching {} datasets)\ncheckpoint trajectory ({} updates, rebase every {} deltas): median delta {} KiB vs median full {} KiB ({:.1}% of a full snapshot)\n",
             t.render(),
             self.speedup(),
             self.datasets,
@@ -137,6 +300,11 @@ impl RestartBenchSnapshot {
             self.cold_heavy.pages_decoded_untouched,
             self.cold_heavy.pages_decoded_touched,
             self.cold_heavy.touched_datasets,
+            self.trajectory.updates,
+            self.trajectory.rebase_every,
+            median(&delta_medians).unwrap_or(0.0) as u64 / 1024,
+            median(&full_medians).unwrap_or(0.0) as u64 / 1024,
+            self.trajectory.delta_full_bytes_ratio() * 100.0,
         )
     }
 }
@@ -160,6 +328,7 @@ pub fn collect(smoke: bool) -> RestartBenchSnapshot {
     // applied, then a checkpoint with a WAL tail behind it (the state shape
     // a long-running service is killed in).
     let updates = make_updates(&corpus.lake, k_updates);
+    let trajectory_lake = corpus.lake.clone();
     let mut live =
         R2d2Session::bootstrap(corpus.lake, PipelineConfig::default()).expect("bootstrap");
     live.enable_advisor(
@@ -274,6 +443,63 @@ pub fn collect(smoke: bool) -> RestartBenchSnapshot {
     };
     drop(warm);
 
+    // Checkpoint trajectory: the same single-dataset update stream, applied
+    // twice from the same starting lake with one checkpoint after every
+    // update — once with delta chains disabled (every checkpoint is a full
+    // snapshot) and once with the default delta path rebasing every K
+    // deltas. Before any trajectory number is reported, a restore over the
+    // finished delta chain must reproduce the live delta-arm session
+    // bit-for-bit, and both arms must agree with each other.
+    let rebase_every = if smoke { 4 } else { 8 };
+    let full_dir = dir.with_file_name(format!(
+        "{}_traj_full",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    let delta_dir = dir.with_file_name(format!(
+        "{}_traj_delta",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    let (full_session, full_points) =
+        trajectory_arm(trajectory_lake.clone(), &updates, &full_dir, 0);
+    let (delta_session, delta_points) =
+        trajectory_arm(trajectory_lake, &updates, &delta_dir, rebase_every);
+    let traj_restored = R2d2Session::restore(&delta_dir).expect("trajectory restore");
+    assert_eq!(
+        traj_restored.graph(),
+        delta_session.graph(),
+        "trajectory restore: graph diverged"
+    );
+    assert_eq!(
+        traj_restored.ops().without_page_counters(),
+        delta_session.ops().without_page_counters(),
+        "trajectory restore: meter totals diverged"
+    );
+    assert_eq!(
+        traj_restored.update_log().len(),
+        delta_session.update_log().len(),
+        "trajectory restore: update log diverged"
+    );
+    assert_eq!(
+        full_session.graph(),
+        delta_session.graph(),
+        "full and delta trajectory arms diverged"
+    );
+    drop((traj_restored, delta_session, full_session));
+    std::fs::remove_dir_all(&full_dir).ok();
+    std::fs::remove_dir_all(&delta_dir).ok();
+    let trajectory = CheckpointTrajectory {
+        updates: updates.len(),
+        rebase_every,
+        full: full_points,
+        delta: delta_points,
+    };
+    assert!(
+        trajectory.delta_full_bytes_ratio() <= 0.10,
+        "a single-dataset delta checkpoint must cost at most 10% of a full \
+         snapshot, got {:.1}%",
+        trajectory.delta_full_bytes_ratio() * 100.0
+    );
+
     std::fs::remove_dir_all(&dir).ok();
     RestartBenchSnapshot {
         corpus_name,
@@ -285,6 +511,7 @@ pub fn collect(smoke: bool) -> RestartBenchSnapshot {
         warm_restore,
         cold_bootstrap,
         cold_heavy,
+        trajectory,
     }
 }
 
@@ -311,12 +538,28 @@ mod tests {
         assert!(snap.cold_heavy.touched_datasets >= 1);
         assert!(snap.cold_heavy.pages_decoded_touched > 0);
         assert!(snap.cold_heavy.pages_decoded_touched < snap.cold_heavy.pages_skipped);
+        // Trajectory contract: one point per update in each arm, every
+        // full-arm checkpoint is a full snapshot, the delta arm mixes
+        // deltas with periodic rebases (rebase_every=4 over 6 updates
+        // guarantees both kinds), and the headline ratio holds even on the
+        // smoke corpus. `collect` already asserted the chain-restore
+        // oracle and the <=10% bound before returning.
+        assert_eq!(snap.trajectory.updates, 6);
+        assert_eq!(snap.trajectory.full.len(), 6);
+        assert_eq!(snap.trajectory.delta.len(), 6);
+        assert!(snap.trajectory.full.iter().all(|p| p.kind == "full"));
+        assert!(snap.trajectory.delta.iter().any(|p| p.kind == "delta"));
+        assert!(snap.trajectory.delta.iter().any(|p| p.kind == "full"));
+        assert!(snap.trajectory.delta_full_bytes_ratio() <= 0.10);
         let json = snap.to_json();
         assert!(json.contains("\"warm_restore_ms\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"pages_decoded_untouched\": 0"));
+        assert!(json.contains("\"checkpoint_trajectory\""));
+        assert!(json.contains("\"delta_full_bytes_ratio\""));
         let table = snap.render();
         assert!(table.contains("cold bootstrap"));
         assert!(table.contains("metadata-only restore"));
+        assert!(table.contains("checkpoint trajectory"));
     }
 }

@@ -366,7 +366,9 @@ fn wal_cost(spec: &CorpusSpec, batches: &[Vec<LakeUpdate>], grouped: bool) -> Wa
             session.apply_batch(b).expect("per-batch commit");
         }
     }
-    let WalStats { records, fsyncs } = session.wal_stats().expect("wal stats");
+    let WalStats {
+        records, fsyncs, ..
+    } = session.wal_stats().expect("wal stats");
     let _ = std::fs::remove_dir_all(&dir);
     WalCost {
         batches: batches.len(),

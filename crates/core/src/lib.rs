@@ -73,7 +73,7 @@ pub mod sgb;
 pub mod view;
 
 pub use config::{ApproxConfig, ClpSampling, PipelineConfig};
-pub use persist::{PersistenceConfig, SessionSnapshot};
+pub use persist::{Failpoints, PersistenceConfig, SessionSnapshot};
 pub use pipeline::{ApproxEdgeReport, PipelineReport, R2d2Pipeline, Stage, StageReport};
 pub use r2d2_lake::{AppliedUpdate, LakeUpdate};
 pub use r2d2_opt::advisor::{AdvisorConfig, AdvisorReport};

@@ -36,7 +36,9 @@
 
 use crate::config::PipelineConfig;
 use crate::dynamic::{self, Effect};
-use crate::persist::{self, Persistence, PersistenceConfig, SessionSnapshot, WalRecord};
+use crate::persist::{
+    self, Failpoints, Persistence, PersistenceConfig, SessionSnapshot, WalRecord,
+};
 use crate::pipeline::{PipelineReport, R2d2Pipeline};
 use crate::view::SessionView;
 use bytes::Buf;
@@ -155,6 +157,9 @@ pub struct R2d2Session {
     /// generation's counters live in `persist`; see
     /// [`R2d2Session::wal_stats`]).
     wal_retired: WalStats,
+    /// Injectable crash points consulted by every persistence write site
+    /// ([`Failpoints::none`] outside the fault-injection tests).
+    failpoints: Failpoints,
 }
 
 impl R2d2Session {
@@ -183,6 +188,7 @@ impl R2d2Session {
             advisor: None,
             persist: None,
             wal_retired: WalStats::default(),
+            failpoints: Failpoints::none(),
         })
     }
 
@@ -230,7 +236,10 @@ impl R2d2Session {
                 // Write-ahead: the record is durable before the first
                 // mutation, so the log can only over-describe (a batch that
                 // never ran re-runs on replay), never lose applied work.
-                p.wal.append(&WalRecord::Batch(updates.to_vec()).encode())?;
+                p.append(
+                    &WalRecord::Batch(updates.to_vec()).encode(),
+                    &self.failpoints,
+                )?;
             }
         }
         let (first_err, report) = self.apply_batch_core(updates)?;
@@ -440,7 +449,9 @@ impl R2d2Session {
             let group = &batches[start..];
             let concat: Vec<LakeUpdate> = group.iter().flatten().cloned().collect();
             if let Some(p) = &mut self.persist {
-                if let Err(e) = p.wal.append(&WalRecord::Batch(concat.clone()).encode()) {
+                if let Err(e) =
+                    p.append(&WalRecord::Batch(concat.clone()).encode(), &self.failpoints)
+                {
                     // Nothing of this group executed; every remaining batch
                     // reports the append failure (the typed error goes to
                     // the first, the rest get a rendered copy — LakeError
@@ -544,14 +555,15 @@ impl R2d2Session {
     }
 
     /// Durability-cost counters since persistence was enabled — write-ahead
-    /// records appended and fsyncs issued, summed across WAL generation
-    /// rotations. `None` when persistence is not enabled. `fsyncs / records`
-    /// ≈ 1 under per-batch commits; group commit drives records (and hence
-    /// fsyncs) *below* the number of submitted batches.
+    /// records appended, fsyncs issued, segment files created and segment
+    /// files compacted away, summed across WAL generation rotations. `None`
+    /// when persistence is not enabled. `fsyncs / records` ≈ 1 under
+    /// per-batch commits; group commit drives records (and hence fsyncs)
+    /// *below* the number of submitted batches.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.persist
             .as_ref()
-            .map(|p| self.wal_retired.plus(&p.wal.stats()))
+            .map(|p| self.wal_retired.plus(&p.wal_stats()))
     }
 
     /// Rotate to a fresh snapshot generation when the compaction threshold
@@ -752,7 +764,7 @@ impl R2d2Session {
                 counts: counts.clone(),
                 meter: self.meter.snapshot(),
             };
-            if let Err(e) = p.wal.append(&record.encode()) {
+            if let Err(e) = p.append(&record.encode(), &self.failpoints) {
                 // Put the window back: the drained counts were neither
                 // logged nor applied, so they must not be lost to a
                 // transient append failure (merged — traffic may have
@@ -840,6 +852,16 @@ impl R2d2Session {
         self.persist.is_some()
     }
 
+    /// Install fault-injection crash points: every persistence write site
+    /// (checkpoint encode, WAL segment creation, snapshot rename, segment
+    /// rotation, generation pruning) consults the hook and injects an I/O
+    /// error where it returns `true`, leaving the on-disk state exactly as a
+    /// crash at that point would. Testing aid — production sessions keep the
+    /// default [`Failpoints::none`].
+    pub fn set_failpoints(&mut self, failpoints: Failpoints) {
+        self.failpoints = failpoints;
+    }
+
     /// Current snapshot generation number, when persistence is enabled.
     pub fn persistence_generation(&self) -> Option<u64> {
         self.persist.as_ref().map(|p| p.seq)
@@ -867,10 +889,15 @@ impl R2d2Session {
         Ok(seq)
     }
 
-    /// Write generation `seq` (snapshot + empty WAL) and make it the live
-    /// one. On success the previous generation is kept as a fallback and
-    /// anything older is pruned; on failure the previous persistence state
-    /// stays attached.
+    /// Write generation `seq` (snapshot + empty WAL segment 0) and make it
+    /// the live one. On success every generation no restore chain needs is
+    /// pruned; on failure the previous persistence state stays attached.
+    ///
+    /// The generation is a **delta** — only the state dirtied since the
+    /// previous generation, chained to it by sequence number and body
+    /// checksum — when a live base capture exists and fewer than
+    /// [`PersistenceConfig::rebase_every_k_deltas`] deltas have accumulated
+    /// since the last full snapshot; otherwise it is a **full** rebase.
     ///
     /// Order matters: the WAL is created *before* the snapshot is renamed
     /// into place. The snapshot file is what makes a generation visible to
@@ -881,23 +908,89 @@ impl R2d2Session {
     /// newer snapshot shadows records still being acknowledged into the
     /// old WAL.
     fn write_generation(&mut self, config: PersistenceConfig, seq: u64) -> Result<()> {
-        let snapshot = self.snapshot_with_policy(config.snapshot_every_n_updates);
-        let wal = WalWriter::create(&persist::wal_path(&config.dir, seq))?;
-        persist::write_snapshot_file(&persist::snapshot_path(&config.dir, seq), &snapshot.bytes)?;
+        // Delta only chains onto a generation this session is live on (and
+        // in the same directory — `enable_persistence` on a fresh dir must
+        // bottom the chain out with a full snapshot).
+        let is_delta = self.persist.as_ref().is_some_and(|p| {
+            config.rebase_every_k_deltas > 0
+                && p.deltas_since_full < config.rebase_every_k_deltas
+                && p.config.dir == config.dir
+        });
+        let site = if is_delta { "delta" } else { "rebase" };
+        let parts = persist::SnapshotParts {
+            config: &self.config,
+            snapshot_every_n_updates: config.snapshot_every_n_updates,
+            rebase_every_k_deltas: config.rebase_every_k_deltas,
+            wal_segment_max_bytes: config.wal_segment_max_bytes,
+            lake: &self.lake,
+            graph: &self.graph,
+            interner: &self.interner,
+            cache: &self.cache,
+            bootstrap: &self.bootstrap,
+            updates_applied: self.updates_applied,
+            log: &self.log,
+            advisor: self.advisor.as_ref(),
+        };
+        let (kind, body) = if is_delta {
+            let base = &self
+                .persist
+                .as_ref()
+                .expect("delta requires a live base")
+                .base;
+            (
+                persist::SnapshotKind::Delta {
+                    base_seq: base.seq,
+                    base_checksum: base.body_checksum,
+                },
+                persist::encode_delta_body(&parts, base),
+            )
+        } else {
+            (
+                persist::SnapshotKind::Full,
+                persist::encode_snapshot_body(&parts),
+            )
+        };
+        let body_checksum = wal::checksum(&body);
+        let bytes = persist::frame_snapshot(kind, body);
+        self.failpoints.hit(&format!("{site}:encoded"))?;
+        let wal = WalWriter::create(&persist::wal_segment_path(&config.dir, seq, 0), seq, 0)?;
+        self.failpoints.hit(&format!("{site}:wal-created"))?;
+        persist::write_snapshot_file_with(
+            &persist::snapshot_path(&config.dir, seq),
+            &bytes,
+            &self.failpoints,
+            site,
+        )?;
+        self.failpoints.hit(&format!("{site}:renamed"))?;
+        // The new generation is durable; everything below is bookkeeping on
+        // the session and best-effort cleanup on disk.
+        let base = persist::capture_base(seq, body_checksum, &parts);
+        let deltas_since_full = if is_delta {
+            self.persist.as_ref().map_or(0, |p| p.deltas_since_full) + 1
+        } else {
+            0
+        };
         if let Some(old) = &self.persist {
             // Fold the rotated-away generation's durability counters into
             // the retired total so `wal_stats` spans rotations.
-            self.wal_retired = self.wal_retired.plus(&old.wal.stats());
+            self.wal_retired = self.wal_retired.plus(&old.wal_stats());
         }
         self.persist = Some(Persistence {
             config: config.clone(),
             seq,
+            segment: 0,
             wal,
+            retired_segments: WalStats::default(),
             updates_since_snapshot: 0,
+            deltas_since_full,
+            base,
         });
         // Pruning is best-effort: the new generation is already durable and
-        // live, so a cleanup failure must not fail the checkpoint.
-        persist::prune_generations(&config.dir, seq.saturating_sub(1)).ok();
+        // live, so a cleanup failure must not fail the checkpoint. Dropped
+        // WAL segments count as compacted.
+        if let Ok(compacted) = persist::prune_generations(&config.dir, seq, &self.failpoints) {
+            self.wal_retired.segments_compacted += compacted;
+        }
         Ok(())
     }
 
@@ -905,19 +998,38 @@ impl R2d2Session {
     /// same image a persistence generation writes, without touching disk or
     /// the WAL).
     pub fn snapshot(&self) -> SessionSnapshot {
-        let policy = self
+        let (every, rebase, segment_bytes) = self
             .persist
             .as_ref()
-            .map(|p| p.config.snapshot_every_n_updates)
-            .unwrap_or(persist::DEFAULT_SNAPSHOT_EVERY);
-        self.snapshot_with_policy(policy)
+            .map(|p| {
+                (
+                    p.config.snapshot_every_n_updates,
+                    p.config.rebase_every_k_deltas,
+                    p.config.wal_segment_max_bytes,
+                )
+            })
+            .unwrap_or((
+                persist::DEFAULT_SNAPSHOT_EVERY,
+                persist::DEFAULT_REBASE_EVERY,
+                0,
+            ));
+        self.snapshot_with_policy(every, rebase, segment_bytes)
     }
 
-    fn snapshot_with_policy(&self, snapshot_every_n_updates: usize) -> SessionSnapshot {
+    /// A standalone snapshot is always a *full* image — deltas only exist as
+    /// chain links inside a persistence directory.
+    fn snapshot_with_policy(
+        &self,
+        snapshot_every_n_updates: usize,
+        rebase_every_k_deltas: usize,
+        wal_segment_max_bytes: u64,
+    ) -> SessionSnapshot {
         SessionSnapshot {
             bytes: persist::encode_snapshot(&persist::SnapshotParts {
                 config: &self.config,
                 snapshot_every_n_updates,
+                rebase_every_k_deltas,
+                wal_segment_max_bytes,
                 lake: &self.lake,
                 graph: &self.graph,
                 interner: &self.interner,
@@ -948,21 +1060,23 @@ impl R2d2Session {
         let dir = dir.as_ref();
         let generations = persist::list_generations(dir)?;
 
-        // 1. Newest decodable snapshot wins as the replay base.
+        // 1. Newest intact *chain* wins as the replay base: a generation is
+        //    usable only if its own file and every base link down to the
+        //    chain's full snapshot decode and match the checksums their
+        //    dependent deltas name. A broken link falls the walk back to the
+        //    next older generation.
         let mut base = None;
         let mut last_err: Option<r2d2_lake::LakeError> = None;
         for &seq in generations.iter().rev() {
-            let attempt = SessionSnapshot::read(&persist::snapshot_path(dir, seq))
-                .and_then(|s| persist::decode_snapshot(&s.bytes));
-            match attempt {
-                Ok(decoded) => {
-                    base = Some((seq, decoded));
+            match persist::decode_chain(dir, seq) {
+                Ok((decoded, checksum)) => {
+                    base = Some((seq, decoded, checksum));
                     break;
                 }
                 Err(e) => last_err = Some(e),
             }
         }
-        let Some((base_seq, decoded)) = base else {
+        let Some((base_seq, decoded, base_checksum)) = base else {
             return Err(last_err.unwrap_or_else(|| {
                 r2d2_lake::LakeError::InvalidArgument(format!(
                     "no snapshot generations found in {}",
@@ -970,8 +1084,36 @@ impl R2d2Session {
                 ))
             }));
         };
-        let policy = decoded.snapshot_every_n_updates;
+        let config = PersistenceConfig {
+            dir: dir.to_path_buf(),
+            snapshot_every_n_updates: decoded.snapshot_every_n_updates,
+            rebase_every_k_deltas: decoded.rebase_every_k_deltas,
+            wal_segment_max_bytes: decoded.wal_segment_max_bytes,
+        };
         let mut session = R2d2Session::from_decoded(decoded);
+
+        // Fingerprint the restored state *before* WAL replay: this is
+        // exactly what generation `base_seq`'s snapshot describes, so the
+        // resumed session can write its next checkpoint as a delta against
+        // it.
+        let resume_base = persist::capture_base(
+            base_seq,
+            base_checksum,
+            &persist::SnapshotParts {
+                config: &session.config,
+                snapshot_every_n_updates: config.snapshot_every_n_updates,
+                rebase_every_k_deltas: config.rebase_every_k_deltas,
+                wal_segment_max_bytes: config.wal_segment_max_bytes,
+                lake: &session.lake,
+                graph: &session.graph,
+                interner: &session.interner,
+                cache: &session.cache,
+                bootstrap: &session.bootstrap,
+                updates_applied: session.updates_applied,
+                log: &session.log,
+                advisor: session.advisor.as_ref(),
+            },
+        );
 
         // 2. Replay WALs from the base generation forward. Generation N's
         //    WAL holds the updates applied after snapshot N, so when a
@@ -986,75 +1128,94 @@ impl R2d2Session {
         let updates_before = session.updates_applied;
         let fell_back = generations.iter().any(|&s| s > base_seq);
         let mut dropped_tail = false;
-        for &seq in generations.iter().filter(|&&s| s >= base_seq) {
-            let wal_file = persist::wal_path(dir, seq);
-            if !wal_file.exists() {
-                continue;
-            }
-            let contents = match wal::read_records(&wal_file) {
-                Ok(contents) => contents,
-                // An unreadable newer WAL (destroyed header) ends the
-                // replay: everything behind it is unknowable, like a torn
-                // tail. The base generation's own WAL failing this way is
-                // the same situation with zero tail records.
-                Err(_) => {
+        'replay: for &seq in generations.iter().filter(|&&s| s >= base_seq) {
+            // A generation's segments must run contiguously from 0 and each
+            // header must name this generation and its own index: a gap, an
+            // unreadable header or a mislabeled segment makes everything
+            // behind it unknowable, like a torn tail.
+            for (expect, (segment, path)) in persist::list_wal_segments(dir, seq)?
+                .into_iter()
+                .enumerate()
+            {
+                if segment as usize != expect {
                     dropped_tail = true;
-                    break;
+                    break 'replay;
                 }
-            };
-            dropped_tail |= contents.dropped_tail;
-            for raw in contents.records {
-                let mut cursor = bytes::Bytes::from(raw);
-                let record = WalRecord::decode(&mut cursor)?;
-                if cursor.remaining() != 0 {
-                    return Err(r2d2_lake::LakeError::Corrupt(
-                        "trailing wal record bytes".into(),
-                    ));
-                }
-                match record {
-                    WalRecord::Batch(updates) => {
-                        let _ = session.apply_batch_inner(&updates, false);
+                let contents = match wal::read_records(&path) {
+                    Ok(contents) => contents,
+                    Err(_) => {
+                        dropped_tail = true;
+                        break 'replay;
                     }
-                    WalRecord::AccessRefresh { counts, meter } => {
-                        session.apply_access_counts(&counts)?;
-                        // Top the meter up to the recorded totals: replay
-                        // reproduces all session-applied work, so any gap is
-                        // exactly the read-side traffic served out-of-band
-                        // before this sync point.
-                        let gap = meter.since(&session.meter.snapshot());
-                        session.meter.add_counts(&gap);
+                };
+                if contents.generation != seq || contents.segment != segment {
+                    dropped_tail = true;
+                    break 'replay;
+                }
+                dropped_tail |= contents.dropped_tail;
+                for raw in contents.records {
+                    let mut cursor = bytes::Bytes::from(raw);
+                    let record = WalRecord::decode(&mut cursor)?;
+                    if cursor.remaining() != 0 {
+                        return Err(r2d2_lake::LakeError::Corrupt(
+                            "trailing wal record bytes".into(),
+                        ));
+                    }
+                    match record {
+                        WalRecord::Batch(updates) => {
+                            let _ = session.apply_batch_inner(&updates, false);
+                        }
+                        WalRecord::AccessRefresh { counts, meter } => {
+                            session.apply_access_counts(&counts)?;
+                            // Top the meter up to the recorded totals: replay
+                            // reproduces all session-applied work, so any gap
+                            // is exactly the read-side traffic served
+                            // out-of-band before this sync point.
+                            let gap = meter.since(&session.meter.snapshot());
+                            session.meter.add_counts(&gap);
+                        }
                     }
                 }
-            }
-            if dropped_tail {
-                break; // nothing behind a torn record can be trusted
+                if dropped_tail {
+                    break 'replay; // nothing behind a torn record can be trusted
+                }
             }
         }
         let replayed = session.updates_applied - updates_before;
 
         // 3. Resume persisting. The clean common case appends to the live
-        //    generation's WAL; any degradation (torn tail, snapshot
-        //    fallback) rotates to a fresh generation so the directory is
-        //    coherent again.
-        let config = PersistenceConfig {
-            dir: dir.to_path_buf(),
-            snapshot_every_n_updates: policy,
-        };
+        //    generation's newest WAL segment; any degradation (torn tail,
+        //    snapshot fallback) rotates to a fresh generation — a full
+        //    rebase, since no live base capture is attached yet — so the
+        //    directory is coherent again.
         let live_seq = generations.last().copied().unwrap_or(base_seq);
-        let live_wal = persist::wal_path(dir, live_seq);
         if dropped_tail || fell_back {
             session.write_generation(config, live_seq + 1)?;
         } else {
-            let wal = if live_wal.exists() {
-                WalWriter::open_append(&live_wal)?
-            } else {
-                WalWriter::create(&live_wal)?
+            let segments = persist::list_wal_segments(dir, live_seq)?;
+            let (segment, wal) = match segments.last() {
+                Some(&(segment, ref path)) => (
+                    segment,
+                    WalWriter::open_append(path, Some((live_seq, segment)))?,
+                ),
+                None => (
+                    0,
+                    WalWriter::create(&persist::wal_segment_path(dir, live_seq, 0), live_seq, 0)?,
+                ),
             };
+            // The resumed chain keeps its delta depth: rebase cadence
+            // carries across restarts.
+            let deltas_since_full =
+                persist::chain_members(dir, live_seq).map_or(0, |chain| chain.len() - 1);
             session.persist = Some(Persistence {
                 config,
                 seq: live_seq,
+                segment,
                 wal,
+                retired_segments: WalStats::default(),
                 updates_since_snapshot: replayed,
+                deltas_since_full,
+                base: resume_base,
             });
             session.maybe_auto_checkpoint()?;
         }
@@ -1069,6 +1230,8 @@ impl R2d2Session {
         let persist::DecodedSnapshot {
             config,
             snapshot_every_n_updates: _,
+            rebase_every_k_deltas: _,
+            wal_segment_max_bytes: _,
             lake,
             graph,
             mut interner,
@@ -1097,6 +1260,7 @@ impl R2d2Session {
             advisor,
             persist: None,
             wal_retired: WalStats::default(),
+            failpoints: Failpoints::none(),
         }
     }
 }
@@ -1665,10 +1829,7 @@ mod tests {
 
         let mut grouped = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
         grouped
-            .enable_persistence(PersistenceConfig {
-                dir: dir.join("grouped"),
-                snapshot_every_n_updates: 0,
-            })
+            .enable_persistence(PersistenceConfig::new(dir.join("grouped")).with_snapshot_every(0))
             .unwrap();
         assert_eq!(grouped.wal_stats().unwrap().records, 0);
         let outcome = grouped.apply_group(&batches);
@@ -1678,10 +1839,9 @@ mod tests {
 
         let mut per_batch = session_with(&[("base", table(0..80)), ("sub", table(10..30))]);
         per_batch
-            .enable_persistence(PersistenceConfig {
-                dir: dir.join("per_batch"),
-                snapshot_every_n_updates: 0,
-            })
+            .enable_persistence(
+                PersistenceConfig::new(dir.join("per_batch")).with_snapshot_every(0),
+            )
             .unwrap();
         for batch in &batches {
             per_batch.apply_batch(batch).unwrap();

@@ -462,6 +462,14 @@ impl HashJoinCache {
         *slot.lock().expect("slot lock poisoned") = Some(Arc::new(multiset));
     }
 
+    /// Delta-restore hook for [`crate::snapshot`]: drop one entry by exact
+    /// key. Applying a delta snapshot replays the base generation's cache
+    /// removals; a key the base never held is a no-op (the removal it
+    /// records was already effective in the encoded state).
+    pub(crate) fn remove_entry(&self, key: &(u64, u64, Vec<String>)) {
+        self.slots.lock().expect("cache lock poisoned").remove(key);
+    }
+
     /// Drop every cached multiset of `build_id`, releasing its memory.
     ///
     /// Sweeps that visit edges grouped by build side (e.g. the ground-truth

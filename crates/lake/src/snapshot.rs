@@ -610,6 +610,241 @@ pub fn get_lake(buf: &mut Bytes) -> Result<DataLake> {
     Ok(lake)
 }
 
+// ---------------------------------------------------------------------------
+// Delta codecs
+// ---------------------------------------------------------------------------
+//
+// Delta snapshot generations (`r2d2_core::persist`) re-encode only what
+// changed since the previous generation. The lake-owned sections below come
+// in *fingerprint* / *put delta* / *apply delta* triples: the owner captures
+// a cheap fingerprint of the state it last persisted, diffs the live state
+// against it at the next checkpoint, and a restore applies the delta on top
+// of the decoded base. Like everything else in this module the encodings are
+// canonical — diffs are walked in key order — so equal (base, state) pairs
+// produce byte-equal deltas.
+
+/// Key of one [`HashJoinCache`] entry: `(build dataset id, content
+/// generation, canonicalised column set)`.
+pub type CacheKey = (u64, u64, Vec<String>);
+
+/// Fingerprint of a [`HashJoinCache`] for delta encoding: the sorted key set
+/// of every populated entry. Entries are immutable per key (a multiset is
+/// built once and only ever dropped), so presence is the whole story — no
+/// per-entry content hash is needed.
+pub fn cache_keys(cache: &HashJoinCache) -> Vec<CacheKey> {
+    cache.export_entries().into_iter().map(|(k, _)| k).collect()
+}
+
+fn put_cache_key(buf: &mut BytesMut, (build_id, generation, cols): &CacheKey) {
+    buf.put_u64_le(*build_id);
+    buf.put_u64_le(*generation);
+    buf.put_u32_le(cols.len() as u32);
+    for c in cols {
+        put_str(buf, c);
+    }
+}
+
+fn get_cache_key(buf: &mut Bytes) -> Result<CacheKey> {
+    let build_id = get_u64(buf)?;
+    let generation = get_u64(buf)?;
+    expect_len(buf, 4, "cache key column count")?;
+    let col_count = buf.get_u32_le() as usize;
+    let mut cols = Vec::with_capacity(col_count.min(1024));
+    for _ in 0..col_count {
+        cols.push(get_str(buf)?);
+    }
+    Ok((build_id, generation, cols))
+}
+
+/// Append a [`HashJoinCache`] delta against `base_keys` (a prior
+/// [`cache_keys`] capture, which is already sorted): the keys dropped since
+/// the base, then the entries added since the base (full multisets, encoded
+/// exactly as [`put_join_cache`] frames them).
+pub fn put_join_cache_delta(buf: &mut BytesMut, cache: &HashJoinCache, base_keys: &[CacheKey]) {
+    let entries = cache.export_entries();
+    let removed: Vec<&CacheKey> = base_keys
+        .iter()
+        .filter(|k| entries.binary_search_by(|(key, _)| key.cmp(k)).is_err())
+        .collect();
+    buf.put_u32_le(removed.len() as u32);
+    for key in removed {
+        put_cache_key(buf, key);
+    }
+    let added: Vec<_> = entries
+        .iter()
+        .filter(|(key, _)| base_keys.binary_search(key).is_err())
+        .collect();
+    buf.put_u32_le(added.len() as u32);
+    for (key, multiset) in added {
+        put_cache_key(buf, key);
+        let mut rows: Vec<(RowHash, usize)> = multiset.iter().map(|(&h, &n)| (h, n)).collect();
+        rows.sort_unstable();
+        buf.put_u64_le(rows.len() as u64);
+        for (hash, n) in rows {
+            buf.put_u64_le(hash.0 as u64);
+            buf.put_u64_le((hash.0 >> 64) as u64);
+            put_usize(buf, n);
+        }
+    }
+}
+
+/// Apply a [`put_join_cache_delta`] section on top of the base generation's
+/// restored cache: removals first, then added entries.
+pub fn apply_join_cache_delta(buf: &mut Bytes, cache: &HashJoinCache) -> Result<()> {
+    expect_len(buf, 4, "cache delta removed count")?;
+    let removed = buf.get_u32_le() as usize;
+    for _ in 0..removed {
+        cache.remove_entry(&get_cache_key(buf)?);
+    }
+    expect_len(buf, 4, "cache delta added count")?;
+    let added = buf.get_u32_le() as usize;
+    for _ in 0..added {
+        let key = get_cache_key(buf)?;
+        let rows = get_u64(buf)? as usize;
+        let mut multiset = RowHashMap::with_capacity_and_hasher(rows, Default::default());
+        for _ in 0..rows {
+            expect_len(buf, 24, "cache delta multiset entry")?;
+            let lo = buf.get_u64_le() as u128;
+            let hi = buf.get_u64_le() as u128;
+            let n = buf.get_u64_le() as usize;
+            multiset.insert(RowHash(lo | (hi << 64)), n);
+        }
+        cache.restore_entry(key, multiset);
+    }
+    Ok(())
+}
+
+/// Fingerprint of a [`DataLake`]'s catalog for delta encoding:
+/// `id → (content generation, access profile)`. The content generation is
+/// bumped by every data mutation ([`DataLake::replace_data`]) and the access
+/// profile only changes through explicit profile refreshes, so the pair
+/// changing — or an id appearing/disappearing — is exactly "this entry needs
+/// re-encoding". Names and lineage are immutable per id and ride along with
+/// the entry whenever it is dirty.
+pub fn lake_fingerprint(lake: &DataLake) -> BTreeMap<u64, (u64, AccessProfile)> {
+    lake.iter()
+        .map(|e| (e.id.0, (e.generation, e.access)))
+        .collect()
+}
+
+/// Append a [`DataLake`] delta against `base` (a prior [`lake_fingerprint`]
+/// capture): dropped ids, dirty entries in full (new ids or changed
+/// fingerprints, encoded exactly as [`put_lake`] frames an entry), then the
+/// small always-carried sections — the id counter, the undrained access-log
+/// tallies and the cumulative meter totals (whole: they are a handful of
+/// words, and carrying totals instead of deltas keeps the apply a plain
+/// top-up of monotone counters).
+pub fn put_lake_delta(
+    buf: &mut BytesMut,
+    lake: &DataLake,
+    base: &BTreeMap<u64, (u64, AccessProfile)>,
+) {
+    let dropped: Vec<u64> = base
+        .keys()
+        .copied()
+        .filter(|id| lake.dataset(DatasetId(*id)).is_err())
+        .collect();
+    buf.put_u32_le(dropped.len() as u32);
+    for id in dropped {
+        buf.put_u64_le(id);
+    }
+    let dirty: Vec<&DatasetEntry> = lake
+        .iter()
+        .filter(|e| base.get(&e.id.0) != Some(&(e.generation, e.access)))
+        .collect();
+    buf.put_u32_le(dirty.len() as u32);
+    for entry in dirty {
+        buf.put_u64_le(entry.id.0);
+        put_str(buf, &entry.name);
+        put_partitioned(buf, &entry.data);
+        buf.put_u64_le(entry.generation);
+        put_access_profile(buf, &entry.access);
+        put_lineage(buf, &entry.lineage);
+    }
+    buf.put_u64_le(lake.next_id());
+    put_count_map(buf, &lake.access_log().counts());
+    put_op_counts(buf, &lake.meter().snapshot());
+}
+
+/// Apply a [`put_lake_delta`] section on top of the base generation's
+/// restored lake: drop the dropped, upsert the dirty (their pages stay lazy,
+/// metered on the lake's own meter like [`get_lake`]'s), pin the id counter,
+/// replace the access-log window, and top the meter up to the saved totals.
+///
+/// The meter top-up is a saturating difference: logical counters are
+/// monotone across a delta (the saved totals can only be ≥ the base's), and
+/// the process-local page counters — zeroed on the wire, but charged live by
+/// the lazy decodes above — saturate to a zero gap instead of underflowing.
+pub fn apply_lake_delta(buf: &mut Bytes, lake: &mut DataLake) -> Result<()> {
+    expect_len(buf, 4, "lake delta dropped count")?;
+    let dropped = buf.get_u32_le() as usize;
+    for _ in 0..dropped {
+        let id = DatasetId(get_u64(buf)?);
+        lake.remove_dataset(id)
+            .map_err(|_| LakeError::Corrupt(format!("lake delta drops unknown dataset {id}")))?;
+    }
+    expect_len(buf, 4, "lake delta dirty count")?;
+    let dirty = buf.get_u32_le() as usize;
+    for _ in 0..dirty {
+        let id = DatasetId(get_u64(buf)?);
+        let name = get_str(buf)?;
+        let data = get_partitioned_with(buf, lake.meter())?;
+        let generation = get_u64(buf)?;
+        let access = get_access_profile(buf)?;
+        let lineage = get_lineage(buf)?;
+        lake.restore_entry(DatasetEntry {
+            id,
+            name,
+            data: Arc::new(data),
+            generation,
+            access,
+            lineage,
+        });
+    }
+    lake.set_next_id(get_u64(buf)?);
+    lake.restore_access_counts(get_count_map(buf)?);
+    let saved = get_op_counts(buf)?;
+    let gap = saved.since(&lake.meter().snapshot().without_page_counters());
+    lake.meter().add_counts(&gap);
+    Ok(())
+}
+
+/// Append a [`SchemaInterner`] tail against a prior length capture: the
+/// base length (verified on apply — a tail only splices onto the exact
+/// interner it was diffed from) and the names of every symbol interned
+/// since, in symbol order. Interners only grow and never reassign, so the
+/// tail is the entire diff.
+pub fn put_interner_tail(buf: &mut BytesMut, interner: &SchemaInterner, base_len: usize) {
+    put_usize(buf, base_len);
+    let len = interner.len();
+    buf.put_u32_le((len - base_len) as u32);
+    for id in base_len as u32..len as u32 {
+        put_str(buf, interner.resolve(id).expect("dense symbol ids"));
+    }
+}
+
+/// Apply a [`put_interner_tail`] section: verify the base length matches,
+/// then re-intern the tail names so they take their original dense ids.
+pub fn apply_interner_tail(buf: &mut Bytes, interner: &mut SchemaInterner) -> Result<()> {
+    let base_len = get_usize(buf)?;
+    if interner.len() != base_len {
+        return Err(LakeError::Corrupt(format!(
+            "interner tail expects base length {base_len}, found {}",
+            interner.len()
+        )));
+    }
+    expect_len(buf, 4, "interner tail length")?;
+    let added = buf.get_u32_le() as usize;
+    for offset in 0..added as u32 {
+        let name = get_str(buf)?;
+        let id = interner.intern(&name);
+        if id != base_len as u32 + offset {
+            return Err(LakeError::Corrupt("duplicate interner symbol".into()));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +1102,162 @@ mod tests {
             .unwrap();
         assert_eq!(*served, *original);
         assert_eq!(scratch.snapshot(), OpCounts::default());
+    }
+
+    #[test]
+    fn lake_delta_reencodes_only_dirty_entries_and_applies_cleanly() {
+        let mut lake = sample_lake();
+        let doomed = lake
+            .add_dataset(
+                "doomed",
+                PartitionedTable::single(table(50..55)),
+                AccessProfile::default(),
+                None,
+            )
+            .unwrap();
+        lake.meter().add_rows_scanned(50);
+        lake.record_access(DatasetId(0));
+        let base_fingerprint = lake_fingerprint(&lake);
+
+        // Persist the base, then restore it — the delta applies on top of a
+        // *decoded* base, exactly as a chain restore would.
+        let mut base_buf = BytesMut::new();
+        put_lake(&mut base_buf, &lake);
+        let mut restored = get_lake(&mut base_buf.freeze()).unwrap();
+
+        // Mutate one dataset, add one, drop one, touch an access profile,
+        // and accrue more meter/access-log state.
+        lake.replace_data(DatasetId(0), PartitionedTable::single(table(0..25)))
+            .unwrap();
+        let fresh = lake
+            .add_dataset(
+                "fresh",
+                PartitionedTable::single(table(100..110)),
+                AccessProfile::default(),
+                None,
+            )
+            .unwrap();
+        lake.remove_dataset(doomed).unwrap();
+        lake.set_access_profile(
+            fresh,
+            AccessProfile {
+                accesses_per_period: 9.0,
+                maintenance_per_period: 1.0,
+            },
+        )
+        .unwrap();
+        lake.meter().add_rows_scanned(17);
+        lake.record_access(fresh);
+
+        let mut delta = BytesMut::new();
+        put_lake_delta(&mut delta, &lake, &base_fingerprint);
+        let delta = delta.freeze();
+
+        // The delta re-encodes only the dirty entries (root and fresh), not
+        // the whole lake: the untouched "sub" contributes nothing.
+        let mut full = BytesMut::new();
+        put_lake(&mut full, &lake);
+        let full = full.freeze();
+        assert!(
+            delta.len() < full.len(),
+            "delta ({}) must be smaller than the full encoding ({})",
+            delta.len(),
+            full.len()
+        );
+
+        let mut cursor = delta.clone();
+        apply_lake_delta(&mut cursor, &mut restored).unwrap();
+        assert_eq!(cursor.remaining(), 0);
+
+        // Bit-identity through the canonical encoder: the applied lake and
+        // the live lake serialize to the same bytes.
+        let mut applied = BytesMut::new();
+        put_lake(&mut applied, &restored);
+        assert_eq!(applied.freeze(), full);
+
+        // A delta that drops an id the base never had is a clean error.
+        let mut bogus_base = base_fingerprint.clone();
+        bogus_base.insert(999, (0, AccessProfile::default()));
+        let mut bogus = BytesMut::new();
+        put_lake_delta(&mut bogus, &lake, &bogus_base);
+        let mut fresh_restore = {
+            let mut buf = BytesMut::new();
+            put_lake(&mut buf, &sample_lake());
+            get_lake(&mut buf.freeze()).unwrap()
+        };
+        assert!(apply_lake_delta(&mut bogus.freeze(), &mut fresh_restore).is_err());
+    }
+
+    #[test]
+    fn join_cache_delta_tracks_additions_and_removals() {
+        let lake = sample_lake();
+        let meter = Meter::new();
+        let cache = HashJoinCache::new();
+        let root = lake.dataset(DatasetId(0)).unwrap();
+        let sub = lake.dataset(DatasetId(1)).unwrap();
+        cache
+            .multiset(0, root.generation, &root.data, &["id"], &meter)
+            .unwrap();
+        let base_keys = cache_keys(&cache);
+
+        // Restore the base cache, then diverge the live one: add a key,
+        // remove the old one.
+        let mut base_buf = BytesMut::new();
+        put_join_cache(&mut base_buf, &cache);
+        let restored = get_join_cache(&mut base_buf.freeze()).unwrap();
+
+        cache
+            .multiset(1, sub.generation, &sub.data, &["id", "v"], &meter)
+            .unwrap();
+        cache.evict_dataset(0);
+
+        let mut delta = BytesMut::new();
+        put_join_cache_delta(&mut delta, &cache, &base_keys);
+        let mut cursor = delta.freeze();
+        apply_join_cache_delta(&mut cursor, &restored).unwrap();
+        assert_eq!(cursor.remaining(), 0);
+
+        let mut live = BytesMut::new();
+        put_join_cache(&mut live, &cache);
+        let mut applied = BytesMut::new();
+        put_join_cache(&mut applied, &restored);
+        assert_eq!(applied.freeze(), live.freeze());
+
+        // No changes → an empty (but well-formed) delta.
+        let mut empty = BytesMut::new();
+        put_join_cache_delta(&mut empty, &cache, &cache_keys(&cache));
+        assert_eq!(empty.len(), 8, "two zero counts");
+    }
+
+    #[test]
+    fn interner_tail_splices_only_onto_its_exact_base() {
+        let mut interner = SchemaInterner::new();
+        interner.intern("a");
+        interner.intern("b");
+        let base_len = interner.len();
+        interner.intern("c");
+        interner.intern("d");
+
+        let mut buf = BytesMut::new();
+        put_interner_tail(&mut buf, &interner, base_len);
+        let tail = buf.freeze();
+
+        let mut target = SchemaInterner::new();
+        target.intern("a");
+        target.intern("b");
+        apply_interner_tail(&mut tail.clone(), &mut target).unwrap();
+        assert_eq!(target.len(), 4);
+        for id in 0..4u32 {
+            assert_eq!(target.resolve(id), interner.resolve(id));
+        }
+
+        // Wrong base length: splicing onto a shorter or longer interner is
+        // rejected before any symbol is interned.
+        let mut too_short = SchemaInterner::new();
+        too_short.intern("a");
+        assert!(apply_interner_tail(&mut tail.clone(), &mut too_short).is_err());
+        let mut too_long = target;
+        assert!(apply_interner_tail(&mut tail.clone(), &mut too_long).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Write-ahead log framing: length + checksum framed records on disk.
+//! Write-ahead log framing: length + checksum framed records in bounded,
+//! headered segments on disk.
 //!
 //! The enterprise lakes of the paper persist in ADLS-style storage; a
 //! long-lived containment service must survive a process restart without
@@ -11,14 +12,22 @@
 //! batches, access-profile refreshes) is the caller's business
 //! (`r2d2_core`'s session persistence).
 //!
-//! On-disk layout (all integers little-endian):
+//! A generation's log is a sequence of **segments**: bounded files that the
+//! owner rotates when the active one exceeds its byte budget, so one
+//! long-lived generation never grows a single unbounded file and compaction
+//! can drop whole segments once a newer snapshot covers them. Each segment
+//! header names the snapshot generation it extends and its position in that
+//! generation's segment sequence, so a reader can verify it is stitching the
+//! right files back together in the right order.
+//!
+//! On-disk layout of one segment (all integers little-endian):
 //!
 //! ```text
-//! magic "R2D2WAL\0" | version u32
+//! magic "R2D2WAL\0" | version u32 | generation u64 | segment u32
 //! per record: payload_len u32 | checksum(payload) u64 | payload bytes
 //! ```
 //!
-//! A crash can leave a partially written record at the end of the file;
+//! A crash can leave a partially written record at the end of a segment;
 //! [`read_records`] detects it (short header, short payload, or checksum
 //! mismatch) and **cleanly drops the tail from the first bad record on**,
 //! returning every intact record before it. A record that was never fully
@@ -30,19 +39,25 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Leading magic of a WAL file.
+/// Leading magic of a WAL segment file.
 pub const WAL_MAGIC: &[u8; 8] = b"R2D2WAL\0";
 
-/// Current WAL format version. Version bumps track record-payload changes
-/// so a log written by an older build fails with an explicit version error
-/// instead of a misleading payload-decode error: version 3 rode along with
-/// the lazy-storage work (tables inside update records became `R2D2LAKE`
-/// v4, `OpCounts` grew page/string counters, and the 4-lane word-parallel
-/// checksum below replaced byte-wise FNV-1a); version 4 follows the
-/// approximate-tier work (tables are `R2D2LAKE` v5 with footer MinHash
-/// signatures, `OpCounts` grew the `approx_probes`/`approx_prunes`
-/// counters).
-pub const WAL_VERSION: u32 = 4;
+/// Current WAL format version. Version bumps track framing or record-payload
+/// changes so a log written by an older build fails with an explicit version
+/// error instead of a misleading payload-decode error: version 3 rode along
+/// with the lazy-storage work (tables inside update records became
+/// `R2D2LAKE` v4, `OpCounts` grew page/string counters, and the 4-lane
+/// word-parallel checksum below replaced byte-wise FNV-1a); version 4
+/// followed the approximate-tier work (`R2D2LAKE` v5 tables, the
+/// `approx_probes`/`approx_prunes` counters); version 5 introduces
+/// **segments** — the file header grew a `generation u64 | segment u32`
+/// pair naming the snapshot generation this segment extends and its index
+/// in that generation's segment sequence, so v4 files (and v4 readers) are
+/// rejected with an explicit error rather than misparsed.
+pub const WAL_VERSION: u32 = 5;
+
+/// Segment header size: magic + version + generation + segment index.
+pub const SEGMENT_HEADER: usize = 8 + 4 + 8 + 4;
 
 /// Per-record header size: `payload_len u32` + `checksum u64`.
 const RECORD_HEADER: usize = 4 + 8;
@@ -85,7 +100,7 @@ pub fn checksum(payload: &[u8]) -> u64 {
     hash
 }
 
-/// Append handle to one WAL file.
+/// Append handle to one WAL segment file.
 ///
 /// Every [`WalWriter::append`] writes one framed record and flushes it to
 /// the OS, then `fsync`s, so an acknowledged append survives a process
@@ -93,24 +108,40 @@ pub fn checksum(payload: &[u8]) -> u64 {
 /// describes (write-ahead), which makes the failure mode one-sided: the log
 /// may describe a mutation that never ran (harmless — replay re-runs it),
 /// but never the reverse.
+///
+/// Segment *rotation* is the owner's job: [`WalWriter::bytes_written`]
+/// reports the segment's current size so the owner can create the next
+/// segment (same generation, index + 1) once the active one exceeds its
+/// budget.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
     stats: WalStats,
+    bytes: u64,
 }
 
 /// Durability-cost counters of one [`WalWriter`] (and, summed across
 /// rotations, of a whole session — `r2d2_core`'s session accumulates them
-/// over WAL generations). `fsyncs / records` is the group-commit
-/// amortization ratio the `serve-bench` experiment reports: one-fsync-per-
-/// batch writes one record per batch, while a group commit folds many
-/// queued batches into one record and one fsync.
+/// over WAL segments and generations). `fsyncs / records` is the
+/// group-commit amortization ratio the `serve-bench` experiment reports:
+/// one-fsync-per-batch writes one record per batch, while a group commit
+/// folds many queued batches into one record and one fsync. `segments` and
+/// `segments_compacted` track the segment lifecycle: files created by
+/// rotation against files deleted because a newer snapshot generation
+/// wholly covers them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalStats {
     /// Records appended ([`WalWriter::append`] calls).
     pub records: u64,
     /// `fsync` system calls issued (one per append, plus one at creation).
     pub fsyncs: u64,
+    /// Segment files created ([`WalWriter::create`] calls; reopening an
+    /// existing segment for append does not count).
+    pub segments: u64,
+    /// Segment files deleted by compaction because a newer snapshot
+    /// generation wholly covers their records. Incremented by the owner
+    /// (the session's generation pruning), not by the writer itself.
+    pub segments_compacted: u64,
 }
 
 impl WalStats {
@@ -119,28 +150,40 @@ impl WalStats {
         WalStats {
             records: self.records + other.records,
             fsyncs: self.fsyncs + other.fsyncs,
+            segments: self.segments + other.segments,
+            segments_compacted: self.segments_compacted + other.segments_compacted,
         }
     }
 }
 
 impl WalWriter {
-    /// Create a fresh WAL at `path` (truncating any existing file) and write
-    /// the file header.
-    pub fn create(path: &Path) -> Result<Self> {
+    /// Create a fresh WAL segment at `path` (truncating any existing file)
+    /// and write the segment header naming the snapshot `generation` it
+    /// extends and its `segment` index within that generation.
+    pub fn create(path: &Path, generation: u64, segment: u32) -> Result<Self> {
         let mut file = File::create(path)?;
-        file.write_all(WAL_MAGIC)?;
-        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        let mut header = [0u8; SEGMENT_HEADER];
+        header[..8].copy_from_slice(WAL_MAGIC);
+        header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        header[12..20].copy_from_slice(&generation.to_le_bytes());
+        header[20..24].copy_from_slice(&segment.to_le_bytes());
+        file.write_all(&header)?;
         file.sync_all()?;
         Ok(WalWriter {
             file,
             stats: WalStats {
                 records: 0,
                 fsyncs: 1,
+                segments: 1,
+                segments_compacted: 0,
             },
+            bytes: SEGMENT_HEADER as u64,
         })
     }
 
-    /// Open an existing WAL for appending, after validating its header.
+    /// Open an existing WAL segment for appending, after validating its
+    /// header (magic, version, and — when `expect` is given — the
+    /// generation/segment pair it must belong to).
     ///
     /// The crash-recovery contract is append-only: a torn tail record is
     /// *not* truncated here — [`read_records`] skips it on every read, and
@@ -148,15 +191,25 @@ impl WalWriter {
     /// after a torn tail would be unreachable behind it, so callers restoring
     /// from a WAL with a detected torn tail should rotate to a fresh log
     /// (which `r2d2_core`'s restore does) rather than keep appending.
-    pub fn open_append(path: &Path) -> Result<Self> {
+    pub fn open_append(path: &Path, expect: Option<(u64, u32)>) -> Result<Self> {
         let mut file = OpenOptions::new().read(true).append(true).open(path)?;
-        let mut header = [0u8; 12];
+        let mut header = [0u8; SEGMENT_HEADER];
         file.read_exact(&mut header)
             .map_err(|_| LakeError::Corrupt("WAL header too short".into()))?;
-        validate_header(&header)?;
+        let (generation, segment) = validate_header(&header)?;
+        if let Some((want_gen, want_seg)) = expect {
+            if (generation, segment) != (want_gen, want_seg) {
+                return Err(LakeError::Corrupt(format!(
+                    "WAL segment header names generation {generation} segment {segment}, \
+                     expected generation {want_gen} segment {want_seg}"
+                )));
+            }
+        }
+        let bytes = file.metadata()?.len();
         Ok(WalWriter {
             file,
             stats: WalStats::default(),
+            bytes,
         })
     }
 
@@ -170,6 +223,7 @@ impl WalWriter {
         self.file.sync_data()?;
         self.stats.records += 1;
         self.stats.fsyncs += 1;
+        self.bytes += frame.len() as u64;
         Ok(())
     }
 
@@ -178,9 +232,15 @@ impl WalWriter {
     pub fn stats(&self) -> WalStats {
         self.stats
     }
+
+    /// Size in bytes of the segment this writer appends to (header
+    /// included) — the owner's rotation trigger.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
 }
 
-fn validate_header(header: &[u8]) -> Result<()> {
+fn validate_header(header: &[u8]) -> Result<(u64, u32)> {
     if &header[..8] != WAL_MAGIC {
         return Err(LakeError::Corrupt("bad WAL magic".into()));
     }
@@ -190,12 +250,19 @@ fn validate_header(header: &[u8]) -> Result<()> {
             "unsupported WAL version {version}"
         )));
     }
-    Ok(())
+    let generation = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let segment = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+    Ok((generation, segment))
 }
 
-/// Everything [`read_records`] recovered from one WAL file.
+/// Everything [`read_records`] recovered from one WAL segment file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalContents {
+    /// The snapshot generation this segment extends (from the header).
+    pub generation: u64,
+    /// This segment's index within the generation's sequence (from the
+    /// header).
+    pub segment: u32,
     /// Intact record payloads, in append order.
     pub records: Vec<Vec<u8>>,
     /// Whether a torn or corrupt tail was detected and dropped. When true,
@@ -203,7 +270,7 @@ pub struct WalContents {
     pub dropped_tail: bool,
 }
 
-/// Read every intact record of the WAL at `path`.
+/// Read every intact record of the WAL segment at `path`.
 ///
 /// A missing length header, a payload shorter than its declared length, or a
 /// checksum mismatch all mark the start of an unrecoverable tail: reading
@@ -212,12 +279,12 @@ pub struct WalContents {
 /// destroyed file.
 pub fn read_records(path: &Path) -> Result<WalContents> {
     let raw = std::fs::read(path)?;
-    if raw.len() < 12 {
+    if raw.len() < SEGMENT_HEADER {
         return Err(LakeError::Corrupt("WAL header too short".into()));
     }
-    validate_header(&raw[..12])?;
+    let (generation, segment) = validate_header(&raw[..SEGMENT_HEADER])?;
     let mut records = Vec::new();
-    let mut pos = 12usize;
+    let mut pos = SEGMENT_HEADER;
     let mut dropped_tail = false;
     while pos < raw.len() {
         if raw.len() - pos < RECORD_HEADER {
@@ -240,6 +307,8 @@ pub fn read_records(path: &Path) -> Result<WalContents> {
         pos = body_start + len;
     }
     Ok(WalContents {
+        generation,
+        segment,
         records,
         dropped_tail,
     })
@@ -258,12 +327,14 @@ mod tests {
     #[test]
     fn append_and_read_round_trip() {
         let path = temp_path("round_trip.r2d2wal");
-        let mut wal = WalWriter::create(&path).unwrap();
+        let mut wal = WalWriter::create(&path, 7, 2).unwrap();
         wal.append(b"first").unwrap();
         wal.append(b"").unwrap();
         wal.append(&[0xAB; 1000]).unwrap();
         let contents = read_records(&path).unwrap();
         assert!(!contents.dropped_tail);
+        assert_eq!(contents.generation, 7);
+        assert_eq!(contents.segment, 2);
         assert_eq!(
             contents.records,
             vec![b"first".to_vec(), Vec::new(), vec![0xAB; 1000]]
@@ -274,20 +345,48 @@ mod tests {
     #[test]
     fn reopen_appends_after_existing_records() {
         let path = temp_path("reopen.r2d2wal");
-        WalWriter::create(&path).unwrap().append(b"one").unwrap();
-        WalWriter::open_append(&path)
+        WalWriter::create(&path, 1, 0)
+            .unwrap()
+            .append(b"one")
+            .unwrap();
+        WalWriter::open_append(&path, Some((1, 0)))
             .unwrap()
             .append(b"two")
             .unwrap();
         let contents = read_records(&path).unwrap();
         assert_eq!(contents.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        // Reopening as the wrong generation/segment is rejected: the caller
+        // would be appending acknowledged records into a file a restore
+        // will never stitch into that generation's sequence.
+        assert!(WalWriter::open_append(&path, Some((1, 1))).is_err());
+        assert!(WalWriter::open_append(&path, Some((2, 0))).is_err());
+        assert!(WalWriter::open_append(&path, None).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bytes_written_tracks_the_file_size() {
+        let path = temp_path("bytes.r2d2wal");
+        let mut wal = WalWriter::create(&path, 3, 0).unwrap();
+        assert_eq!(wal.bytes_written(), SEGMENT_HEADER as u64);
+        wal.append(b"12345").unwrap();
+        let expected = (SEGMENT_HEADER + RECORD_HEADER + 5) as u64;
+        assert_eq!(wal.bytes_written(), expected);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), expected);
+        drop(wal);
+        let reopened = WalWriter::open_append(&path, Some((3, 0))).unwrap();
+        assert_eq!(
+            reopened.bytes_written(),
+            expected,
+            "reopen seeds the rotation trigger from the real file size"
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn truncated_tail_is_dropped() {
         let path = temp_path("truncated.r2d2wal");
-        let mut wal = WalWriter::create(&path).unwrap();
+        let mut wal = WalWriter::create(&path, 1, 0).unwrap();
         wal.append(b"keep me").unwrap();
         wal.append(b"torn record").unwrap();
         drop(wal);
@@ -303,14 +402,14 @@ mod tests {
     #[test]
     fn checksum_mismatch_drops_the_tail_from_the_bad_record() {
         let path = temp_path("corrupt.r2d2wal");
-        let mut wal = WalWriter::create(&path).unwrap();
+        let mut wal = WalWriter::create(&path, 1, 0).unwrap();
         wal.append(b"good").unwrap();
         wal.append(b"flipped").unwrap();
         wal.append(b"unreachable").unwrap();
         drop(wal);
         // Flip one payload byte of the middle record.
         let mut raw = std::fs::read(&path).unwrap();
-        let middle_payload = 12 + (12 + 4) + 12; // header + rec1 + rec2 header
+        let middle_payload = SEGMENT_HEADER + (12 + 4) + 12; // header + rec1 + rec2 header
         raw[middle_payload] ^= 0xFF;
         std::fs::write(&path, &raw).unwrap();
         let contents = read_records(&path).unwrap();
@@ -322,26 +421,42 @@ mod tests {
     #[test]
     fn wrong_magic_and_version_are_errors() {
         let path = temp_path("badmagic.r2d2wal");
-        std::fs::write(&path, b"NOTAWAL!\x01\x00\x00\x00").unwrap();
+        let mut bad = b"NOTAWAL!".to_vec();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &bad).unwrap();
         assert!(read_records(&path).is_err());
-        assert!(WalWriter::open_append(&path).is_err());
+        assert!(WalWriter::open_append(&path, None).is_err());
 
-        let mut versioned = WAL_MAGIC.to_vec();
-        versioned.extend_from_slice(&99u32.to_le_bytes());
-        std::fs::write(&path, &versioned).unwrap();
-        assert!(read_records(&path).is_err());
+        // Every pre-segment version (and any future one) is rejected with an
+        // explicit version error, never misparsed: a v4 file's first record
+        // bytes would otherwise be consumed as the v5 generation/segment
+        // header fields.
+        for version in [1u32, 2, 3, 4, 99] {
+            let mut versioned = WAL_MAGIC.to_vec();
+            versioned.extend_from_slice(&version.to_le_bytes());
+            versioned.extend_from_slice(&[0u8; 12]);
+            std::fs::write(&path, &versioned).unwrap();
+            let err = read_records(&path).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("unsupported WAL version {version}")),
+                "version {version} must fail explicitly, got: {err}"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn stats_count_records_and_fsyncs() {
+    fn stats_count_records_fsyncs_and_segments() {
         let path = temp_path("stats.r2d2wal");
-        let mut wal = WalWriter::create(&path).unwrap();
+        let mut wal = WalWriter::create(&path, 1, 0).unwrap();
         assert_eq!(
             wal.stats(),
             WalStats {
                 records: 0,
-                fsyncs: 1
+                fsyncs: 1,
+                segments: 1,
+                segments_compacted: 0
             }
         );
         wal.append(b"a").unwrap();
@@ -350,23 +465,29 @@ mod tests {
             wal.stats(),
             WalStats {
                 records: 2,
-                fsyncs: 3
+                fsyncs: 3,
+                segments: 1,
+                segments_compacted: 0
             }
         );
         drop(wal);
-        let mut reopened = WalWriter::open_append(&path).unwrap();
+        let mut reopened = WalWriter::open_append(&path, Some((1, 0))).unwrap();
         assert_eq!(reopened.stats(), WalStats::default());
         reopened.append(b"c").unwrap();
         let total = WalStats {
             records: 2,
             fsyncs: 3,
+            segments: 1,
+            segments_compacted: 0,
         }
         .plus(&reopened.stats());
         assert_eq!(
             total,
             WalStats {
                 records: 3,
-                fsyncs: 4
+                fsyncs: 4,
+                segments: 1,
+                segments_compacted: 0
             }
         );
         std::fs::remove_file(&path).ok();
@@ -375,10 +496,11 @@ mod tests {
     #[test]
     fn empty_wal_reads_zero_records() {
         let path = temp_path("empty.r2d2wal");
-        WalWriter::create(&path).unwrap();
+        WalWriter::create(&path, 4, 1).unwrap();
         let contents = read_records(&path).unwrap();
         assert!(contents.records.is_empty());
         assert!(!contents.dropped_tail);
+        assert_eq!((contents.generation, contents.segment), (4, 1));
         std::fs::remove_file(&path).ok();
     }
 }

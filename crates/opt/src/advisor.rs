@@ -706,6 +706,291 @@ impl AdvisorState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Delta serialization (delta snapshot generations)
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of an [`AdvisorState`] that a later [`AdvisorState::encode_delta`]
+/// diffs against: an identity checksum over the cost model + config, per-node
+/// and per-edge value bits (f64s compared via `to_bits`, so NaN-safe and
+/// bit-exact), and a checksum per cached component.
+#[derive(Debug, Clone)]
+pub struct AdvisorCapture {
+    identity: u64,
+    nodes: BTreeMap<u64, (u64, u64, u64)>,
+    edges: BTreeMap<(u64, u64), u64>,
+    cache: BTreeMap<u64, u64>,
+}
+
+fn put_component(buf: &mut BytesMut, component: &CachedComponent) {
+    buf.put_u32_le(component.nodes.len() as u32);
+    for &n in &component.nodes {
+        buf.put_u64_le(n);
+    }
+    put_solution(buf, &component.solution);
+}
+
+fn get_component(buf: &mut Bytes) -> Result<CachedComponent> {
+    expect_len(buf, 4, "advisor component size")?;
+    let members = buf.get_u32_le() as usize;
+    let mut nodes = Vec::with_capacity(members.min(4096));
+    for _ in 0..members {
+        nodes.push(get_u64(buf)?);
+    }
+    let solution = get_solution(buf)?;
+    Ok(CachedComponent { nodes, solution })
+}
+
+fn component_checksum(component: &CachedComponent) -> u64 {
+    let mut buf = BytesMut::new();
+    put_component(&mut buf, component);
+    r2d2_lake::wal::checksum(&buf.freeze())
+}
+
+impl AdvisorState {
+    fn identity_checksum(&self) -> u64 {
+        let mut buf = BytesMut::new();
+        for v in [
+            self.model.storage_per_gb_period,
+            self.model.read_per_gb,
+            self.model.write_per_gb,
+            self.model.maintenance_per_gb_op,
+            self.model.read_latency_per_gb,
+            self.model.write_latency_per_gb,
+            self.model.latency_threshold,
+        ] {
+            buf.put_u64_le(v.to_bits());
+        }
+        put_usize(&mut buf, self.config.exact_component_limit);
+        buf.put_u8(match self.config.knowledge {
+            TransformKnowledge::Required => 0,
+            TransformKnowledge::AssumeKnown => 1,
+        });
+        buf.put_u64_le(self.config.scans_per_week.to_bits());
+        r2d2_lake::wal::checksum(&buf.freeze())
+    }
+
+    /// Capture the fingerprint a later [`AdvisorState::encode_delta`] diffs
+    /// against.
+    pub fn capture(&self) -> AdvisorCapture {
+        AdvisorCapture {
+            identity: self.identity_checksum(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(&d, n)| {
+                    (
+                        d,
+                        (
+                            n.size_bytes,
+                            n.retention_cost.to_bits(),
+                            n.accesses.to_bits(),
+                        ),
+                    )
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|(&k, &cost)| (k, cost.to_bits()))
+                .collect(),
+            cache: self
+                .cache
+                .iter()
+                .map(|(&k, c)| (k, component_checksum(c)))
+                .collect(),
+        }
+    }
+
+    /// Serialize only what changed since `base` was [captured](Self::capture):
+    /// removed + upserted nodes, edges and cached components, plus the small
+    /// always-rewritten tail (dirty set, staleness, merged solution, resolve
+    /// stats). Returns `None` when the cost model or config changed — those
+    /// invalidate everything, so the caller should write a full encoding
+    /// instead. Like [`AdvisorState::encode`], the delta is canonical.
+    pub fn encode_delta(&self, base: &AdvisorCapture) -> Option<Bytes> {
+        if self.identity_checksum() != base.identity {
+            return None;
+        }
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(base.identity);
+        let removed_nodes: Vec<u64> = base
+            .nodes
+            .keys()
+            .filter(|d| !self.nodes.contains_key(d))
+            .copied()
+            .collect();
+        buf.put_u32_le(removed_nodes.len() as u32);
+        for d in removed_nodes {
+            buf.put_u64_le(d);
+        }
+        let upserted_nodes: Vec<&NodeCosts> = self
+            .nodes
+            .iter()
+            .filter(|(d, n)| {
+                base.nodes.get(d)
+                    != Some(&(
+                        n.size_bytes,
+                        n.retention_cost.to_bits(),
+                        n.accesses.to_bits(),
+                    ))
+            })
+            .map(|(_, n)| n)
+            .collect();
+        buf.put_u32_le(upserted_nodes.len() as u32);
+        for node in upserted_nodes {
+            buf.put_u64_le(node.dataset);
+            buf.put_u64_le(node.size_bytes);
+            buf.put_f64_le(node.retention_cost);
+            buf.put_f64_le(node.accesses);
+        }
+        let removed_edges: Vec<(u64, u64)> = base
+            .edges
+            .keys()
+            .filter(|k| !self.edges.contains_key(k))
+            .copied()
+            .collect();
+        buf.put_u32_le(removed_edges.len() as u32);
+        for (parent, child) in removed_edges {
+            buf.put_u64_le(parent);
+            buf.put_u64_le(child);
+        }
+        let upserted_edges: Vec<((u64, u64), f64)> = self
+            .edges
+            .iter()
+            .filter(|(k, cost)| base.edges.get(k) != Some(&cost.to_bits()))
+            .map(|(&k, &cost)| (k, cost))
+            .collect();
+        buf.put_u32_le(upserted_edges.len() as u32);
+        for ((parent, child), cost) in upserted_edges {
+            buf.put_u64_le(parent);
+            buf.put_u64_le(child);
+            buf.put_f64_le(cost);
+        }
+        // Dirty set + staleness: small, always rewritten whole.
+        buf.put_u32_le(self.dirty.len() as u32);
+        for &d in &self.dirty {
+            buf.put_u64_le(d);
+        }
+        put_bool(&mut buf, self.stale);
+        // Component cache diff.
+        let removed_cache: Vec<u64> = base
+            .cache
+            .keys()
+            .filter(|k| !self.cache.contains_key(k))
+            .copied()
+            .collect();
+        buf.put_u32_le(removed_cache.len() as u32);
+        for k in removed_cache {
+            buf.put_u64_le(k);
+        }
+        let upserted_cache: Vec<(u64, &CachedComponent)> = self
+            .cache
+            .iter()
+            .filter(|(k, c)| base.cache.get(k) != Some(&component_checksum(c)))
+            .map(|(&k, c)| (k, c))
+            .collect();
+        buf.put_u32_le(upserted_cache.len() as u32);
+        for (key, component) in upserted_cache {
+            buf.put_u64_le(key);
+            put_component(&mut buf, component);
+        }
+        // Merged solution + resolve stats: small, always rewritten whole.
+        put_solution(&mut buf, &self.solution);
+        put_usize(&mut buf, self.stats.components_total);
+        put_usize(&mut buf, self.stats.components_reused);
+        put_usize(&mut buf, self.stats.components_resolved);
+        Some(buf.freeze())
+    }
+
+    /// Patch this state — the decoded *base generation's* advisor — with an
+    /// [`AdvisorState::encode_delta`] section. The delta's identity checksum
+    /// must match this state's model + config (deltas never change them);
+    /// removing an absent node, edge or cached component is a corruption
+    /// error, never a panic.
+    pub fn apply_delta(&mut self, buf: &mut Bytes) -> Result<()> {
+        let identity = get_u64(buf)?;
+        if identity != self.identity_checksum() {
+            return Err(r2d2_lake::LakeError::Corrupt(
+                "advisor delta identity does not match base generation".into(),
+            ));
+        }
+        expect_len(buf, 4, "advisor removed node count")?;
+        let removed_nodes = buf.get_u32_le() as usize;
+        for _ in 0..removed_nodes {
+            let d = get_u64(buf)?;
+            if self.nodes.remove(&d).is_none() {
+                return Err(r2d2_lake::LakeError::Corrupt(
+                    "advisor delta removes an absent node".into(),
+                ));
+            }
+        }
+        expect_len(buf, 4, "advisor upserted node count")?;
+        let upserted_nodes = buf.get_u32_le() as usize;
+        for _ in 0..upserted_nodes {
+            expect_len(buf, 32, "advisor upserted node")?;
+            let node = NodeCosts {
+                dataset: buf.get_u64_le(),
+                size_bytes: buf.get_u64_le(),
+                retention_cost: buf.get_f64_le(),
+                accesses: buf.get_f64_le(),
+            };
+            self.nodes.insert(node.dataset, node);
+        }
+        expect_len(buf, 4, "advisor removed edge count")?;
+        let removed_edges = buf.get_u32_le() as usize;
+        for _ in 0..removed_edges {
+            let parent = get_u64(buf)?;
+            let child = get_u64(buf)?;
+            if self.edges.remove(&(parent, child)).is_none() {
+                return Err(r2d2_lake::LakeError::Corrupt(
+                    "advisor delta removes an absent edge".into(),
+                ));
+            }
+        }
+        expect_len(buf, 4, "advisor upserted edge count")?;
+        let upserted_edges = buf.get_u32_le() as usize;
+        for _ in 0..upserted_edges {
+            expect_len(buf, 24, "advisor upserted edge")?;
+            let parent = buf.get_u64_le();
+            let child = buf.get_u64_le();
+            self.edges.insert((parent, child), buf.get_f64_le());
+        }
+        expect_len(buf, 4, "advisor dirty count")?;
+        let dirty_count = buf.get_u32_le() as usize;
+        let mut dirty = BTreeSet::new();
+        for _ in 0..dirty_count {
+            dirty.insert(get_u64(buf)?);
+        }
+        self.dirty = dirty;
+        self.stale = get_bool(buf)?;
+        expect_len(buf, 4, "advisor removed cache count")?;
+        let removed_cache = buf.get_u32_le() as usize;
+        for _ in 0..removed_cache {
+            let k = get_u64(buf)?;
+            if self.cache.remove(&k).is_none() {
+                return Err(r2d2_lake::LakeError::Corrupt(
+                    "advisor delta removes an absent cached component".into(),
+                ));
+            }
+        }
+        expect_len(buf, 4, "advisor upserted cache count")?;
+        let upserted_cache = buf.get_u32_le() as usize;
+        for _ in 0..upserted_cache {
+            let key = get_u64(buf)?;
+            let component = get_component(buf)?;
+            self.cache.insert(key, component);
+        }
+        self.solution = get_solution(buf)?;
+        self.stats = ResolveStats {
+            components_total: get_usize(buf)?,
+            components_reused: get_usize(buf)?,
+            components_resolved: get_usize(buf)?,
+        };
+        Ok(())
+    }
+}
+
 /// The from-scratch oracle the incremental advisor is pinned against: build
 /// a live-dataset copy of `graph` (annotations preserved, nodes and edges of
 /// dropped datasets excluded), run the §5.1 preprocessing, price the
@@ -969,6 +1254,87 @@ mod tests {
             back.last_resolve_stats().components_reused > 0,
             "restored cache must spare clean components"
         );
+    }
+
+    #[test]
+    fn delta_round_trip_matches_full_encode_bit_for_bit() {
+        let (mut lake, graph) = two_chain_lake();
+        let mut state = advisor(&lake, &graph);
+        state.advise();
+        let base = state.capture();
+        let base_copy = state.clone();
+
+        // Dirty one chain since the capture.
+        lake.append_rows(DatasetId(3), {
+            let schema = Schema::flat(&[("x", DataType::Int)]).unwrap();
+            Table::new(schema, vec![Column::from_ints(20_000..20_500)]).unwrap()
+        })
+        .unwrap();
+        state
+            .apply(
+                &lake,
+                &graph,
+                &[(3, DatasetChange::ContentChanged)],
+                &EdgeDelta::default(),
+            )
+            .unwrap();
+        state.advise();
+
+        let delta = state.encode_delta(&base).expect("identity unchanged");
+        assert!(
+            delta.len() < state.encode().len(),
+            "delta must be smaller than the full encoding"
+        );
+        let mut patched = base_copy.clone();
+        let mut cursor = delta.clone();
+        patched.apply_delta(&mut cursor).unwrap();
+        assert_eq!(cursor.remaining(), 0, "apply must consume exactly");
+        assert_eq!(patched.encode(), state.encode(), "bit-identical state");
+        // Canonical: the same (base, state) pair re-encodes identically.
+        assert_eq!(state.encode_delta(&base).unwrap(), delta);
+    }
+
+    #[test]
+    fn delta_refuses_model_or_config_changes() {
+        let (lake, graph) = two_chain_lake();
+        let state = advisor(&lake, &graph);
+        let base = state.capture();
+        let mut retuned = CostModel::default();
+        retuned.storage_per_gb_period += 1.0;
+        let rebuilt = AdvisorState::build(&lake, &graph, retuned, *state.config()).unwrap();
+        assert!(
+            rebuilt.encode_delta(&base).is_none(),
+            "model change must force a full encoding"
+        );
+        // And a delta from the original state refuses to patch the retuned one.
+        let delta = state.encode_delta(&base).unwrap();
+        let mut wrong_base = rebuilt;
+        assert!(wrong_base.apply_delta(&mut delta.clone()).is_err());
+    }
+
+    #[test]
+    fn corrupt_delta_blobs_are_clean_errors() {
+        let (mut lake, graph) = two_chain_lake();
+        let mut state = advisor(&lake, &graph);
+        state.advise();
+        let base = state.capture();
+        let base_copy = state.clone();
+        lake.remove_dataset(DatasetId(4)).unwrap();
+        state
+            .apply(
+                &lake,
+                &graph,
+                &[(4, DatasetChange::Dropped)],
+                &EdgeDelta::default(),
+            )
+            .unwrap();
+        state.advise();
+        let delta = state.encode_delta(&base).unwrap();
+        for cut in 0..delta.len() {
+            let mut patched = base_copy.clone();
+            let mut cursor = delta.slice(0..cut);
+            let _ = patched.apply_delta(&mut cursor); // must not panic
+        }
     }
 
     #[test]

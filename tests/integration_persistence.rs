@@ -12,7 +12,7 @@
 //! `threads` setting.
 
 use r2d2_core::{
-    ApproxCandidates, ApproxConfig, CandidateSource, PersistenceConfig, PipelineConfig,
+    ApproxCandidates, ApproxConfig, CandidateSource, Failpoints, PersistenceConfig, PipelineConfig,
     R2d2Session, SessionSnapshot, UpdateReport,
 };
 use r2d2_lake::{
@@ -25,6 +25,8 @@ use r2d2_opt::CostModel;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn config(threads: usize) -> PipelineConfig {
     PipelineConfig::default().with_seed(7).with_threads(threads)
@@ -252,6 +254,7 @@ proptest::proptest! {
         count in 1usize..5,
         kill in 0usize..5,
         approx in 0u8..2,
+        segment_budget in 0u8..3,
     ) {
         let updates = gen_updates(seed, count);
         let kill = kill % (updates.len() + 1);
@@ -265,10 +268,15 @@ proptest::proptest! {
 
             // The durable session: advisor + persistence, killed after
             // `kill` updates (drop = crash; state survives only on disk).
+            // The default rebase cadence makes generations 2+ delta chains;
+            // a non-zero segment budget forces mid-generation WAL segment
+            // rotations, so restores replay multi-segment logs too.
             let mut durable = advised_session_with(cfg.clone());
             durable
                 .enable_persistence(
-                    PersistenceConfig::new(&dir).with_snapshot_every(2),
+                    PersistenceConfig::new(&dir)
+                        .with_snapshot_every(2)
+                        .with_wal_segment_max_bytes([0, 200, 4096][segment_budget as usize]),
                 )
                 .unwrap();
             for update in &updates[..kill] {
@@ -366,11 +374,12 @@ fn corrupt_mid_log_record_drops_it_and_everything_behind_it() {
 
     // Flip one byte inside the SECOND record's payload: records 2 and 3 are
     // both unrecoverable (nothing after a corrupt record can be trusted),
-    // record 1 survives.
+    // record 1 survives. The segment header is 24 bytes (magic, version,
+    // generation, segment index); each record adds 12 bytes of framing.
     let wal = wal_files(&dir).pop().unwrap();
     let mut raw = std::fs::read(&wal).unwrap();
-    let len1 = u32::from_le_bytes(raw[12..16].try_into().unwrap()) as usize;
-    let second_payload = 12 + (12 + len1) + 12;
+    let len1 = u32::from_le_bytes(raw[24..28].try_into().unwrap()) as usize;
+    let second_payload = 24 + (12 + len1) + 12;
     raw[second_payload] ^= 0xFF;
     std::fs::write(&wal, &raw).unwrap();
 
@@ -460,17 +469,28 @@ fn compaction_rotates_generations_and_prunes_old_files() {
 
     let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
     durable
-        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(1))
+        .enable_persistence(
+            PersistenceConfig::new(&dir)
+                .with_snapshot_every(1)
+                .with_rebase_every(2),
+        )
         .unwrap();
     assert_eq!(durable.persistence_generation(), Some(1));
     for update in &updates {
         durable.apply(update.clone()).unwrap();
     }
-    // Every applied update crossed the threshold → one rotation per batch.
+    // Every applied update crossed the threshold → one rotation per batch:
+    // generation 1 is the full snapshot `enable_persistence` wrote, 2 and 3
+    // are deltas chained onto it, 4 rebases (two deltas hit the quota) and
+    // 5 is a delta on the new full base.
     assert_eq!(durable.persistence_generation(), Some(5));
     assert_eq!(durable.wal_tail_updates(), Some(0));
 
-    // Only the current and previous generations remain on disk.
+    // Only the generations a restore chain can reach remain: the current
+    // chain (5 → 4) and its fallback (4). The old full at 1 outlived its
+    // own rotation — generations 2 and 3 chained onto it — and was pruned,
+    // with its dependents and their WAL segments, only once the rebase at 4
+    // cut the last chain through it.
     let mut snapshots: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -483,6 +503,22 @@ fn compaction_rotates_generations_and_prunes_old_files() {
             "snapshot-000004.r2d2snap".to_string(),
             "snapshot-000005.r2d2snap".to_string()
         ]
+    );
+    let stats = durable.wal_stats().unwrap();
+    assert_eq!(
+        stats.segments_compacted, 3,
+        "generations 1-3 each gave up one WAL segment to compaction"
+    );
+    // The delta generation undercuts the full snapshot it chains onto.
+    let full = std::fs::metadata(dir.join("snapshot-000004.r2d2snap"))
+        .unwrap()
+        .len();
+    let delta = std::fs::metadata(dir.join("snapshot-000005.r2d2snap"))
+        .unwrap()
+        .len();
+    assert!(
+        delta < full,
+        "delta generation ({delta} B) must undercut its full base ({full} B)"
     );
 
     let mut expected = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
@@ -675,9 +711,11 @@ fn old_snapshot_versions_fail_with_an_explicit_error() {
     let snapshot = session.snapshot();
     let mut raw = snapshot.as_bytes().to_vec();
     // Patch only the version field (bytes 8..12, after the magic): the
-    // reader must refuse v1–v3 by version, before it even reaches the
-    // checksum, rather than misparse the old layout.
-    for old in [1u32, 2, 3] {
+    // reader must refuse v1–v4 by version, before it even reaches the
+    // checksum, rather than misparse the old layout (v4 in particular had
+    // no kind byte — a v5 reader treating it as current would misparse the
+    // body as a kind tag).
+    for old in [1u32, 2, 3, 4] {
         raw[8..12].copy_from_slice(&old.to_le_bytes());
         let err = SessionSnapshot::from_bytes(raw.clone())
             .restore()
@@ -707,5 +745,243 @@ fn in_memory_snapshot_round_trips_without_disk() {
 fn restore_of_an_empty_directory_is_a_clean_error() {
     let dir = scratch_dir("empty_dir");
     assert!(R2d2Session::restore(&dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_wal_versions_fail_with_an_explicit_error() {
+    let dir = scratch_dir("wal_versions");
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+    durable
+        .enable_persistence(PersistenceConfig::new(&dir).with_snapshot_every(0))
+        .unwrap();
+    durable.apply(gen_updates(3, 1)[0].clone()).unwrap();
+    drop(durable);
+
+    // Patch only the version field (bytes 8..12, after the magic): a v5
+    // reader must refuse v1–v4 segments by version — v4 and older had no
+    // generation/segment fields, so parsing one as current would misread
+    // record framing as header bytes.
+    let wal = wal_files(&dir).pop().unwrap();
+    let pristine = std::fs::read(&wal).unwrap();
+    for old in [1u32, 2, 3, 4] {
+        let mut raw = pristine.clone();
+        raw[8..12].copy_from_slice(&old.to_le_bytes());
+        std::fs::write(&wal, &raw).unwrap();
+        let err = r2d2_lake::wal::read_records(&wal).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains(&format!("unsupported WAL version {old}")),
+            "wrong error for WAL v{old}: {err}"
+        );
+    }
+
+    // A session-level restore treats the unreadable segment as a torn tail:
+    // the snapshot's state survives and the directory rotates to a coherent
+    // fresh generation instead of panicking.
+    let restored = R2d2Session::restore(&dir).unwrap();
+    assert_eq!(restored.persistence_generation(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One run of the crash-point matrix: arm `site`, drive updates until the
+/// injected crash fires, kill the session (drop — state survives only on
+/// disk), and the restored session must be bit-for-bit identical to an
+/// uninterrupted session over the applied update prefix — then both sides
+/// continue through the rest of the stream and must stay identical.
+fn run_crash_point(
+    site: &str,
+    threads: usize,
+    configure: impl FnOnce(PersistenceConfig) -> PersistenceConfig,
+) {
+    let updates = gen_updates(97, 6);
+    let dir = scratch_dir(&format!("faults_{}_{threads}", site.replace(':', "_")));
+
+    let mut durable = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+    durable
+        .enable_persistence(configure(PersistenceConfig::new(&dir)))
+        .unwrap();
+    // Arm the crash point only after generation 1 is live, so the kill
+    // lands mid-stream rather than inside `enable_persistence`.
+    let fired = Arc::new(AtomicBool::new(false));
+    let hook_fired = Arc::clone(&fired);
+    let target = site.to_string();
+    durable.set_failpoints(Failpoints::new(move |s| {
+        s == target && !hook_fired.swap(true, Ordering::SeqCst)
+    }));
+
+    // Drive updates until the crash fires. Checkpoint-site crashes surface
+    // as an error from `apply` (the update itself is already durable in the
+    // WAL); prune-site crashes are swallowed (pruning is best-effort) — the
+    // hook flag is the kill signal either way.
+    let mut killed = false;
+    for update in &updates {
+        let result = durable.apply(update.clone());
+        if fired.load(Ordering::SeqCst) {
+            if let Err(e) = result {
+                assert!(
+                    e.to_string().contains("injected crash"),
+                    "{site}: unexpected error {e}"
+                );
+            }
+            killed = true;
+            break;
+        }
+        result.unwrap_or_else(|e| panic!("{site}: clean apply failed: {e}"));
+    }
+    assert!(killed, "crash site {site} never fired");
+    let applied = durable.report().updates_applied;
+    drop(durable);
+
+    // The uninterrupted reference: exactly the applied prefix, never
+    // persisted.
+    let mut reference = R2d2Session::bootstrap(base_lake(), config(threads)).unwrap();
+    for update in &updates[..applied] {
+        reference.apply(update.clone()).unwrap();
+    }
+    let mut restored =
+        R2d2Session::restore(&dir).unwrap_or_else(|e| panic!("{site}: restore failed: {e}"));
+    assert!(restored.persistence_enabled());
+    assert_sessions_identical(
+        &mut restored,
+        &mut reference,
+        &format!("{site} threads={threads} after restore"),
+    );
+
+    // Both sides keep applying; the restored one keeps persisting.
+    for update in &updates[applied..] {
+        restored.apply(update.clone()).unwrap();
+        reference.apply(update.clone()).unwrap();
+    }
+    assert_sessions_identical(
+        &mut restored,
+        &mut reference,
+        &format!("{site} threads={threads} after continuing"),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash-point fault-injection matrix: kill the session at every named
+/// persistence write site — mid-delta checkpoint, mid-rebase checkpoint,
+/// between the checkpoint's WAL/tmp/rename steps, mid-segment-rotation and
+/// mid-prune — at threads 1 and 4. Restored state must equal the
+/// uninterrupted run over the acknowledged prefix at every point.
+#[test]
+fn crash_point_matrix_restores_the_applied_prefix_at_every_site() {
+    // `snapshot_every(1)` checkpoints after every update;
+    // `rebase_every(2)` makes the stream hit both checkpoint kinds:
+    // generations 2–3 are deltas, 4 is a rebase. The first prune with
+    // victims runs at generation 5 (the rebase cut the chain through 1–3).
+    let checkpoint_sites = [
+        "delta:encoded",
+        "delta:wal-created",
+        "delta:tmp-written",
+        "delta:renamed",
+        "rebase:encoded",
+        "rebase:wal-created",
+        "rebase:tmp-written",
+        "rebase:renamed",
+        "prune:begin",
+        "prune:mid",
+    ];
+    for threads in [1usize, 4] {
+        for site in checkpoint_sites {
+            run_crash_point(site, threads, |c| {
+                c.with_snapshot_every(1).with_rebase_every(2)
+            });
+        }
+        // Segment rotation only happens while one generation's WAL keeps
+        // growing: checkpoints off, one-byte segment budget.
+        run_crash_point("rotate:created", threads, |c| {
+            c.with_snapshot_every(0).with_wal_segment_max_bytes(1)
+        });
+    }
+}
+
+/// Chain corruption: flip one byte in each link of a three-generation delta
+/// chain (full base, middle delta, newest delta) and in the newest WAL
+/// segment. Restore must fall back to the newest intact prefix-chain — with
+/// WAL replay recovering every acknowledged update — or, when the chain's
+/// full base itself is gone, fail cleanly. Never a panic.
+#[test]
+fn chain_corruption_falls_back_to_the_newest_intact_prefix() {
+    let updates = gen_updates(71, 3);
+    let build = |dir: &Path| {
+        let mut durable = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+        durable
+            .enable_persistence(PersistenceConfig::new(dir).with_snapshot_every(0))
+            .unwrap();
+        durable.apply(updates[0].clone()).unwrap();
+        durable.checkpoint().unwrap(); // generation 2: delta on 1
+        durable.apply(updates[1].clone()).unwrap();
+        durable.checkpoint().unwrap(); // generation 3: delta on 2
+        durable.apply(updates[2].clone()).unwrap(); // WAL tail of generation 3
+        drop(durable);
+    };
+    let expected_through = |n: usize| {
+        let mut session = R2d2Session::bootstrap(base_lake(), config(1)).unwrap();
+        for update in &updates[..n] {
+            session.apply(update.clone()).unwrap();
+        }
+        session
+    };
+
+    // Chain-aware pruning kept every link: the newest delta still has its
+    // base delta and the chain's full bottom on disk.
+    let dir = scratch_dir("chain_intact");
+    build(&dir);
+    for seq in 1..=3u64 {
+        assert!(
+            dir.join(format!("snapshot-{seq:06}.r2d2snap")).exists(),
+            "chain link {seq} was pruned while a dependent delta survived"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    for victim in [1u64, 2, 3] {
+        let dir = scratch_dir(&format!("chain_victim_{victim}"));
+        build(&dir);
+        let path = dir.join(format!("snapshot-{victim:06}.r2d2snap"));
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        if victim == 1 {
+            // The full base sits below every chain: no intact chain
+            // remains, and restore reports that cleanly.
+            R2d2Session::restore(&dir).unwrap_err();
+        } else {
+            // A broken middle or top link falls the walk back to the
+            // newest intact chain; replaying the newer generations' WAL
+            // segments on top recovers every acknowledged update.
+            let mut restored = R2d2Session::restore(&dir).unwrap();
+            let mut expected = expected_through(3);
+            assert_sessions_identical(
+                &mut restored,
+                &mut expected,
+                &format!("chain victim {victim}"),
+            );
+            assert_eq!(
+                restored.persistence_generation(),
+                Some(4),
+                "degraded directory rotates to a fresh full generation"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Flip a byte in the newest WAL segment instead: the torn tail drops
+    // only the unacknowledged record behind it — everything the chain
+    // captured survives.
+    let dir = scratch_dir("chain_victim_wal");
+    build(&dir);
+    let wal3 = dir.join("wal-000003-000.r2d2wal");
+    let mut raw = std::fs::read(&wal3).unwrap();
+    let first_payload = 24 + 12; // segment header + record framing
+    raw[first_payload] ^= 0xFF;
+    std::fs::write(&wal3, &raw).unwrap();
+    let mut restored = R2d2Session::restore(&dir).unwrap();
+    let mut expected = expected_through(2);
+    assert_sessions_identical(&mut restored, &mut expected, "corrupt newest WAL segment");
     std::fs::remove_dir_all(&dir).ok();
 }
