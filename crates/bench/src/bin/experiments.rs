@@ -12,14 +12,16 @@
 //! (writes `BENCH_containment.json`), `dynamic-throughput` (writes
 //! `BENCH_dynamic.json`), `optimizer-bench` (writes
 //! `BENCH_optimizer.json`), `restart-bench` (writes `BENCH_restart.json`),
-//! `serve-bench` (writes `BENCH_serve.json`) or `shootout-bench` (writes
-//! `BENCH_shootout.json`). `--smoke` switches to the small corpora used by
-//! the integration tests.
+//! `serve-bench` (writes `BENCH_serve.json`), `shootout-bench` (writes
+//! `BENCH_shootout.json`), `ingest-bench` (writes `BENCH_ingest.json`) or
+//! `fuzz-sweep` (asserts the no-panic / no-misdecode decoder contract over
+//! thousands of structured mutations per on-disk format; no JSON artifact).
+//! `--smoke` switches to the small corpora used by the integration tests.
 
 use r2d2_bench::experiments::{
     clp_params, containment, containment_bench, dynamic_throughput, enterprise_corpora, figures,
-    optimization, optimizer_bench, perf, restart_bench, schema_baselines, serve_bench,
-    shootout_bench, synthetic_corpora, Scale,
+    fuzz_sweep, ingest_bench, optimization, optimizer_bench, perf, restart_bench, schema_baselines,
+    serve_bench, shootout_bench, synthetic_corpora, Scale,
 };
 use r2d2_core::PipelineConfig;
 
@@ -255,6 +257,27 @@ fn shootout_bench_cmd(scale: Scale) {
     }
 }
 
+fn ingest_bench_cmd(scale: Scale) {
+    println!("== Hostile ingest: CSV quarantine throughput with graph-parity oracles ==");
+    let snapshot = ingest_bench::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+    if scale == Scale::Smoke {
+        // Smoke numbers are not representative; don't clobber the
+        // checked-in full-size snapshot.
+        println!("(--smoke: skipping BENCH_ingest.json write)");
+    } else {
+        let path = "BENCH_ingest.json";
+        std::fs::write(path, snapshot.to_json()).expect("write BENCH_ingest.json");
+        println!("wrote {path}");
+    }
+}
+
+fn fuzz_sweep_cmd(scale: Scale) {
+    println!("== Decoder fuzz sweep: structured mutations over every on-disk format ==");
+    let snapshot = fuzz_sweep::collect(scale == Scale::Smoke);
+    println!("{}", snapshot.render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -272,6 +295,8 @@ fn main() {
         "restart-bench" => restart_bench_cmd(scale),
         "serve-bench" => serve_bench_cmd(scale),
         "shootout-bench" => shootout_bench_cmd(scale),
+        "ingest-bench" => ingest_bench_cmd(scale),
+        "fuzz-sweep" => fuzz_sweep_cmd(scale),
         "table1" => table1(scale),
         "table2" => table2(scale),
         "table3" => table3(scale),
@@ -298,7 +323,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, serve-bench, shootout-bench, table1..table7, fig2, fig4, fig5, fig6 or all"
+                "unknown experiment `{other}`; expected bench-pipeline, containment-bench, dynamic-throughput, optimizer-bench, restart-bench, serve-bench, shootout-bench, ingest-bench, fuzz-sweep, table1..table7, fig2, fig4, fig5, fig6 or all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,319 @@
+//! Hostile CSV ingest benchmark (`BENCH_ingest.json`): end-to-end
+//! `R2d2Session::ingest_dir` throughput over a sabotaged hostile corpus,
+//! with the graph-parity oracles asserted *before* any timing is reported.
+//!
+//! The corpus is [`CorpusSpec::hostile`] — schema drift, null floods,
+//! unicode-heavy strings, Int→Float widening — emitted back to `.csv` files
+//! with deterministic malformed rows appended to every file
+//! ([`r2d2_synth::emit::write_lake_csv`]). `collect` then proves, in order:
+//!
+//! 1. **Quarantine**: every file ingests (zero file-fatal errors) and the
+//!    sabotage rows land in the quarantine, not the lake.
+//! 2. **Thread parity**: ingesting at 1 and 4 worker threads produces
+//!    identical graphs.
+//! 3. **Batch parity**: a fresh batch bootstrap over the ingested lake
+//!    reproduces the incremental graph exactly.
+//! 4. **Mid-kill restore**: ingesting half the corpus under persistence,
+//!    killing without a checkpoint, restoring (snapshot + WAL-tail replay)
+//!    and ingesting the rest lands on the same graph as an uninterrupted
+//!    two-phase run — and the restore point itself matches a fresh
+//!    half-corpus ingest bit for bit.
+//!
+//! Only after all four oracles pass does the benchmark time the parse-only
+//! and full-ingest paths and report rows/sec.
+
+use crate::experiments::time_best;
+use crate::report::TextTable;
+use r2d2_core::{IngestOptions, PersistenceConfig, PipelineConfig, R2d2Session};
+use r2d2_lake::csv::read_csv;
+use r2d2_lake::DataLake;
+use r2d2_synth::corpus::{generate, CorpusSpec};
+use r2d2_synth::emit::write_lake_csv;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Seed for the deterministic sabotage rows appended to every emitted file.
+const SABOTAGE_SEED: u64 = 0x5AB0;
+
+/// Result of one hostile-ingest measurement.
+#[derive(Debug, Clone)]
+pub struct IngestBenchSnapshot {
+    /// Corpus the files were emitted from.
+    pub corpus_name: String,
+    /// `.csv` files walked (== datasets ingested; no file may fail).
+    pub files: usize,
+    /// Rows that survived quarantine and entered the lake.
+    pub rows_ingested: usize,
+    /// Malformed rows quarantined across all files.
+    pub rows_quarantined: usize,
+    /// Containment edges of the ingested graph (identical across threads,
+    /// batch and the mid-kill restore — asserted before timing).
+    pub edges: usize,
+    /// WAL-tail updates replayed by the mid-kill restore.
+    pub wal_tail_updates: usize,
+    /// Best wall clock of parsing + quarantining every file (no session).
+    pub parse: Duration,
+    /// Best wall clock of a full `ingest_dir` into a fresh session
+    /// (parse + quarantine + incremental SGB → MMP → CLP per file).
+    pub ingest: Duration,
+}
+
+impl IngestBenchSnapshot {
+    /// Surviving rows per second through the full ingest path.
+    pub fn ingest_rows_per_sec(&self) -> f64 {
+        let secs = self.ingest.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.rows_ingested as f64 / secs
+        }
+    }
+
+    /// Surviving rows per second through parse + quarantine alone.
+    pub fn parse_rows_per_sec(&self) -> f64 {
+        let secs = self.parse.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.rows_ingested as f64 / secs
+        }
+    }
+
+    /// Render as a stable, hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"generated_by\": \"cargo run -p r2d2-bench --release --bin experiments -- ingest-bench\",\n  \"corpus\": {{ \"name\": \"{}\", \"files\": {}, \"rows_ingested\": {}, \"rows_quarantined\": {} }},\n  \"graph_edges\": {},\n  \"wal_tail_updates_replayed\": {},\n  \"parse_ms\": {:.3},\n  \"parse_rows_per_sec\": {:.0},\n  \"ingest_ms\": {:.3},\n  \"ingest_rows_per_sec\": {:.0},\n  \"oracles\": [\"quarantine\", \"threads_1_vs_4\", \"incremental_vs_batch\", \"mid_kill_restore\"]\n}}\n",
+            self.corpus_name,
+            self.files,
+            self.rows_ingested,
+            self.rows_quarantined,
+            self.edges,
+            self.wal_tail_updates,
+            self.parse.as_secs_f64() * 1_000.0,
+            self.parse_rows_per_sec(),
+            self.ingest.as_secs_f64() * 1_000.0,
+            self.ingest_rows_per_sec(),
+        )
+    }
+
+    /// Render as an aligned text table for the console.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["path", "total (ms)", "rows/sec"]);
+        t.add_row([
+            "parse + quarantine only".to_string(),
+            format!("{:.3}", self.parse.as_secs_f64() * 1_000.0),
+            format!("{:.0}", self.parse_rows_per_sec()),
+        ]);
+        t.add_row([
+            "full ingest (parse + incremental graph)".to_string(),
+            format!("{:.3}", self.ingest.as_secs_f64() * 1_000.0),
+            format!("{:.0}", self.ingest_rows_per_sec()),
+        ]);
+        format!(
+            "{}\ningested {} hostile files ({} rows kept, {} quarantined) into {} edges\noracles passed before timing: quarantine, threads 1 vs 4, incremental vs batch, mid-kill restore ({} WAL-tail updates replayed)\n",
+            t.render(),
+            self.files,
+            self.rows_ingested,
+            self.rows_quarantined,
+            self.edges,
+            self.wal_tail_updates,
+        )
+    }
+}
+
+/// Every `.csv` file under `dir`, sorted — the same walk order
+/// `ingest_dir` uses, for the parse-only timing arm.
+fn csv_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("walk emitted dir").flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+            {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Fresh empty session under `config`, ingesting `dir`; returns the session
+/// and its report.
+fn ingest_fresh(
+    dir: &Path,
+    config: &PipelineConfig,
+    options: &IngestOptions,
+) -> (R2d2Session, r2d2_core::IngestReport) {
+    let mut session =
+        R2d2Session::bootstrap(DataLake::new(), config.clone()).expect("bootstrap empty session");
+    let report = session.ingest_dir(dir, options).expect("ingest_dir");
+    (session, report)
+}
+
+/// Run the measurement. `smoke` shrinks the corpus so CI exercises the
+/// whole emit → ingest → parity → kill → restore path in seconds; the
+/// checked-in `BENCH_ingest.json` is generated at full size.
+pub fn collect(smoke: bool) -> IngestBenchSnapshot {
+    let (roots, rows, reps) = if smoke { (8, 64, 2) } else { (16, 192, 3) };
+    let corpus = generate(&CorpusSpec::hostile(roots, rows)).expect("hostile corpus");
+    let corpus_name = corpus.name.clone();
+
+    let root = std::env::temp_dir().join(format!(
+        "r2d2_ingest_bench_{}",
+        if smoke { "smoke" } else { "paper" }
+    ));
+    std::fs::remove_dir_all(&root).ok();
+    let csv_dir = root.join("csv");
+    std::fs::create_dir_all(&csv_dir).expect("csv dir");
+    let files = write_lake_csv(&corpus.lake, &csv_dir, Some(SABOTAGE_SEED)).expect("emit corpus");
+    assert_eq!(files, corpus.lake.len());
+
+    let config = PipelineConfig::default().with_seed(11);
+    let options = IngestOptions::default();
+
+    // Oracle 1 — quarantine: every file ingests, every sabotage row is
+    // quarantined rather than entering the lake.
+    let (one_pass, report) = ingest_fresh(&csv_dir, &config, &options);
+    assert_eq!(report.files_failed(), 0, "no file may fail wholesale");
+    assert_eq!(report.datasets_added(), files);
+    assert!(
+        report.rows_quarantined() >= 2 * files,
+        "sabotage rows must be quarantined ({} files, {} quarantined)",
+        files,
+        report.rows_quarantined()
+    );
+    let rows_ingested = report.rows_ingested();
+    assert_eq!(
+        rows_ingested,
+        corpus.lake.total_rows(),
+        "surviving rows must match the emitted corpus"
+    );
+
+    // Oracle 2 — thread parity: 4 worker threads, same graph bit for bit.
+    let (threaded, _) = ingest_fresh(&csv_dir, &config.clone().with_threads(4), &options);
+    assert_eq!(
+        threaded.graph(),
+        one_pass.graph(),
+        "threads=4 ingest diverged from threads=1"
+    );
+
+    // Oracle 3 — batch parity: a fresh bootstrap over the ingested lake
+    // reproduces the incremental graph exactly.
+    let batch = R2d2Session::bootstrap(one_pass.lake().clone(), config.clone())
+        .expect("batch bootstrap over ingested lake");
+    assert_eq!(
+        batch.graph(),
+        one_pass.graph(),
+        "batch bootstrap diverged from incremental ingest"
+    );
+
+    // Oracle 4 — mid-kill restore. Split the emitted files into two halves
+    // (in walk order), ingest the first under persistence, kill without a
+    // checkpoint (the WAL tail holds every applied file), restore, ingest
+    // the second. The restore point must match a fresh first-half ingest
+    // bit for bit, and the final graph must match an uninterrupted
+    // two-phase run.
+    let all = csv_files(&csv_dir);
+    let split = all.len() / 2;
+    let (a_dir, b_dir) = (root.join("part_a"), root.join("part_b"));
+    for (half, dir) in [(&all[..split], &a_dir), (&all[split..], &b_dir)] {
+        for file in half {
+            let rel = file.strip_prefix(&csv_dir).expect("under csv dir");
+            let dest = dir.join(rel);
+            std::fs::create_dir_all(dest.parent().expect("parent")).expect("mkdir half");
+            std::fs::copy(file, &dest).expect("copy half");
+        }
+    }
+    let persist_dir = root.join("wal");
+    let mut killed =
+        R2d2Session::bootstrap(DataLake::new(), config.clone()).expect("bootstrap persisted");
+    killed
+        .enable_persistence(PersistenceConfig::new(&persist_dir).with_snapshot_every(0))
+        .expect("enable persistence");
+    let report_a = killed.ingest_dir(&a_dir, &options).expect("ingest part a");
+    assert_eq!(report_a.files_failed(), 0);
+    let wal_tail_updates = killed.wal_tail_updates().unwrap_or(0);
+    assert!(wal_tail_updates > 0, "the kill must leave a WAL tail");
+    drop(killed); // the mid-stream "kill"
+
+    let mut restored = R2d2Session::restore(&persist_dir).expect("mid-kill restore");
+    let (half_fresh, _) = ingest_fresh(&a_dir, &config, &options);
+    assert_eq!(
+        restored.graph(),
+        half_fresh.graph(),
+        "restore point diverged from a fresh first-half ingest"
+    );
+    let report_b = restored
+        .ingest_dir(&b_dir, &options)
+        .expect("ingest part b");
+    assert_eq!(report_b.files_failed(), 0);
+
+    let mut two_phase =
+        R2d2Session::bootstrap(DataLake::new(), config.clone()).expect("two-phase session");
+    two_phase.ingest_dir(&a_dir, &options).expect("two-phase a");
+    two_phase.ingest_dir(&b_dir, &options).expect("two-phase b");
+    assert_eq!(
+        restored.graph(),
+        two_phase.graph(),
+        "restored-and-resumed ingest diverged from an uninterrupted run"
+    );
+    let edges = one_pass.graph().edge_count();
+
+    // All oracles green — now time the two paths.
+    let parse_files = csv_files(&csv_dir);
+    let parse = time_best(reps, || {
+        for file in &parse_files {
+            let text = std::fs::read_to_string(file).expect("read csv");
+            read_csv(&text, &options.csv).expect("parse csv");
+        }
+    });
+    let ingest = time_best(reps, || {
+        let (session, report) = ingest_fresh(&csv_dir, &config, &options);
+        assert_eq!(report.datasets_added(), files);
+        drop(session);
+    });
+
+    std::fs::remove_dir_all(&root).ok();
+    IngestBenchSnapshot {
+        corpus_name,
+        files,
+        rows_ingested,
+        rows_quarantined: report.rows_quarantined(),
+        edges,
+        wal_tail_updates,
+        parse,
+        ingest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_snapshot_measures_and_renders() {
+        let snap = collect(true);
+        // The hostile smoke corpus: 8 roots x (1 + 4 derived) datasets.
+        assert_eq!(snap.files, 40);
+        assert!(snap.rows_ingested > 0);
+        assert!(snap.rows_quarantined >= 2 * snap.files);
+        assert!(snap.edges > 0);
+        assert!(snap.wal_tail_updates > 0);
+        // `collect` already asserted all four parity oracles; check the
+        // measurement is well-formed.
+        assert!(snap.ingest >= snap.parse);
+        assert!(snap.ingest_rows_per_sec() > 0.0);
+        let json = snap.to_json();
+        assert!(json.contains("\"ingest_rows_per_sec\""));
+        assert!(json.contains("\"mid_kill_restore\""));
+        let table = snap.render();
+        assert!(table.contains("full ingest"));
+        assert!(table.contains("oracles passed before timing"));
+    }
+}

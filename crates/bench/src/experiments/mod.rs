@@ -5,6 +5,8 @@ pub mod containment;
 pub mod containment_bench;
 pub mod dynamic_throughput;
 pub mod figures;
+pub mod fuzz_sweep;
+pub mod ingest_bench;
 pub mod optimization;
 pub mod optimizer_bench;
 pub mod perf;

@@ -24,6 +24,7 @@
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod report;
 
 pub use experiments::Scale;

@@ -63,6 +63,7 @@ pub mod clp;
 pub mod config;
 mod dynamic;
 mod fanout;
+pub mod ingest;
 pub mod mmp;
 pub mod persist;
 pub mod pipeline;
@@ -73,6 +74,7 @@ pub mod sgb;
 pub mod view;
 
 pub use config::{ApproxConfig, ClpSampling, PipelineConfig};
+pub use ingest::{FileIngest, IngestOptions, IngestReport};
 pub use persist::{Failpoints, PersistenceConfig, SessionSnapshot};
 pub use pipeline::{ApproxEdgeReport, PipelineReport, R2d2Pipeline, Stage, StageReport};
 pub use r2d2_lake::{AppliedUpdate, LakeUpdate};

@@ -1,11 +1,34 @@
-//! Minimal CSV ingestion / export with type inference.
+//! CSV ingestion / export with type inference and row quarantine.
 //!
 //! The open-data corpora used by the paper (Table Union Benchmark, Kaggle
-//! tables) are CSV files; this module lets the examples and synthetic-data
-//! tooling move small tables in and out of the lake without any external
-//! dependency. It intentionally supports only the simple dialect those files
-//! use: comma separator, optional double-quote quoting, first row is the
-//! header.
+//! tables) are CSV files, and real ones are messy: ragged rows, dangling
+//! quotes, mixed int/float columns, unicode, null floods. This module is the
+//! hostile-input boundary of the lake — [`read_csv`] parses a file under a
+//! [`CsvOptions`] policy and *quarantines* malformed rows into typed
+//! [`IngestError`]s instead of aborting or panicking, so one bad row never
+//! costs a whole file and one bad file never costs an ingest run
+//! (`r2d2_core::R2d2Session::ingest_dir` builds on this).
+//!
+//! Dialect: configurable single-character delimiter (default comma),
+//! optional double-quote quoting with `""` escapes, first row is the header.
+//! **Multi-line quoted fields are unsupported** — a quote left open at
+//! end-of-line is a typed [`IngestError::UnterminatedQuote`], not a silent
+//! field terminator. Header names are trimmed; empty header names become
+//! `column_<i>` and duplicate header names get a `_<n>` suffix, so a hostile
+//! header can never abort a file on schema construction.
+//!
+//! Type inference is quorum-based (see [`CsvOptions::type_quorum`]): a
+//! column adopts `Bool`/`Int`/`Float` when at least that fraction of its
+//! non-null cells parse, and the rows whose cells then fail under the
+//! adopted type are quarantined as [`IngestError::UnparseableCell`]. At the
+//! default quorum of `1.0` a single non-conforming cell widens the column to
+//! `Utf8` instead (the legacy behaviour — nothing is quarantined on type).
+//! Mixed int/float columns infer `Float` and keep integer-looking cells as
+//! `Value::Int` (exercising the storage layer's tagged-page fallback) unless
+//! [`CsvOptions::widen_int_to_float`] is off. `Timestamp` columns are not
+//! inferred; [`to_csv`] renders them as `ts(<micros>)` text, so they
+//! round-trip as strings, not timestamps. Non-finite floats (`NaN`, `inf`)
+//! are never inferred as `Float`.
 
 use crate::builder::TableBuilder;
 use crate::datatype::DataType;
@@ -14,10 +37,192 @@ use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Value;
 
-/// Split one CSV line into fields, honouring double quotes.
-fn split_line(line: &str) -> Vec<String> {
+/// Parsing policy for [`read_csv`]: the dialect knob plus the tolerance and
+/// type-inference widening rules applied to malformed input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`). Quoting is always double-quote.
+    pub delimiter: char,
+    /// Maximum number of rows a single file may quarantine before the whole
+    /// file is rejected with [`IngestError::TooManyBadRows`]. The default
+    /// (`usize::MAX`) never rejects a file for bad rows; `0` restores
+    /// strict all-or-nothing parsing (see [`CsvOptions::strict`]).
+    pub max_quarantined_rows: usize,
+    /// Fraction of a column's non-null cells that must parse as a narrow
+    /// type (`Bool`/`Int`/`Float`) for the column to adopt it, in `(0, 1]`.
+    /// At the default `1.0` a single non-conforming cell widens the column
+    /// to `Utf8`; below `1.0` the column keeps the narrow type and the
+    /// non-conforming rows are quarantined as
+    /// [`IngestError::UnparseableCell`].
+    pub type_quorum: f64,
+    /// When `true` (default), a column mixing integer- and float-looking
+    /// cells infers `Float`, and integer-looking cells are kept as
+    /// [`Value::Int`] inside the `Float` column — the mixed-variant shape
+    /// the storage layer's tagged page layout exists for. When `false`,
+    /// such mixed columns fall back to `Utf8`.
+    pub widen_int_to_float: bool,
+    /// When `true` (default), a quoted cell never narrows a column (it
+    /// counts as text for inference) and a quoted empty cell is the empty
+    /// string rather than NULL — the convention [`to_csv`] relies on to
+    /// round-trip `Str` cells that look numeric. Set to `false` for
+    /// external exports that quote every field including numbers.
+    pub quoted_is_text: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            max_quarantined_rows: usize::MAX,
+            type_quorum: 1.0,
+            widen_int_to_float: true,
+            quoted_is_text: true,
+        }
+    }
+}
+
+impl CsvOptions {
+    /// Zero-tolerance options: the first malformed row rejects the file
+    /// (the policy [`parse_csv`] uses).
+    pub fn strict() -> Self {
+        CsvOptions {
+            max_quarantined_rows: 0,
+            ..CsvOptions::default()
+        }
+    }
+}
+
+/// A typed reason a row (or a whole file) was rejected by the ingest path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A double quote was still open at end-of-line. Multi-line quoted
+    /// fields are not supported by this dialect.
+    UnterminatedQuote {
+        /// 1-based line number in the file.
+        line: usize,
+    },
+    /// The row's field count does not match the header's.
+    ArityMismatch {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Fields found on this line.
+        got: usize,
+        /// Fields declared by the header.
+        expected: usize,
+    },
+    /// A cell failed to parse under the type the column adopted.
+    UnparseableCell {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Column (header) name.
+        column: String,
+        /// The type the column adopted during inference.
+        expected: DataType,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// The file has no header row (empty or all-blank input).
+    EmptyFile,
+    /// More rows were quarantined than [`CsvOptions::max_quarantined_rows`]
+    /// allows; the whole file is rejected.
+    TooManyBadRows {
+        /// Rows quarantined when the limit was hit.
+        quarantined: usize,
+        /// The configured limit.
+        limit: usize,
+        /// The first row-level error, for diagnostics.
+        first: Box<IngestError>,
+    },
+    /// Table construction failed after parsing (wraps a [`LakeError`]).
+    Table(String),
+    /// The lake/session rejected the parsed dataset (e.g. a duplicate
+    /// dataset name on re-ingest); used by the directory ingest path.
+    Dataset(String),
+    /// Reading a file from disk failed (used by the directory ingest path).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error, rendered.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnterminatedQuote { line } => write!(
+                f,
+                "line {line}: unterminated quote (multi-line quoted fields are unsupported)"
+            ),
+            IngestError::ArityMismatch {
+                line,
+                got,
+                expected,
+            } => write!(f, "line {line}: row has {got} fields, expected {expected}"),
+            IngestError::UnparseableCell {
+                line,
+                column,
+                expected,
+                cell,
+            } => write!(
+                f,
+                "line {line}: cell {cell:?} in column {column:?} does not parse as {}",
+                expected.name()
+            ),
+            IngestError::EmptyFile => write!(f, "empty CSV: no header row"),
+            IngestError::TooManyBadRows {
+                quarantined,
+                limit,
+                first,
+            } => write!(
+                f,
+                "{quarantined} rows quarantined (limit {limit}); first: {first}"
+            ),
+            IngestError::Table(msg) => write!(f, "table construction failed: {msg}"),
+            IngestError::Dataset(msg) => write!(f, "dataset rejected: {msg}"),
+            IngestError::Io { path, error } => write!(f, "reading {path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One quarantined row: where it was, what it said, and why it was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRow {
+    /// 1-based line number in the file.
+    pub line: usize,
+    /// The raw line text, verbatim.
+    pub raw: String,
+    /// The typed rejection reason.
+    pub error: IngestError,
+}
+
+/// The result of a tolerant parse: the table built from the surviving rows
+/// plus every row that was quarantined on the way.
+#[derive(Debug, Clone)]
+pub struct CsvRead {
+    /// Table over the rows that survived quarantine (may be empty).
+    pub table: Table,
+    /// Rows rejected with their typed reasons, in file order.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+/// One split field: its unquoted text and whether any part of it was quoted.
+struct CsvField {
+    text: String,
+    quoted: bool,
+}
+
+/// Split one line into fields, honouring double quotes (`""` escapes a
+/// quote inside a quoted section). Returns `None` when a quote is still
+/// open at end-of-line — the caller turns that into
+/// [`IngestError::UnterminatedQuote`]; the old behaviour of silently ending
+/// the field hid truncated rows from the arity check.
+fn split_line(line: &str, delimiter: char) -> Option<Vec<CsvField>> {
     let mut fields = Vec::new();
     let mut cur = String::new();
+    let mut cur_quoted = false;
     let mut in_quotes = false;
     let mut chars = line.chars().peekable();
     while let Some(c) = chars.next() {
@@ -28,125 +233,314 @@ fn split_line(line: &str) -> Vec<String> {
                     chars.next();
                 } else {
                     in_quotes = !in_quotes;
+                    cur_quoted = true;
                 }
             }
-            ',' if !in_quotes => {
-                fields.push(std::mem::take(&mut cur));
+            c if c == delimiter && !in_quotes => {
+                fields.push(CsvField {
+                    text: std::mem::take(&mut cur),
+                    quoted: std::mem::take(&mut cur_quoted),
+                });
             }
             other => cur.push(other),
         }
     }
-    fields.push(cur);
-    fields
+    if in_quotes {
+        return None;
+    }
+    fields.push(CsvField {
+        text: cur,
+        quoted: cur_quoted,
+    });
+    Some(fields)
 }
 
-/// Infer the narrowest [`DataType`] that can represent every non-empty cell
-/// of a column (Int ⊂ Float ⊂ Utf8; "true"/"false" → Bool).
-fn infer_type(cells: &[&str]) -> DataType {
-    let mut all_int = true;
-    let mut all_float = true;
-    let mut all_bool = true;
-    let mut saw_value = false;
-    for c in cells {
-        if c.is_empty() {
+/// Whether a field is NULL under the options: empty and (when quoted cells
+/// are text) unquoted — a quoted empty field is the empty string.
+fn is_null_field(field: &CsvField, options: &CsvOptions) -> bool {
+    field.text.is_empty() && !(field.quoted && options.quoted_is_text)
+}
+
+fn parses_as_int(cell: &str) -> bool {
+    cell.trim().parse::<i64>().is_ok()
+}
+
+fn parses_as_finite_float(cell: &str) -> bool {
+    cell.trim().parse::<f64>().is_ok_and(f64::is_finite)
+}
+
+fn parses_as_bool(cell: &str) -> bool {
+    let t = cell.trim();
+    t.eq_ignore_ascii_case("true") || t.eq_ignore_ascii_case("false")
+}
+
+/// Infer one column's type from its surviving cells under the quorum and
+/// widening rules (see module docs).
+fn infer_column_type(cells: &[&CsvField], options: &CsvOptions) -> DataType {
+    let mut nonnull = 0usize;
+    let mut ints = 0usize;
+    let mut floats = 0usize;
+    let mut bools = 0usize;
+    for field in cells {
+        if is_null_field(field, options) {
             continue;
         }
-        saw_value = true;
-        if c.parse::<i64>().is_err() {
-            all_int = false;
+        nonnull += 1;
+        if field.quoted && options.quoted_is_text {
+            continue; // text-forcing: counts against every narrow quorum
         }
-        if c.parse::<f64>().is_err() {
-            all_float = false;
+        if parses_as_int(&field.text) {
+            ints += 1;
         }
-        let lower = c.to_ascii_lowercase();
-        if lower != "true" && lower != "false" {
-            all_bool = false;
+        if parses_as_finite_float(&field.text) {
+            floats += 1;
+        }
+        if parses_as_bool(&field.text) {
+            bools += 1;
         }
     }
-    if !saw_value {
-        DataType::Utf8
-    } else if all_bool {
+    if nonnull == 0 {
+        return DataType::Utf8;
+    }
+    let quorum = options.type_quorum.clamp(f64::MIN_POSITIVE, 1.0);
+    let adopts = |n: usize| n > 0 && n as f64 >= quorum * nonnull as f64;
+    if adopts(bools) {
         DataType::Bool
-    } else if all_int {
+    } else if adopts(ints) {
         DataType::Int
-    } else if all_float {
-        DataType::Float
+    } else if adopts(floats) {
+        // Every int parses as a float, so a Float quorum with ints present
+        // is exactly the mixed int/float case the widening knob governs.
+        if ints > 0 && !options.widen_int_to_float {
+            DataType::Utf8
+        } else {
+            DataType::Float
+        }
     } else {
         DataType::Utf8
     }
 }
 
-fn parse_cell(cell: &str, dt: DataType) -> Value {
-    if cell.is_empty() {
-        return Value::Null;
+/// Parse one field under the column's adopted type. `Err(())` means the
+/// cell does not conform — the caller quarantines the row.
+fn parse_field(
+    field: &CsvField,
+    dt: DataType,
+    options: &CsvOptions,
+) -> std::result::Result<Value, ()> {
+    if is_null_field(field, options) {
+        return Ok(Value::Null);
     }
+    if field.quoted && options.quoted_is_text && dt != DataType::Utf8 {
+        return Err(()); // a text-forced cell in a narrow column (quorum < 1)
+    }
+    let trimmed = field.text.trim();
     match dt {
-        DataType::Int => cell
-            .parse::<i64>()
-            .map(Value::Int)
-            .unwrap_or_else(|_| Value::Str(cell.to_string())),
-        DataType::Float => cell
-            .parse::<f64>()
-            .map(Value::Float)
-            .unwrap_or_else(|_| Value::Str(cell.to_string())),
-        DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
-        DataType::Timestamp => cell
-            .parse::<i64>()
-            .map(Value::Timestamp)
-            .unwrap_or_else(|_| Value::Str(cell.to_string())),
-        _ => Value::Str(cell.to_string()),
+        DataType::Int => trimmed.parse::<i64>().map(Value::Int).map_err(|_| ()),
+        DataType::Float => {
+            if let Ok(i) = trimmed.parse::<i64>() {
+                // Integer-looking cell in a Float column: keep the Int
+                // variant (tagged-page shape) under the widening rule.
+                if options.widen_int_to_float {
+                    return Ok(Value::Int(i));
+                }
+                return Ok(Value::Float(i as f64));
+            }
+            match trimmed.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(Value::Float(v)),
+                _ => Err(()),
+            }
+        }
+        DataType::Bool => {
+            if trimmed.eq_ignore_ascii_case("true") {
+                Ok(Value::Bool(true))
+            } else if trimmed.eq_ignore_ascii_case("false") {
+                Ok(Value::Bool(false))
+            } else {
+                Err(())
+            }
+        }
+        DataType::Timestamp => trimmed.parse::<i64>().map(Value::Timestamp).map_err(|_| ()),
+        _ => Ok(Value::Str(field.text.clone())),
     }
 }
 
-/// Parse CSV text (header row + data rows) into a [`Table`], inferring types.
-pub fn parse_csv(text: &str) -> Result<Table> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
-        .next()
-        .ok_or_else(|| LakeError::InvalidArgument("empty CSV".to_string()))?;
-    let names = split_line(header);
-    let rows: Vec<Vec<String>> = lines.map(split_line).collect();
-    for (i, r) in rows.iter().enumerate() {
-        if r.len() != names.len() {
-            return Err(LakeError::InvalidArgument(format!(
-                "row {} has {} fields, expected {}",
-                i + 1,
-                r.len(),
-                names.len()
-            )));
+/// Header names: trimmed, empty names filled as `column_<i>`, duplicates
+/// deduplicated with a `_<n>` suffix (hostile headers never abort a file).
+fn header_names(fields: &[CsvField]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(fields.len());
+    for (i, f) in fields.iter().enumerate() {
+        let mut name = f.text.trim().to_string();
+        if name.is_empty() {
+            name = format!("column_{i}");
+        }
+        if names.contains(&name) {
+            let mut n = 2;
+            while names.contains(&format!("{name}_{n}")) {
+                n += 1;
+            }
+            name = format!("{name}_{n}");
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Parse CSV text under `options`, quarantining malformed rows instead of
+/// failing the file. Structural problems (unterminated quote, arity
+/// mismatch) and — when the quorum adopted a narrow type — unparseable
+/// cells each quarantine their row; the file itself is only rejected when
+/// it has no header or the quarantine limit is exceeded.
+pub fn read_csv(text: &str, options: &CsvOptions) -> std::result::Result<CsvRead, IngestError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (header_line, header_raw) = lines.next().ok_or(IngestError::EmptyFile)?;
+    let header = split_line(header_raw, options.delimiter)
+        .ok_or(IngestError::UnterminatedQuote { line: header_line })?;
+    let names = header_names(&header);
+
+    let mut quarantined: Vec<QuarantinedRow> = Vec::new();
+    let mut rows: Vec<(usize, Vec<CsvField>)> = Vec::new();
+    for (line, raw) in lines {
+        match split_line(raw, options.delimiter) {
+            None => quarantined.push(QuarantinedRow {
+                line,
+                raw: raw.to_string(),
+                error: IngestError::UnterminatedQuote { line },
+            }),
+            Some(fields) if fields.len() != names.len() => quarantined.push(QuarantinedRow {
+                line,
+                raw: raw.to_string(),
+                error: IngestError::ArityMismatch {
+                    line,
+                    got: fields.len(),
+                    expected: names.len(),
+                },
+            }),
+            Some(fields) => rows.push((line, fields)),
         }
     }
+    check_tolerance(&quarantined, options)?;
+
     let mut fields = Vec::with_capacity(names.len());
     for (ci, name) in names.iter().enumerate() {
-        let cells: Vec<&str> = rows.iter().map(|r| r[ci].as_str()).collect();
-        fields.push(crate::schema::Field::new(name.trim(), infer_type(&cells)));
+        let cells: Vec<&CsvField> = rows.iter().map(|(_, r)| &r[ci]).collect();
+        fields.push(crate::schema::Field::new(
+            name.clone(),
+            infer_column_type(&cells, options),
+        ));
     }
-    let schema = Schema::new(fields)?;
+    let schema = Schema::new(fields).map_err(|e| IngestError::Table(e.to_string()))?;
+
     let mut builder = TableBuilder::new(schema.clone());
-    for r in &rows {
-        let values = schema
-            .fields()
-            .iter()
-            .zip(r)
-            .map(|(f, cell)| parse_cell(cell.trim(), f.data_type))
-            .collect();
-        builder.push_row(values)?;
+    'row: for (line, row) in &rows {
+        let mut values = Vec::with_capacity(row.len());
+        for (f, field) in schema.fields().iter().zip(row) {
+            match parse_field(field, f.data_type, options) {
+                Ok(v) => values.push(v),
+                Err(()) => {
+                    quarantined.push(QuarantinedRow {
+                        line: *line,
+                        raw: row_text(row, options.delimiter),
+                        error: IngestError::UnparseableCell {
+                            line: *line,
+                            column: f.name.clone(),
+                            expected: f.data_type,
+                            cell: field.text.clone(),
+                        },
+                    });
+                    check_tolerance(&quarantined, options)?;
+                    continue 'row;
+                }
+            }
+        }
+        builder
+            .push_row(values)
+            .map_err(|e| IngestError::Table(e.to_string()))?;
     }
-    builder.build()
+    quarantined.sort_by_key(|q| q.line);
+    let table = builder
+        .build()
+        .map_err(|e| IngestError::Table(e.to_string()))?;
+    Ok(CsvRead { table, quarantined })
 }
 
-fn escape(cell: &str) -> String {
-    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+fn check_tolerance(
+    quarantined: &[QuarantinedRow],
+    options: &CsvOptions,
+) -> std::result::Result<(), IngestError> {
+    if quarantined.len() > options.max_quarantined_rows {
+        return Err(IngestError::TooManyBadRows {
+            quarantined: quarantined.len(),
+            limit: options.max_quarantined_rows,
+            first: Box::new(quarantined[0].error.clone()),
+        });
+    }
+    Ok(())
+}
+
+/// Reassemble a split row for the quarantine record (the structural cases
+/// keep the raw line; this is only used once fields are already split).
+fn row_text(row: &[CsvField], delimiter: char) -> String {
+    row.iter()
+        .map(|f| f.text.as_str())
+        .collect::<Vec<_>>()
+        .join(&delimiter.to_string())
+}
+
+/// Parse CSV text (header row + data rows) into a [`Table`], inferring
+/// types. Strict: the first malformed row fails the parse (tolerant,
+/// quarantining parses go through [`read_csv`]).
+pub fn parse_csv(text: &str) -> Result<Table> {
+    read_csv(text, &CsvOptions::strict())
+        .map(|r| r.table)
+        .map_err(|e| LakeError::InvalidArgument(e.to_string()))
+}
+
+/// Whether a string cell must be quoted so that [`read_csv`] reads it back
+/// as text (empty, whitespace-sensitive, or masquerading as a number/bool).
+fn needs_text_quoting(cell: &str) -> bool {
+    let trimmed = cell.trim();
+    cell.is_empty()
+        || trimmed != cell
+        || trimmed.parse::<f64>().is_ok() // superset of i64; covers NaN/inf
+        || parses_as_bool(cell)
+}
+
+fn escape(cell: &str, force: bool) -> String {
+    if force || cell.contains(',') || cell.contains('"') || cell.contains('\n') {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
     }
 }
 
-/// Render a table as CSV text (header + rows).
+/// A float rendering that parses back as `Float`, never `Int`: integral
+/// values keep an explicit `.0` (`1` would re-infer as an integer).
+fn float_repr(v: f64) -> String {
+    let s = format!("{v}");
+    if v.is_finite() && !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        format!("{s}.0")
+    } else {
+        s
+    }
+}
+
+/// Render a table as CSV text (header + rows). String cells that would
+/// read back as numbers, booleans or NULL are quoted so a
+/// [`read_csv`]/[`to_csv`] round trip preserves cell types (under the
+/// default [`CsvOptions`]; see `quoted_is_text`).
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<String> = table.schema().names().iter().map(|n| escape(n)).collect();
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .into_iter()
+        .map(|n| escape(n, false))
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in table.iter_rows() {
@@ -155,7 +549,8 @@ pub fn to_csv(table: &Table) -> String {
             .iter()
             .map(|v| match v {
                 Value::Null => String::new(),
-                Value::Str(s) => escape(s),
+                Value::Str(s) => escape(s, needs_text_quoting(s)),
+                Value::Float(x) => float_repr(*x),
                 other => other.to_string(),
             })
             .collect();
@@ -226,6 +621,19 @@ mod tests {
         let csv = "v\n1\n2.5\n";
         let t = parse_csv(csv).unwrap();
         assert_eq!(t.schema().data_type("v").unwrap(), DataType::Float);
+        // The integer-looking cell keeps its Int variant (tagged-page shape).
+        assert_eq!(t.column("v").unwrap().values()[0], Value::Int(1));
+        assert_eq!(t.column("v").unwrap().values()[1], Value::Float(2.5));
+    }
+
+    #[test]
+    fn widening_off_sends_mixed_numeric_to_utf8() {
+        let options = CsvOptions {
+            widen_int_to_float: false,
+            ..CsvOptions::default()
+        };
+        let r = read_csv("v\n1\n2.5\n", &options).unwrap();
+        assert_eq!(r.table.schema().data_type("v").unwrap(), DataType::Utf8);
     }
 
     #[test]
@@ -234,5 +642,174 @@ mod tests {
         let t = parse_csv(csv).unwrap();
         assert_eq!(t.schema().data_type("v").unwrap(), DataType::Utf8);
         assert_eq!(t.num_rows(), 0, "blank lines are skipped");
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_typed_error() {
+        // Strict parse: the dangling quote rejects the file...
+        assert!(parse_csv("a,b\n1,\"oops\n2,ok\n").is_err());
+        // ...tolerant parse quarantines exactly that row with line info.
+        let r = read_csv("a,b\n1,\"oops\n2,ok\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.table.num_rows(), 1);
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(
+            r.quarantined[0].error,
+            IngestError::UnterminatedQuote { line: 2 }
+        );
+        assert_eq!(r.quarantined[0].raw, "1,\"oops");
+        // A dangling quote in the header is file-fatal (no schema to build).
+        assert_eq!(
+            read_csv("a,\"b\n1,2\n", &CsvOptions::default()).unwrap_err(),
+            IngestError::UnterminatedQuote { line: 1 }
+        );
+    }
+
+    #[test]
+    fn ragged_rows_are_quarantined_with_arity() {
+        let r = read_csv("a,b\n1,2\n3\n4,5,6\n7,8\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.table.num_rows(), 2);
+        assert_eq!(r.quarantined.len(), 2);
+        assert_eq!(
+            r.quarantined[0].error,
+            IngestError::ArityMismatch {
+                line: 3,
+                got: 1,
+                expected: 2
+            }
+        );
+        assert_eq!(
+            r.quarantined[1].error,
+            IngestError::ArityMismatch {
+                line: 4,
+                got: 3,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn quarantine_limit_rejects_the_file() {
+        let options = CsvOptions {
+            max_quarantined_rows: 1,
+            ..CsvOptions::default()
+        };
+        let err = read_csv("a,b\n1\n2\n3,4\n", &options).unwrap_err();
+        match err {
+            IngestError::TooManyBadRows {
+                quarantined, limit, ..
+            } => {
+                assert_eq!(quarantined, 2);
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected TooManyBadRows, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quorum_below_one_quarantines_unparseable_cells() {
+        let options = CsvOptions {
+            type_quorum: 0.75,
+            ..CsvOptions::default()
+        };
+        let r = read_csv("n\n1\n2\n3\njunk\n", &options).unwrap();
+        assert_eq!(r.table.schema().data_type("n").unwrap(), DataType::Int);
+        assert_eq!(r.table.num_rows(), 3);
+        assert_eq!(r.quarantined.len(), 1);
+        assert!(matches!(
+            &r.quarantined[0].error,
+            IngestError::UnparseableCell { line: 5, column, expected: DataType::Int, cell }
+                if column == "n" && cell == "junk"
+        ));
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let options = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let r = read_csv("a;b\n1;x,y\n", &options).unwrap();
+        assert_eq!(r.table.column("a").unwrap().values()[0], Value::Int(1));
+        assert_eq!(
+            r.table.column("b").unwrap().values()[0],
+            Value::Str("x,y".into())
+        );
+    }
+
+    #[test]
+    fn hostile_headers_are_repaired_not_fatal() {
+        let r = read_csv("a,,a,a\n1,2,3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(
+            r.table.schema().names(),
+            vec!["a", "column_1", "a_2", "a_3"]
+        );
+    }
+
+    #[test]
+    fn quoted_cells_preserve_textness_and_empty_strings() {
+        let r = read_csv("s,t\n\"1\",\"\"\n\"true\",x\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.table.schema().data_type("s").unwrap(), DataType::Utf8);
+        assert_eq!(
+            r.table.column("s").unwrap().values()[0],
+            Value::Str("1".into())
+        );
+        assert_eq!(
+            r.table.column("t").unwrap().values()[0],
+            Value::Str("".into())
+        );
+        // Unquoted empty is still NULL.
+        let r2 = read_csv("x,y\n1,\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r2.table.column("y").unwrap().values()[0], Value::Null);
+    }
+
+    #[test]
+    fn to_csv_quotes_masquerading_strings_and_keeps_float_points() {
+        use crate::column::Column;
+        let schema = Schema::flat(&[("s", DataType::Utf8), ("f", DataType::Float)]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::new(
+                    DataType::Utf8,
+                    vec![
+                        Value::Str("17".into()),
+                        Value::Str("".into()),
+                        Value::Str(" pad ".into()),
+                        Value::Str("true".into()),
+                    ],
+                )
+                .unwrap(),
+                Column::new(
+                    DataType::Float,
+                    vec![
+                        Value::Float(1.0),
+                        Value::Float(2.5),
+                        Value::Int(3),
+                        Value::Null,
+                    ],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        let rendered = to_csv(&t);
+        let r = read_csv(&rendered, &CsvOptions::default()).unwrap();
+        assert!(r.quarantined.is_empty());
+        assert_eq!(r.table.schema().data_type("s").unwrap(), DataType::Utf8);
+        assert_eq!(r.table.schema().data_type("f").unwrap(), DataType::Float);
+        assert_eq!(
+            r.table.column("s").unwrap().values(),
+            t.column("s").unwrap().values()
+        );
+        assert_eq!(
+            r.table.column("f").unwrap().values(),
+            t.column("f").unwrap().values()
+        );
+    }
+
+    #[test]
+    fn infer_excludes_non_finite_floats() {
+        let r = read_csv("v\n1.5\nNaN\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.table.schema().data_type("v").unwrap(), DataType::Utf8);
     }
 }

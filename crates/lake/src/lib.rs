@@ -70,6 +70,7 @@ pub mod wal;
 pub use builder::TableBuilder;
 pub use catalog::{AccessLog, AccessProfile, DataLake, DatasetEntry, DatasetId, Lineage};
 pub use column::Column;
+pub use csv::{CsvOptions, CsvRead, IngestError, QuarantinedRow};
 pub use datatype::DataType;
 pub use error::{LakeError, Result};
 pub use meter::{Meter, OpCounts};

@@ -321,6 +321,17 @@ fn present(bitmap: &[u8], i: usize) -> bool {
     (bitmap[i / 8] >> (i % 8)) & 1 == 1
 }
 
+/// Next fixed-width word from a packed payload, as a typed corruption error
+/// instead of a panic when the presence bitmap claims more values than the
+/// payload holds (the bitmap popcount and payload size are both attacker
+/// data — neither may be trusted to agree with the other).
+fn next_word(chunks: &mut std::slice::ChunksExact<'_, u8>, what: &str) -> Result<[u8; 8]> {
+    chunks
+        .next()
+        .and_then(|c| c.try_into().ok())
+        .ok_or_else(|| LakeError::Corrupt(format!("{what} underrun")))
+}
+
 /// Decode one column page (layout byte + payload) into values. This is the
 /// materialization primitive behind [`Column::try_values`] on lazy columns;
 /// every read is bounds-checked and the page must be consumed exactly, so
@@ -344,7 +355,10 @@ fn decode_page_values(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<Vec<
     }
     let layout = buf.get_u8();
     if layout == LAYOUT_TAGGED {
-        let mut values = Vec::with_capacity(rows);
+        // Every tagged value costs at least one byte, so a hostile row count
+        // can never pre-size the vector past the page itself (fuzz finding:
+        // an inflated group header must not become an OOM-sized allocation).
+        let mut values = Vec::with_capacity(rows.min(buf.remaining()));
         for _ in 0..rows {
             let v = get_value(buf)?;
             if !v.is_null() {
@@ -397,7 +411,10 @@ fn decode_page_values(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<Vec<
             let mut next = raw.iter();
             for i in 0..rows {
                 values.push(if present(&bitmap, i) {
-                    Value::Bool(*next.next().expect("sized above") != 0)
+                    let byte = next
+                        .next()
+                        .ok_or_else(|| LakeError::Corrupt("bool page underrun".into()))?;
+                    Value::Bool(*byte != 0)
                 } else {
                     Value::Null
                 });
@@ -411,9 +428,7 @@ fn decode_page_values(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<Vec<
             let mut chunks = raw.chunks_exact(8);
             for i in 0..rows {
                 values.push(if present(&bitmap, i) {
-                    let x = i64::from_le_bytes(
-                        chunks.next().expect("sized above").try_into().expect("8"),
-                    );
+                    let x = i64::from_le_bytes(next_word(&mut chunks, "int page")?);
                     if dt == DataType::Int {
                         Value::Int(x)
                     } else {
@@ -432,9 +447,7 @@ fn decode_page_values(buf: &mut Bytes, dt: DataType, rows: usize) -> Result<Vec<
             let mut chunks = raw.chunks_exact(8);
             for i in 0..rows {
                 values.push(if present(&bitmap, i) {
-                    Value::Float(f64::from_le_bytes(
-                        chunks.next().expect("sized above").try_into().expect("8"),
-                    ))
+                    Value::Float(f64::from_le_bytes(next_word(&mut chunks, "float page")?))
                 } else {
                     Value::Null
                 });
@@ -859,6 +872,17 @@ pub(crate) fn decode_with(
                     "column page extends past the data region".into(),
                 ));
             }
+            // Sanity-gate the declared row count against the page it frames:
+            // every layout spends at least one byte per eight rows (presence
+            // bitmap) or one byte per row (tagged), so a row count beyond
+            // 8x the page bytes is corrupt. Rejecting it here keeps a
+            // hostile group header from sizing lazy columns (and their
+            // later materialization) off a number the file cannot back.
+            if rows > page_len.saturating_mul(8).saturating_add(8) {
+                return Err(LakeError::Corrupt(format!(
+                    "row group declares {rows} rows but frames a {page_len}-byte page"
+                )));
+            }
             let page = bytes.slice(page_start..page_start + page_len);
             buf.advance(page_len);
             let mem_bytes = entry.mem_bytes as usize;
@@ -1220,6 +1244,52 @@ mod tests {
 
         // Tiny garbage.
         assert!(decode(&Bytes::from_static(b"hello"), &meter).is_err());
+    }
+
+    /// Fuzz regression: a group header declaring a row count the framed
+    /// pages cannot back must be rejected up front — not trusted to size
+    /// lazy columns (and later materializations) into OOM territory.
+    #[test]
+    fn inflated_group_row_count_rejected() {
+        let pt = sample();
+        let bytes = encode(&pt);
+        // Offset of the first group's rows u64: magic+version, field count,
+        // each field's length-framed name + type tag, then the group count.
+        let mut off = 12 + 4;
+        for f in pt.schema().fields() {
+            off += 4 + f.name.len() + 1;
+        }
+        off += 4;
+        let mut v = bytes.to_vec();
+        v[off..off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = decode(&Bytes::from(v), &Meter::new()).unwrap_err();
+        assert!(
+            err.to_string().contains("rows"),
+            "typed corruption naming the row count: {err}"
+        );
+    }
+
+    /// Fuzz regressions: hostile column pages return typed errors, never
+    /// panic, and never allocate for a row count the page cannot back.
+    #[test]
+    fn hostile_pages_error_instead_of_panicking() {
+        // Tagged page framing an absurd row count with one byte of payload:
+        // the capacity is capped at the page size and the first missing
+        // value is a typed error.
+        let page = Bytes::from_static(&[LAYOUT_TAGGED]);
+        assert!(decode_page(&page, DataType::Int, usize::MAX / 64).is_err());
+
+        // Packed int page whose presence bitmap claims eight values but
+        // whose payload carries only one word.
+        let mut page = vec![LAYOUT_PACKED, 0b1111_1111];
+        page.extend_from_slice(&[0u8; 8]);
+        assert!(decode_page(&Bytes::from(page), DataType::Int, 8).is_err());
+
+        // Unknown layout byte.
+        assert!(decode_page(&Bytes::from_static(&[9u8]), DataType::Int, 0).is_err());
+
+        // Empty page (no layout byte at all).
+        assert!(decode_page(&Bytes::new(), DataType::Int, 1).is_err());
     }
 
     #[test]

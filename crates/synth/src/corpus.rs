@@ -54,6 +54,13 @@ pub struct OrgProfile {
     /// content-level checks can reject them: the adversarial profile the
     /// wide containment benchmark uses to stress CLP.
     pub in_range_noise: bool,
+    /// Probability that a derivation uses a *hostile* transform (schema
+    /// drift/rename, null flooding, unicode decoration, Int→Float type
+    /// widening) instead of the preserving/breaking repertoire. Hostile
+    /// derivations guarantee no containment edge; they exist to stress the
+    /// ingest, storage and codec paths with realistic mess. `0.0` (the
+    /// default of every non-hostile preset) disables them.
+    pub hostile_probability: f64,
 }
 
 /// Serializable stand-in for [`RootDomain`] (which lives in `roots`).
@@ -143,6 +150,7 @@ impl CorpusSpec {
                 chain_probability: chain,
                 in_range_noise: false,
                 breaking_probability: breaking,
+                hostile_probability: 0.0,
             },
             rows_per_partition: (scale / 8).max(32),
             access_alpha: 1.2,
@@ -163,6 +171,7 @@ impl CorpusSpec {
                 chain_probability: 0.3,
                 in_range_noise: false,
                 breaking_probability: 0.35,
+                hostile_probability: 0.0,
             },
             rows_per_partition: (rows_per_root / 4).max(16),
             access_alpha: 1.1,
@@ -183,6 +192,7 @@ impl CorpusSpec {
                 chain_probability: 0.4,
                 in_range_noise: false,
                 breaking_probability: 0.4,
+                hostile_probability: 0.0,
             },
             rows_per_partition: (rows_per_root / 4).max(16),
             access_alpha: 1.3,
@@ -212,10 +222,42 @@ impl CorpusSpec {
                 chain_probability: 0.15,
                 in_range_noise: true,
                 breaking_probability: 0.95,
+                hostile_probability: 0.0,
             },
             rows_per_partition: (rows_per_root / 32).max(16),
             access_alpha: 1.2,
             seed: 0x31DE,
+        }
+    }
+
+    /// A **hostile** corpus: all four domains with half of all derivations
+    /// drawn from the hostile repertoire (schema drift/renames, null
+    /// floods, unicode-heavy strings, Int→Float type widening), the mess
+    /// profile of real open-data CSV corpora. Used by the `ingest-bench`
+    /// experiment to prove the end-to-end CSV ingest path (emit → parse →
+    /// session) reproduces batch graphs bit-identically on data that was
+    /// not generated to pass. `roots = 8` yields 40 datasets.
+    pub fn hostile(roots: usize, rows_per_root: usize) -> Self {
+        CorpusSpec {
+            name: "hostile".to_string(),
+            profile: OrgProfile {
+                roots,
+                rows_per_root,
+                derived_per_root: 4,
+                domains: vec![
+                    DomainTag::Transactions,
+                    DomainTag::Clickstream,
+                    DomainTag::KaggleNumeric,
+                    DomainTag::OpenData,
+                ],
+                chain_probability: 0.3,
+                in_range_noise: false,
+                breaking_probability: 0.25,
+                hostile_probability: 0.5,
+            },
+            rows_per_partition: (rows_per_root / 4).max(16),
+            access_alpha: 1.2,
+            seed: 0xBAD,
         }
     }
 
@@ -284,6 +326,13 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
         Transform::SortByColumn,
         Transform::DropColumns { count: 1 },
     ];
+    // The hostile repertoire: no containment guarantees, maximum mess.
+    let hostile = [
+        Transform::RenameColumn,
+        Transform::NullFlood { fraction: 0.3 },
+        Transform::UnicodeDecorate,
+        Transform::WidenIntToFloat,
+    ];
     let breaking: &[Transform] = if spec.profile.in_range_noise {
         // Impostors: same schema, nested ranges, disjoint content — only
         // content-level checks can reject them.
@@ -322,9 +371,18 @@ pub fn generate(spec: &CorpusSpec) -> Result<Corpus> {
             };
             let (src_id, src_table) = family[src_idx].clone();
 
-            // Choose the transform.
+            // Choose the transform: hostile first (when enabled), then the
+            // breaking-vs-preserving coin.
+            let use_hostile = spec.profile.hostile_probability > 0.0
+                && rng.gen_bool(spec.profile.hostile_probability);
             let use_breaking = rng.gen_bool(spec.profile.breaking_probability);
-            let pool: &[Transform] = if use_breaking { breaking } else { &preserving };
+            let pool: &[Transform] = if use_hostile {
+                &hostile
+            } else if use_breaking {
+                breaking
+            } else {
+                &preserving
+            };
             let mut outcome = None;
             for attempt in 0..pool.len() {
                 let t = &pool[(rng.gen_range(0..pool.len()) + attempt) % pool.len()];
@@ -410,6 +468,7 @@ mod tests {
                 chain_probability: 0.4,
                 in_range_noise: false,
                 breaking_probability: 0.3,
+                hostile_probability: 0.0,
             },
             rows_per_partition: 16,
             access_alpha: 1.2,
@@ -536,6 +595,29 @@ mod tests {
             })
             .count();
         assert!(impostors > 24, "expected many impostors, got {impostors}");
+    }
+
+    #[test]
+    fn hostile_corpus_mixes_all_four_hostile_transforms() {
+        let spec = CorpusSpec::hostile(8, 48);
+        assert!(spec.dataset_count() >= 40);
+        let corpus = generate(&spec).unwrap();
+        assert_eq!(corpus.dataset_count(), spec.dataset_count());
+        let lineages: Vec<String> = corpus
+            .lake
+            .iter()
+            .filter_map(|e| e.lineage.as_ref().map(|l| l.transform.clone()))
+            .collect();
+        for marker in ["RENAME COLUMN", "NULL-FLOOD", "UNICODE-DECORATE", "WIDEN"] {
+            assert!(
+                lineages.iter().any(|l| l.starts_with(marker)),
+                "no {marker} derivation in the hostile corpus"
+            );
+        }
+        // Hostile generation is deterministic like every other preset.
+        let again = generate(&spec).unwrap();
+        assert_eq!(corpus.expected.edges(), again.expected.edges());
+        assert_eq!(corpus.lake.total_rows(), again.lake.total_rows());
     }
 
     #[test]

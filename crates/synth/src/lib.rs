@@ -24,6 +24,14 @@
 //! [`access`] draws access/maintenance frequencies from the power-law model
 //! §6.7 uses. [`demo`] holds the tiny hand-written lakes the `examples/`
 //! share, so each example stays focused on the API it demonstrates.
+//!
+//! Real corpora are also *messy* — ragged CSV rows, drifting schemas, null
+//! floods, unicode — and [`transforms`] carries a hostile repertoire
+//! ([`Transform::RenameColumn`], [`Transform::NullFlood`],
+//! [`Transform::UnicodeDecorate`], [`Transform::WidenIntToFloat`]) mixed in
+//! by [`CorpusSpec::hostile`]. [`emit`] renders a generated lake back to
+//! `.csv` files (optionally sabotaged with malformed rows) so corpora can
+//! round-trip through `R2d2Session::ingest_dir` end to end.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -31,6 +39,7 @@
 pub mod access;
 pub mod corpus;
 pub mod demo;
+pub mod emit;
 pub mod roots;
 pub mod transforms;
 pub mod zipf;

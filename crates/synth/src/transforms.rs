@@ -11,7 +11,7 @@
 //! edges.
 
 use crate::zipf::Zipf;
-use r2d2_lake::{Column, DataType, Field, LakeError, Result, Table, Value};
+use r2d2_lake::{Column, DataType, Field, LakeError, Result, Schema, Table, Value};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +76,29 @@ pub enum Transform {
         /// Number of columns to drop.
         count: usize,
     },
+    /// Schema drift: rename one column by appending a `_v<n>` version
+    /// suffix (collision-avoided), keeping all data verbatim. Breaks schema
+    /// containment in both directions — the renamed column exists nowhere
+    /// else — which is exactly what dataset copies renamed across update
+    /// streams look like in a real lake.
+    RenameColumn,
+    /// Null-flood: replace a random `fraction` of all cells (across every
+    /// column) with NULL. Stresses presence bitmaps, null-heavy statistics
+    /// and the CSV empty-cell path.
+    NullFlood {
+        /// Fraction of cells nulled out, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Decorate every value of one string column with unicode (combining
+    /// accents, CJK, emoji, RTL text) drawn from a fixed pool. Stresses
+    /// dictionary pages, CSV quoting and UTF-8 validation end to end.
+    UnicodeDecorate,
+    /// Type drift: turn one `Int` column into a `Float` column where every
+    /// third non-null value becomes a genuine float (`v + 0.5`) and the
+    /// rest keep their `Int` variant — the mixed-variant shape that forces
+    /// the storage layer's tagged page fallback and the CSV reader's
+    /// int-in-float widening.
+    WidenIntToFloat,
 }
 
 /// The result of applying a [`Transform`].
@@ -398,6 +421,179 @@ impl Transform {
                     effect: ContainmentEffect::DerivedInSource,
                 })
             }
+            Transform::RenameColumn => {
+                if source.num_columns() == 0 {
+                    return Err(LakeError::InvalidArgument(
+                        "no columns to rename".to_string(),
+                    ));
+                }
+                let idx = rng.gen_range(0..source.num_columns());
+                let old = source.schema().fields()[idx].name.clone();
+                let mut n = 2;
+                let mut renamed = format!("{old}_v{n}");
+                while source.schema().index_of(&renamed).is_some() {
+                    n += 1;
+                    renamed = format!("{old}_v{n}");
+                }
+                let fields: Vec<Field> = source
+                    .schema()
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        if i == idx {
+                            Field::new(renamed.clone(), f.data_type)
+                        } else {
+                            f.clone()
+                        }
+                    })
+                    .collect();
+                let table = Table::new(Schema::new(fields)?, source.columns().to_vec())?;
+                Ok(TransformOutcome {
+                    table,
+                    description: format!("RENAME COLUMN {old} TO {renamed}"),
+                    effect: ContainmentEffect::None,
+                })
+            }
+            Transform::NullFlood { fraction } => {
+                if !(*fraction > 0.0 && *fraction <= 1.0) {
+                    return Err(LakeError::InvalidArgument(
+                        "fraction must be in (0,1]".to_string(),
+                    ));
+                }
+                if source.is_empty() {
+                    return Err(LakeError::InvalidArgument(
+                        "cannot null-flood an empty table".to_string(),
+                    ));
+                }
+                let mut columns = Vec::with_capacity(source.num_columns());
+                for col in source.columns() {
+                    let values: Vec<Value> = col
+                        .values()
+                        .iter()
+                        .map(|v| {
+                            if rng.gen_bool(*fraction) {
+                                Value::Null
+                            } else {
+                                v.clone()
+                            }
+                        })
+                        .collect();
+                    columns.push(Column::new(col.data_type(), values)?);
+                }
+                let table = Table::new(source.schema().clone(), columns)?;
+                Ok(TransformOutcome {
+                    table,
+                    description: format!("NULL-FLOOD {:.0}% of cells", fraction * 100.0),
+                    effect: ContainmentEffect::None,
+                })
+            }
+            Transform::UnicodeDecorate => {
+                const DECOR: [(&str, &str); 6] = [
+                    ("héllo—", "—ñé"),
+                    ("データ_", "_値"),
+                    ("🦀", "🧪"),
+                    ("Ω≈", "≈µ"),
+                    ("\u{202e}txet\u{202c}·", "·e\u{0301}"),
+                    ("«", ", quoted»"),
+                ];
+                let string_cols: Vec<String> = source
+                    .schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| f.data_type == DataType::Utf8)
+                    .map(|f| f.name.clone())
+                    .collect();
+                if string_cols.is_empty() || source.is_empty() {
+                    return Err(LakeError::InvalidArgument(
+                        "no string column to decorate".to_string(),
+                    ));
+                }
+                let target = string_cols[rng.gen_range(0..string_cols.len())].clone();
+                let (prefix, suffix) = DECOR[rng.gen_range(0..DECOR.len())];
+                let mut columns = Vec::with_capacity(source.num_columns());
+                for (field, col) in source.schema().fields().iter().zip(source.columns()) {
+                    if field.name == target {
+                        let values: Vec<Value> = col
+                            .values()
+                            .iter()
+                            .map(|v| match v {
+                                Value::Str(s) => Value::Str(format!("{prefix}{s}{suffix}")),
+                                other => other.clone(),
+                            })
+                            .collect();
+                        columns.push(Column::new(DataType::Utf8, values)?);
+                    } else {
+                        columns.push(col.clone());
+                    }
+                }
+                let table = Table::new(source.schema().clone(), columns)?;
+                Ok(TransformOutcome {
+                    table,
+                    description: format!("UNICODE-DECORATE {target} WITH {prefix}…{suffix}"),
+                    effect: ContainmentEffect::None,
+                })
+            }
+            Transform::WidenIntToFloat => {
+                let int_cols: Vec<String> = source
+                    .schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| f.data_type == DataType::Int)
+                    .map(|f| f.name.clone())
+                    .collect();
+                if int_cols.is_empty() || source.is_empty() {
+                    return Err(LakeError::InvalidArgument(
+                        "no int column to widen".to_string(),
+                    ));
+                }
+                let target = int_cols[rng.gen_range(0..int_cols.len())].clone();
+                let mut columns = Vec::with_capacity(source.num_columns());
+                let fields: Vec<Field> = source
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        if f.name == target {
+                            Field::new(f.name.clone(), DataType::Float)
+                        } else {
+                            f.clone()
+                        }
+                    })
+                    .collect();
+                for (field, col) in source.schema().fields().iter().zip(source.columns()) {
+                    if field.name == target {
+                        let mut nonnull = 0usize;
+                        let values: Vec<Value> = col
+                            .values()
+                            .iter()
+                            .map(|v| match v {
+                                Value::Int(x) => {
+                                    nonnull += 1;
+                                    // Every third value becomes a genuine
+                                    // float so the column holds mixed
+                                    // Int/Float variants (tagged pages).
+                                    if nonnull.is_multiple_of(3) {
+                                        Value::Float(*x as f64 + 0.5)
+                                    } else {
+                                        Value::Int(*x)
+                                    }
+                                }
+                                other => other.clone(),
+                            })
+                            .collect();
+                        columns.push(Column::new(DataType::Float, values)?);
+                    } else {
+                        columns.push(col.clone());
+                    }
+                }
+                let table = Table::new(Schema::new(fields)?, columns)?;
+                Ok(TransformOutcome {
+                    table,
+                    description: format!("WIDEN {target} Int -> Float (mixed variants)"),
+                    effect: ContainmentEffect::None,
+                })
+            }
         }
     }
 }
@@ -560,6 +756,98 @@ mod tests {
         assert!(Transform::AddNoise { magnitude: 1.0 }
             .apply(&empty, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn rename_column_drifts_schema_and_keeps_data() {
+        let src = source();
+        let mut rng = SmallRng::seed_from_u64(20);
+        let out = Transform::RenameColumn.apply(&src, &mut rng).unwrap();
+        assert_eq!(out.effect, ContainmentEffect::None);
+        assert_ne!(out.table.schema(), src.schema());
+        assert_eq!(out.table.num_rows(), src.num_rows());
+        // Exactly one name changed, with a _v suffix; columns are verbatim.
+        let changed: Vec<_> = out
+            .table
+            .schema()
+            .names()
+            .into_iter()
+            .filter(|n| src.schema().index_of(n).is_none())
+            .collect();
+        assert_eq!(changed.len(), 1);
+        assert!(changed[0].contains("_v"));
+        // Renaming is repeatable without name collisions.
+        let again = Transform::RenameColumn.apply(&out.table, &mut rng).unwrap();
+        assert_eq!(again.table.num_columns(), src.num_columns());
+    }
+
+    #[test]
+    fn null_flood_nulls_cells() {
+        let src = source();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let out = Transform::NullFlood { fraction: 0.5 }
+            .apply(&src, &mut rng)
+            .unwrap();
+        assert_eq!(out.table.schema(), src.schema());
+        let nulls: usize = out
+            .table
+            .columns()
+            .iter()
+            .map(|c| c.stats().null_count)
+            .sum();
+        let before: usize = src.columns().iter().map(|c| c.stats().null_count).sum();
+        assert!(nulls > before, "null-flood must add nulls");
+        assert!(Transform::NullFlood { fraction: 1.5 }
+            .apply(&src, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn unicode_decorate_rewrites_a_string_column() {
+        let src = source();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let out = Transform::UnicodeDecorate.apply(&src, &mut rng).unwrap();
+        assert_eq!(out.table.schema(), src.schema());
+        let decorated = out
+            .table
+            .columns()
+            .iter()
+            .flat_map(|c| c.values().iter())
+            .filter(|v| matches!(v, Value::Str(s) if !s.is_ascii()))
+            .count();
+        assert!(decorated > 0, "some string cells must gain unicode");
+    }
+
+    #[test]
+    fn widen_int_to_float_mixes_variants() {
+        let src = source();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let out = Transform::WidenIntToFloat.apply(&src, &mut rng).unwrap();
+        // Exactly one column changed type Int -> Float...
+        let widened: Vec<_> = out
+            .table
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| {
+                f.data_type == DataType::Float
+                    && matches!(src.schema().data_type(&f.name), Ok(DataType::Int))
+            })
+            .collect();
+        assert_eq!(widened.len(), 1);
+        // ...and it holds both Int and Float variants (the tagged-page shape).
+        let col = out.table.column(&widened[0].name).unwrap();
+        let ints = col
+            .values()
+            .iter()
+            .filter(|v| matches!(v, Value::Int(_)))
+            .count();
+        let floats = col
+            .values()
+            .iter()
+            .filter(|v| matches!(v, Value::Float(_)))
+            .count();
+        assert!(ints > 0 && floats > 0, "{ints} ints, {floats} floats");
     }
 
     #[test]
